@@ -1,0 +1,259 @@
+//! Best-first branch-and-bound under relaxed scheduling.
+//!
+//! The idea of relaxed priority scheduling traces back to Karp and Zhang's
+//! parallel backtracking (JACM 1993), which the paper's introduction cites
+//! as the origin of the approach: expand search-tree nodes speculatively,
+//! out of best-first order, without losing correctness. This module
+//! implements 0/1-knapsack branch-and-bound as a *dynamic-task* incremental
+//! algorithm — tasks (search nodes) are created during execution, the case
+//! the paper's Section 3 framework extends the PODC 2018 model with — and
+//! measures the classic trade-off: a `k`-relaxed scheduler may expand nodes
+//! an exact best-first search would have pruned.
+//!
+//! Priorities are inverted upper bounds (best-first = smallest key), so the
+//! exact scheduler reproduces textbook best-first B&B; any relaxed queue
+//! can be plugged in, and the *extra expansions* relative to the exact run
+//! quantify the wasted speculation.
+
+use rsched_graph::Weight;
+use rsched_queues::RelaxedQueue;
+
+/// A 0/1-knapsack instance.
+#[derive(Clone, Debug)]
+pub struct Knapsack {
+    /// `(value, weight)` pairs, sorted by value density (descending).
+    items: Vec<(u64, u64)>,
+    capacity: u64,
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Optimal value found.
+    pub best_value: u64,
+    /// Nodes expanded (popped and branched).
+    pub expanded: u64,
+    /// Nodes popped but pruned (their bound no longer beats the incumbent)
+    /// — wasted work, the analogue of the paper's extra steps.
+    pub pruned_after_pop: u64,
+    /// Nodes generated in total.
+    pub generated: u64,
+}
+
+/// A search node: a partial assignment of the first `level` items.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    level: u32,
+    weight: u64,
+    value: u64,
+}
+
+impl Knapsack {
+    /// Build an instance (items are re-sorted by density internally).
+    pub fn new(mut items: Vec<(u64, u64)>, capacity: u64) -> Self {
+        assert!(!items.is_empty());
+        assert!(items.iter().all(|&(v, w)| v > 0 && w > 0));
+        items.sort_by(|&(v1, w1), &(v2, w2)| (v2 as u128 * w1 as u128).cmp(&(v1 as u128 * w2 as u128)));
+        Knapsack { items, capacity }
+    }
+
+    /// A seeded random instance with `n` items; weights correlate loosely
+    /// with values so the search tree is non-trivial.
+    pub fn random(n: usize, seed: u64) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let items: Vec<(u64, u64)> = (0..n)
+            .map(|_| {
+                let w = rng.gen_range(5..100u64);
+                let v = w + rng.gen_range(0..50u64);
+                (v, w)
+            })
+            .collect();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        Knapsack::new(items, total / 3)
+    }
+
+    /// Fractional-relaxation upper bound for `node`.
+    fn upper_bound(&self, node: &Node) -> u64 {
+        let mut bound = node.value;
+        let mut room = self.capacity - node.weight;
+        for &(v, w) in &self.items[node.level as usize..] {
+            if w <= room {
+                room -= w;
+                bound += v;
+            } else {
+                // Fractional part, rounded up (still a valid upper bound).
+                bound += (v as u128 * room as u128).div_ceil(w as u128) as u64;
+                break;
+            }
+        }
+        bound
+    }
+
+    /// Exact optimum by dynamic programming — the independent verifier.
+    pub fn dp_optimum(&self) -> u64 {
+        let cap = self.capacity as usize;
+        let mut best = vec![0u64; cap + 1];
+        for &(v, w) in &self.items {
+            let w = w as usize;
+            for c in (w..=cap).rev() {
+                best[c] = best[c].max(best[c - w] + v);
+            }
+        }
+        best[cap]
+    }
+
+    /// Best-first branch-and-bound through a (relaxed) scheduler.
+    ///
+    /// Keys are `u64::MAX − upper_bound`, so smaller key = more promising,
+    /// matching the min-queue convention of [`RelaxedQueue`]. Node ids are
+    /// allocated sequentially as nodes are generated (dynamic tasks).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsched_algos::branch_bound::Knapsack;
+    /// use rsched_queues::{Exact, IndexedBinaryHeap, SimMultiQueue};
+    ///
+    /// let inst = Knapsack::random(24, 7);
+    /// let exact = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
+    /// let relaxed = inst.solve(&mut SimMultiQueue::new(8, 3));
+    /// assert_eq!(exact.best_value, relaxed.best_value);
+    /// assert_eq!(exact.best_value, inst.dp_optimum());
+    /// // Relaxation can only add expansions, never lose the optimum.
+    /// assert!(relaxed.expanded >= exact.expanded);
+    /// ```
+    pub fn solve<Q: RelaxedQueue<Weight>>(&self, queue: &mut Q) -> BnbStats {
+        let mut stats = BnbStats::default();
+        let mut nodes: Vec<Node> = Vec::new();
+        let root = Node {
+            level: 0,
+            weight: 0,
+            value: 0,
+        };
+        let mut best = 0u64;
+        let root_key = u64::MAX - self.upper_bound(&root);
+        nodes.push(root);
+        stats.generated += 1;
+        queue.insert(0, root_key);
+        while let Some((id, key)) = queue.pop_relaxed() {
+            let node = nodes[id];
+            let bound = u64::MAX - key;
+            if bound <= best {
+                stats.pruned_after_pop += 1;
+                continue;
+            }
+            stats.expanded += 1;
+            let level = node.level as usize;
+            if level == self.items.len() {
+                best = best.max(node.value);
+                continue;
+            }
+            let (v, w) = self.items[level];
+            // Branch 1: take the item (if it fits).
+            if node.weight + w <= self.capacity {
+                let child = Node {
+                    level: node.level + 1,
+                    weight: node.weight + w,
+                    value: node.value + v,
+                };
+                best = best.max(child.value);
+                let b = self.upper_bound(&child);
+                if b > best || child.level as usize == self.items.len() {
+                    let id = nodes.len();
+                    nodes.push(child);
+                    stats.generated += 1;
+                    queue.insert(id, u64::MAX - b);
+                }
+            }
+            // Branch 2: skip the item.
+            let child = Node {
+                level: node.level + 1,
+                weight: node.weight,
+                value: node.value,
+            };
+            let b = self.upper_bound(&child);
+            if b > best {
+                let id = nodes.len();
+                nodes.push(child);
+                stats.generated += 1;
+                queue.insert(id, u64::MAX - b);
+            }
+        }
+        stats.best_value = best;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_core::{AdversarialScheduler, AdversaryStrategy};
+    use rsched_queues::{Exact, IndexedBinaryHeap, RotatingKQueue, SimMultiQueue, SprayList};
+
+    #[test]
+    fn exact_bnb_matches_dp_on_many_instances() {
+        for seed in 0..10u64 {
+            let inst = Knapsack::random(20, seed);
+            let stats = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
+            assert_eq!(stats.best_value, inst.dp_optimum(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_scheduler_finds_the_optimum() {
+        let inst = Knapsack::random(26, 42);
+        let want = inst.dp_optimum();
+        assert_eq!(inst.solve(&mut SimMultiQueue::new(8, 1)).best_value, want);
+        assert_eq!(inst.solve(&mut RotatingKQueue::new(12)).best_value, want);
+        assert_eq!(inst.solve(&mut SprayList::new(8, 2)).best_value, want);
+        assert_eq!(
+            inst.solve(&mut AdversarialScheduler::new(16, AdversaryStrategy::MaxRank))
+                .best_value,
+            want
+        );
+    }
+
+    #[test]
+    fn relaxation_costs_extra_expansions() {
+        // Average over seeds: relaxed best-first expands at least as many
+        // nodes as exact best-first.
+        let mut exact_total = 0u64;
+        let mut relaxed_total = 0u64;
+        for seed in 0..10u64 {
+            let inst = Knapsack::random(22, seed);
+            exact_total += inst.solve(&mut Exact(IndexedBinaryHeap::new())).expanded;
+            relaxed_total += inst
+                .solve(&mut AdversarialScheduler::new(32, AdversaryStrategy::MaxRank))
+                .expanded;
+        }
+        assert!(
+            relaxed_total >= exact_total,
+            "relaxed {relaxed_total} < exact {exact_total}"
+        );
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let inst = Knapsack::random(18, 3);
+        let stats = inst.solve(&mut SimMultiQueue::new(4, 9));
+        assert_eq!(
+            stats.expanded + stats.pruned_after_pop,
+            stats.generated,
+            "every generated node is popped exactly once"
+        );
+    }
+
+    #[test]
+    fn tiny_instances() {
+        // Single item that fits.
+        let inst = Knapsack::new(vec![(10, 5)], 5);
+        let s = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
+        assert_eq!(s.best_value, 10);
+        // Single item that does not fit.
+        let inst = Knapsack::new(vec![(10, 5)], 4);
+        let s = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
+        assert_eq!(s.best_value, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Thread-safe implementations of the iterative/incremental algorithms for
+//! the concurrent execution model ([`run_relaxed_parallel`]).
+//!
+//! Each implementation keeps its state in atomics and publishes task
+//! completion with `Release`/`Acquire` ordering, so "all my smaller-label
+//! dependencies are processed" (checked before `process` runs) implies their
+//! state writes are visible. Because a task is only processed after its
+//! dependencies, the results are **identical** to the sequential algorithm's
+//! — determinism despite parallel, out-of-order scheduling, which the tests
+//! verify against the sequential references.
+//!
+//! [`run_relaxed_parallel`]: rsched_core::parallel::run_relaxed_parallel
+
+use crate::bst_sort::BstSort;
+use rsched_core::parallel::ConcurrentIncremental;
+use rsched_graph::CsrGraph;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Concurrent greedy maximal independent set (lexicographically first under
+/// the given permutation).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_algos::concurrent::ConcurrentMis;
+/// use rsched_core::parallel::run_relaxed_parallel;
+/// use rsched_graph::gen::random_gnm;
+///
+/// let g = random_gnm(300, 900, 1..=10, 1);
+/// let alg = ConcurrentMis::new(&g, 5);
+/// let stats = run_relaxed_parallel(&alg, 4, 2, 9);
+/// assert_eq!(stats.processed, 300);
+/// assert!(!alg.independent_set().is_empty());
+/// ```
+pub struct ConcurrentMis<'g> {
+    graph: &'g CsrGraph,
+    perm: Vec<u32>,
+    label_of: Vec<usize>,
+    processed: Vec<AtomicBool>,
+    in_mis: Vec<AtomicBool>,
+}
+
+impl<'g> ConcurrentMis<'g> {
+    /// Concurrent greedy MIS with a seeded random priority permutation.
+    pub fn new(graph: &'g CsrGraph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = graph.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        Self::with_permutation(graph, perm)
+    }
+
+    /// Concurrent greedy MIS with an explicit permutation.
+    pub fn with_permutation(graph: &'g CsrGraph, perm: Vec<u32>) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(perm.len(), n);
+        let mut label_of = vec![usize::MAX; n];
+        for (label, &v) in perm.iter().enumerate() {
+            label_of[v as usize] = label;
+        }
+        assert!(label_of.iter().all(|&l| l != usize::MAX));
+        ConcurrentMis {
+            graph,
+            perm,
+            label_of,
+            processed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            in_mis: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// The priority permutation (`perm[label] = vertex`).
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Selected vertices (complete once execution finishes).
+    pub fn independent_set(&self) -> Vec<usize> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.load(Ordering::Acquire))
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+impl ConcurrentIncremental for ConcurrentMis<'_> {
+    fn num_tasks(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn deps_satisfied(&self, task: usize) -> bool {
+        let v = self.perm[task] as usize;
+        self.graph.neighbors(v).all(|(u, _)| {
+            let lu = self.label_of[u];
+            lu > task || self.processed[lu].load(Ordering::Acquire)
+        })
+    }
+
+    fn process(&self, task: usize) {
+        let v = self.perm[task] as usize;
+        let blocked = self
+            .graph
+            .neighbors(v)
+            .any(|(u, _)| self.in_mis[u].load(Ordering::Acquire));
+        self.in_mis[v].store(!blocked, Ordering::Relaxed);
+        let was = self.processed[task].swap(true, Ordering::AcqRel);
+        debug_assert!(!was, "task {task} processed twice");
+    }
+}
+
+/// Colour value for an unprocessed vertex in [`ConcurrentColoring`].
+const UNCOLORED: u32 = u32::MAX;
+
+/// Concurrent greedy graph colouring (first-fit under the permutation).
+pub struct ConcurrentColoring<'g> {
+    graph: &'g CsrGraph,
+    perm: Vec<u32>,
+    label_of: Vec<usize>,
+    processed: Vec<AtomicBool>,
+    color: Vec<AtomicU32>,
+}
+
+impl<'g> ConcurrentColoring<'g> {
+    /// Concurrent greedy colouring with a seeded random permutation.
+    pub fn new(graph: &'g CsrGraph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = graph.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        Self::with_permutation(graph, perm)
+    }
+
+    /// Concurrent greedy colouring with an explicit permutation.
+    pub fn with_permutation(graph: &'g CsrGraph, perm: Vec<u32>) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(perm.len(), n);
+        let mut label_of = vec![usize::MAX; n];
+        for (label, &v) in perm.iter().enumerate() {
+            label_of[v as usize] = label;
+        }
+        assert!(label_of.iter().all(|&l| l != usize::MAX));
+        ConcurrentColoring {
+            graph,
+            perm,
+            label_of,
+            processed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            color: (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect(),
+        }
+    }
+
+    /// The priority permutation.
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Final colours (complete once execution finishes).
+    pub fn colors(&self) -> Vec<u32> {
+        self.color
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// `true` iff no edge connects equal colours (over coloured vertices).
+    pub fn verify_proper(&self) -> bool {
+        let colors = self.colors();
+        self.graph.edges().all(|(u, v, _)| {
+            colors[u] == UNCOLORED || colors[v] == UNCOLORED || colors[u] != colors[v]
+        })
+    }
+}
+
+impl ConcurrentIncremental for ConcurrentColoring<'_> {
+    fn num_tasks(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn deps_satisfied(&self, task: usize) -> bool {
+        let v = self.perm[task] as usize;
+        self.graph.neighbors(v).all(|(u, _)| {
+            let lu = self.label_of[u];
+            lu > task || self.processed[lu].load(Ordering::Acquire)
+        })
+    }
+
+    fn process(&self, task: usize) {
+        let v = self.perm[task] as usize;
+        let mut used: Vec<u32> = self
+            .graph
+            .neighbors(v)
+            .filter_map(|(u, _)| {
+                let c = self.color[u].load(Ordering::Acquire);
+                (c != UNCOLORED).then_some(c)
+            })
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 0u32;
+        for &u in &used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        self.color[v].store(c, Ordering::Relaxed);
+        let was = self.processed[task].swap(true, Ordering::AcqRel);
+        debug_assert!(!was);
+    }
+}
+
+/// Concurrent BST-insertion sorting: the tree links are atomics, each
+/// written exactly once (by the unique child occupying that slot), so no
+/// locks are needed.
+pub struct ConcurrentBstSort {
+    keys: Vec<u64>,
+    parent: Vec<usize>,
+    processed: Vec<AtomicBool>,
+    left: Vec<AtomicU32>,
+    right: Vec<AtomicU32>,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl ConcurrentBstSort {
+    /// Build from the same precomputed treap as the sequential [`BstSort`].
+    pub fn random(n: usize, seed: u64) -> Self {
+        let seq = BstSort::random(n, seed);
+        let keys: Vec<u64> = (0..n).map(|v| seq.key(v)).collect();
+        let parent: Vec<usize> = (0..n)
+            .map(|v| seq.parent_of(v).unwrap_or(usize::MAX))
+            .collect();
+        ConcurrentBstSort {
+            keys,
+            parent,
+            processed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            left: (0..n).map(|_| AtomicU32::new(NO_CHILD)).collect(),
+            right: (0..n).map(|_| AtomicU32::new(NO_CHILD)).collect(),
+        }
+    }
+
+    /// In-order traversal of the built tree (call after execution).
+    pub fn in_order_keys(&self) -> Vec<u64> {
+        let n = self.keys.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let root = (0..n)
+            .find(|&v| self.parent[v] == usize::MAX)
+            .expect("tree has a root");
+        let mut out = Vec::with_capacity(n);
+        let mut stack = Vec::new();
+        let mut cur = root as u32;
+        while cur != NO_CHILD || !stack.is_empty() {
+            while cur != NO_CHILD {
+                stack.push(cur);
+                cur = self.left[cur as usize].load(Ordering::Acquire);
+            }
+            let v = stack.pop().expect("stack non-empty");
+            out.push(self.keys[v as usize]);
+            cur = self.right[v as usize].load(Ordering::Acquire);
+        }
+        out
+    }
+}
+
+impl ConcurrentIncremental for ConcurrentBstSort {
+    fn num_tasks(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn deps_satisfied(&self, task: usize) -> bool {
+        let p = self.parent[task];
+        p == usize::MAX || self.processed[p].load(Ordering::Acquire)
+    }
+
+    fn process(&self, task: usize) {
+        let p = self.parent[task];
+        if p != usize::MAX {
+            let slot = if self.keys[task] < self.keys[p] {
+                &self.left[p]
+            } else {
+                &self.right[p]
+            };
+            let old = slot.swap(task as u32, Ordering::Relaxed);
+            debug_assert_eq!(old, NO_CHILD, "treap slot written twice");
+        }
+        let was = self.processed[task].swap(true, Ordering::AcqRel);
+        debug_assert!(!was);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::GreedyColoring;
+    use crate::mis::GreedyMis;
+    use rsched_core::parallel::run_relaxed_parallel;
+    use rsched_graph::gen::{complete_graph, grid_road, random_gnm};
+
+    #[test]
+    fn concurrent_mis_equals_sequential_reference() {
+        let g = random_gnm(500, 2500, 1..=10, 3);
+        for seed in 0..3u64 {
+            let alg = ConcurrentMis::new(&g, 11);
+            let stats = run_relaxed_parallel(&alg, 4, 2, seed);
+            assert_eq!(stats.processed, 500);
+            let want = GreedyMis::sequential_reference(&g, alg.permutation());
+            let got = alg.independent_set();
+            let want: Vec<usize> = want
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v)
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn concurrent_coloring_equals_sequential_reference() {
+        let g = grid_road(20, 20, 5);
+        let alg = ConcurrentColoring::new(&g, 13);
+        let stats = run_relaxed_parallel(&alg, 4, 2, 1);
+        assert_eq!(stats.processed as usize, g.num_vertices());
+        assert!(alg.verify_proper());
+        let want = GreedyColoring::sequential_reference(&g, alg.permutation());
+        assert_eq!(alg.colors(), want);
+    }
+
+    #[test]
+    fn concurrent_bst_sort_sorts() {
+        let n = 2000;
+        let alg = ConcurrentBstSort::random(n, 17);
+        let stats = run_relaxed_parallel(&alg, 4, 2, 2);
+        assert_eq!(stats.processed, n as u64);
+        assert_eq!(alg.in_order_keys(), (0..n as u64).collect::<Vec<_>>());
+        assert!(stats.extra_steps > 0, "treap chains force re-queues");
+    }
+
+    #[test]
+    fn dense_graph_serializes_but_completes() {
+        let g = complete_graph(60, 1..=5, 0);
+        let alg = ConcurrentMis::new(&g, 1);
+        let stats = run_relaxed_parallel(&alg, 4, 2, 4);
+        assert_eq!(stats.processed, 60);
+        assert_eq!(alg.independent_set().len(), 1);
+        // Total serialization: heavy re-queueing expected.
+        assert!(stats.extra_steps > 60);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rsched-algos — incremental algorithms under relaxed scheduling
+//!
+//! The algorithms the SPAA 2019 paper analyses, implemented against the
+//! `rsched-core` execution model and the `rsched-queues` schedulers:
+//!
+//! * [`bst_sort`] — **comparison sorting by BST insertion** (Section 3): the
+//!   sequential algorithm inserts keys into a binary search tree in random
+//!   label order; a task depends on its ancestors in the resulting treap.
+//!   Theorem 3.3 bounds relaxed extra steps by `O(poly(k) log n)`, and
+//!   Theorem 5.1 gives the matching `Ω(log n)` MultiQueue lower bound.
+//! * [`delaunay`] — **Delaunay mesh triangulation** (Section 3): tasks are
+//!   point insertions, dependencies are overlapping encroaching regions,
+//!   realized via the conflict-list oracle in `rsched-geometry`.
+//! * [`sssp`] — **single-source shortest paths** (Section 6, Algorithm 3):
+//!   a sequential-model variant against any relaxed queue (Theorem 6.1's
+//!   pop bound) and a truly concurrent variant over the lock-based
+//!   MultiQueue (the Section 7 experiments), plus the DecreaseKey ablation.
+//! * [`branch_bound`] — best-first **branch-and-bound** (0/1 knapsack)
+//!   under relaxed scheduling: the Karp–Zhang parallel-backtracking setting
+//!   the paper's introduction traces the whole approach to, with *dynamic*
+//!   task creation.
+//! * [`mis`] / [`coloring`] — greedy **maximal independent set** and
+//!   **graph coloring**, the fixed-task iterative algorithms of the
+//!   companion paper (Alistarh et al., PODC 2018) that this paper extends;
+//!   included as the natural regression baselines and for the "high fanout"
+//!   worst-case example the introduction discusses.
+
+pub mod branch_bound;
+pub mod bst_sort;
+pub mod concurrent;
+pub mod coloring;
+pub mod delaunay;
+pub mod delta_par;
+pub mod mis;
+pub mod sssp;
+
+pub use branch_bound::{BnbStats, Knapsack};
+pub use bst_sort::BstSort;
+pub use concurrent::{ConcurrentBstSort, ConcurrentColoring, ConcurrentMis};
+pub use coloring::GreedyColoring;
+pub use delaunay::DelaunayIncremental;
+pub use delta_par::{parallel_delta_stepping, ParDeltaStats};
+pub use mis::GreedyMis;
+pub use sssp::{
+    parallel_sssp, parallel_sssp_duplicates, parallel_sssp_spraylist, relaxed_sssp_seq,
+    ParSsspConfig, ParSsspStats, SeqSsspStats,
+};

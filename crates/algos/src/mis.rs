@@ -1,0 +1,200 @@
+//! Greedy (lexicographically-first) maximal independent set as an
+//! incremental algorithm.
+//!
+//! This is the flagship algorithm of the companion paper the SPAA 2019 work
+//! extends ("Relaxed schedulers can efficiently parallelize iterative
+//! algorithms", PODC 2018): tasks are vertices in random priority order; a
+//! vertex joins the MIS iff none of its higher-priority neighbours joined.
+//! The dependency of task `v` is on every neighbour with a smaller label —
+//! a *fixed* task set with static dependencies, which is what makes it the
+//! natural regression baseline for the dynamic algorithms of this paper.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rsched_core::IncrementalAlgorithm;
+use rsched_graph::CsrGraph;
+
+/// Greedy MIS over a graph with a (random) vertex priority order.
+///
+/// Labels are `0..n`; task `t` decides vertex `perm[t]`.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_algos::GreedyMis;
+/// use rsched_core::{run_relaxed, IncrementalAlgorithm};
+/// use rsched_graph::gen::random_gnm;
+/// use rsched_queues::SimMultiQueue;
+///
+/// let g = random_gnm(200, 600, 1..=10, 1);
+/// let mut alg = GreedyMis::new(&g, 7);
+/// run_relaxed(&mut alg, &mut SimMultiQueue::new(8, 2));
+/// let mis = alg.independent_set();
+/// assert!(!mis.is_empty());
+/// ```
+pub struct GreedyMis<'g> {
+    graph: &'g CsrGraph,
+    /// `perm[label]` = vertex decided by that task.
+    perm: Vec<u32>,
+    /// `label_of[vertex]` = its task label.
+    label_of: Vec<usize>,
+    processed: Vec<bool>,
+    in_mis: Vec<bool>,
+    n_processed: usize,
+}
+
+impl<'g> GreedyMis<'g> {
+    /// Greedy MIS with a seeded random priority permutation.
+    pub fn new(graph: &'g CsrGraph, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+        Self::with_permutation(graph, perm)
+    }
+
+    /// Greedy MIS with an explicit priority permutation
+    /// (`perm[label] = vertex`).
+    pub fn with_permutation(graph: &'g CsrGraph, perm: Vec<u32>) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(perm.len(), n);
+        let mut label_of = vec![usize::MAX; n];
+        for (label, &v) in perm.iter().enumerate() {
+            label_of[v as usize] = label;
+        }
+        assert!(
+            label_of.iter().all(|&l| l != usize::MAX),
+            "perm must be a permutation"
+        );
+        GreedyMis {
+            graph,
+            perm,
+            label_of,
+            processed: vec![false; n],
+            in_mis: vec![false; n],
+            n_processed: 0,
+        }
+    }
+
+    /// The vertices selected into the independent set (valid once all tasks
+    /// are processed; prefix-correct during execution).
+    pub fn independent_set(&self) -> Vec<usize> {
+        self.in_mis
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// `true` iff vertex `v` was selected.
+    pub fn contains(&self, v: usize) -> bool {
+        self.in_mis[v]
+    }
+
+    /// Sequential reference: the lexicographically-first MIS under the same
+    /// permutation, computed without the scheduler machinery.
+    pub fn sequential_reference(graph: &CsrGraph, perm: &[u32]) -> Vec<bool> {
+        let n = graph.num_vertices();
+        let mut in_mis = vec![false; n];
+        for &v in perm {
+            let v = v as usize;
+            let blocked = graph.neighbors(v).any(|(u, _)| in_mis[u]);
+            if !blocked {
+                in_mis[v] = true;
+            }
+        }
+        in_mis
+    }
+}
+
+impl IncrementalAlgorithm for GreedyMis<'_> {
+    fn num_tasks(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn deps_satisfied(&self, task: usize) -> bool {
+        let v = self.perm[task] as usize;
+        self.graph
+            .neighbors(v)
+            .all(|(u, _)| self.label_of[u] > task || self.processed[self.label_of[u]])
+    }
+
+    fn process(&mut self, task: usize) {
+        debug_assert!(!self.processed[task]);
+        let v = self.perm[task] as usize;
+        let blocked = self.graph.neighbors(v).any(|(u, _)| self.in_mis[u]);
+        self.in_mis[v] = !blocked;
+        self.processed[task] = true;
+        self.n_processed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_core::{run_exact, run_relaxed};
+    use rsched_graph::gen::{complete_graph, random_gnm};
+    use rsched_queues::{RotatingKQueue, SimMultiQueue};
+
+    fn is_maximal_independent(g: &CsrGraph, in_mis: &[bool]) {
+        for (u, v, _) in g.edges() {
+            assert!(!(in_mis[u] && in_mis[v]), "edge ({u},{v}) inside MIS");
+        }
+        for v in 0..g.num_vertices() {
+            if !in_mis[v] {
+                assert!(
+                    g.neighbors(v).any(|(u, _)| in_mis[u]),
+                    "vertex {v} could be added: not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_reference() {
+        let g = random_gnm(300, 1200, 1..=10, 2);
+        let mut alg = GreedyMis::new(&g, 5);
+        let perm = alg.perm.clone();
+        run_exact(&mut alg);
+        let want = GreedyMis::sequential_reference(&g, &perm);
+        assert_eq!(alg.in_mis, want);
+        is_maximal_independent(&g, &alg.in_mis);
+    }
+
+    #[test]
+    fn relaxed_matches_reference_exactly() {
+        // Determinism: the greedy MIS under a dependency-respecting
+        // schedule equals the sequential one, whatever the relaxation.
+        let g = random_gnm(300, 1500, 1..=10, 3);
+        for seed in 0..3u64 {
+            let mut alg = GreedyMis::new(&g, 9);
+            let perm = alg.perm.clone();
+            run_relaxed(&mut alg, &mut SimMultiQueue::new(16, seed));
+            let want = GreedyMis::sequential_reference(&g, &perm);
+            assert_eq!(alg.in_mis, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_selects_exactly_top_priority() {
+        // On K_n the MIS is the single highest-priority vertex; also the
+        // introduction's "high fanout" stress: every task depends on all
+        // smaller-label tasks.
+        let g = complete_graph(40, 1..=5, 0);
+        let mut alg = GreedyMis::new(&g, 1);
+        let top = alg.perm[0] as usize;
+        let stats = run_relaxed(&mut alg, &mut RotatingKQueue::new(6));
+        assert_eq!(alg.independent_set(), vec![top]);
+        // Dense dependencies force serialization: lots of extra steps.
+        assert!(stats.extra_steps > 0);
+    }
+
+    #[test]
+    fn edgeless_graph_selects_everything() {
+        let g = rsched_graph::GraphBuilder::new(50).build();
+        let mut alg = GreedyMis::new(&g, 3);
+        run_relaxed(&mut alg, &mut SimMultiQueue::new(4, 1));
+        assert_eq!(alg.independent_set().len(), 50);
+    }
+}

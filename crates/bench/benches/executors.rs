@@ -1,0 +1,86 @@
+//! **QBENCH/EXEC** — Criterion benchmarks of the execution framework: the
+//! relaxed executor (Algorithm 2) across schedulers on BST sorting, the
+//! adversarial executor, and the transactional simulator. Measures the
+//! framework overhead itself, separating it from the algorithms' work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsched_algos::BstSort;
+use rsched_core::{
+    run_exact, run_relaxed, run_relaxed_with, run_transactional, IncrementalAlgorithm, TxConfig,
+    TxStrategy,
+};
+use rsched_queues::{Exact, IndexedBinaryHeap, RotatingKQueue, SimMultiQueue, SprayList};
+
+const N: usize = 10_000;
+
+fn bench_relaxed_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_bst_sort_10k");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    group.bench_function("exact_direct", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_exact(&mut alg)
+        })
+    });
+    group.bench_function("exact_queue", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_relaxed(&mut alg, &mut Exact(IndexedBinaryHeap::new()))
+        })
+    });
+    group.bench_function("multiqueue_q8", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_relaxed(&mut alg, &mut SimMultiQueue::new(8, 2))
+        })
+    });
+    group.bench_function("spraylist_p8", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_relaxed(&mut alg, &mut SprayList::new(8, 2))
+        })
+    });
+    group.bench_function("rotating_k8", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_relaxed(&mut alg, &mut RotatingKQueue::new(8))
+        })
+    });
+    group.bench_function("adversary_k8", |b| {
+        b.iter(|| {
+            let mut alg = BstSort::random(N, 1);
+            run_relaxed_with(&mut alg, 8, |a, w| {
+                w.iter().position(|&t| !a.deps_satisfied(t)).unwrap_or(0)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_transactional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transactional_bst_sort");
+    group.sample_size(10);
+    for n in [2000usize, 8000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("k8_dur4", n), &n, |b, &n| {
+            let alg = BstSort::random(n, 3);
+            b.iter(|| {
+                run_transactional(
+                    n,
+                    |i, j| alg.depends(i, j),
+                    TxConfig {
+                        k: 8,
+                        duration: 4,
+                        strategy: TxStrategy::Random,
+                        seed: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxed_executor, bench_transactional);
+criterion_main!(benches);

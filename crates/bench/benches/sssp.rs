@@ -1,0 +1,53 @@
+//! **QBENCH/SSSP** — Criterion benchmarks of the SSSP engines: exact
+//! sequential baselines vs the relaxed concurrent executor at increasing
+//! thread counts, on a mid-size road-like grid (the workload where the
+//! relaxation trade-off is visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsched_algos::{parallel_sssp, ParSsspConfig};
+use rsched_graph::gen::{grid_road, random_gnm};
+use rsched_graph::{delta_stepping, dijkstra, CsrGraph};
+
+fn bench_graph(c: &mut Criterion, name: &str, g: &CsrGraph) {
+    let mut group = c.benchmark_group(format!("sssp_{name}"));
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.sample_size(10);
+    group.bench_function("dijkstra_exact", |b| b.iter(|| dijkstra(g, 0)));
+    group.bench_function("delta_stepping_d100", |b| {
+        b.iter(|| delta_stepping(g, 0, 100))
+    });
+    let max = std::thread::available_parallelism().map_or(4, |p| p.get());
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max {
+            break;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("relaxed_parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    parallel_sssp(
+                        g,
+                        0,
+                        ParSsspConfig {
+                            threads,
+                            queue_multiplier: 2,
+                            seed: 1,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    let road = grid_road(120, 120, 7);
+    bench_graph(c, "road_14k", &road);
+    let random = random_gnm(20_000, 200_000, 1..=100, 7);
+    bench_graph(c, "random_20k", &random);
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! An adversarial `k`-relaxed scheduler.
+//!
+//! The paper's upper bounds (Theorems 3.3, 4.3, 6.1) hold even when the
+//! scheduler is *adversarial* — free to return any element it likes, subject
+//! only to the two Section 2 constraints:
+//!
+//! * **RankBound**: the returned element is among the `k` smallest;
+//! * **Fairness**: the current minimum is returned after at most `k`
+//!   `ApproxGetMin` calls.
+//!
+//! [`AdversarialScheduler`] implements the [`RelaxedQueue`] interface over
+//! an exact ordered set and lets a pluggable [`AdversaryStrategy`] pick any
+//! element of the top-`k` window; the scheduler itself enforces Fairness by
+//! overriding the strategy once the current minimum has been skipped `k − 1`
+//! times. It supports `decrease_key`, so the sequential-model SSSP
+//! (Algorithm 3) can run against a worst-case scheduler too.
+//!
+//! For adversaries that need to inspect the *algorithm state* (e.g. "prefer
+//! returning blocked tasks"), use
+//! [`run_relaxed_with`](crate::executor::run_relaxed_with), which threads
+//! the state into the choice.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsched_queues::RelaxedQueue;
+use std::collections::BTreeSet;
+
+/// Built-in state-oblivious adversary strategies.
+#[derive(Clone, Debug)]
+pub enum AdversaryStrategy {
+    /// Always return the worst allowed element (the `min(k, len)`-th
+    /// smallest). Maximizes rank at every step.
+    MaxRank,
+    /// Return a uniformly random element of the window (seeded).
+    RandomTopK(u64),
+    /// Skip the minimum exactly `k − 1` times, then return it; meanwhile
+    /// return the second-smallest. Maximizes the inversion count `inv(u)`
+    /// of every element while keeping ranks low.
+    MaxInversions,
+}
+
+enum StrategyState {
+    MaxRank,
+    RandomTopK(SmallRng),
+    MaxInversions,
+}
+
+/// A `k`-relaxed scheduler that is adversarial up to RankBound and Fairness.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_core::{AdversarialScheduler, AdversaryStrategy};
+/// use rsched_queues::RelaxedQueue;
+///
+/// let mut q = AdversarialScheduler::new(3, AdversaryStrategy::MaxRank);
+/// for i in 0..10usize {
+///     q.insert(i, i as u64);
+/// }
+/// // MaxRank returns the 3rd smallest while more than 3 remain...
+/// assert_eq!(q.peek_relaxed(), Some((2, 2)));
+/// assert_eq!(q.peek_relaxed(), Some((2, 2)));
+/// // ...until Fairness forces the minimum (k - 1 = 2 skips allowed).
+/// assert_eq!(q.peek_relaxed(), Some((0, 0)));
+/// ```
+pub struct AdversarialScheduler {
+    set: BTreeSet<(u64, usize)>,
+    prio_of: Vec<Option<u64>>,
+    k: usize,
+    strategy: StrategyState,
+    current_top: Option<(u64, usize)>,
+    skips: usize,
+    /// Peeks and forced-fairness events, for diagnostics.
+    pub forced_fair_returns: u64,
+}
+
+impl AdversarialScheduler {
+    /// Create an adversarial scheduler with relaxation factor `k`.
+    pub fn new(k: usize, strategy: AdversaryStrategy) -> Self {
+        assert!(k >= 1);
+        let strategy = match strategy {
+            AdversaryStrategy::MaxRank => StrategyState::MaxRank,
+            AdversaryStrategy::RandomTopK(seed) => {
+                StrategyState::RandomTopK(SmallRng::seed_from_u64(seed))
+            }
+            AdversaryStrategy::MaxInversions => StrategyState::MaxInversions,
+        };
+        Self {
+            set: BTreeSet::new(),
+            prio_of: Vec::new(),
+            k,
+            strategy,
+            current_top: None,
+            skips: 0,
+            forced_fair_returns: 0,
+        }
+    }
+
+    /// The configured relaxation factor.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn ensure(&mut self, item: usize) {
+        if item >= self.prio_of.len() {
+            self.prio_of.resize(item + 1, None);
+        }
+    }
+
+    fn sync_top(&mut self) {
+        let top = self.set.first().copied();
+        if top != self.current_top {
+            self.current_top = top;
+            self.skips = 0;
+        }
+    }
+}
+
+impl RelaxedQueue<u64> for AdversarialScheduler {
+    fn insert(&mut self, item: usize, prio: u64) {
+        self.ensure(item);
+        assert!(self.prio_of[item].is_none(), "item {item} already present");
+        self.prio_of[item] = Some(prio);
+        self.set.insert((prio, item));
+        self.sync_top();
+    }
+
+    fn peek_relaxed(&mut self) -> Option<(usize, u64)> {
+        if self.set.is_empty() {
+            return None;
+        }
+        self.sync_top();
+        let window = self.k.min(self.set.len());
+        let top = *self.set.first().expect("non-empty");
+        // Fairness override: the minimum may be skipped at most k − 1 times.
+        let chosen = if self.skips >= self.k - 1 {
+            self.forced_fair_returns += 1;
+            top
+        } else {
+            let idx = match &mut self.strategy {
+                StrategyState::MaxRank => window - 1,
+                StrategyState::RandomTopK(rng) => rng.gen_range(0..window),
+                StrategyState::MaxInversions => 1.min(window - 1),
+            };
+            *self.set.iter().nth(idx).expect("index within window")
+        };
+        if chosen == top {
+            self.skips = 0;
+        } else {
+            self.skips += 1;
+        }
+        Some((chosen.1, chosen.0))
+    }
+
+    fn delete(&mut self, item: usize) -> bool {
+        let Some(Some(prio)) = self.prio_of.get(item).copied() else {
+            return false;
+        };
+        self.set.remove(&(prio, item));
+        self.prio_of[item] = None;
+        self.sync_top();
+        true
+    }
+
+    fn decrease_key(&mut self, item: usize, prio: u64) -> bool {
+        let Some(Some(old)) = self.prio_of.get(item).copied() else {
+            return false;
+        };
+        if prio >= old {
+            return false;
+        }
+        self.set.remove(&(old, item));
+        self.set.insert((prio, item));
+        self.prio_of[item] = Some(prio);
+        self.sync_top();
+        true
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        self.prio_of.get(item).is_some_and(|p| p.is_some())
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn relaxation_factor(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_queues::{RankTracker, RelaxedQueue};
+
+    fn drain<Q: RelaxedQueue<u64>>(q: &mut Q) -> Vec<usize> {
+        let mut order = Vec::new();
+        while let Some((item, _)) = q.peek_relaxed() {
+            q.delete(item);
+            order.push(item);
+        }
+        order
+    }
+
+    #[test]
+    fn maxrank_respects_rank_and_fairness_bounds() {
+        let k = 5;
+        let mut q = RankTracker::new(AdversarialScheduler::new(k, AdversaryStrategy::MaxRank));
+        for i in 0..500usize {
+            q.insert(i, i as u64);
+        }
+        drain(&mut q);
+        let s = q.stats();
+        assert!(s.max_rank <= k, "RankBound violated: {}", s.max_rank);
+        assert!(
+            s.max_inv <= (k - 1) as u64,
+            "Fairness violated: {}",
+            s.max_inv
+        );
+        // MaxRank is a genuine adversary: mean rank close to k.
+        assert!(s.mean_rank() > (k as f64) * 0.5);
+    }
+
+    #[test]
+    fn random_topk_respects_bounds() {
+        let k = 9;
+        let mut q = RankTracker::new(AdversarialScheduler::new(
+            k,
+            AdversaryStrategy::RandomTopK(13),
+        ));
+        for i in 0..400usize {
+            q.insert(i, (i as u64 * 31) % 401);
+        }
+        drain(&mut q);
+        let s = q.stats();
+        assert!(s.max_rank <= k);
+        assert!(s.max_inv <= (k - 1) as u64);
+    }
+
+    #[test]
+    fn max_inversions_maximizes_inv() {
+        let k = 6;
+        let mut q = RankTracker::new(AdversarialScheduler::new(
+            k,
+            AdversaryStrategy::MaxInversions,
+        ));
+        for i in 0..100usize {
+            q.insert(i, i as u64);
+        }
+        drain(&mut q);
+        let s = q.stats();
+        assert!(s.max_inv == (k - 1) as u64, "inv should hit k-1, got {}", s.max_inv);
+        assert!(s.max_rank <= k);
+    }
+
+    #[test]
+    fn all_items_eventually_returned() {
+        let mut q = AdversarialScheduler::new(4, AdversaryStrategy::MaxRank);
+        for i in 0..50usize {
+            q.insert(i, (50 - i) as u64);
+        }
+        let mut order = drain(&mut q);
+        order.sort_unstable();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decrease_key_resets_fairness_episode() {
+        let mut q = AdversarialScheduler::new(3, AdversaryStrategy::MaxRank);
+        for i in 0..10usize {
+            q.insert(i, 100 + i as u64);
+        }
+        q.peek_relaxed();
+        // New global minimum appears: the skip counter applies to it afresh,
+        // and within k peeks it must be returned.
+        assert!(q.decrease_key(9, 1));
+        let mut returned = false;
+        for _ in 0..3 {
+            if let Some((item, _)) = q.peek_relaxed() {
+                if item == 9 {
+                    returned = true;
+                    break;
+                }
+            }
+        }
+        assert!(returned, "new minimum not returned within k peeks");
+    }
+
+    #[test]
+    fn k1_is_exact() {
+        let mut q = AdversarialScheduler::new(1, AdversaryStrategy::MaxRank);
+        for (i, p) in [5u64, 2, 9, 1].into_iter().enumerate() {
+            q.insert(i, p);
+        }
+        assert_eq!(drain(&mut q), vec![3, 1, 0, 2]);
+    }
+}

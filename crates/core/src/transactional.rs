@@ -1,0 +1,351 @@
+//! The transactional execution model of Section 4.
+//!
+//! Tasks run as transactions scheduled by a *transactional scheduler*; a
+//! transaction **aborts iff it is executed concurrently with a transaction
+//! it depends on** (conflicts are resolved in favour of the higher-priority,
+//! i.e. lower-label, transaction). Interval contention — the number of
+//! transactions concurrent with any one transaction — is bounded, and the
+//! scheduler obeys transactional analogues of RankBound and Fairness.
+//! Theorem 4.3 bounds the expected number of aborts by
+//! `O(k²(C + k)² log n)` for incremental algorithms with the Section 3.1
+//! dependency properties.
+//!
+//! [`run_transactional`] is a discrete-time simulator of this model:
+//!
+//! * time advances in steps; at each step, transactions whose execution
+//!   interval ends attempt to **commit** (in label order), then the
+//!   scheduler **dispenses** one available pending transaction, which runs
+//!   for [`TxConfig::duration`] steps;
+//! * a transaction is *available* iff at most `k` transactions with smaller
+//!   labels are not yet committed (the paper's transactional RankBound),
+//!   and the smallest pending label is force-dispensed after `k − 1`
+//!   consecutive non-minimum dispenses (Fairness);
+//! * a running transaction aborts when an ancestor (smaller-label
+//!   dependency) commits during its interval, or when it attempts to commit
+//!   while an ancestor is still running; aborted transactions re-enter the
+//!   pending set and retry.
+//!
+//! The *interval contention* `C` of the run is measured and reported, so
+//! experiments can compare abort counts against the Theorem 4.3 bound with
+//! the empirical `C`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Dispense strategies for the transactional scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxStrategy {
+    /// Uniformly random available transaction (benign relaxed scheduler).
+    Random,
+    /// Always the largest-label available transaction (adversarial).
+    MaxLabel,
+}
+
+/// Configuration of a transactional run.
+#[derive(Clone, Copy, Debug)]
+pub struct TxConfig {
+    /// Relaxation factor `k` of the transactional scheduler.
+    pub k: usize,
+    /// Execution interval length in steps; interval contention is
+    /// `O(duration)` because one transaction starts per step.
+    pub duration: usize,
+    /// Dispense strategy.
+    pub strategy: TxStrategy,
+    /// RNG seed (used by [`TxStrategy::Random`]).
+    pub seed: u64,
+}
+
+impl Default for TxConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            duration: 4,
+            strategy: TxStrategy::Random,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome statistics of a transactional run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Committed transactions (= `n` on completion).
+    pub commits: u64,
+    /// Aborted executions — the paper's wasted work (Theorem 4.3).
+    pub aborts: u64,
+    /// Scheduler dispenses (commits + aborts, by construction).
+    pub dispenses: u64,
+    /// Simulated time steps.
+    pub steps: u64,
+    /// Maximum observed interval contention: the largest number of other
+    /// transactions concurrent with any single execution. This is the
+    /// empirical `C` of Theorem 4.3.
+    pub max_contention: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    task: usize,
+    end: u64,
+    /// Transactions that have overlapped this execution so far.
+    contention: usize,
+    /// Set when an ancestor committed during this interval.
+    doomed: bool,
+}
+
+/// Simulate the Section 4 transactional model for `n` transactions with the
+/// dependency oracle `deps(i, j)` (`true` iff transaction `j` depends on
+/// transaction `i`; only queried for `i < j`).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_core::{run_transactional, TxConfig, TxStrategy};
+///
+/// // Chain dependencies: j depends on j - 1.
+/// let stats = run_transactional(100, |i, j| j == i + 1, TxConfig {
+///     k: 4,
+///     duration: 3,
+///     strategy: TxStrategy::Random,
+///     seed: 7,
+/// });
+/// assert_eq!(stats.commits, 100);
+/// // The chain forces aborts under concurrent speculative execution.
+/// assert!(stats.aborts > 0);
+/// ```
+pub fn run_transactional<D>(n: usize, deps: D, cfg: TxConfig) -> TxStats
+where
+    D: Fn(usize, usize) -> bool,
+{
+    assert!(cfg.k >= 1 && cfg.duration >= 1);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pending: BTreeSet<usize> = (0..n).collect();
+    let mut committed = vec![false; n];
+    let mut n_committed = 0usize;
+    let mut running: Vec<Running> = Vec::new();
+    let mut stats = TxStats::default();
+    let mut skips = 0usize; // consecutive dispenses that skipped the minimum
+    let mut time = 0u64;
+    while n_committed < n {
+        // --- Phase 1: commit/abort transactions whose interval ends now,
+        // in label order (higher priority commits first).
+        let mut ending: Vec<usize> = running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.end == time)
+            .map(|(i, _)| i)
+            .collect();
+        ending.sort_by_key(|&i| running[i].task);
+        // Collect outcomes first (indices into `running`), then remove.
+        let mut to_remove: Vec<usize> = Vec::new();
+        for &ri in &ending {
+            let r = running[ri];
+            stats.max_contention = stats.max_contention.max(r.contention);
+            // Abort if doomed, or if an ancestor is still running.
+            let ancestor_running = running.iter().any(|o| {
+                o.end != time && o.task < r.task && deps(o.task, r.task)
+            });
+            if r.doomed || ancestor_running {
+                stats.aborts += 1;
+                pending.insert(r.task);
+            } else {
+                committed[r.task] = true;
+                n_committed += 1;
+                stats.commits += 1;
+                // Doom running dependents of the committed transaction.
+                let task = r.task;
+                for o in running.iter_mut() {
+                    if o.end != time && o.task > task && deps(task, o.task) {
+                        o.doomed = true;
+                    }
+                }
+            }
+            to_remove.push(ri);
+        }
+        to_remove.sort_unstable_by(|a, b| b.cmp(a));
+        for ri in to_remove {
+            running.swap_remove(ri);
+        }
+        if n_committed == n {
+            break;
+        }
+        // --- Phase 2: dispense one available pending transaction.
+        if !pending.is_empty() {
+            // Available: at most k non-committed transactions with smaller
+            // label. Since non-committed = pending ∪ running, count both.
+            let available: Vec<usize> = {
+                let mut avail = Vec::new();
+                for (smaller_pending, &t) in pending.iter().enumerate() {
+                    // Count running transactions with label < t lazily.
+                    let running_below =
+                        running.iter().filter(|r| r.task < t).count();
+                    if smaller_pending + running_below < cfg.k {
+                        avail.push(t);
+                    } else {
+                        break; // labels only grow; counts only grow
+                    }
+                }
+                avail
+            };
+            if !available.is_empty() {
+                let min_pending = available[0];
+                let chosen = if skips >= cfg.k - 1 {
+                    min_pending
+                } else {
+                    match cfg.strategy {
+                        TxStrategy::Random => {
+                            available[rng.gen_range(0..available.len())]
+                        }
+                        TxStrategy::MaxLabel => *available.last().expect("non-empty"),
+                    }
+                };
+                if chosen == min_pending {
+                    skips = 0;
+                } else {
+                    skips += 1;
+                }
+                pending.remove(&chosen);
+                // Mutual contention accounting.
+                let overlap = running.len();
+                for o in running.iter_mut() {
+                    o.contention += 1;
+                }
+                running.push(Running {
+                    task: chosen,
+                    end: time + cfg.duration as u64,
+                    contention: overlap,
+                    doomed: false,
+                });
+                stats.dispenses += 1;
+            }
+        }
+        time += 1;
+        stats.steps = time;
+    }
+    debug_assert_eq!(stats.dispenses, stats.commits + stats.aborts);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_transactions_never_abort() {
+        let stats = run_transactional(200, |_, _| false, TxConfig::default());
+        assert_eq!(stats.commits, 200);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.dispenses, 200);
+    }
+
+    #[test]
+    fn chain_commits_everything_despite_aborts() {
+        let stats = run_transactional(
+            150,
+            |i, j| j == i + 1,
+            TxConfig {
+                k: 6,
+                duration: 4,
+                strategy: TxStrategy::MaxLabel,
+                seed: 1,
+            },
+        );
+        assert_eq!(stats.commits, 150);
+        assert!(stats.aborts > 0, "speculative chain must abort sometimes");
+        assert_eq!(stats.dispenses, stats.commits + stats.aborts);
+    }
+
+    #[test]
+    fn k1_serializes_and_never_aborts() {
+        // With k = 1 only the minimum uncommitted transaction is available,
+        // and one transaction runs at a time once the pipeline drains; a
+        // transaction's ancestors are committed before it is dispensed.
+        let stats = run_transactional(
+            100,
+            |i, j| j == i + 1,
+            TxConfig {
+                k: 1,
+                duration: 5,
+                strategy: TxStrategy::Random,
+                seed: 3,
+            },
+        );
+        assert_eq!(stats.commits, 100);
+        assert_eq!(stats.aborts, 0);
+    }
+
+    #[test]
+    fn contention_is_bounded_by_duration() {
+        let stats = run_transactional(
+            300,
+            |_, _| false,
+            TxConfig {
+                k: 64,
+                duration: 7,
+                strategy: TxStrategy::Random,
+                seed: 5,
+            },
+        );
+        // One start per step, interval = 7 steps: at most 7 others can start
+        // during an interval and at most 7 were running at the start.
+        assert!(stats.max_contention <= 14, "contention {}", stats.max_contention);
+        assert!(stats.max_contention >= 5, "simulator should reach steady state");
+    }
+
+    #[test]
+    fn aborts_grow_with_k_on_chain() {
+        let run = |k| {
+            run_transactional(
+                200,
+                |i, j| j == i + 1,
+                TxConfig {
+                    k,
+                    duration: 3,
+                    strategy: TxStrategy::MaxLabel,
+                    seed: 9,
+                },
+            )
+            .aborts
+        };
+        let a2 = run(2);
+        let a16 = run(16);
+        assert!(
+            a16 > a2,
+            "more relaxation should cause more speculative aborts: k=2 -> {a2}, k=16 -> {a16}"
+        );
+    }
+
+    #[test]
+    fn random_dep_structure_completes() {
+        // p_ij ~ C/i style dependencies: j depends on i iff hash(i,j) % i == 0.
+        let deps = |i: usize, j: usize| {
+            if i == 0 {
+                return false;
+            }
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(j as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (h % (i as u64 * 4)) == 0
+        };
+        let stats = run_transactional(
+            400,
+            deps,
+            TxConfig {
+                k: 8,
+                duration: 4,
+                strategy: TxStrategy::Random,
+                seed: 11,
+            },
+        );
+        assert_eq!(stats.commits, 400);
+    }
+
+    #[test]
+    fn single_transaction() {
+        let stats = run_transactional(1, |_, _| true, TxConfig::default());
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.aborts, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Executable checks of the paper's intermediate lemmas — the structural
+//! facts the Theorem 3.3 charging argument rests on. These run the real
+//! executor against worst-case admissible adversaries, record the exact
+//! schedule via `run_relaxed_traced`, and verify the lemma statements
+//! offline.
+
+use rsched_core::{run_relaxed_traced, IncrementalAlgorithm, TraceEntry};
+
+/// Chain algorithm (task i depends on i−1): maximal dependency pressure.
+struct Chain {
+    done: Vec<bool>,
+}
+
+impl Chain {
+    fn new(n: usize) -> Self {
+        Self {
+            done: vec![false; n],
+        }
+    }
+}
+
+impl IncrementalAlgorithm for Chain {
+    fn num_tasks(&self) -> usize {
+        self.done.len()
+    }
+    fn deps_satisfied(&self, t: usize) -> bool {
+        t == 0 || self.done[t - 1]
+    }
+    fn process(&mut self, t: usize) {
+        self.done[t] = true;
+    }
+}
+
+/// Record the exact schedule under a given adversary.
+fn trace_of(
+    n: usize,
+    k: usize,
+    mut pick: impl FnMut(&Chain, &[usize]) -> usize,
+) -> Vec<TraceEntry> {
+    let mut trace = Vec::new();
+    let mut alg = Chain::new(n);
+    run_relaxed_traced(&mut alg, k, &mut pick, |e| trace.push(e));
+    trace
+}
+
+/// Lemma 3.2: for any label `i`, the scheduler returns tasks with label
+/// `> i` at most `k²` times before task `i` is processed (`R_i ≤ k²`).
+#[test]
+fn lemma_32_charge_bound_holds() {
+    let n = 1200;
+    for k in [2usize, 3, 5, 8] {
+        for adversary in 0..2 {
+            let trace = trace_of(n, k, |alg, w| {
+                if adversary == 0 {
+                    w.len() - 1 // MaxRank
+                } else {
+                    // Dependency-aware: return a blocked task if possible.
+                    w.iter().position(|&t| !alg.deps_satisfied(t)).unwrap_or(0)
+                }
+            });
+            // processed_at[i] = step index at which task i was processed.
+            let mut processed_at = vec![u64::MAX; n];
+            for (step, e) in trace.iter().enumerate() {
+                if e.processed {
+                    processed_at[e.task] = step as u64;
+                }
+            }
+            assert!(processed_at.iter().all(|&s| s != u64::MAX));
+            // R_i = returns of labels > i strictly before processed_at[i].
+            let mut r = vec![0u64; n];
+            for (step, e) in trace.iter().enumerate() {
+                // Only labels i < e.task with processed_at[i] > step count.
+                // Checking all i is O(n) per step; restrict to the chain
+                // head window: unprocessed labels below e.task form the
+                // contiguous range [head, e.task) at any step, and only
+                // those i accumulate charge. The head at `step` is the
+                // number of processed entries among trace[..step].
+                let head = trace[..step].iter().filter(|x| x.processed).count();
+                for i in head..e.task.min(head + 2 * k * k) {
+                    if processed_at[i] > step as u64 {
+                        r[i] += 1;
+                    }
+                }
+            }
+            let max_r = r.iter().max().copied().unwrap_or(0);
+            assert!(
+                max_r <= (k * k) as u64,
+                "adversary {adversary}, k = {k}: max R_i = {max_r} > k² = {}",
+                k * k
+            );
+        }
+    }
+}
+
+/// Lemma 3.1 (consequence): the scheduler never returns a label `2k²` or
+/// more ahead of the smallest unprocessed label.
+#[test]
+fn lemma_31_rank_window_holds() {
+    let n = 1500;
+    for k in [2usize, 4, 6, 10] {
+        let trace = trace_of(n, k, |_, w| w.len() - 1);
+        let mut head = 0usize; // smallest unprocessed label (chain ⇒ prefix)
+        for e in &trace {
+            assert!(
+                e.task < head + 2 * k * k,
+                "k = {k}: returned label {} with head {head} (gap ≥ 2k² = {})",
+                e.task,
+                2 * k * k
+            );
+            if e.processed {
+                assert_eq!(e.task, head, "chain must process in order");
+                head += 1;
+            }
+        }
+        assert_eq!(head, n);
+    }
+}
+
+/// Fairness consequence used throughout Section 3: the smallest unprocessed
+/// task is processed within k steps of becoming processable, so the chain
+/// run takes at most k·n steps total.
+#[test]
+fn fairness_gives_kn_total_steps_on_chain() {
+    let n = 1000;
+    for k in [2usize, 5, 9] {
+        let trace = trace_of(n, k, |_, w| w.len() - 1);
+        assert!(
+            trace.len() <= k * n,
+            "k = {k}: {} steps exceeds k·n = {}",
+            trace.len(),
+            k * n
+        );
+        // And between consecutive processings there are at most k−1 wasted
+        // steps (each head task's inv ≤ k−1).
+        let mut wasted_run = 0usize;
+        for e in &trace {
+            if e.processed {
+                wasted_run = 0;
+            } else {
+                wasted_run += 1;
+                assert!(
+                    wasted_run < k,
+                    "k = {k}: {wasted_run} consecutive wasted steps"
+                );
+            }
+        }
+    }
+}

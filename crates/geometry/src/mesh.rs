@@ -1,0 +1,376 @@
+//! Triangle-arena mesh with neighbour links.
+//!
+//! Triangles are stored in an append-only arena ([`TriMesh`]); Bowyer–Watson
+//! insertion kills cavity triangles (marking them dead) and appends the
+//! retriangulated fan, so triangle ids are stable and dead triangles keep
+//! their vertex data — useful for debugging adversarial insertion orders.
+
+use crate::point::Point;
+use crate::predicates::{incircle_det, orient2d_det};
+
+/// Index of a triangle in the arena.
+pub type TriId = u32;
+
+/// Sentinel for "no neighbour" (only the outer side of the super-triangle).
+pub const NO_TRI: TriId = u32::MAX;
+
+/// A triangle: counter-clockwise vertex ids and the three neighbours, where
+/// `nbr[i]` is the triangle across the edge *opposite* vertex `v[i]`
+/// (i.e. the edge `(v[i+1], v[i+2])`).
+#[derive(Clone, Copy, Debug)]
+pub struct Triangle {
+    pub v: [u32; 3],
+    pub nbr: [TriId; 3],
+    pub alive: bool,
+}
+
+impl Triangle {
+    /// Index (0..3) of vertex `p` within this triangle.
+    #[inline]
+    pub fn index_of(&self, p: u32) -> Option<usize> {
+        self.v.iter().position(|&x| x == p)
+    }
+
+    /// Index (0..3) of neighbour `t` within this triangle.
+    #[inline]
+    pub fn nbr_index_of(&self, t: TriId) -> Option<usize> {
+        self.nbr.iter().position(|&x| x == t)
+    }
+
+    /// The edge opposite vertex slot `i`, as `(v[i+1], v[i+2])`.
+    #[inline]
+    pub fn opposite_edge(&self, i: usize) -> (u32, u32) {
+        (self.v[(i + 1) % 3], self.v[(i + 2) % 3])
+    }
+}
+
+/// The mesh: a point store (data points followed by the three super-triangle
+/// vertices) plus the triangle arena.
+#[derive(Clone, Debug)]
+pub struct TriMesh {
+    points: Vec<Point>,
+    tris: Vec<Triangle>,
+    n_real: usize,
+    alive: usize,
+}
+
+impl TriMesh {
+    /// Build a mesh over `points` (data points; the three super-triangle
+    /// vertices are appended internally) containing the single
+    /// super-triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate magnitude exceeds `2^23` (needed so the
+    /// super-triangle vertices stay within the exact-arithmetic bound) or if
+    /// `points` contains duplicates.
+    pub fn new(points: Vec<Point>) -> Self {
+        let mut s: i64 = 1;
+        for p in &points {
+            assert!(
+                p.x.abs() <= (1 << 23) && p.y.abs() <= (1 << 23),
+                "data coordinates must satisfy |c| <= 2^23"
+            );
+            s = s.max(p.x.abs()).max(p.y.abs());
+        }
+        {
+            let mut sorted = points.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), points.len(), "duplicate points are not allowed");
+        }
+        let n_real = points.len();
+        let mut pts = points;
+        // Super-triangle comfortably containing [-s, s]²; |8s| ≤ 2^26.
+        pts.push(Point::new(-8 * s, -8 * s));
+        pts.push(Point::new(8 * s, -8 * s));
+        pts.push(Point::new(0, 8 * s));
+        let tris = vec![Triangle {
+            v: [n_real as u32, n_real as u32 + 1, n_real as u32 + 2],
+            nbr: [NO_TRI; 3],
+            alive: true,
+        }];
+        TriMesh {
+            points: pts,
+            tris,
+            n_real,
+            alive: 1,
+        }
+    }
+
+    /// Number of data points (excluding the super-triangle vertices).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.n_real
+    }
+
+    /// `true` if point id `p` is a super-triangle vertex.
+    #[inline]
+    pub fn is_super(&self, p: u32) -> bool {
+        (p as usize) >= self.n_real
+    }
+
+    /// Coordinates of point id `p` (data or super vertex).
+    #[inline]
+    pub fn point(&self, p: u32) -> Point {
+        self.points[p as usize]
+    }
+
+    /// The triangle record for `t`.
+    #[inline]
+    pub fn tri(&self, t: TriId) -> &Triangle {
+        &self.tris[t as usize]
+    }
+
+    /// Number of live triangles.
+    #[inline]
+    pub fn num_alive(&self) -> usize {
+        self.alive
+    }
+
+    /// Total arena size (live + dead triangles).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Iterate over ids of live triangles.
+    pub fn alive_tris(&self) -> impl Iterator<Item = TriId> + '_ {
+        self.tris
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .map(|(i, _)| i as TriId)
+    }
+
+    /// `true` iff data point `p` lies strictly inside the circumcircle of
+    /// live triangle `t`.
+    #[inline]
+    pub fn in_circumcircle(&self, t: TriId, p: u32) -> bool {
+        let tri = &self.tris[t as usize];
+        incircle_det(
+            self.point(tri.v[0]),
+            self.point(tri.v[1]),
+            self.point(tri.v[2]),
+            self.point(p),
+        ) > 0
+    }
+
+    /// `true` iff point `p` lies inside or on the boundary of triangle `t`.
+    #[inline]
+    pub fn contains_point(&self, t: TriId, p: u32) -> bool {
+        let tri = &self.tris[t as usize];
+        let q = self.point(p);
+        for i in 0..3 {
+            let (a, b) = (tri.v[i], tri.v[(i + 1) % 3]);
+            if orient2d_det(self.point(a), self.point(b), q) < 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Kill triangle `t` (Bowyer–Watson cavity removal).
+    pub(crate) fn kill(&mut self, t: TriId) {
+        let tri = &mut self.tris[t as usize];
+        debug_assert!(tri.alive);
+        tri.alive = false;
+        self.alive -= 1;
+    }
+
+    /// Append a new live triangle, returning its id. The caller is
+    /// responsible for wiring neighbours consistently.
+    pub(crate) fn push_tri(&mut self, v: [u32; 3], nbr: [TriId; 3]) -> TriId {
+        debug_assert!(
+            orient2d_det(self.point(v[0]), self.point(v[1]), self.point(v[2])) > 0,
+            "new triangle must be counter-clockwise"
+        );
+        self.tris.push(Triangle {
+            v,
+            nbr,
+            alive: true,
+        });
+        self.alive += 1;
+        (self.tris.len() - 1) as TriId
+    }
+
+    pub(crate) fn set_nbr(&mut self, t: TriId, slot: usize, to: TriId) {
+        self.tris[t as usize].nbr[slot] = to;
+    }
+
+    /// Iterate over the undirected edges of the live mesh, each reported
+    /// once as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(3 * self.alive / 2 + 3);
+        for t in self.alive_tris() {
+            let tri = self.tri(t);
+            for s in 0..3 {
+                let (a, b) = tri.opposite_edge(s);
+                // Interior edges appear twice (once per direction): keep the
+                // a < b occurrence. Boundary edges appear only once, in CCW
+                // direction, which may have a > b: normalize and keep.
+                if a < b || tri.nbr[s] == NO_TRI {
+                    out.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Degree (number of incident live triangles) of every vertex.
+    pub fn vertex_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.points.len()];
+        for t in self.alive_tris() {
+            for &v in &self.tri(t).v {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Quality summary over live triangles whose vertices are all data
+    /// points: `(min_angle_deg, mean_min_angle_deg, count)`. The Delaunay
+    /// triangulation maximizes the minimum angle among all triangulations,
+    /// so regressions here flag structural bugs even when the circumcircle
+    /// checks pass.
+    pub fn angle_stats(&self) -> Option<(f64, f64, usize)> {
+        let mut global_min = f64::INFINITY;
+        let mut sum_min = 0.0;
+        let mut count = 0usize;
+        for t in self.alive_tris() {
+            let tri = self.tri(t);
+            if tri.v.iter().any(|&v| self.is_super(v)) {
+                continue;
+            }
+            let p: Vec<Point> = tri.v.iter().map(|&v| self.point(v)).collect();
+            let mut min_angle = f64::INFINITY;
+            for i in 0..3 {
+                let a = p[i];
+                let b = p[(i + 1) % 3];
+                let c = p[(i + 2) % 3];
+                let abx = (b.x - a.x) as f64;
+                let aby = (b.y - a.y) as f64;
+                let acx = (c.x - a.x) as f64;
+                let acy = (c.y - a.y) as f64;
+                let dot = abx * acx + aby * acy;
+                let cross = abx * acy - aby * acx;
+                let angle = cross.atan2(dot).abs().to_degrees();
+                min_angle = min_angle.min(angle);
+            }
+            global_min = global_min.min(min_angle);
+            sum_min += min_angle;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some((global_min, sum_min / count as f64, count))
+        }
+    }
+
+    /// Structural invariants: every live triangle is CCW; neighbour links
+    /// are symmetric and live; the shared edge of two neighbours is the same
+    /// vertex pair.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (i, tri) in self.tris.iter().enumerate() {
+            if !tri.alive {
+                continue;
+            }
+            let t = i as TriId;
+            assert!(
+                orient2d_det(
+                    self.point(tri.v[0]),
+                    self.point(tri.v[1]),
+                    self.point(tri.v[2])
+                ) > 0,
+                "triangle {t} is not CCW"
+            );
+            for s in 0..3 {
+                let n = tri.nbr[s];
+                if n == NO_TRI {
+                    continue;
+                }
+                let ntri = &self.tris[n as usize];
+                assert!(ntri.alive, "triangle {t} points at dead neighbour {n}");
+                let back = ntri
+                    .nbr_index_of(t)
+                    .unwrap_or_else(|| panic!("neighbour {n} does not point back at {t}"));
+                // Shared edge must consist of the same two vertices, in
+                // opposite directions.
+                let (a, b) = tri.opposite_edge(s);
+                let (c, d) = ntri.opposite_edge(back);
+                assert_eq!((a, b), (d, c), "edge mismatch between {t} and {n}");
+            }
+        }
+        assert_eq!(self.alive, self.alive_tris().count());
+    }
+
+    /// The Delaunay property over the *inserted* subset of points: no live
+    /// triangle's circumcircle strictly contains any inserted point.
+    /// `O(T·n)` — test/diagnostic use only.
+    #[doc(hidden)]
+    pub fn check_delaunay(&self, inserted: &[bool]) {
+        for t in self.alive_tris() {
+            let tri = self.tri(t);
+            for (p, &ins) in inserted.iter().enumerate() {
+                let p = p as u32;
+                if !ins || tri.v.contains(&p) {
+                    continue;
+                }
+                assert!(
+                    !self.in_circumcircle(t, p),
+                    "Delaunay violated: point {p} inside circumcircle of triangle {t} {:?}",
+                    tri.v
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mesh_is_one_super_triangle() {
+        let pts = vec![Point::new(0, 0), Point::new(10, 0), Point::new(0, 10)];
+        let m = TriMesh::new(pts);
+        assert_eq!(m.num_points(), 3);
+        assert_eq!(m.num_alive(), 1);
+        assert!(m.is_super(3) && m.is_super(5));
+        assert!(!m.is_super(2));
+        m.check_invariants();
+        // Every data point is inside the super triangle.
+        for p in 0..3 {
+            assert!(m.contains_point(0, p));
+        }
+    }
+
+    #[test]
+    fn super_triangle_contains_extreme_points() {
+        let pts = vec![
+            Point::new(-(1 << 23), -(1 << 23)),
+            Point::new((1 << 23) - 1, (1 << 23) - 1),
+            Point::new(0, 1 << 22),
+        ];
+        let m = TriMesh::new(pts);
+        for p in 0..3 {
+            assert!(m.contains_point(0, p), "point {p} outside super triangle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate points")]
+    fn duplicates_rejected() {
+        TriMesh::new(vec![Point::new(1, 1), Point::new(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^23")]
+    fn oversized_coordinates_rejected() {
+        TriMesh::new(vec![Point::new(1 << 24, 0)]);
+    }
+}

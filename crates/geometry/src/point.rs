@@ -1,0 +1,117 @@
+//! Integer-grid points and deterministic random point clouds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Largest coordinate magnitude for which the `i128` predicate arithmetic in
+/// [`crate::predicates`] provably cannot overflow (see the bound derivation
+/// there). The super-triangle vertices used by [`crate::triangulate`] must
+/// also respect this bound.
+pub const MAX_COORD: i64 = 1 << 26;
+
+/// A point on the integer grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    pub x: i64,
+    pub y: i64,
+}
+
+impl Point {
+    /// Construct a point, asserting the coordinate bound that keeps the
+    /// exact predicates overflow-free.
+    #[inline]
+    pub fn new(x: i64, y: i64) -> Self {
+        debug_assert!(
+            x.abs() <= MAX_COORD && y.abs() <= MAX_COORD,
+            "coordinates must satisfy |c| <= MAX_COORD for exact predicates"
+        );
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other` (exact in i128).
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// `n` *distinct* uniform random points on `[0, extent)²`, deterministic in
+/// the seed. Distinctness matters: the incremental triangulation rejects
+/// duplicate points, and the paper's random-order analysis assumes `n`
+/// distinct tasks.
+///
+/// # Panics
+///
+/// Panics if `extent² < 2n` (not enough room for distinct points) or
+/// `extent > MAX_COORD`.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_geometry::random_points;
+///
+/// let pts = random_points(100, 1 << 20, 42);
+/// assert_eq!(pts.len(), 100);
+/// let dedup: std::collections::HashSet<_> = pts.iter().collect();
+/// assert_eq!(dedup.len(), 100);
+/// ```
+pub fn random_points(n: usize, extent: i64, seed: u64) -> Vec<Point> {
+    assert!(extent > 0 && extent <= MAX_COORD);
+    assert!(
+        (extent as u128) * (extent as u128) >= 2 * n as u128,
+        "extent too small for {n} distinct points"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = Point::new(rng.gen_range(0..extent), rng.gen_range(0..extent));
+        if seen.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_points_deterministic_and_distinct() {
+        let a = random_points(500, 1 << 16, 3);
+        let b = random_points(500, 1 << 16, 3);
+        assert_eq!(a, b);
+        let set: HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 500);
+        for p in &a {
+            assert!(p.x >= 0 && p.x < (1 << 16));
+            assert!(p.y >= 0 && p.y < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn dist2_exact() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.dist2(&b), 25);
+        let c = Point::new(MAX_COORD, MAX_COORD);
+        // No overflow at the extreme.
+        assert_eq!(a.dist2(&c), 2 * (MAX_COORD as i128) * (MAX_COORD as i128));
+    }
+
+    #[test]
+    #[should_panic(expected = "extent too small")]
+    fn tiny_extent_rejected() {
+        random_points(100, 10, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact geometric predicates over integer coordinates.
+//!
+//! Robustness strategy: instead of floating-point filters with exact
+//! fallbacks (Shewchuk's adaptive predicates), we restrict coordinates to
+//! the integer grid `|c| ≤ 2^26` and evaluate the determinants in `i128`,
+//! where they provably cannot overflow:
+//!
+//! * `orient2d` is a 2×2 determinant of differences: terms are bounded by
+//!   `2·2^26 · 2·2^26 = 2^54`, far below `i128::MAX`.
+//! * `incircle` is evaluated as the 3×3 determinant of rows
+//!   `(ax−dx, ay−dy, (ax−dx)² + (ay−dy)²)`: differences are `≤ 2^27`,
+//!   the lifted column `≤ 2^55`, each of the 6 expansion terms
+//!   `≤ 2^27 · 2^27 · 2^55 = 2^109`, and their sum `< 2^112 < 2^127`.
+//!
+//! Every sign decision is therefore *exact* — the mesh layer never has to
+//! reason about epsilon slack, which is what makes the triangulation safe
+//! under the adversarial insertion orders a relaxed scheduler can produce.
+
+use crate::point::Point;
+
+/// Sign of an exact determinant computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise / strictly inside.
+    Positive,
+    /// Collinear / exactly on the circle.
+    Zero,
+    /// Clockwise / strictly outside.
+    Negative,
+}
+
+impl Orientation {
+    #[inline]
+    fn of(v: i128) -> Self {
+        match v.cmp(&0) {
+            std::cmp::Ordering::Greater => Orientation::Positive,
+            std::cmp::Ordering::Equal => Orientation::Zero,
+            std::cmp::Ordering::Less => Orientation::Negative,
+        }
+    }
+}
+
+/// Orientation of the triple `(a, b, c)`:
+/// [`Orientation::Positive`] if `c` lies strictly to the left of the
+/// directed line `a → b` (the triangle `a, b, c` is counter-clockwise).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_geometry::{orient2d, Orientation, Point};
+///
+/// let a = Point::new(0, 0);
+/// let b = Point::new(4, 0);
+/// assert_eq!(orient2d(a, b, Point::new(0, 3)), Orientation::Positive);
+/// assert_eq!(orient2d(a, b, Point::new(2, 0)), Orientation::Zero);
+/// assert_eq!(orient2d(a, b, Point::new(0, -3)), Orientation::Negative);
+/// ```
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    Orientation::of(orient2d_det(a, b, c))
+}
+
+/// The raw `orient2d` determinant `(b−a) × (c−a)`; twice the signed area of
+/// the triangle.
+#[inline]
+pub fn orient2d_det(a: Point, b: Point, c: Point) -> i128 {
+    let abx = (b.x - a.x) as i128;
+    let aby = (b.y - a.y) as i128;
+    let acx = (c.x - a.x) as i128;
+    let acy = (c.y - a.y) as i128;
+    abx * acy - aby * acx
+}
+
+/// In-circle test: for a **counter-clockwise** triangle `(a, b, c)`,
+/// [`Orientation::Positive`] iff `d` lies strictly inside the circumcircle.
+///
+/// # Panics
+///
+/// Debug-asserts that `(a, b, c)` is counter-clockwise; for a clockwise
+/// triangle the sign would be flipped.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_geometry::{incircle, Orientation, Point};
+///
+/// // Unit-ish square corners; circumcircle of (0,0),(4,0),(4,4) passes
+/// // through (0,4) and contains (2,2).
+/// let a = Point::new(0, 0);
+/// let b = Point::new(4, 0);
+/// let c = Point::new(4, 4);
+/// assert_eq!(incircle(a, b, c, Point::new(2, 2)), Orientation::Positive);
+/// assert_eq!(incircle(a, b, c, Point::new(0, 4)), Orientation::Zero);
+/// assert_eq!(incircle(a, b, c, Point::new(5, 0)), Orientation::Negative);
+/// ```
+#[inline]
+pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> Orientation {
+    debug_assert!(
+        orient2d_det(a, b, c) > 0,
+        "incircle requires a counter-clockwise triangle"
+    );
+    Orientation::of(incircle_det(a, b, c, d))
+}
+
+/// The raw in-circle determinant (positive = inside, for CCW `(a,b,c)`).
+pub fn incircle_det(a: Point, b: Point, c: Point, d: Point) -> i128 {
+    let adx = (a.x - d.x) as i128;
+    let ady = (a.y - d.y) as i128;
+    let bdx = (b.x - d.x) as i128;
+    let bdy = (b.y - d.y) as i128;
+    let cdx = (c.x - d.x) as i128;
+    let cdy = (c.y - d.y) as i128;
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::MAX_COORD;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn orientation_basics() {
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 0);
+        assert_eq!(orient2d(a, b, Point::new(5, 1)), Orientation::Positive);
+        assert_eq!(orient2d(a, b, Point::new(5, -1)), Orientation::Negative);
+        assert_eq!(orient2d(a, b, Point::new(100, 0)), Orientation::Zero);
+        // Antisymmetry.
+        assert_eq!(orient2d(b, a, Point::new(5, 1)), Orientation::Negative);
+    }
+
+    #[test]
+    fn orientation_no_overflow_at_extremes() {
+        let a = Point::new(-MAX_COORD, -MAX_COORD);
+        let b = Point::new(MAX_COORD, -MAX_COORD);
+        let c = Point::new(0, MAX_COORD);
+        assert_eq!(orient2d(a, b, c), Orientation::Positive);
+        // Near-collinear at full magnitude: differs by one unit.
+        let d = Point::new(0, -MAX_COORD + 1);
+        assert_eq!(orient2d(a, b, d), Orientation::Positive);
+        let e = Point::new(0, -MAX_COORD);
+        assert_eq!(orient2d(a, b, e), Orientation::Zero);
+    }
+
+    #[test]
+    fn incircle_symmetry_under_rotation() {
+        // incircle must be invariant under cyclic rotation of the CCW triangle.
+        let a = Point::new(0, 0);
+        let b = Point::new(8, 1);
+        let c = Point::new(3, 9);
+        let probes = [
+            Point::new(4, 3),
+            Point::new(100, 100),
+            Point::new(-5, 4),
+            Point::new(0, 1),
+        ];
+        for d in probes {
+            let r1 = incircle_det(a, b, c, d).signum();
+            let r2 = incircle_det(b, c, a, d).signum();
+            let r3 = incircle_det(c, a, b, d).signum();
+            assert_eq!(r1, r2);
+            assert_eq!(r2, r3);
+        }
+    }
+
+    #[test]
+    fn incircle_agrees_with_distance_to_circumcenter() {
+        // For random CCW triangles, compare against the rational circumcenter
+        // computation done in exact arithmetic.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut tested = 0;
+        while tested < 500 {
+            let p = |rng: &mut SmallRng| Point::new(rng.gen_range(-1000..1000), rng.gen_range(-1000..1000));
+            let (a, b, c, d) = (p(&mut rng), p(&mut rng), p(&mut rng), p(&mut rng));
+            if orient2d_det(a, b, c) <= 0 {
+                continue;
+            }
+            tested += 1;
+            // Circumcenter O satisfies |O-a|² = |O-b|² = |O-c|².
+            // Solve 2(b-a)·O = |b|²-|a|², 2(c-a)·O = |c|²-|a|² in rationals:
+            // O = (num_x / den, num_y / den) with den = 2 * orient2d_det(a,b,c).
+            let ax = a.x as i128;
+            let ay = a.y as i128;
+            let bx = b.x as i128;
+            let by = b.y as i128;
+            let cx = c.x as i128;
+            let cy = c.y as i128;
+            let a2 = ax * ax + ay * ay;
+            let b2 = bx * bx + by * by;
+            let c2 = cx * cx + cy * cy;
+            let den = 2 * orient2d_det(a, b, c);
+            let nx = (b2 - a2) * (cy - ay) - (c2 - a2) * (by - ay);
+            let ny = (c2 - a2) * (bx - ax) - (b2 - a2) * (cx - ax);
+            // d inside circumcircle iff |d*den - n|² < |a*den - n|² (all exact).
+            let dist2 = |px: i128, py: i128| {
+                let ex = px * den - nx;
+                let ey = py * den - ny;
+                ex * ex + ey * ey
+            };
+            let rd = dist2(d.x as i128, d.y as i128);
+            let ra = dist2(ax, ay);
+            let expect = match rd.cmp(&ra) {
+                std::cmp::Ordering::Less => Orientation::Positive,
+                std::cmp::Ordering::Equal => Orientation::Zero,
+                std::cmp::Ordering::Greater => Orientation::Negative,
+            };
+            assert_eq!(incircle(a, b, c, d), expect, "a={a:?} b={b:?} c={c:?} d={d:?}");
+        }
+    }
+
+    #[test]
+    fn incircle_cocircular_is_zero() {
+        // Four points of an axis-aligned square are cocircular.
+        let a = Point::new(0, 0);
+        let b = Point::new(6, 0);
+        let c = Point::new(6, 6);
+        let d = Point::new(0, 6);
+        assert_eq!(incircle(a, b, c, d), Orientation::Zero);
+    }
+
+    #[test]
+    fn incircle_vertex_is_on_circle() {
+        let a = Point::new(0, 0);
+        let b = Point::new(7, 2);
+        let c = Point::new(1, 8);
+        for v in [a, b, c] {
+            assert_eq!(incircle(a, b, c, v), Orientation::Zero);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Incremental Bowyer–Watson Delaunay triangulation with Clarkson–Shor
+//! conflict lists.
+//!
+//! [`DelaunayState`] is the *algorithm state* of the paper's Section 3
+//! incremental-algorithm model: each task is "insert point `p`", the shared
+//! state is the current mesh, and the conflict lists provide both O(1)
+//! point location and the dependency oracle:
+//!
+//! * every **pending** (not yet inserted) point is stored in the conflict
+//!   list of the live triangle containing it;
+//! * a pending point `u` located in a triangle of the cavity of `v` has
+//!   `cavity(u) ∩ cavity(v) ≠ ∅` (its containing triangle's circumcircle
+//!   contains `u`, so that triangle is in `u`'s cavity too) — this is the
+//!   operational form of the paper's "encroaching regions overlap"
+//!   dependency between insertion tasks.
+//!
+//! The expected O(1/i)-style conflict probabilities that Theorem 3.3 relies
+//! on (properties (1) and (2) of Section 3.1, proved in Blelloch et al.,
+//! SPAA 2016) are properties of exactly this conflict structure under random
+//! insertion orders.
+
+use crate::mesh::{TriId, TriMesh, NO_TRI};
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// Incremental Delaunay triangulation state supporting arbitrary insertion
+/// orders, cavity queries and the pending-conflict dependency oracle.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_geometry::{random_points, DelaunayState};
+///
+/// let pts = random_points(50, 1 << 12, 1);
+/// let mut st = DelaunayState::new(pts);
+/// // Insert in an arbitrary (here: reverse) order.
+/// for p in (0..50u32).rev() {
+///     st.insert(p);
+/// }
+/// assert_eq!(st.num_inserted(), 50);
+/// // 2n + 1 live triangles for n points inside a super-triangle.
+/// assert_eq!(st.mesh().num_alive(), 2 * 50 + 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DelaunayState {
+    mesh: TriMesh,
+    /// Pending point → live triangle containing it.
+    pt_tri: Vec<TriId>,
+    /// Live triangle → pending points located in it (parallel to the arena).
+    conflict: Vec<Vec<u32>>,
+    inserted: Vec<bool>,
+    n_inserted: usize,
+    /// Total number of point-relocation steps performed (the dominant cost
+    /// of randomized incremental construction; exposed for experiments).
+    relocations: u64,
+}
+
+impl DelaunayState {
+    /// Start a triangulation of `points`; all points begin *pending*.
+    pub fn new(points: Vec<Point>) -> Self {
+        let n = points.len();
+        let mesh = TriMesh::new(points);
+        let conflict = vec![(0..n as u32).collect()];
+        DelaunayState {
+            mesh,
+            pt_tri: vec![0; n],
+            conflict,
+            inserted: vec![false; n],
+            n_inserted: 0,
+            relocations: 0,
+        }
+    }
+
+    /// The current mesh.
+    pub fn mesh(&self) -> &TriMesh {
+        &self.mesh
+    }
+
+    /// Number of points inserted so far.
+    pub fn num_inserted(&self) -> usize {
+        self.n_inserted
+    }
+
+    /// Total points (pending + inserted).
+    pub fn num_points(&self) -> usize {
+        self.inserted.len()
+    }
+
+    /// `true` if point `p` has been inserted.
+    pub fn is_inserted(&self, p: u32) -> bool {
+        self.inserted[p as usize]
+    }
+
+    /// Inserted flags, indexed by point id (for the Delaunay checker).
+    pub fn inserted_flags(&self) -> &[bool] {
+        &self.inserted
+    }
+
+    /// Point-relocation work counter.
+    pub fn relocations(&self) -> u64 {
+        self.relocations
+    }
+
+    /// The cavity of pending point `p`: all live triangles whose
+    /// circumcircle strictly contains `p` (connected, containing `p`'s
+    /// triangle). This is the region retriangulated when `p` is inserted —
+    /// the paper's "encroaching region".
+    pub fn cavity(&self, p: u32) -> Vec<TriId> {
+        assert!(!self.inserted[p as usize], "cavity of an inserted point");
+        let t0 = self.pt_tri[p as usize];
+        debug_assert!(self.mesh.tri(t0).alive);
+        let mut cavity = vec![t0];
+        let mut seen: HashMap<TriId, ()> = HashMap::new();
+        seen.insert(t0, ());
+        let mut stack = vec![t0];
+        while let Some(t) = stack.pop() {
+            for &n in &self.mesh.tri(t).nbr {
+                if n == NO_TRI || seen.contains_key(&n) {
+                    continue;
+                }
+                seen.insert(n, ());
+                if self.mesh.in_circumcircle(n, p) {
+                    cavity.push(n);
+                    stack.push(n);
+                }
+            }
+        }
+        cavity
+    }
+
+    /// Pending points (other than `p` itself) located in the cavity of `p` —
+    /// the tasks whose encroaching regions overlap `p`'s. The scheduler
+    /// executor compares their labels against `p`'s to decide whether `p`
+    /// may be processed (Algorithm 2's `CheckDependencies`).
+    pub fn pending_in_cavity(&self, p: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for t in self.cavity(p) {
+            for &q in &self.conflict[t as usize] {
+                if q != p {
+                    debug_assert!(!self.inserted[q as usize]);
+                    out.push(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the cavity of `p` (number of triangles), for experiments.
+    pub fn cavity_size(&self, p: u32) -> usize {
+        self.cavity(p).len()
+    }
+
+    /// Insert pending point `p`: carve its cavity and retriangulate the
+    /// star fan, relocating the cavity's pending points into the fan.
+    pub fn insert(&mut self, p: u32) {
+        assert!(
+            !self.inserted[p as usize],
+            "point {p} was already inserted"
+        );
+        let cavity = self.cavity(p);
+        // --- Collect directed boundary edges (a, b) with outer neighbours.
+        // For a CCW triangle, the interior (and hence `p`) is to the left of
+        // each directed edge (v[i+1], v[i+2]); boundary edges therefore wind
+        // counter-clockwise around the cavity.
+        let in_cavity: HashMap<TriId, ()> = cavity.iter().map(|&t| (t, ())).collect();
+        let mut boundary: Vec<(u32, u32, TriId)> = Vec::with_capacity(cavity.len() + 2);
+        for &t in &cavity {
+            let tri = self.mesh.tri(t);
+            for s in 0..3 {
+                let n = tri.nbr[s];
+                if n == NO_TRI || !in_cavity.contains_key(&n) {
+                    let (a, b) = tri.opposite_edge(s);
+                    boundary.push((a, b, n));
+                }
+            }
+        }
+        debug_assert!(boundary.len() >= 3);
+        // --- Gather the pending points to relocate, then kill the cavity.
+        let mut to_relocate: Vec<u32> = Vec::new();
+        for &t in &cavity {
+            for q in std::mem::take(&mut self.conflict[t as usize]) {
+                if q != p {
+                    to_relocate.push(q);
+                }
+            }
+            self.mesh.kill(t);
+        }
+        // --- Build the star fan: one new triangle (p, a, b) per boundary
+        // edge; link the outer neighbour immediately and the intra-fan
+        // neighbours via the edge-endpoint maps.
+        let mut by_start: HashMap<u32, TriId> = HashMap::with_capacity(boundary.len());
+        let mut by_end: HashMap<u32, TriId> = HashMap::with_capacity(boundary.len());
+        let mut new_tris: Vec<TriId> = Vec::with_capacity(boundary.len());
+        for &(a, b, outer) in &boundary {
+            // Vertices [p, a, b]: CCW because p is left of (a -> b).
+            // nbr[0] (opposite p, edge (a,b)) = outer.
+            let t = self.mesh.push_tri([p, a, b], [outer, NO_TRI, NO_TRI]);
+            self.conflict.push(Vec::new());
+            if outer != NO_TRI {
+                // The outer triangle still points at the dead cavity
+                // triangle across this edge; redirect it to the fan.
+                self.rewire_outer(outer, a, b, t);
+            }
+            by_start.insert(a, t);
+            by_end.insert(b, t);
+            new_tris.push(t);
+        }
+        // Intra-fan links: triangle (p, a, b) shares edge (p, b) with the
+        // fan triangle starting at b, and edge (p, a) with the one ending
+        // at a.
+        for (&(a, b, _), &t) in boundary.iter().zip(&new_tris) {
+            let right = by_start[&b]; // shares edge (p, b), opposite vertex a = slot 1
+            let left = by_end[&a]; // shares edge (p, a), opposite vertex b = slot 2
+            self.mesh.set_nbr(t, 1, right);
+            self.mesh.set_nbr(t, 2, left);
+        }
+        // --- Relocate pending points into the fan.
+        'points: for q in to_relocate {
+            self.relocations += 1;
+            for &t in &new_tris {
+                if self.mesh.contains_point(t, q) {
+                    self.pt_tri[q as usize] = t;
+                    self.conflict[t as usize].push(q);
+                    continue 'points;
+                }
+            }
+            unreachable!("pending point {q} escaped the cavity of {p}");
+        }
+        self.inserted[p as usize] = true;
+        self.n_inserted += 1;
+    }
+
+    /// Redirect the neighbour slot of `outer` across the shared edge
+    /// `(a, b)` (which `outer` sees as the directed edge `(b, a)`) to point
+    /// at the fan triangle `t`.
+    fn rewire_outer(&mut self, outer: TriId, a: u32, b: u32, t: TriId) {
+        let tri = self.mesh.tri(outer);
+        for s in 0..3 {
+            if tri.opposite_edge(s) == (b, a) {
+                debug_assert!(
+                    tri.nbr[s] == NO_TRI || !self.mesh.tri(tri.nbr[s]).alive,
+                    "outer link across the cavity boundary should be dead"
+                );
+                self.mesh.set_nbr(outer, s, t);
+                return;
+            }
+        }
+        panic!("outer triangle {outer} does not border edge ({a},{b})");
+    }
+
+    /// Full-state invariants (test/diagnostic): mesh invariants, plus every
+    /// pending point is in exactly one live triangle's conflict list, which
+    /// contains it geometrically.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.mesh.check_invariants();
+        let mut seen = vec![false; self.inserted.len()];
+        for t in self.mesh.alive_tris() {
+            for &q in &self.conflict[t as usize] {
+                assert!(!self.inserted[q as usize], "inserted point in conflict list");
+                assert!(!seen[q as usize], "point {q} in two conflict lists");
+                seen[q as usize] = true;
+                assert_eq!(self.pt_tri[q as usize], t, "pt_tri stale for {q}");
+                assert!(
+                    self.mesh.contains_point(t, q),
+                    "point {q} not inside its conflict triangle {t}"
+                );
+            }
+        }
+        for (q, (&ins, &s)) in self.inserted.iter().zip(&seen).enumerate() {
+            assert!(
+                ins || s,
+                "pending point {q} is in no conflict list"
+            );
+        }
+    }
+}
+
+/// Convenience: triangulate `points` by inserting them in index order.
+/// Returns the final state (mesh + statistics).
+pub fn delaunay(points: Vec<Point>) -> DelaunayState {
+    let n = points.len();
+    let mut st = DelaunayState::new(points);
+    for p in 0..n as u32 {
+        st.insert(p);
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::random_points;
+
+    #[test]
+    fn triangle_count_matches_euler() {
+        for n in [1usize, 2, 3, 10, 100] {
+            let pts = random_points(n, 1 << 12, n as u64);
+            let st = delaunay(pts);
+            // All data points are interior to the super-triangle:
+            // T = 2·(n+3) − 2 − 3 = 2n + 1.
+            assert_eq!(st.mesh().num_alive(), 2 * n + 1, "n = {n}");
+            st.check_invariants();
+        }
+    }
+
+    #[test]
+    fn delaunay_property_holds() {
+        let pts = random_points(150, 1 << 12, 9);
+        let st = delaunay(pts);
+        st.mesh().check_delaunay(st.inserted_flags());
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_triangle_count() {
+        let pts = random_points(80, 1 << 12, 4);
+        let st_fwd = delaunay(pts.clone());
+        let mut st_rev = DelaunayState::new(pts.clone());
+        for p in (0..80u32).rev() {
+            st_rev.insert(p);
+        }
+        st_rev.check_invariants();
+        st_rev.mesh().check_delaunay(st_rev.inserted_flags());
+        assert_eq!(st_fwd.mesh().num_alive(), st_rev.mesh().num_alive());
+        // A middle-out order.
+        let mut st_mid = DelaunayState::new(pts);
+        let mut order: Vec<u32> = (0..80).collect();
+        order.sort_by_key(|&p| (p as i64 - 40).abs());
+        for p in order {
+            st_mid.insert(p);
+        }
+        st_mid.check_invariants();
+        assert_eq!(st_fwd.mesh().num_alive(), st_mid.mesh().num_alive());
+    }
+
+    #[test]
+    fn grid_points_with_cocircular_quadruples() {
+        // A regular grid is full of cocircular quadruples: the strict
+        // incircle test must keep the construction consistent regardless.
+        let mut pts = Vec::new();
+        for x in 0..8i64 {
+            for y in 0..8i64 {
+                pts.push(crate::point::Point::new(x * 100, y * 100));
+            }
+        }
+        let n = pts.len();
+        let st = delaunay(pts);
+        assert_eq!(st.mesh().num_alive(), 2 * n + 1);
+        st.check_invariants();
+        st.mesh().check_delaunay(st.inserted_flags());
+    }
+
+    #[test]
+    fn collinear_points_are_triangulated() {
+        // All data points on one line: only the super-triangle vertices
+        // break collinearity. Exercises the degenerate cavity shapes.
+        let pts: Vec<_> = (0..20i64)
+            .map(|i| crate::point::Point::new(i * 50, 1000))
+            .collect();
+        let n = pts.len();
+        let st = delaunay(pts);
+        assert_eq!(st.mesh().num_alive(), 2 * n + 1);
+        st.check_invariants();
+        st.mesh().check_delaunay(st.inserted_flags());
+    }
+
+    #[test]
+    fn pending_conflicts_shrink_as_mesh_refines() {
+        let pts = random_points(200, 1 << 12, 6);
+        let mut st = DelaunayState::new(pts);
+        // Initially all other points conflict with any point (single tri).
+        assert_eq!(st.pending_in_cavity(0).len(), 199);
+        for p in 0..100u32 {
+            st.insert(p);
+        }
+        // After half the points are in, cavities are local and conflicts few.
+        let late: usize = (100..200u32)
+            .map(|p| st.pending_in_cavity(p).len())
+            .sum();
+        let avg = late as f64 / 100.0;
+        assert!(
+            avg < 20.0,
+            "average pending-conflict count {avg} should be O(1)-ish"
+        );
+    }
+
+    #[test]
+    fn cavity_grows_from_containing_triangle() {
+        let pts = random_points(50, 1 << 12, 11);
+        let mut st = DelaunayState::new(pts);
+        for p in 0..25u32 {
+            st.insert(p);
+        }
+        for p in 25..50u32 {
+            let cav = st.cavity(p);
+            assert!(!cav.is_empty());
+            // The containing triangle is always in the cavity.
+            assert!(cav.contains(&st.pt_tri[p as usize]));
+            // Every cavity triangle's circumcircle contains p.
+            for t in cav {
+                assert!(st.mesh().in_circumcircle(t, p));
+            }
+        }
+    }
+
+    #[test]
+    fn euler_formula_edges_and_degrees() {
+        let n = 120;
+        let pts = random_points(n, 1 << 13, 21);
+        let st = delaunay(pts);
+        let mesh = st.mesh();
+        // V − E + F = 2 with F = live triangles + outer face,
+        // V = n + 3 super vertices.
+        let e = mesh.edges().len();
+        let v = n + 3;
+        let f = mesh.num_alive() + 1;
+        assert_eq!(v as i64 - e as i64 + f as i64, 2, "Euler formula");
+        // Sum of triangle-incidence degrees = 3T.
+        let total: usize = mesh.vertex_degrees().iter().sum();
+        assert_eq!(total, 3 * mesh.num_alive());
+    }
+
+    #[test]
+    fn delaunay_maximizes_min_angle_vs_arbitrary_order_stability() {
+        // The min-angle of the Delaunay triangulation is order-independent.
+        let pts = random_points(100, 1 << 13, 22);
+        let a = delaunay(pts.clone());
+        let mut b = DelaunayState::new(pts);
+        for p in (0..100u32).rev() {
+            b.insert(p);
+        }
+        let (min_a, mean_a, cnt_a) = a.mesh().angle_stats().unwrap();
+        let (min_b, mean_b, cnt_b) = b.mesh().angle_stats().unwrap();
+        assert_eq!(cnt_a, cnt_b);
+        assert!((min_a - min_b).abs() < 1e-9);
+        assert!((mean_a - mean_b).abs() < 1e-9);
+        assert!(min_a > 0.0 && min_a < 60.0 + 1e-9);
+    }
+
+    #[test]
+    fn relocation_counter_advances() {
+        let pts = random_points(100, 1 << 12, 13);
+        let st = delaunay(pts);
+        // Expected O(n log n) relocations; certainly more than n.
+        assert!(st.relocations() > 100);
+    }
+}

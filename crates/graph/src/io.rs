@@ -1,0 +1,194 @@
+//! Loaders for the real datasets the paper evaluates on, so that users with
+//! the data can run the exact Section 7 experiments:
+//!
+//! * [`read_dimacs_gr`] — the DIMACS shortest-path challenge `.gr` format of
+//!   the USA road network graph ("USA road network graph with physical
+//!   distances as edge lengths");
+//! * [`read_snap_edges`] — SNAP whitespace-separated edge lists (the
+//!   LiveJournal friendship graph), with uniform random weights attached the
+//!   same way the paper does ("uniform random weights between 0 and 100").
+//!
+//! Writers are provided for round-trip tests and for exporting generated
+//! graphs to other tools.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::Weight;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufRead, BufReader, Read, Write as IoWrite};
+
+/// Parse a DIMACS shortest-path `.gr` file:
+///
+/// ```text
+/// c comment lines
+/// p sp <num_vertices> <num_edges>
+/// a <from> <to> <weight>      (vertices are 1-based)
+/// ```
+///
+/// Arc lines are directed, matching the DIMACS convention (road networks
+/// list both directions explicitly).
+pub fn read_dimacs_gr<R: Read>(reader: R) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let bad = || invalid(lineno, "malformed problem line");
+                let sp = parts.next().ok_or_else(bad)?;
+                if sp != "sp" {
+                    return Err(invalid(lineno, "expected 'p sp <n> <m>'"));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(bad)?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(bad)?;
+                builder = Some(GraphBuilder::with_capacity(n, m));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| invalid(lineno, "arc before problem line"))?;
+                let bad = || invalid(lineno, "malformed arc line");
+                let u: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(bad)?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(bad)?;
+                let w: Weight = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(bad)?;
+                if u == 0 || v == 0 || u > b.num_vertices() || v > b.num_vertices() {
+                    return Err(invalid(lineno, "vertex id out of range (1-based)"));
+                }
+                b.add_edge(u - 1, v - 1, w);
+            }
+            _ => return Err(invalid(lineno, "unknown line type")),
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| invalid(0, "missing problem line"))
+}
+
+/// Write a graph in DIMACS `.gr` format (1-based vertex ids).
+pub fn write_dimacs_gr<W: IoWrite>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v, wt) in g.edges() {
+        writeln!(w, "a {} {} {}", u + 1, v + 1, wt)?;
+    }
+    Ok(())
+}
+
+/// Parse a SNAP-style edge list — one `src dst` pair per line, `#` comments —
+/// treating edges as undirected (SNAP's LiveJournal lists friendships) and
+/// attaching uniform random weights from `weights`, seeded for
+/// reproducibility. Vertex ids are 0-based and the graph is sized by the
+/// largest id seen.
+pub fn read_snap_edges<R: Read>(
+    reader: R,
+    weights: std::ops::RangeInclusive<Weight>,
+    seed: u64,
+) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || invalid(lineno, "malformed edge line");
+        let u: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(bad)?;
+        let v: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(bad)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let mut b = GraphBuilder::with_capacity(max_id + 1, 2 * edges.len());
+    for (u, v) in edges {
+        let w = rng.gen_range(weights.clone());
+        b.add_undirected_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+fn invalid(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {msg}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = gen::random_gnm(50, 200, 1..=100, 1);
+        let mut buf = Vec::new();
+        write_dimacs_gr(&g, &mut buf).unwrap();
+        let g2 = read_dimacs_gr(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dimacs_parses_comments_and_blank_lines() {
+        let text = "c USA-road-d.NY.gr style\n\np sp 3 2\nc arcs follow\na 1 2 804\na 2 3 402\n";
+        let g = read_dimacs_gr(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 804)]);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(read_dimacs_gr("x nonsense".as_bytes()).is_err());
+        assert!(read_dimacs_gr("a 1 2 3".as_bytes()).is_err(), "arc before p");
+        assert!(read_dimacs_gr("p sp 2 1\na 1 5 3".as_bytes()).is_err(), "id range");
+        assert!(read_dimacs_gr("p sp 2 1\na 0 1 3".as_bytes()).is_err(), "0 is not 1-based");
+        assert!(read_dimacs_gr("".as_bytes()).is_err(), "empty input");
+    }
+
+    #[test]
+    fn snap_parses_and_weights_in_range() {
+        let text = "# LiveJournal-style\n0\t1\n1\t2\n2\t0\n";
+        let g = read_snap_edges(text.as_bytes(), 1..=100, 7).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+        for (_, _, w) in g.edges() {
+            assert!((1..=100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn snap_deterministic_in_seed() {
+        let text = "0 1\n1 2\n";
+        let a = read_snap_edges(text.as_bytes(), 1..=100, 5).unwrap();
+        let b = read_snap_edges(text.as_bytes(), 1..=100, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rsched-graph — graph substrate for relaxed-scheduler experiments
+//!
+//! Compressed sparse-row graphs, the random/road/social graph generators the
+//! SPAA 2019 paper's Section 7 experiments need, loaders for the real
+//! datasets the paper uses (DIMACS `.gr` road networks, SNAP edge lists),
+//! structural analysis (connectivity, approximate diameter — the quantity
+//! the paper uses to explain the road network's higher relaxation
+//! overheads), and exact sequential shortest-path baselines (Dijkstra,
+//! Δ-stepping, Bellman–Ford).
+//!
+//! The three experiment graphs of the paper are reproduced as generators:
+//!
+//! * `random`: uniform G(n, m) with uniform weights — [`gen::random_gnm`];
+//! * `road`: the USA road network is substituted by a 2-D grid with
+//!   physical-distance-like, high-variance weights and Θ(√n) diameter —
+//!   [`gen::grid_road`] (the DIMACS loader in [`io`] runs the real thing);
+//! * `social`: LiveJournal is substituted by a preferential-attachment
+//!   power-law graph with low diameter — [`gen::power_law`].
+
+pub mod analysis;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod sssp;
+
+pub use csr::{CsrGraph, GraphBuilder};
+pub use sssp::{bellman_ford, delta_stepping, dijkstra, SsspResult};
+
+/// Edge weight type used across the workspace: integer weights keep the
+/// concurrent SSSP free of floating-point atomics.
+pub type Weight = u64;
+
+/// Distance value meaning "unreached".
+pub const INF: Weight = Weight::MAX;

@@ -1,0 +1,374 @@
+//! Empirical rank / fairness instrumentation.
+//!
+//! [`RankTracker`] wraps any [`RelaxedQueue`] and maintains a *shadow* exact
+//! ordered set of the queue's contents. Every `peek_relaxed` is measured
+//! against the shadow:
+//!
+//! * the **rank** of the returned element (1 = exact minimum) — the paper's
+//!   `rank(t)`, whose bound `rank(t) ≤ k` is the RankBound property;
+//! * the **inversion count** `inv(u)` of every element `u` that becomes the
+//!   global minimum: the number of peeks between `u` becoming the minimum
+//!   and `u` being returned — whose bound `inv(u) ≤ k − 1` is the Fairness
+//!   property.
+//!
+//! The tests in this crate use the tracker to *prove-by-execution* that the
+//! deterministic schedulers never violate the bounds and to measure the
+//! empirical distributions for the randomized ones (MultiQueue, SprayList),
+//! reproducing the "relaxation factor is proportional to the number of
+//! queues" observation used in Figure 2 of the paper.
+
+use crate::RelaxedQueue;
+use std::collections::BTreeSet;
+
+/// Aggregated rank / inversion statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Number of successful `peek_relaxed` calls measured.
+    pub peeks: u64,
+    /// Largest observed rank (1-based).
+    pub max_rank: usize,
+    /// Sum of observed ranks (for the mean).
+    pub sum_rank: u128,
+    /// `rank_hist[r]` = number of peeks that returned the rank-`r+1`
+    /// element; ranks beyond the histogram length land in the last bucket.
+    pub rank_hist: Vec<u64>,
+    /// Number of completed top-element episodes (element became the minimum
+    /// and was subsequently returned or removed).
+    pub tops: u64,
+    /// Largest observed inversion count.
+    pub max_inv: u64,
+    /// Sum of inversion counts (for the mean).
+    pub sum_inv: u128,
+}
+
+impl RankStats {
+    const HIST_BUCKETS: usize = 1024;
+
+    /// Mean rank of returned elements (1.0 = always exact).
+    pub fn mean_rank(&self) -> f64 {
+        if self.peeks == 0 {
+            0.0
+        } else {
+            self.sum_rank as f64 / self.peeks as f64
+        }
+    }
+
+    /// Mean inversion count over completed top episodes.
+    pub fn mean_inv(&self) -> f64 {
+        if self.tops == 0 {
+            0.0
+        } else {
+            self.sum_inv as f64 / self.tops as f64
+        }
+    }
+
+    /// Fraction of peeks that returned the exact minimum.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.peeks == 0 {
+            return 0.0;
+        }
+        let exact = self.rank_hist.first().copied().unwrap_or(0);
+        exact as f64 / self.peeks as f64
+    }
+
+    /// The `q`-quantile (e.g. `0.99`) of the rank distribution.
+    pub fn rank_quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q));
+        let target = (self.peeks as f64 * q).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.rank_hist.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        self.max_rank
+    }
+
+    fn record_rank(&mut self, rank: usize) {
+        if self.rank_hist.is_empty() {
+            self.rank_hist = vec![0; Self::HIST_BUCKETS];
+        }
+        self.peeks += 1;
+        self.max_rank = self.max_rank.max(rank);
+        self.sum_rank += rank as u128;
+        let bucket = (rank - 1).min(Self::HIST_BUCKETS - 1);
+        self.rank_hist[bucket] += 1;
+    }
+
+    fn record_inv(&mut self, inv: u64) {
+        self.tops += 1;
+        self.max_inv = self.max_inv.max(inv);
+        self.sum_inv += inv as u128;
+    }
+}
+
+/// A [`RelaxedQueue`] decorator that measures empirical rank and fairness.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::{RankTracker, SimMultiQueue, RelaxedQueue};
+///
+/// let mut q = RankTracker::new(SimMultiQueue::new(4, 1));
+/// for i in 0..100usize {
+///     q.insert(i, i as u64);
+/// }
+/// while q.pop_relaxed().is_some() {}
+/// let stats = q.stats();
+/// assert_eq!(stats.peeks, 100);
+/// assert!(stats.mean_rank() >= 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RankTracker<P, Q> {
+    inner: Q,
+    shadow: BTreeSet<(P, usize)>,
+    prio_of: Vec<Option<P>>,
+    stats: RankStats,
+    /// The element currently believed to be the global minimum, plus the
+    /// number of peeks it has been skipped for.
+    current_top: Option<(P, usize)>,
+    skips: u64,
+}
+
+impl<P: Ord + Copy, Q: RelaxedQueue<P>> RankTracker<P, Q> {
+    /// Wrap `inner`; the tracker starts empty, so wrap before inserting.
+    pub fn new(inner: Q) -> Self {
+        assert!(inner.is_empty(), "wrap the queue before filling it");
+        Self {
+            inner,
+            shadow: BTreeSet::new(),
+            prio_of: Vec::new(),
+            stats: RankStats::default(),
+            current_top: None,
+            skips: 0,
+        }
+    }
+
+    /// The collected statistics so far.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Consume the tracker, returning the inner queue and the statistics.
+    pub fn into_parts(self) -> (Q, RankStats) {
+        (self.inner, self.stats)
+    }
+
+    fn ensure(&mut self, item: usize) {
+        if item >= self.prio_of.len() {
+            self.prio_of.resize(item + 1, None);
+        }
+    }
+
+    /// Refresh fairness bookkeeping after any structural change.
+    fn sync_top(&mut self) {
+        let top = self.shadow.first().copied();
+        if top != self.current_top {
+            // A new element became the global minimum; its episode starts now.
+            self.current_top = top;
+            self.skips = 0;
+        }
+    }
+}
+
+impl<P: Ord + Copy, Q: RelaxedQueue<P>> RelaxedQueue<P> for RankTracker<P, Q> {
+    fn insert(&mut self, item: usize, prio: P) {
+        self.ensure(item);
+        debug_assert!(self.prio_of[item].is_none());
+        self.prio_of[item] = Some(prio);
+        self.shadow.insert((prio, item));
+        self.inner.insert(item, prio);
+        self.sync_top();
+    }
+
+    fn peek_relaxed(&mut self) -> Option<(usize, P)> {
+        let got = self.inner.peek_relaxed()?;
+        let (item, prio) = got;
+        let rank = self
+            .shadow
+            .iter()
+            .position(|&e| e == (prio, item))
+            .expect("inner queue returned an element the shadow does not hold")
+            + 1;
+        self.stats.record_rank(rank);
+        if let Some(top) = self.current_top {
+            if top == (prio, item) {
+                let skips = self.skips;
+                self.stats.record_inv(skips);
+                self.skips = 0;
+                // The episode for this element is complete; if it is peeked
+                // again without being deleted a fresh episode begins.
+            } else {
+                self.skips += 1;
+            }
+        }
+        Some(got)
+    }
+
+    fn delete(&mut self, item: usize) -> bool {
+        let Some(Some(prio)) = self.prio_of.get(item).copied() else {
+            debug_assert!(!self.inner.delete(item));
+            return false;
+        };
+        let ok = self.inner.delete(item);
+        debug_assert!(ok);
+        self.shadow.remove(&(prio, item));
+        self.prio_of[item] = None;
+        self.sync_top();
+        ok
+    }
+
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool {
+        let Some(Some(old)) = self.prio_of.get(item).copied() else {
+            return false;
+        };
+        if prio >= old {
+            return false;
+        }
+        let ok = self.inner.decrease_key(item, prio);
+        debug_assert!(ok);
+        self.shadow.remove(&(old, item));
+        self.shadow.insert((prio, item));
+        self.prio_of[item] = Some(prio);
+        self.sync_top();
+        ok
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        self.inner.contains(item)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn relaxation_factor(&self) -> usize {
+        self.inner.relaxation_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exact, IndexedBinaryHeap, RotatingKQueue, SimMultiQueue, SprayList};
+
+    fn drain_tracked<P, Q>(q: &mut RankTracker<P, Q>)
+    where
+        P: Ord + Copy,
+        Q: RelaxedQueue<P>,
+    {
+        while let Some((item, _)) = q.peek_relaxed() {
+            q.delete(item);
+        }
+    }
+
+    #[test]
+    fn exact_queue_has_rank_one_and_zero_inv() {
+        let mut q = RankTracker::new(Exact(IndexedBinaryHeap::<u64>::new()));
+        for i in 0..200usize {
+            q.insert(i, (i as u64 * 17) % 31);
+        }
+        drain_tracked(&mut q);
+        let s = q.stats();
+        assert_eq!(s.peeks, 200);
+        assert_eq!(s.max_rank, 1);
+        assert_eq!(s.mean_rank(), 1.0);
+        assert_eq!(s.max_inv, 0);
+        assert_eq!(s.exact_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rotating_queue_respects_its_bounds() {
+        let k = 6;
+        let mut q = RankTracker::new(RotatingKQueue::<u64>::new(k));
+        for i in 0..300usize {
+            q.insert(i, (i as u64 * 7) % 293);
+        }
+        drain_tracked(&mut q);
+        let s = q.stats();
+        assert!(
+            s.max_rank <= k,
+            "RankBound violated: max rank {} > k {}",
+            s.max_rank,
+            k
+        );
+        assert!(
+            s.max_inv <= (k - 1) as u64,
+            "Fairness violated: max inv {} > k-1 {}",
+            s.max_inv,
+            k - 1
+        );
+    }
+
+    #[test]
+    fn multiqueue_ranks_scale_with_queue_count() {
+        // More internal queues => larger relaxation. Verify the mean rank is
+        // monotone-ish in q on the same workload.
+        let mean_for = |nq: usize| {
+            let mut q = RankTracker::new(SimMultiQueue::<u64>::new(nq, 7));
+            for i in 0..4000usize {
+                q.insert(i, i as u64);
+            }
+            drain_tracked(&mut q);
+            q.stats().mean_rank()
+        };
+        let m1 = mean_for(1);
+        let m4 = mean_for(4);
+        let m16 = mean_for(16);
+        assert_eq!(m1, 1.0, "single queue is exact");
+        assert!(m4 > 1.0);
+        assert!(
+            m16 > m4,
+            "mean rank should grow with queues: q=4 -> {m4}, q=16 -> {m16}"
+        );
+    }
+
+    #[test]
+    fn multiqueue_empirical_rank_within_theory() {
+        // PODC 2017: rank is O(q log q) w.h.p. Check the 99th percentile sits
+        // within a small multiple of q log q.
+        let nq = 8;
+        let mut q = RankTracker::new(SimMultiQueue::<u64>::new(nq, 21));
+        for i in 0..8000usize {
+            q.insert(i, i as u64);
+        }
+        drain_tracked(&mut q);
+        let s = q.stats();
+        let qlogq = (nq as f64) * (nq as f64).log2().max(1.0);
+        let p99 = s.rank_quantile(0.99) as f64;
+        assert!(
+            p99 <= 6.0 * qlogq,
+            "99th percentile rank {p99} far beyond O(q log q) = {qlogq}"
+        );
+    }
+
+    #[test]
+    fn spraylist_rank_bounded_by_spray_window() {
+        let mut q = RankTracker::new(SprayList::<u64>::new(8, 9));
+        for i in 0..5000usize {
+            q.insert(i, i as u64);
+        }
+        drain_tracked(&mut q);
+        let s = q.stats();
+        assert!(s.peeks >= 5000);
+        assert!(
+            s.max_rank <= q.relaxation_factor() * 4,
+            "spray rank {} beyond 4x nominal window {}",
+            s.max_rank,
+            q.relaxation_factor()
+        );
+    }
+
+    #[test]
+    fn decrease_key_is_tracked() {
+        let mut q = RankTracker::new(RotatingKQueue::<u64>::new(2));
+        q.insert(0, 10);
+        q.insert(1, 20);
+        assert!(q.decrease_key(1, 5));
+        let (item, prio) = q.peek_relaxed().unwrap();
+        assert_eq!((item, prio), (1, 5));
+        // Rank 1: the shadow agrees the decreased element is the minimum.
+        assert_eq!(q.stats().max_rank, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! A *deterministic* k-relaxed priority queue.
+//!
+//! [`RotatingKQueue`] satisfies the paper's two scheduler properties
+//! (Section 2) **unconditionally**, not just with high probability:
+//!
+//! * **RankBound** — `peek_relaxed` always returns one of the `k` smallest
+//!   stored elements (it returns the `(c mod min(k, len))`-th smallest, where
+//!   `c` is an internal call counter);
+//! * **Fairness** — the cursor cycles through positions `0, 1, …`, hitting
+//!   position 0 (the exact minimum) at least once every `min(k, len) ≤ k`
+//!   calls, so `inv(u) ≤ k − 1` for every element `u`.
+//!
+//! Deterministic structures with this flavour of guarantee exist in the
+//! literature (e.g. the k-LSM of Wimmer et al., which the paper cites as a
+//! scheduler that "enforces these properties deterministically"); the
+//! rotating queue is the simplest possible such structure and doubles as a
+//! *worst-case-ish* deterministic scheduler for the executor tests: it
+//! spreads returned ranks uniformly over the full allowed window instead of
+//! favouring the minimum.
+
+use crate::RelaxedQueue;
+use std::collections::BTreeSet;
+
+/// Deterministic k-relaxed queue backed by an ordered set; `peek_relaxed`
+/// rotates through the top `min(k, len)` positions.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::{RotatingKQueue, RelaxedQueue};
+///
+/// let mut q = RotatingKQueue::new(3);
+/// for i in 0..6usize {
+///     q.insert(i, i as u64 * 10);
+/// }
+/// // Successive peeks rotate over the 3 smallest elements.
+/// assert_eq!(q.peek_relaxed(), Some((0, 0)));
+/// assert_eq!(q.peek_relaxed(), Some((1, 10)));
+/// assert_eq!(q.peek_relaxed(), Some((2, 20)));
+/// assert_eq!(q.peek_relaxed(), Some((0, 0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RotatingKQueue<P> {
+    set: BTreeSet<(P, usize)>,
+    /// `prio_of[item]` = current priority (needed to address the set).
+    prio_of: Vec<Option<P>>,
+    k: usize,
+    cursor: usize,
+    /// The element currently at the front, and how many peeks have skipped
+    /// it. The cursor alone cannot guarantee Fairness: deletions shrink the
+    /// window, and `cursor % window` with a changing modulus can avoid
+    /// position 0 for more than `k` steps — so the minimum is force-returned
+    /// once it has been skipped `k − 1` times, exactly the Section 2 bound.
+    current_top: Option<(P, usize)>,
+    skips: usize,
+}
+
+impl<P: Ord + Copy> RotatingKQueue<P> {
+    /// Create a queue with relaxation factor `k ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "relaxation factor must be at least 1");
+        Self {
+            set: BTreeSet::new(),
+            prio_of: Vec::new(),
+            k,
+            cursor: 0,
+            current_top: None,
+            skips: 0,
+        }
+    }
+
+    /// The configured relaxation factor.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Exact minimum (rank-1 element), for tests and instrumentation.
+    pub fn exact_min(&self) -> Option<(usize, P)> {
+        self.set.first().map(|&(p, it)| (it, p))
+    }
+
+    fn ensure(&mut self, item: usize) {
+        if item >= self.prio_of.len() {
+            self.prio_of.resize(item + 1, None);
+        }
+    }
+
+    /// Reset the fairness episode when the global minimum changes.
+    fn sync_top(&mut self) {
+        let top = self.set.first().copied();
+        if top != self.current_top {
+            self.current_top = top;
+            self.skips = 0;
+        }
+    }
+}
+
+impl<P: Ord + Copy> RelaxedQueue<P> for RotatingKQueue<P> {
+    fn insert(&mut self, item: usize, prio: P) {
+        self.ensure(item);
+        assert!(
+            self.prio_of[item].is_none(),
+            "item {item} is already in the queue"
+        );
+        self.prio_of[item] = Some(prio);
+        let inserted = self.set.insert((prio, item));
+        debug_assert!(inserted);
+    }
+
+    fn peek_relaxed(&mut self) -> Option<(usize, P)> {
+        if self.set.is_empty() {
+            return None;
+        }
+        self.sync_top();
+        let window = self.k.min(self.set.len());
+        let top = *self.set.first().expect("non-empty");
+        let chosen = if self.skips >= self.k - 1 {
+            top // Fairness override
+        } else {
+            let idx = self.cursor % window;
+            *self.set.iter().nth(idx).expect("index within window")
+        };
+        self.cursor = self.cursor.wrapping_add(1);
+        if chosen == top {
+            self.skips = 0;
+        } else {
+            self.skips += 1;
+        }
+        Some((chosen.1, chosen.0))
+    }
+
+    fn delete(&mut self, item: usize) -> bool {
+        let Some(Some(prio)) = self.prio_of.get(item).copied() else {
+            return false;
+        };
+        let removed = self.set.remove(&(prio, item));
+        debug_assert!(removed);
+        self.prio_of[item] = None;
+        true
+    }
+
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool {
+        let Some(Some(old)) = self.prio_of.get(item).copied() else {
+            return false;
+        };
+        if prio >= old {
+            return false;
+        }
+        self.set.remove(&(old, item));
+        self.set.insert((prio, item));
+        self.prio_of[item] = Some(prio);
+        true
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        self.prio_of.get(item).is_some_and(|p| p.is_some())
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn relaxation_factor(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_over_top_k() {
+        let mut q = RotatingKQueue::new(4);
+        for i in 0..10usize {
+            q.insert(i, i as u64);
+        }
+        let got: Vec<usize> = (0..8).map(|_| q.peek_relaxed().unwrap().0).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_bound_holds_always() {
+        let mut q = RotatingKQueue::new(5);
+        for i in 0..100usize {
+            q.insert(i, (i as u64 * 13) % 101);
+        }
+        for _ in 0..500 {
+            let (item, prio) = q.peek_relaxed().unwrap();
+            // Count strictly smaller elements: rank must be < k.
+            let rank = q.set.iter().take_while(|&&e| e < (prio, item)).count();
+            assert!(rank < 5, "rank {rank} violates RankBound");
+        }
+    }
+
+    #[test]
+    fn fairness_top_returned_within_k_calls() {
+        let mut q = RotatingKQueue::new(7);
+        for i in 0..50usize {
+            q.insert(i, i as u64 + 100);
+        }
+        // Make item 49 the new global minimum mid-rotation.
+        q.peek_relaxed();
+        q.peek_relaxed();
+        assert!(q.decrease_key(49, 0));
+        let mut calls = 0;
+        loop {
+            calls += 1;
+            let (item, _) = q.peek_relaxed().unwrap();
+            if item == 49 {
+                break;
+            }
+            assert!(calls <= 7, "fairness violated: top skipped {calls} times");
+        }
+    }
+
+    #[test]
+    fn window_shrinks_with_len() {
+        let mut q = RotatingKQueue::new(10);
+        q.insert(0, 5u64);
+        q.insert(1, 6);
+        // Window is min(k, len) = 2.
+        assert_eq!(q.peek_relaxed(), Some((0, 5)));
+        assert_eq!(q.peek_relaxed(), Some((1, 6)));
+        assert_eq!(q.peek_relaxed(), Some((0, 5)));
+    }
+
+    #[test]
+    fn delete_and_decrease() {
+        let mut q = RotatingKQueue::new(3);
+        q.insert(0, 10u64);
+        q.insert(1, 20);
+        q.insert(2, 30);
+        assert!(RelaxedQueue::delete(&mut q, 1));
+        assert!(!RelaxedQueue::delete(&mut q, 1));
+        assert!(!q.contains(1));
+        assert!(q.decrease_key(2, 1));
+        assert_eq!(q.exact_min(), Some((2, 1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn k_equal_one_is_exact() {
+        let mut q = RotatingKQueue::new(1);
+        for (i, p) in [30u64, 10, 20].into_iter().enumerate() {
+            q.insert(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((it, _)) = q.peek_relaxed() {
+            RelaxedQueue::delete(&mut q, it);
+            out.push(it);
+        }
+        assert_eq!(out, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! A k-LSM-style concurrent relaxed priority queue with a *deterministic*
+//! relaxation bound.
+//!
+//! The k-LSM of Wimmer et al. (the paper's example of a scheduler that
+//! enforces RankBound and Fairness "deterministically, where k is a tunable
+//! parameter") combines per-thread log-structured merge components with a
+//! shared relaxed component: elements a thread inserts stay in its local
+//! component — invisible to other threads — until spilled into the shared
+//! one, and that bounded invisibility is the only source of relaxation.
+//!
+//! [`KLsmQueue`] implements the same semantics in simplified form: each
+//! [`KLsmHandle`] buffers up to `buffer_cap` insertions locally (sorted),
+//! spilling them into a shared exact heap when full; `pop` takes the
+//! smaller of the local minimum and the shared minimum. At any moment at
+//! most `(handles − 1) · buffer_cap` elements can be hidden from a popping
+//! thread, so every pop returns one of the
+//! `k = (handles − 1) · buffer_cap + 1` smallest elements —
+//! a deterministic RankBound, with no randomization anywhere.
+
+use crate::heap::IndexedBinaryHeap;
+use crate::PriorityQueue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared state of the k-LSM queue. Create handles with
+/// [`KLsmQueue::handle`]; all queue operations go through handles.
+pub struct KLsmQueue<P: Ord + Copy> {
+    global: Mutex<IndexedBinaryHeap<P>>,
+    buffer_cap: usize,
+    len: AtomicUsize,
+    handles: AtomicUsize,
+}
+
+impl<P: Ord + Copy + Send> KLsmQueue<P> {
+    /// A queue whose handles buffer up to `buffer_cap` local insertions.
+    pub fn new(buffer_cap: usize) -> Self {
+        assert!(buffer_cap >= 1);
+        Self {
+            global: Mutex::new(IndexedBinaryHeap::new()),
+            buffer_cap,
+            len: AtomicUsize::new(0),
+            handles: AtomicUsize::new(0),
+        }
+    }
+
+    /// Create a per-thread handle.
+    pub fn handle(&self) -> KLsmHandle<'_, P> {
+        self.handles.fetch_add(1, Ordering::AcqRel);
+        KLsmHandle {
+            queue: self,
+            local: Vec::with_capacity(self.buffer_cap + 1),
+        }
+    }
+
+    /// Total stored elements (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// `true` if no elements are stored (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deterministic relaxation factor for the current handle count:
+    /// `(handles − 1) · buffer_cap + 1`.
+    pub fn relaxation_factor(&self) -> usize {
+        let h = self.handles.load(Ordering::Acquire).max(1);
+        (h - 1) * self.buffer_cap + 1
+    }
+}
+
+/// A per-thread handle to a [`KLsmQueue`].
+///
+/// Dropping a handle spills its local buffer into the shared component, so
+/// no elements are lost when worker threads finish.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::KLsmQueue;
+///
+/// let q = KLsmQueue::new(4);
+/// let mut h = q.handle();
+/// for i in 0..10usize {
+///     h.insert(i, i as u64);
+/// }
+/// // A single handle sees everything: exact order.
+/// assert_eq!(h.pop(), Some((0, 0)));
+/// assert_eq!(h.pop(), Some((1, 1)));
+/// ```
+pub struct KLsmHandle<'q, P: Ord + Copy> {
+    queue: &'q KLsmQueue<P>,
+    /// Sorted descending by `(prio, item)` — the minimum is at the end.
+    local: Vec<(P, usize)>,
+}
+
+impl<P: Ord + Copy + Send> KLsmHandle<'_, P> {
+    /// Insert `item` with priority `prio`. Items must be globally unique
+    /// across handles (dense task ids, as elsewhere in this crate).
+    pub fn insert(&mut self, item: usize, prio: P) {
+        let pos = self
+            .local
+            .partition_point(|&(p, i)| (p, i) > (prio, item));
+        self.local.insert(pos, (prio, item));
+        self.queue.len.fetch_add(1, Ordering::AcqRel);
+        if self.local.len() > self.queue.buffer_cap {
+            self.spill();
+        }
+    }
+
+    /// Move the entire local buffer into the shared heap.
+    pub fn spill(&mut self) {
+        if self.local.is_empty() {
+            return;
+        }
+        let mut global = self.queue.global.lock();
+        for (prio, item) in self.local.drain(..) {
+            global.push(item, prio);
+        }
+    }
+
+    /// Pop the smaller of the local minimum and the shared minimum.
+    ///
+    /// Returns `None` when both are empty — elements buffered in *other*
+    /// handles are invisible (that is the relaxation), so callers
+    /// coordinate termination externally, as with the other concurrent
+    /// queues.
+    pub fn pop(&mut self) -> Option<(usize, P)> {
+        let local_min = self.local.last().copied();
+        let mut global = self.queue.global.lock();
+        let global_min = global.peek();
+        let use_local = match (local_min, global_min) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((lp, li)), Some((gi, gp))) => (lp, li) <= (gp, gi),
+        };
+        let got = if use_local {
+            let (p, i) = self.local.pop().expect("local non-empty");
+            Some((i, p))
+        } else {
+            global.pop()
+        };
+        drop(global);
+        self.queue.len.fetch_sub(1, Ordering::AcqRel);
+        got
+    }
+}
+
+impl<P: Ord + Copy> Drop for KLsmHandle<'_, P> {
+    fn drop(&mut self) {
+        if !self.local.is_empty() {
+            let mut global = self.queue.global.lock();
+            for (prio, item) in self.local.drain(..) {
+                global.push(item, prio);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_handle_is_exact() {
+        let q = KLsmQueue::new(8);
+        let mut h = q.handle();
+        for (i, p) in [50u64, 10, 40, 20, 30].into_iter().enumerate() {
+            h.insert(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn spill_makes_elements_visible() {
+        let q = KLsmQueue::new(4);
+        let mut a = q.handle();
+        let mut b = q.handle();
+        a.insert(0, 5u64);
+        // b cannot see a's buffered element...
+        assert_eq!(b.pop(), None);
+        // ...until a spills.
+        a.spill();
+        assert_eq!(b.pop(), Some((0, 5)));
+    }
+
+    #[test]
+    fn rank_bound_is_hidden_buffer_size() {
+        // With 2 handles and cap 4, a popping handle can miss at most the 4
+        // elements buffered in the other handle: rank <= 5.
+        let q = KLsmQueue::new(4);
+        let mut a = q.handle();
+        let mut b = q.handle();
+        // a buffers the 4 smallest; b inserts (and spills) larger ones.
+        for i in 0..4usize {
+            a.insert(i, i as u64);
+        }
+        for i in 4..20usize {
+            b.insert(i, i as u64);
+        }
+        b.spill();
+        let (item, prio) = b.pop().expect("shared heap non-empty");
+        // b missed a's 4 smallest: returned rank is exactly 5.
+        assert_eq!((item, prio), (4, 4));
+        assert!(prio < q.relaxation_factor() as u64 + 4);
+    }
+
+    #[test]
+    fn overflow_spills_automatically() {
+        let q = KLsmQueue::new(2);
+        let mut a = q.handle();
+        let mut b = q.handle();
+        for i in 0..10usize {
+            a.insert(i, (10 - i) as u64);
+        }
+        // Buffer cap 2: at least 8 elements must have spilled to shared.
+        let mut seen = 0;
+        while b.pop().is_some() {
+            seen += 1;
+        }
+        assert!(seen >= 8, "only {seen} visible to the other handle");
+    }
+
+    #[test]
+    fn multithreaded_conservation() {
+        let q: Arc<KLsmQueue<u64>> = Arc::new(KLsmQueue::new(8));
+        let threads = 4;
+        let per = 2000usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut h = q.handle();
+                    let mut popped = Vec::new();
+                    for i in 0..per {
+                        h.insert(t * per + i, ((i * 31) % 997) as u64);
+                        if i % 2 == 1 {
+                            if let Some((it, _)) = h.pop() {
+                                popped.push(it);
+                            }
+                        }
+                    }
+                    h.spill();
+                    popped
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for it in h.join().unwrap() {
+                assert!(seen.insert(it), "duplicate pop {it}");
+            }
+        }
+        let mut h = q.handle();
+        while let Some((it, _)) = h.pop() {
+            assert!(seen.insert(it), "duplicate pop {it}");
+        }
+        assert_eq!(seen.len(), threads * per, "lost elements");
+    }
+}

@@ -1,0 +1,246 @@
+//! # rsched-queues — exact and relaxed priority queues
+//!
+//! This crate provides the priority-queue substrate for the relaxed-scheduling
+//! model of Alistarh, Koval and Nadiradze, *"Efficiency Guarantees for Parallel
+//! Incremental Algorithms under Relaxed Schedulers"* (SPAA 2019).
+//!
+//! It contains:
+//!
+//! * **Exact** priority queues with `DecreaseKey`: an indexed binary heap
+//!   ([`heap::IndexedBinaryHeap`]) and a pairing heap ([`pairing::PairingHeap`]).
+//! * **Relaxed** priority queues, i.e. schedulers that may return one of the
+//!   `k` highest-priority elements instead of the exact minimum:
+//!   - [`multiqueue::SimMultiQueue`]: the sequential-model MultiQueue
+//!     (insert into a random queue, pop the better of two random tops),
+//!     exactly the structure analysed in Section 5 of the paper;
+//!   - [`multiqueue::ConcurrentMultiQueue`]: a thread-safe MultiQueue with
+//!     per-queue locks and consistent hashing of items to queues so that
+//!     `decrease_key` is supported (required by the paper's SSSP, Section 6);
+//!   - [`spraylist::SprayList`]: a skip-list based relaxed queue whose
+//!     `pop_relaxed` performs a "spray" random walk, following the SprayList
+//!     of Alistarh et al. (PPoPP 2015);
+//!   - [`kbounded::RotatingKQueue`]: a *deterministic* k-relaxed queue that
+//!     provably satisfies the paper's RankBound and Fairness properties
+//!     (in the spirit of deterministic structures such as the k-LSM).
+//! * **Instrumentation**: [`instrument::RankTracker`] wraps any relaxed queue
+//!   and measures the empirical rank of every returned element and the
+//!   inversion count of every element that becomes the global minimum,
+//!   validating the paper's RankBound (`rank(t) <= k`) and Fairness
+//!   (`inv(u) <= k - 1`) properties.
+//!
+//! ## The interface
+//!
+//! The paper models a relaxed scheduler `Q_k` as an ordered-set data structure
+//! with `Empty()`, `ApproxGetMin()` (peek without deleting), `DeleteTask()`
+//! and `Insert()` (Section 2). [`RelaxedQueue`] mirrors this interface and
+//! adds `decrease_key`, which Section 6 requires for SSSP and which
+//! MultiQueue-style schedulers support by hashing items consistently into
+//! their internal queues.
+//!
+//! Items are dense `usize` identifiers (vertex ids, task labels, …) and
+//! priorities are any `Ord + Copy` type; ties are broken by item id so every
+//! queue has a single deterministic total order, which is what the
+//! instrumentation layer measures ranks against.
+
+pub mod heap;
+pub mod instrument;
+pub mod kbounded;
+pub mod klsm;
+pub mod multiqueue;
+pub mod pairing;
+pub mod spraylist;
+
+pub use heap::IndexedBinaryHeap;
+pub use multiqueue::Placement;
+pub use instrument::{RankStats, RankTracker};
+pub use kbounded::RotatingKQueue;
+pub use klsm::{KLsmHandle, KLsmQueue};
+pub use multiqueue::{ConcurrentMultiQueue, DuplicateMultiQueue, SimMultiQueue, StickySession};
+pub use pairing::PairingHeap;
+pub use spraylist::{ConcurrentSprayList, SprayList};
+
+/// Sentinel meaning "item is not currently stored in the queue".
+pub(crate) const NOT_PRESENT: usize = usize::MAX;
+
+/// An exact priority queue over dense `usize` items.
+///
+/// The minimum element is the one with the smallest `(priority, item)` pair;
+/// ties on priority are broken by item id, so the order is total and
+/// deterministic.
+pub trait PriorityQueue<P: Ord + Copy> {
+    /// Number of stored items.
+    fn len(&self) -> usize;
+
+    /// `true` if no items are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert `item` with priority `prio`.
+    ///
+    /// Panics if `item` is already present (each item id may be stored at
+    /// most once; use [`DecreaseKey::decrease_key`] to update priorities).
+    fn push(&mut self, item: usize, prio: P);
+
+    /// Remove and return the minimum `(item, priority)` pair.
+    fn pop(&mut self) -> Option<(usize, P)>;
+
+    /// Return the minimum `(item, priority)` pair without removing it.
+    fn peek(&self) -> Option<(usize, P)>;
+}
+
+/// Exact priority queues that additionally support addressable updates.
+pub trait DecreaseKey<P: Ord + Copy>: PriorityQueue<P> {
+    /// `true` if `item` is currently stored.
+    fn contains(&self, item: usize) -> bool;
+
+    /// Current priority of `item`, if stored.
+    fn priority_of(&self, item: usize) -> Option<P>;
+
+    /// Lower the priority of `item` to `prio`.
+    ///
+    /// Returns `true` if the item was present *and* `prio` was strictly
+    /// smaller than its current priority; otherwise the queue is unchanged
+    /// and `false` is returned.
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool;
+
+    /// Remove `item` from an arbitrary position, returning its priority.
+    fn remove(&mut self, item: usize) -> Option<P>;
+}
+
+/// The paper's relaxed scheduler interface `Q_k` (Section 2), in sequential
+/// form.
+///
+/// A `k`-relaxed queue promises two properties:
+///
+/// * **RankBound** — every element returned by [`peek_relaxed`] is among the
+///   `k` smallest currently stored;
+/// * **Fairness** — once an element becomes the global minimum it is returned
+///   after at most `k` calls to [`peek_relaxed`].
+///
+/// Deterministic implementations ([`RotatingKQueue`], and trivially the exact
+/// queues with `k = 1`) enforce both properties unconditionally; randomized
+/// ones ([`SimMultiQueue`], [`SprayList`]) enforce them with high probability,
+/// as shown in "The power of choice in priority scheduling" (PODC 2017).
+///
+/// [`peek_relaxed`]: RelaxedQueue::peek_relaxed
+pub trait RelaxedQueue<P: Ord + Copy> {
+    /// Insert `item` with priority `prio`. `item` must not be present.
+    fn insert(&mut self, item: usize, prio: P);
+
+    /// The paper's `ApproxGetMin()`: return a `(item, priority)` pair subject
+    /// to the relaxation guarantees, *without* removing it.
+    ///
+    /// Successive calls may return different elements (the scheduler is free
+    /// to re-randomize); the incremental-algorithm executor calls
+    /// [`delete`](RelaxedQueue::delete) only when the returned task's
+    /// dependencies are satisfied, mirroring Algorithm 2 of the paper.
+    fn peek_relaxed(&mut self) -> Option<(usize, P)>;
+
+    /// The paper's `DeleteTask()`: remove `item`, returning `true` if it was
+    /// present.
+    fn delete(&mut self, item: usize) -> bool;
+
+    /// Combined `ApproxGetMin` + `DeleteTask`, used by algorithms that always
+    /// consume the returned task (e.g. SSSP, Algorithm 3 of the paper).
+    fn pop_relaxed(&mut self) -> Option<(usize, P)> {
+        let (item, prio) = self.peek_relaxed()?;
+        let deleted = self.delete(item);
+        debug_assert!(deleted, "peeked item must be deletable");
+        Some((item, prio))
+    }
+
+    /// Atomically lower the priority of `item` to `prio` (Section 6 of the
+    /// paper assumes the scheduler supports this for SSSP).
+    ///
+    /// Returns `true` on success, `false` if the item is absent or `prio` is
+    /// not strictly smaller than the current priority.
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool;
+
+    /// `true` if `item` is currently stored.
+    fn contains(&self, item: usize) -> bool;
+
+    /// Number of stored items.
+    fn len(&self) -> usize;
+
+    /// `true` if no items are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nominal relaxation factor `k` of this queue: `1` for exact queues,
+    /// the configured bound for deterministic relaxed queues, and the
+    /// high-probability bound `O(q log q)` for randomized ones.
+    fn relaxation_factor(&self) -> usize;
+}
+
+/// Adapter presenting an exact [`DecreaseKey`] queue as a `1`-relaxed queue.
+///
+/// This lets the executors run the *exact* baseline (Algorithm 1 of the
+/// paper) through the same code path as the relaxed runs:
+///
+/// ```
+/// use rsched_queues::{Exact, IndexedBinaryHeap, RelaxedQueue};
+///
+/// let mut q = Exact(IndexedBinaryHeap::<u64>::new());
+/// q.insert(0, 10);
+/// q.insert(1, 5);
+/// assert_eq!(q.pop_relaxed(), Some((1, 5)));
+/// assert_eq!(q.relaxation_factor(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Exact<Q>(pub Q);
+
+impl<P: Ord + Copy, Q: DecreaseKey<P>> RelaxedQueue<P> for Exact<Q> {
+    fn insert(&mut self, item: usize, prio: P) {
+        self.0.push(item, prio);
+    }
+
+    fn peek_relaxed(&mut self) -> Option<(usize, P)> {
+        self.0.peek()
+    }
+
+    fn delete(&mut self, item: usize) -> bool {
+        self.0.remove(item).is_some()
+    }
+
+    fn pop_relaxed(&mut self) -> Option<(usize, P)> {
+        self.0.pop()
+    }
+
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool {
+        self.0.decrease_key(item, prio)
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        self.0.contains(item)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn relaxation_factor(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn exact_heap_is_a_one_relaxed_queue() {
+        let mut h = Exact(IndexedBinaryHeap::<u64>::new());
+        h.insert(3, 30);
+        h.insert(1, 10);
+        h.insert(2, 20);
+        assert_eq!(h.relaxation_factor(), 1);
+        assert_eq!(h.peek_relaxed(), Some((1, 10)));
+        assert_eq!(h.pop_relaxed(), Some((1, 10)));
+        assert!(h.decrease_key(3, 5));
+        assert_eq!(h.pop_relaxed(), Some((3, 5)));
+        assert_eq!(h.pop_relaxed(), Some((2, 20)));
+        assert!(h.is_empty());
+    }
+}

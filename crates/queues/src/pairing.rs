@@ -1,0 +1,404 @@
+//! Pairing heap: an alternative exact priority queue with `O(1)` amortized
+//! `push`/`decrease_key` and `O(log n)` amortized `pop`.
+//!
+//! Included both as a cross-check for the indexed binary heap (the test
+//! suites run the same randomized op sequences against both) and because
+//! pairing heaps are the textbook choice when `decrease_key` dominates, as
+//! it does in Dijkstra-style workloads (Section 6 of the paper).
+//!
+//! The implementation is arena-based: nodes live in a `Vec` and are
+//! addressed by index, avoiding unsafe code and pointer juggling.
+
+use crate::{DecreaseKey, PriorityQueue, NOT_PRESENT};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<P> {
+    prio: P,
+    item: usize,
+    /// First child, or `NIL`.
+    child: usize,
+    /// Next younger sibling, or `NIL`.
+    sibling: usize,
+    /// Parent if this is a first child, otherwise the previous sibling;
+    /// `NIL` for the root.
+    prev: usize,
+    /// `false` once the node has been removed (slot is on the free list).
+    live: bool,
+}
+
+/// An addressable pairing min-heap over dense `usize` items.
+///
+/// Ties on priority are broken by item id, matching
+/// [`IndexedBinaryHeap`](crate::IndexedBinaryHeap).
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::{PairingHeap, PriorityQueue, DecreaseKey};
+///
+/// let mut h = PairingHeap::new();
+/// h.push(0, 3u64);
+/// h.push(1, 1);
+/// h.push(2, 2);
+/// assert!(h.decrease_key(0, 0));
+/// assert_eq!(h.pop(), Some((0, 0)));
+/// assert_eq!(h.pop(), Some((1, 1)));
+/// assert_eq!(h.pop(), Some((2, 2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairingHeap<P> {
+    nodes: Vec<Node<P>>,
+    /// `slot_of[item]` = arena index, or `NOT_PRESENT`.
+    slot_of: Vec<usize>,
+    root: usize,
+    len: usize,
+    free: Vec<usize>,
+}
+
+impl<P: Ord + Copy> Default for PairingHeap<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Ord + Copy> PairingHeap<P> {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            slot_of: Vec::new(),
+            root: NIL,
+            len: 0,
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        let na = &self.nodes[a];
+        let nb = &self.nodes[b];
+        (na.prio, na.item) < (nb.prio, nb.item)
+    }
+
+    /// Meld two heap roots, returning the new root. Both must have
+    /// `prev == NIL` and `sibling == NIL`.
+    fn meld(&mut self, a: usize, b: usize) -> usize {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        let (winner, loser) = if self.less(a, b) { (a, b) } else { (b, a) };
+        // Attach `loser` as the first child of `winner`.
+        let old_child = self.nodes[winner].child;
+        self.nodes[loser].sibling = old_child;
+        self.nodes[loser].prev = winner;
+        if old_child != NIL {
+            self.nodes[old_child].prev = loser;
+        }
+        self.nodes[winner].child = loser;
+        winner
+    }
+
+    /// Detach node `x` from its parent/sibling links (it must not be the
+    /// root). Afterwards `x` is a standalone tree.
+    fn cut(&mut self, x: usize) {
+        let prev = self.nodes[x].prev;
+        let sib = self.nodes[x].sibling;
+        debug_assert_ne!(prev, NIL, "cut of root");
+        if self.nodes[prev].child == x {
+            self.nodes[prev].child = sib;
+        } else {
+            debug_assert_eq!(self.nodes[prev].sibling, x);
+            self.nodes[prev].sibling = sib;
+        }
+        if sib != NIL {
+            self.nodes[sib].prev = prev;
+        }
+        self.nodes[x].prev = NIL;
+        self.nodes[x].sibling = NIL;
+    }
+
+    /// Two-pass pairing of the children list starting at `first`.
+    fn merge_pairs(&mut self, first: usize) -> usize {
+        if first == NIL {
+            return NIL;
+        }
+        // Pass 1: meld children pairwise, collecting the winners.
+        let mut pairs = Vec::new();
+        let mut cur = first;
+        while cur != NIL {
+            let a = cur;
+            let b = self.nodes[a].sibling;
+            let next = if b == NIL { NIL } else { self.nodes[b].sibling };
+            // Detach a and b from the list.
+            self.nodes[a].sibling = NIL;
+            self.nodes[a].prev = NIL;
+            if b != NIL {
+                self.nodes[b].sibling = NIL;
+                self.nodes[b].prev = NIL;
+            }
+            pairs.push(self.meld(a, b));
+            cur = next;
+        }
+        // Pass 2: fold right-to-left.
+        let mut root = NIL;
+        for &p in pairs.iter().rev() {
+            root = self.meld(root, p);
+        }
+        root
+    }
+
+    fn alloc(&mut self, item: usize, prio: P) -> usize {
+        let node = Node {
+            prio,
+            item,
+            child: NIL,
+            sibling: NIL,
+            prev: NIL,
+            live: true,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn free_slot(&mut self, slot: usize) {
+        self.nodes[slot].live = false;
+        self.free.push(slot);
+    }
+
+    /// Debug helper: walk the tree and verify the heap property and the
+    /// item → slot table.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if self.root == NIL {
+            assert_eq!(self.len, 0);
+            return;
+        }
+        let mut stack = vec![self.root];
+        let mut seen = 0usize;
+        while let Some(x) = stack.pop() {
+            seen += 1;
+            let node = &self.nodes[x];
+            assert!(node.live);
+            assert_eq!(self.slot_of[node.item], x);
+            let mut c = node.child;
+            while c != NIL {
+                assert!(
+                    !self.less(c, x),
+                    "heap property violated: child beats parent"
+                );
+                stack.push(c);
+                c = self.nodes[c].sibling;
+            }
+        }
+        assert_eq!(seen, self.len, "tree size disagrees with len");
+    }
+}
+
+impl<P: Ord + Copy> PriorityQueue<P> for PairingHeap<P> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, item: usize, prio: P) {
+        if item >= self.slot_of.len() {
+            self.slot_of.resize(item + 1, NOT_PRESENT);
+        }
+        assert_eq!(
+            self.slot_of[item], NOT_PRESENT,
+            "item {item} is already in the heap"
+        );
+        let slot = self.alloc(item, prio);
+        self.slot_of[item] = slot;
+        self.root = self.meld(self.root, slot);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(usize, P)> {
+        if self.root == NIL {
+            return None;
+        }
+        let root = self.root;
+        let (item, prio) = (self.nodes[root].item, self.nodes[root].prio);
+        let first_child = self.nodes[root].child;
+        self.root = self.merge_pairs(first_child);
+        self.slot_of[item] = NOT_PRESENT;
+        self.free_slot(root);
+        self.len -= 1;
+        Some((item, prio))
+    }
+
+    fn peek(&self) -> Option<(usize, P)> {
+        if self.root == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.root];
+            Some((n.item, n.prio))
+        }
+    }
+}
+
+impl<P: Ord + Copy> DecreaseKey<P> for PairingHeap<P> {
+    fn contains(&self, item: usize) -> bool {
+        self.slot_of.get(item).is_some_and(|&s| s != NOT_PRESENT)
+    }
+
+    fn priority_of(&self, item: usize) -> Option<P> {
+        let slot = *self.slot_of.get(item)?;
+        if slot == NOT_PRESENT {
+            None
+        } else {
+            Some(self.nodes[slot].prio)
+        }
+    }
+
+    fn decrease_key(&mut self, item: usize, prio: P) -> bool {
+        let Some(&slot) = self.slot_of.get(item) else {
+            return false;
+        };
+        if slot == NOT_PRESENT || prio >= self.nodes[slot].prio {
+            return false;
+        }
+        self.nodes[slot].prio = prio;
+        if slot != self.root {
+            self.cut(slot);
+            self.root = self.meld(self.root, slot);
+        }
+        true
+    }
+
+    fn remove(&mut self, item: usize) -> Option<P> {
+        let slot = *self.slot_of.get(item)?;
+        if slot == NOT_PRESENT {
+            return None;
+        }
+        let prio = self.nodes[slot].prio;
+        if slot == self.root {
+            self.pop();
+        } else {
+            self.cut(slot);
+            let first_child = self.nodes[slot].child;
+            let subtree = self.merge_pairs(first_child);
+            self.root = self.meld(self.root, subtree);
+            self.slot_of[item] = NOT_PRESENT;
+            self.free_slot(slot);
+            self.len -= 1;
+        }
+        Some(prio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexedBinaryHeap;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn push_pop_sorted() {
+        let mut h = PairingHeap::new();
+        for (i, p) in [9u64, 3, 7, 1, 5].into_iter().enumerate() {
+            h.push(i, p);
+        }
+        let mut out = Vec::new();
+        while let Some((_, p)) = h.pop() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn decrease_key_to_new_min() {
+        let mut h = PairingHeap::new();
+        h.push(0, 10u64);
+        h.push(1, 20);
+        h.push(2, 30);
+        assert!(h.decrease_key(2, 1));
+        assert_eq!(h.peek(), Some((2, 1)));
+        assert!(!h.decrease_key(2, 5), "increase rejected");
+        h.check_invariants();
+    }
+
+    #[test]
+    fn remove_non_root() {
+        let mut h = PairingHeap::new();
+        for i in 0..32usize {
+            h.push(i, (i as u64 * 31) % 17);
+        }
+        assert_eq!(h.remove(20), Some((20u64 * 31) % 17));
+        assert!(!h.contains(20));
+        h.check_invariants();
+        assert_eq!(h.len(), 31);
+    }
+
+    #[test]
+    fn slot_reuse_after_pop() {
+        let mut h = PairingHeap::new();
+        h.push(0, 1u64);
+        h.pop();
+        h.push(0, 2);
+        assert_eq!(h.pop(), Some((0, 2)));
+    }
+
+    /// Differential test: the pairing heap and the indexed binary heap must
+    /// agree on every operation for a long randomized op sequence.
+    #[test]
+    fn agrees_with_binary_heap() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut ph = PairingHeap::new();
+        let mut bh = IndexedBinaryHeap::new();
+        let mut live: Vec<usize> = Vec::new();
+        let mut next_id = 0usize;
+        for step in 0..8000 {
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    let p = rng.gen_range(0..10_000u64);
+                    ph.push(next_id, p);
+                    bh.push(next_id, p);
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                2 => {
+                    let a = ph.pop();
+                    let b = bh.pop();
+                    assert_eq!(a, b, "pop mismatch at step {step}");
+                    if let Some((it, _)) = a {
+                        live.retain(|&x| x != it);
+                    }
+                }
+                3 => {
+                    if let Some(&item) = live.get(rng.gen_range(0..live.len().max(1))) {
+                        let cur = ph.priority_of(item).unwrap();
+                        if cur > 0 {
+                            let newp = rng.gen_range(0..cur);
+                            assert_eq!(
+                                ph.decrease_key(item, newp),
+                                bh.decrease_key(item, newp)
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let idx = rng.gen_range(0..live.len());
+                        let item = live.swap_remove(idx);
+                        assert_eq!(ph.remove(item), bh.remove(item));
+                    }
+                }
+            }
+            assert_eq!(ph.len(), bh.len());
+            assert_eq!(ph.peek(), bh.peek());
+        }
+        ph.check_invariants();
+    }
+}

@@ -1,0 +1,59 @@
+//! Concurrent greedy MIS and coloring: out-of-order parallel execution with
+//! deterministic results.
+//!
+//! The relaxed scheduler hands out vertices in a loose priority order, yet
+//! because a task only runs after its higher-priority neighbours, the final
+//! independent set and colouring are bit-identical to the sequential
+//! algorithm's — determinism despite parallelism, the property that makes
+//! relaxed schedulers safe for iterative algorithms.
+//!
+//! ```text
+//! cargo run --release --example parallel_mis
+//! ```
+
+use relaxed_schedulers::prelude::*;
+use rsched_algos::concurrent::{ConcurrentColoring, ConcurrentMis};
+use rsched_algos::{GreedyColoring, GreedyMis};
+
+fn main() {
+    let n = 50_000;
+    let g = power_law(n, 8, 1..=100, 21);
+    println!("graph: {} vertices, {} directed edges", g.num_vertices(), g.num_edges());
+
+    // --- MIS ---
+    let alg = ConcurrentMis::new(&g, 99);
+    let stats = run_relaxed_parallel(&alg, 4, 2, 1);
+    let mis = alg.independent_set();
+    let reference = GreedyMis::sequential_reference(&g, alg.permutation());
+    let ref_set: Vec<usize> = reference
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(v, _)| v)
+        .collect();
+    assert_eq!(mis, ref_set, "parallel MIS must equal the sequential one");
+    println!(
+        "\nMIS: {} vertices selected; {} steps, {} wasted ({:.3}% overhead)",
+        mis.len(),
+        stats.steps,
+        stats.extra_steps,
+        100.0 * (stats.overhead() - 1.0)
+    );
+
+    // --- Coloring ---
+    let alg = ConcurrentColoring::new(&g, 99);
+    let stats = run_relaxed_parallel(&alg, 4, 2, 2);
+    assert!(alg.verify_proper());
+    let colors = alg.colors();
+    let reference = GreedyColoring::sequential_reference(&g, alg.permutation());
+    assert_eq!(colors, reference, "parallel coloring must equal sequential");
+    let ncolors = colors.iter().collect::<std::collections::HashSet<_>>().len();
+    println!(
+        "coloring: {} colours used; {} steps, {} wasted ({:.3}% overhead)",
+        ncolors,
+        stats.steps,
+        stats.extra_steps,
+        100.0 * (stats.overhead() - 1.0)
+    );
+    println!("\nboth results verified identical to the sequential algorithm ✓");
+}

@@ -1,0 +1,50 @@
+//! The transactional model (Section 4): execute BST-insertion sorting as
+//! speculative transactions and count aborts against the Theorem 4.3 bound
+//! `O(k²(C+k)² log n)`.
+//!
+//! ```text
+//! cargo run --release --example transactional_aborts
+//! ```
+
+use relaxed_schedulers::prelude::*;
+use rsched_core::theory;
+
+fn main() {
+    let n = 5000;
+    println!("transactional execution of BST-sort ({n} tasks)\n");
+    println!(
+        "{:>4} {:>9} {:>9} {:>8} {:>10} {:>16}",
+        "k", "duration", "aborts", "C_obs", "overhead", "k^2(C+k)^2 ln n"
+    );
+    for &k in &[2usize, 4, 8, 16] {
+        for &duration in &[2usize, 6] {
+            let alg = BstSort::random(n, 42);
+            let stats = run_transactional(
+                n,
+                |i, j| alg.depends(i, j),
+                TxConfig {
+                    k,
+                    duration,
+                    strategy: TxStrategy::Random,
+                    seed: 7,
+                },
+            );
+            assert_eq!(stats.commits, n as u64);
+            let bound = theory::thm43_aborts(k, stats.max_contention, n);
+            println!(
+                "{:>4} {:>9} {:>9} {:>8} {:>9.4}x {:>16.0}",
+                k,
+                duration,
+                stats.aborts,
+                stats.max_contention,
+                (stats.commits + stats.aborts) as f64 / stats.commits as f64,
+                bound
+            );
+        }
+    }
+    println!(
+        "\naborted work stays far below both the task count and the \
+         Theorem 4.3 envelope — speculation is cheap when dependencies are \
+         shallow (expected O(log n) BST depth)."
+    );
+}

@@ -1,0 +1,81 @@
+//! # relaxed-schedulers
+//!
+//! A from-scratch Rust reproduction of Alistarh, Koval and Nadiradze,
+//! *"Efficiency Guarantees for Parallel Incremental Algorithms under Relaxed
+//! Schedulers"* (SPAA 2019, arXiv:2003.09363).
+//!
+//! Incremental algorithms — Dijkstra's SSSP, Delaunay mesh triangulation,
+//! sorting by BST insertion — are classically driven by an exact priority
+//! queue. Scalable parallel runtimes replace it with a **relaxed** scheduler
+//! that may return any of the `k` highest-priority tasks. The paper proves
+//! that the wasted work this relaxation causes is small
+//! (`O(poly(k) log n)` extra steps for the incremental algorithms,
+//! `n + O(k² d_max/w_min)` pops for SSSP) and exhibits an `Ω(log n)` lower
+//! bound under the MultiQueue. This workspace implements the schedulers, the
+//! model, the algorithms and the full experiment suite.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`queues`] | indexed binary heap, pairing heap, MultiQueue (sequential + concurrent + duplicate-insertion), SprayList, deterministic rotating k-queue, rank/fairness instrumentation |
+//! | [`core`] | the `Q_k` scheduler model, Algorithm 1/2 executors with extra-step accounting, adversarial schedulers, the Section 4 transactional simulator, theorem formulas |
+//! | [`graph`] | CSR graphs, random/road/social generators, DIMACS & SNAP loaders, Dijkstra / Δ-stepping / Bellman–Ford baselines |
+//! | [`geometry`] | exact integer predicates, triangle mesh, Bowyer–Watson with conflict lists |
+//! | [`algos`] | BST-insertion sorting, Delaunay, relaxed SSSP (sequential-model + concurrent), greedy MIS & coloring |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relaxed_schedulers::prelude::*;
+//!
+//! // A random graph like the paper's (scaled down).
+//! let g = random_gnm(10_000, 100_000, 1..=100, 42);
+//!
+//! // Parallel SSSP via a MultiQueue with 2 queues per thread.
+//! let stats = parallel_sssp(&g, 0, ParSsspConfig {
+//!     threads: 4,
+//!     queue_multiplier: 2,
+//!     seed: 7,
+//! });
+//!
+//! // Exact on the same graph: the relaxation overhead is executed / n.
+//! let exact = dijkstra(&g, 0);
+//! assert_eq!(stats.dist, exact.dist);
+//! println!("overhead = {:.4}", stats.overhead());
+//! ```
+
+pub use rsched_algos as algos;
+pub use rsched_core as core;
+pub use rsched_geometry as geometry;
+pub use rsched_graph as graph;
+pub use rsched_queues as queues;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use rsched_algos::{
+        parallel_delta_stepping, parallel_sssp, parallel_sssp_duplicates,
+        parallel_sssp_spraylist, relaxed_sssp_seq,
+        BnbStats, BstSort, ConcurrentBstSort, ConcurrentColoring, ConcurrentMis, DelaunayIncremental,
+        GreedyColoring, GreedyMis, Knapsack, ParSsspConfig, ParSsspStats, SeqSsspStats,
+    };
+    pub use rsched_core::{
+        run_exact, run_relaxed, run_relaxed_parallel, run_relaxed_traced, run_relaxed_with,
+        AdversarialScheduler, AdversaryStrategy, ConcurrentIncremental, ExecStats,
+        IncrementalAlgorithm, ParExecStats, TraceEntry,
+    };
+    pub use rsched_core::{run_transactional, TxConfig, TxStats, TxStrategy};
+    pub use rsched_geometry::{delaunay, random_points, DelaunayState, Point};
+    pub use rsched_graph::gen::{
+        bucket_chain, bucket_chain_weights, complete_graph, grid_road, path_graph, power_law,
+        random_gnm, rmat, star_graph,
+    };
+    pub use rsched_graph::{
+        bellman_ford, delta_stepping, dijkstra, CsrGraph, GraphBuilder, SsspResult, Weight, INF,
+    };
+    pub use rsched_queues::{
+        ConcurrentMultiQueue, ConcurrentSprayList, DecreaseKey, DuplicateMultiQueue, Exact,
+        IndexedBinaryHeap, KLsmHandle, KLsmQueue, PairingHeap, PriorityQueue, RankStats, RankTracker, RelaxedQueue,
+        RotatingKQueue, SimMultiQueue, SprayList, StickySession,
+    };
+}

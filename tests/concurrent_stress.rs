@@ -1,0 +1,195 @@
+//! Concurrency stress tests: many threads, contended structures, repeated
+//! seeds. These are the tests that would catch termination-detection races,
+//! lost elements under try_lock retries, and memory-ordering bugs in the
+//! atomic relaxation loops.
+
+use relaxed_schedulers::prelude::*;
+use rsched_algos::concurrent::{ConcurrentBstSort, ConcurrentMis};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Producer/consumer storm on the concurrent MultiQueue: heavy oversubscription,
+/// mixed push_or_decrease / pop / remove, then exhaustive accounting.
+#[test]
+fn multiqueue_storm_conserves_elements() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let threads = 8;
+    let per = 3000usize;
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(6));
+    let popped_sum = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            let popped_sum = Arc::clone(&popped_sum);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64 * 31 + 1);
+                let mut local: Vec<usize> = Vec::new();
+                for i in 0..per {
+                    let item = t * per + i;
+                    q.push_or_decrease(item, rng.gen_range(100..1_000_000));
+                    // Decrease some of our own items.
+                    if i % 7 == 0 {
+                        q.push_or_decrease(item, 50);
+                    }
+                    if i % 3 == 0 {
+                        if let Some((it, _)) = q.pop(&mut rng) {
+                            local.push(it);
+                        }
+                    }
+                }
+                popped_sum.fetch_add(local.len() as u64, Ordering::AcqRel);
+                local
+            })
+        })
+        .collect();
+    let mut seen = HashSet::new();
+    for h in handles {
+        for it in h.join().unwrap() {
+            assert!(seen.insert(it), "duplicate pop of {it}");
+        }
+    }
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0);
+    while let Some((it, _)) = q.pop(&mut rng) {
+        assert!(seen.insert(it), "duplicate pop of {it}");
+    }
+    assert_eq!(seen.len(), threads * per, "elements lost");
+    assert!(q.is_empty());
+}
+
+/// Sticky sessions from many threads still conserve elements.
+#[test]
+fn sticky_sessions_under_contention() {
+    let threads = 6;
+    let per = 2000usize;
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(4));
+    for i in 0..threads * per {
+        q.push_or_decrease(i, (i as u64 * 17) % 100_000);
+    }
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut session = q.sticky_session(8, t as u64);
+                let mut got = Vec::new();
+                for _ in 0..per {
+                    if let Some((it, _)) = session.pop() {
+                        got.push(it);
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let mut seen = HashSet::new();
+    let mut total = 0usize;
+    for h in handles {
+        for it in h.join().unwrap() {
+            assert!(seen.insert(it), "duplicate sticky pop of {it}");
+            total += 1;
+        }
+    }
+    // Drain the remainder.
+    let mut session = q.sticky_session(4, 999);
+    while let Some((it, _)) = session.pop() {
+        assert!(seen.insert(it));
+        total += 1;
+    }
+    assert_eq!(total, threads * per);
+}
+
+/// Concurrent SSSP is exact across seeds, thread counts and schedulers on a
+/// road-like graph (the workload with the longest relaxation chains).
+#[test]
+fn parallel_sssp_exactness_matrix() {
+    let g = grid_road(28, 28, 17);
+    let want = dijkstra(&g, 0).dist;
+    for threads in [2usize, 4, 8] {
+        for seed in 0..3u64 {
+            let cfg = ParSsspConfig {
+                threads,
+                queue_multiplier: 2,
+                seed,
+            };
+            assert_eq!(parallel_sssp(&g, 0, cfg).dist, want, "mq t{threads} s{seed}");
+            assert_eq!(
+                parallel_sssp_duplicates(&g, 0, cfg).dist,
+                want,
+                "dup t{threads} s{seed}"
+            );
+            assert_eq!(
+                parallel_sssp_spraylist(&g, 0, cfg).dist,
+                want,
+                "spray t{threads} s{seed}"
+            );
+        }
+    }
+}
+
+/// The concurrent iterative executor never double-processes and always
+/// terminates, across thread counts, on the worst (chain) dependency shape.
+#[test]
+fn concurrent_executor_chain_matrix() {
+    for threads in [2usize, 4, 8] {
+        for seed in 0..2u64 {
+            let alg = ConcurrentBstSort::random(3000, seed);
+            let stats = run_relaxed_parallel(&alg, threads, 2, seed);
+            assert_eq!(stats.processed, 3000, "t{threads} s{seed}");
+            assert_eq!(
+                alg.in_order_keys(),
+                (0..3000u64).collect::<Vec<_>>(),
+                "t{threads} s{seed}"
+            );
+        }
+    }
+}
+
+/// Determinism under contention: concurrent MIS equals the sequential
+/// reference on a denser graph with many inter-thread dependencies.
+#[test]
+fn concurrent_mis_determinism_under_contention() {
+    let g = random_gnm(2000, 20_000, 1..=10, 5);
+    for seed in 0..3u64 {
+        let alg = ConcurrentMis::new(&g, 77);
+        run_relaxed_parallel(&alg, 8, 2, seed);
+        let want = rsched_algos::GreedyMis::sequential_reference(&g, alg.permutation());
+        let got: Vec<bool> = {
+            let set: HashSet<usize> = alg.independent_set().into_iter().collect();
+            (0..g.num_vertices()).map(|v| set.contains(&v)).collect()
+        };
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+/// ConcurrentSprayList under pop-only contention after a big fill.
+#[test]
+fn concurrent_spraylist_drain_storm() {
+    let q: Arc<ConcurrentSprayList<u64>> = Arc::new(ConcurrentSprayList::new(4, 8, 3));
+    let n = 20_000usize;
+    for i in 0..n {
+        q.insert(i, (i as u64 * 13) % 50_000);
+    }
+    let threads = 8;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(t as u64);
+                let mut got = Vec::new();
+                while let Some((it, _)) = q.pop(&mut rng) {
+                    got.push(it);
+                }
+                got
+            })
+        })
+        .collect();
+    let mut seen = HashSet::new();
+    for h in handles {
+        for it in h.join().unwrap() {
+            assert!(seen.insert(it), "duplicate {it}");
+        }
+    }
+    assert_eq!(seen.len(), n);
+}

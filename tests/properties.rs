@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! workspace: queue semantics, scheduler guarantees, algorithm correctness
+//! on arbitrary inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use relaxed_schedulers::prelude::*;
+
+/// Build an arbitrary small weighted digraph from proptest-chosen edges.
+fn graph_from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        b.add_edge(u % n, v % n, w);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra (DecreaseKey heap) equals Bellman–Ford on arbitrary graphs.
+    #[test]
+    fn dijkstra_equals_bellman_ford(
+        n in 2usize..40,
+        edges in vec((0usize..40, 0usize..40, 1u64..50), 0..120),
+    ) {
+        let g = graph_from_edges(n, &edges);
+        prop_assert_eq!(dijkstra(&g, 0).dist, bellman_ford(&g, 0));
+    }
+
+    /// Δ-stepping equals Dijkstra for arbitrary delta.
+    #[test]
+    fn delta_stepping_equals_dijkstra(
+        n in 2usize..30,
+        edges in vec((0usize..30, 0usize..30, 1u64..50), 0..100),
+        delta in 1u64..100,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        prop_assert_eq!(delta_stepping(&g, 0, delta).dist, dijkstra(&g, 0).dist);
+    }
+
+    /// The sequential-model relaxed SSSP is exact for any scheduler seed and
+    /// queue count, on arbitrary graphs.
+    #[test]
+    fn relaxed_sssp_exact_on_arbitrary_graphs(
+        n in 2usize..30,
+        edges in vec((0usize..30, 0usize..30, 1u64..50), 0..100),
+        queues in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let want = dijkstra(&g, 0).dist;
+        let got = relaxed_sssp_seq(&g, 0, &mut SimMultiQueue::keyed(queues, seed));
+        let reachable = want.iter().filter(|&&d| d != INF).count() as u64;
+        prop_assert_eq!(got.dist, want);
+        // Theorem 6.1 sanity: pops at least the reachable count.
+        prop_assert!(got.pops >= reachable);
+    }
+
+    /// BST-insertion sorting sorts arbitrary distinct key sets under any
+    /// relaxation.
+    #[test]
+    fn bst_sort_sorts_arbitrary_keys(
+        keys in proptest::collection::hash_set(0u64..10_000, 1..200),
+        queues in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        let mut alg = BstSort::from_keys(keys);
+        run_relaxed(&mut alg, &mut SimMultiQueue::new(queues, seed));
+        prop_assert_eq!(alg.in_order_keys(), want);
+    }
+
+    /// The rotating deterministic scheduler never violates RankBound or
+    /// Fairness, measured by the instrumentation layer, for arbitrary
+    /// priorities and k.
+    #[test]
+    fn rotating_queue_bounds_always_hold(
+        prios in vec(0u64..1000, 1..150),
+        k in 1usize..12,
+    ) {
+        let mut q = RankTracker::new(RotatingKQueue::new(k));
+        for (i, &p) in prios.iter().enumerate() {
+            q.insert(i, p);
+        }
+        while let Some((item, _)) = q.peek_relaxed() {
+            q.delete(item);
+        }
+        prop_assert!(q.stats().max_rank <= k);
+        prop_assert!(q.stats().max_inv <= (k - 1) as u64);
+    }
+
+    /// Indexed heap and pairing heap agree with a sorted-model queue on
+    /// arbitrary op sequences (push/pop/decrease/remove).
+    #[test]
+    fn heaps_match_model(ops in vec((0u8..4, 0usize..64, 0u64..1000), 1..300)) {
+        let mut bh = IndexedBinaryHeap::new();
+        let mut ph = PairingHeap::new();
+        let mut model: Vec<(u64, usize)> = Vec::new(); // (prio, item)
+        for (op, item, prio) in ops {
+            match op {
+                0 => {
+                    if !model.iter().any(|&(_, it)| it == item) {
+                        bh.push(item, prio);
+                        ph.push(item, prio);
+                        model.push((prio, item));
+                    }
+                }
+                1 => {
+                    model.sort_unstable();
+                    let want = model.first().copied().map(|(p, it)| (it, p));
+                    prop_assert_eq!(bh.pop(), want);
+                    prop_assert_eq!(ph.pop(), want);
+                    if !model.is_empty() {
+                        model.remove(0);
+                    }
+                }
+                2 => {
+                    let present = model.iter().position(|&(_, it)| it == item);
+                    let expect = match present {
+                        Some(idx) if prio < model[idx].0 => {
+                            model[idx].0 = prio;
+                            true
+                        }
+                        _ => false,
+                    };
+                    prop_assert_eq!(bh.decrease_key(item, prio), expect);
+                    prop_assert_eq!(ph.decrease_key(item, prio), expect);
+                }
+                _ => {
+                    let present = model.iter().position(|&(_, it)| it == item);
+                    let expect = present.map(|idx| model.remove(idx).0);
+                    prop_assert_eq!(bh.remove(item), expect);
+                    prop_assert_eq!(ph.remove(item), expect);
+                }
+            }
+            prop_assert_eq!(PriorityQueue::len(&bh), model.len());
+            prop_assert_eq!(PriorityQueue::len(&ph), model.len());
+        }
+    }
+
+    /// A SimMultiQueue never loses or duplicates elements under arbitrary
+    /// insert/pop/delete interleavings.
+    #[test]
+    fn multiqueue_conservation(
+        ops in vec((0u8..3, 0usize..64, 0u64..1000), 1..300),
+        queues in 1usize..8,
+    ) {
+        let mut mq = SimMultiQueue::new(queues, 12345);
+        let mut live: std::collections::HashSet<usize> = Default::default();
+        let mut popped: std::collections::HashSet<usize> = Default::default();
+        for (op, item, prio) in ops {
+            match op {
+                0 => {
+                    if !live.contains(&item) {
+                        mq.insert(item, prio);
+                        live.insert(item);
+                        popped.remove(&item);
+                    }
+                }
+                1 => {
+                    if let Some((it, _)) = mq.pop_relaxed() {
+                        prop_assert!(live.remove(&it), "popped non-live item");
+                        prop_assert!(popped.insert(it));
+                    } else {
+                        prop_assert!(live.is_empty());
+                    }
+                }
+                _ => {
+                    let did = mq.delete(item);
+                    prop_assert_eq!(did, live.remove(&item));
+                }
+            }
+            prop_assert_eq!(mq.len(), live.len());
+        }
+    }
+
+    /// Delaunay triangulation of arbitrary (deduplicated) point sets is
+    /// valid under arbitrary insertion order permutations.
+    #[test]
+    fn delaunay_valid_for_arbitrary_points_and_orders(
+        raw in proptest::collection::hash_set((0i64..500, 0i64..500), 3..60),
+        order_seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let pts: Vec<Point> = raw.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let n = pts.len();
+        let mut st = DelaunayState::new(pts);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(order_seed));
+        for p in order {
+            st.insert(p);
+        }
+        st.check_invariants();
+        st.mesh().check_delaunay(st.inserted_flags());
+        prop_assert_eq!(st.mesh().num_alive(), 2 * n + 1);
+    }
+
+    /// Parallel Δ-stepping equals Dijkstra on arbitrary graphs, deltas and
+    /// thread counts.
+    #[test]
+    fn parallel_delta_stepping_exact(
+        n in 2usize..25,
+        edges in vec((0usize..25, 0usize..25, 1u64..50), 0..80),
+        delta in 1u64..200,
+        threads in 1usize..5,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let want = dijkstra(&g, 0).dist;
+        let got = parallel_delta_stepping(&g, 0, delta, threads);
+        prop_assert_eq!(got.dist, want);
+    }
+
+    /// Branch-and-bound finds the DP optimum under any relaxation.
+    #[test]
+    fn knapsack_bnb_matches_dp(
+        items in vec((1u64..60, 1u64..40), 1..14),
+        cap_frac in 1usize..4,
+        queues in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        let inst = Knapsack::new(items, (total / cap_frac as u64).max(1));
+        let want = inst.dp_optimum();
+        let exact = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
+        prop_assert_eq!(exact.best_value, want);
+        let relaxed = inst.solve(&mut SimMultiQueue::new(queues, seed));
+        prop_assert_eq!(relaxed.best_value, want);
+        prop_assert_eq!(
+            relaxed.expanded + relaxed.pruned_after_pop,
+            relaxed.generated
+        );
+    }
+
+    /// The DIMACS writer/parser round-trips arbitrary graphs, and the
+    /// parser never panics on arbitrary junk input.
+    #[test]
+    fn dimacs_roundtrip_and_junk_resilience(
+        n in 2usize..20,
+        edges in vec((0usize..20, 0usize..20, 1u64..1000), 0..60),
+        junk in "[ -~\\n]{0,200}",
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let mut buf = Vec::new();
+        rsched_graph::io::write_dimacs_gr(&g, &mut buf).expect("write");
+        let g2 = rsched_graph::io::read_dimacs_gr(&buf[..]).expect("read");
+        prop_assert_eq!(g, g2);
+        // Arbitrary junk: must return (ok or err) without panicking.
+        let _ = rsched_graph::io::read_dimacs_gr(junk.as_bytes());
+        let _ = rsched_graph::io::read_snap_edges(junk.as_bytes(), 1..=10, 0);
+    }
+
+    /// Greedy MIS and coloring under relaxation equal their sequential
+    /// references on arbitrary graphs.
+    #[test]
+    fn mis_and_coloring_deterministic(
+        n in 2usize..40,
+        edges in vec((0usize..40, 0usize..40, 1u64..10), 0..150),
+        seed in 0u64..100,
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            if u % n != v % n {
+                b.add_undirected_edge(u % n, v % n, w);
+            }
+        }
+        let g = b.build();
+        let mut mis = GreedyMis::new(&g, seed);
+        run_relaxed(&mut mis, &mut SimMultiQueue::new(4, seed));
+        let mut mis_ref = GreedyMis::new(&g, seed);
+        run_exact(&mut mis_ref);
+        prop_assert_eq!(mis.independent_set(), mis_ref.independent_set());
+
+        let mut col = GreedyColoring::new(&g, seed);
+        run_relaxed(&mut col, &mut SimMultiQueue::new(4, seed + 1));
+        prop_assert!(col.verify_proper());
+    }
+}
