@@ -53,7 +53,9 @@ impl Knapsack {
     pub fn new(mut items: Vec<(u64, u64)>, capacity: u64) -> Self {
         assert!(!items.is_empty());
         assert!(items.iter().all(|&(v, w)| v > 0 && w > 0));
-        items.sort_by(|&(v1, w1), &(v2, w2)| (v2 as u128 * w1 as u128).cmp(&(v1 as u128 * w2 as u128)));
+        items.sort_by(|&(v1, w1), &(v2, w2)| {
+            (v2 as u128 * w1 as u128).cmp(&(v1 as u128 * w2 as u128))
+        });
         Knapsack { items, capacity }
     }
 
@@ -209,8 +211,11 @@ mod tests {
         assert_eq!(inst.solve(&mut RotatingKQueue::new(12)).best_value, want);
         assert_eq!(inst.solve(&mut SprayList::new(8, 2)).best_value, want);
         assert_eq!(
-            inst.solve(&mut AdversarialScheduler::new(16, AdversaryStrategy::MaxRank))
-                .best_value,
+            inst.solve(&mut AdversarialScheduler::new(
+                16,
+                AdversaryStrategy::MaxRank
+            ))
+            .best_value,
             want
         );
     }
@@ -225,7 +230,10 @@ mod tests {
             let inst = Knapsack::random(22, seed);
             exact_total += inst.solve(&mut Exact(IndexedBinaryHeap::new())).expanded;
             relaxed_total += inst
-                .solve(&mut AdversarialScheduler::new(32, AdversaryStrategy::MaxRank))
+                .solve(&mut AdversarialScheduler::new(
+                    32,
+                    AdversaryStrategy::MaxRank,
+                ))
                 .expanded;
         }
         assert!(

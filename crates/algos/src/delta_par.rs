@@ -11,7 +11,8 @@
 //!
 //! The implementation is bucket-synchronous: a coordinator advances through
 //! buckets; each light-edge iteration and the final heavy-edge pass fan the
-//! current frontier out over worker threads, which relax edges with atomic
+//! current frontier out over the runtime's fork-join helper
+//! ([`rsched_runtime::map_chunks`]), whose workers relax edges with atomic
 //! fetch-min updates and collect bucket insertions locally.
 
 use rsched_graph::{CsrGraph, Weight, INF};
@@ -91,7 +92,6 @@ pub fn parallel_delta_stepping(
             } else {
                 threads
             };
-            let chunk = frontier.len().div_ceil(workers);
             let light_pass = |chunk: &[usize]| {
                 // (bucket, vertex) insertions, processed vertices, count.
                 let mut pushes: Vec<(usize, usize)> = Vec::new();
@@ -124,20 +124,8 @@ pub fn parallel_delta_stepping(
             };
             // (bucket pushes, processed vertices, processing count)
             type LightResult = (Vec<(usize, usize)>, Vec<usize>, u64);
-            let results: Vec<LightResult> = if workers == 1 {
-                vec![light_pass(&frontier)]
-            } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk.max(1))
-                        .map(|chunk| scope.spawn(move || light_pass(chunk)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect()
-                })
-            };
+            let results: Vec<LightResult> =
+                rsched_runtime::map_chunks(workers, &frontier, light_pass);
             for (pushes, processed, count) in results {
                 pops += count;
                 settled.extend(processed);
@@ -170,21 +158,8 @@ pub fn parallel_delta_stepping(
             } else {
                 threads
             };
-            let chunk = settled.len().div_ceil(workers);
-            let results: Vec<Vec<(usize, usize)>> = if workers == 1 {
-                vec![heavy_pass(&settled)]
-            } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = settled
-                        .chunks(chunk.max(1))
-                        .map(|chunk| scope.spawn(move || heavy_pass(chunk)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect()
-                })
-            };
+            let results: Vec<Vec<(usize, usize)>> =
+                rsched_runtime::map_chunks(workers, &settled, heavy_pass);
             for pushes in results {
                 for (nb, v) in pushes {
                     if nb >= buckets.len() {
@@ -206,22 +181,27 @@ pub fn parallel_delta_stepping(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsched_graph::gen::{bucket_chain_weights, grid_road, path_graph, power_law, random_gnm};
     use rsched_graph::dijkstra;
+    use rsched_graph::gen::{bucket_chain_weights, grid_road, path_graph, power_law, random_gnm};
 
     #[test]
     fn matches_dijkstra_across_graphs_and_deltas() {
-        let graphs = [random_gnm(600, 3000, 1..=100, 1),
+        let graphs = [
+            random_gnm(600, 3000, 1..=100, 1),
             grid_road(20, 20, 2),
             power_law(600, 4, 1..=100, 3),
             path_graph(300, 9),
-            bucket_chain_weights(30, 5, 10..=20, 4)];
+            bucket_chain_weights(30, 5, 10..=20, 4),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let want = dijkstra(g, 0).dist;
             for delta in [1 as Weight, 37, 500, 1_000_000] {
                 for threads in [1usize, 4] {
                     let got = parallel_delta_stepping(g, 0, delta, threads);
-                    assert_eq!(got.dist, want, "graph {i}, delta {delta}, threads {threads}");
+                    assert_eq!(
+                        got.dist, want,
+                        "graph {i}, delta {delta}, threads {threads}"
+                    );
                 }
             }
         }

@@ -15,6 +15,13 @@
 //!   a sequential-model variant against any relaxed queue (Theorem 6.1's
 //!   pop bound) and a truly concurrent variant over the lock-based
 //!   MultiQueue (the Section 7 experiments), plus the DecreaseKey ablation.
+//! * [`bfs`] — concurrent **unweighted BFS** over a relaxed FIFO (d-CBO)
+//!   frontier, driven by the `rsched-runtime` worker pool: the layering is
+//!   exactly the sequential BFS's, and the relaxation only shows up as
+//!   wasted re-expansions and frontier rank errors.
+//! * [`kcore`] — greedy **k-core peeling** over the relaxed FIFO work
+//!   queue: deletion order is confluent, so the relaxed result equals the
+//!   sequential k-core exactly.
 //! * [`branch_bound`] — best-first **branch-and-bound** (0/1 knapsack)
 //!   under relaxed scheduling: the Karp–Zhang parallel-backtracking setting
 //!   the paper's introduction traces the whole approach to, with *dynamic*
@@ -25,21 +32,25 @@
 //!   included as the natural regression baselines and for the "high fanout"
 //!   worst-case example the introduction discusses.
 
+pub mod bfs;
 pub mod branch_bound;
 pub mod bst_sort;
-pub mod concurrent;
 pub mod coloring;
+pub mod concurrent;
 pub mod delaunay;
 pub mod delta_par;
+pub mod kcore;
 pub mod mis;
 pub mod sssp;
 
+pub use bfs::{parallel_bfs, ParBfsStats};
 pub use branch_bound::{BnbStats, Knapsack};
 pub use bst_sort::BstSort;
-pub use concurrent::{ConcurrentBstSort, ConcurrentColoring, ConcurrentMis};
 pub use coloring::GreedyColoring;
+pub use concurrent::{ConcurrentBstSort, ConcurrentColoring, ConcurrentMis};
 pub use delaunay::DelaunayIncremental;
 pub use delta_par::{parallel_delta_stepping, ParDeltaStats};
+pub use kcore::{kcore_sequential, parallel_kcore, KcoreStats};
 pub use mis::GreedyMis;
 pub use sssp::{
     parallel_sssp, parallel_sssp_duplicates, parallel_sssp_spraylist, relaxed_sssp_seq,

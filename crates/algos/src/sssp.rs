@@ -11,7 +11,9 @@
 //! * [`parallel_sssp`] — the **concurrent** variant behind Figures 1 and 2:
 //!   worker threads share an atomic distance array and a lock-based
 //!   [`ConcurrentMultiQueue`] (queues = multiplier × threads) with
-//!   `push_or_decrease`; termination via quiescence detection.
+//!   `push_or_decrease`; scheduling, termination detection and statistics
+//!   come from the shared `rsched-runtime` worker pool — the SSSP-specific
+//!   code is just the edge-relaxation task handler.
 //! * [`parallel_sssp_duplicates`] — the DecreaseKey **ablation** (Section
 //!   6's discussion): same algorithm over a duplicate-insertion MultiQueue,
 //!   where outdated copies show up as stale pops instead of being updated
@@ -24,14 +26,11 @@
 //! argument the paper refers to ("the distance at each vertex is guaranteed
 //! to eventually converge to the minimum").
 
-use crossbeam::utils::Backoff;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rsched_core::parallel::{ActiveCounter, ShardedCounter};
 use rsched_graph::{CsrGraph, Weight, INF};
 use rsched_queues::{ConcurrentMultiQueue, ConcurrentSprayList, DuplicateMultiQueue, RelaxedQueue};
+use rsched_runtime::{run, RuntimeConfig, Scheduler, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of a sequential-model relaxed SSSP run.
 #[derive(Clone, Debug)]
@@ -166,6 +165,62 @@ impl ParSsspStats {
     }
 }
 
+/// The shared concurrent-SSSP task handler over any runtime [`Scheduler`]:
+/// pop a `(vertex, distance)` task, drop it if stale, otherwise CAS-relax
+/// every outgoing edge and spawn the improved neighbours. The scheduler
+/// determines the ablation: keyed MultiQueue (decrease-key), SprayList, or
+/// duplicate-insertion MultiQueue.
+fn parallel_sssp_on<S: Scheduler<Weight>>(
+    g: &CsrGraph,
+    src: usize,
+    cfg: ParSsspConfig,
+    queue: &S,
+) -> ParSsspStats {
+    assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[src].store(0, Ordering::Release);
+    let stats = run(
+        queue,
+        RuntimeConfig {
+            threads: cfg.threads,
+            seed: cfg.seed,
+        },
+        [(src, 0)],
+        |w, v, d| {
+            if d > dist[v].load(Ordering::Acquire) {
+                return TaskOutcome::Stale;
+            }
+            for (u, wt) in g.neighbors(v) {
+                let nd = d + wt;
+                let mut cur = dist[u].load(Ordering::Acquire);
+                while nd < cur {
+                    match dist[u].compare_exchange_weak(
+                        cur,
+                        nd,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            w.spawn(u, nd);
+                            break;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            TaskOutcome::Executed
+        },
+    );
+    ParSsspStats {
+        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
+        executed: stats.total.executed,
+        pops: stats.total.pops,
+        stale: stats.total.stale,
+        wall: stats.wall,
+    }
+}
+
 /// Concurrent SSSP over a keyed [`ConcurrentMultiQueue`] with
 /// `push_or_decrease` (the Section 7 experiment engine).
 ///
@@ -180,85 +235,11 @@ impl ParSsspStats {
 /// assert_eq!(stats.dist, dijkstra(&g, 0).dist);
 /// ```
 pub fn parallel_sssp(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
-    assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
-    let n = g.num_vertices();
-    let nqueues = cfg.threads * cfg.queue_multiplier;
-    let queue = ConcurrentMultiQueue::<Weight>::with_universe(nqueues, n);
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    dist[src].store(0, Ordering::Release);
-    let counter = ActiveCounter::new();
-    counter.task_added();
-    queue.push_or_decrease(src, 0);
-    let executed = ShardedCounter::new(cfg.threads);
-    let pops = ShardedCounter::new(cfg.threads);
-    let stale = ShardedCounter::new(cfg.threads);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..cfg.threads {
-            let queue = &queue;
-            let dist = &dist;
-            let counter = &counter;
-            let executed = &executed;
-            let pops = &pops;
-            let stale = &stale;
-            scope.spawn(move || {
-                let mut rng =
-                    SmallRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9E37));
-                let backoff = Backoff::new();
-                loop {
-                    match queue.pop(&mut rng) {
-                        Some((v, d)) => {
-                            backoff.reset();
-                            pops.add(tid, 1);
-                            if d > dist[v].load(Ordering::Acquire) {
-                                stale.add(tid, 1);
-                                counter.task_done();
-                                continue;
-                            }
-                            executed.add(tid, 1);
-                            for (u, w) in g.neighbors(v) {
-                                let nd = d + w;
-                                let mut cur = dist[u].load(Ordering::Acquire);
-                                while nd < cur {
-                                    match dist[u].compare_exchange_weak(
-                                        cur,
-                                        nd,
-                                        Ordering::AcqRel,
-                                        Ordering::Acquire,
-                                    ) {
-                                        Ok(_) => {
-                                            counter.task_added();
-                                            if !queue.push_or_decrease(u, nd) {
-                                                // Updated an existing entry:
-                                                // element count unchanged.
-                                                counter.task_done();
-                                            }
-                                            break;
-                                        }
-                                        Err(now) => cur = now,
-                                    }
-                                }
-                            }
-                            counter.task_done();
-                        }
-                        None => {
-                            if counter.wait_or_quiescent(&backoff) {
-                                break;
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let wall = start.elapsed();
-    ParSsspStats {
-        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
-        executed: executed.sum(),
-        pops: pops.sum(),
-        stale: stale.sum(),
-        wall,
-    }
+    let queue = ConcurrentMultiQueue::<Weight>::with_universe(
+        cfg.threads * cfg.queue_multiplier,
+        g.num_vertices(),
+    );
+    parallel_sssp_on(g, src, cfg, &queue)
 }
 
 /// Concurrent SSSP over the sharded [`ConcurrentSprayList`] — the paper's
@@ -266,170 +247,20 @@ pub fn parallel_sssp(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspSta
 /// both the SprayList and MultiQueues as schedulers supporting the
 /// operation). Semantics and statistics match [`parallel_sssp`].
 pub fn parallel_sssp_spraylist(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
-    assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
-    let n = g.num_vertices();
     let queue = ConcurrentSprayList::<Weight>::new(
         cfg.threads * cfg.queue_multiplier,
         cfg.threads.max(2),
         cfg.seed,
     );
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    dist[src].store(0, Ordering::Release);
-    let counter = ActiveCounter::new();
-    counter.task_added();
-    queue.insert(src, 0);
-    let executed = ShardedCounter::new(cfg.threads);
-    let pops = ShardedCounter::new(cfg.threads);
-    let stale = ShardedCounter::new(cfg.threads);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..cfg.threads {
-            let queue = &queue;
-            let dist = &dist;
-            let counter = &counter;
-            let executed = &executed;
-            let pops = &pops;
-            let stale = &stale;
-            scope.spawn(move || {
-                let mut rng =
-                    SmallRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x7A31));
-                let backoff = Backoff::new();
-                loop {
-                    match queue.pop(&mut rng) {
-                        Some((v, d)) => {
-                            backoff.reset();
-                            pops.add(tid, 1);
-                            if d > dist[v].load(Ordering::Acquire) {
-                                stale.add(tid, 1);
-                                counter.task_done();
-                                continue;
-                            }
-                            executed.add(tid, 1);
-                            for (u, w) in g.neighbors(v) {
-                                let nd = d + w;
-                                let mut cur = dist[u].load(Ordering::Acquire);
-                                while nd < cur {
-                                    match dist[u].compare_exchange_weak(
-                                        cur,
-                                        nd,
-                                        Ordering::AcqRel,
-                                        Ordering::Acquire,
-                                    ) {
-                                        Ok(_) => {
-                                            counter.task_added();
-                                            if !queue.push_or_decrease(u, nd) {
-                                                counter.task_done();
-                                            }
-                                            break;
-                                        }
-                                        Err(now) => cur = now,
-                                    }
-                                }
-                            }
-                            counter.task_done();
-                        }
-                        None => {
-                            if counter.wait_or_quiescent(&backoff) {
-                                break;
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let wall = start.elapsed();
-    ParSsspStats {
-        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
-        executed: executed.sum(),
-        pops: pops.sum(),
-        stale: stale.sum(),
-        wall,
-    }
+    parallel_sssp_on(g, src, cfg, &queue)
 }
 
 /// The DecreaseKey ablation: concurrent SSSP over a duplicate-insertion
 /// MultiQueue (no in-place updates; every improvement enqueues a fresh
 /// copy, and outdated copies surface as stale pops).
 pub fn parallel_sssp_duplicates(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
-    assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
-    let n = g.num_vertices();
-    let nqueues = cfg.threads * cfg.queue_multiplier;
-    let queue = DuplicateMultiQueue::<Weight>::new(nqueues);
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    dist[src].store(0, Ordering::Release);
-    let counter = ActiveCounter::new();
-    {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        counter.task_added();
-        queue.push(src, 0, &mut rng);
-    }
-    let executed = ShardedCounter::new(cfg.threads);
-    let pops = ShardedCounter::new(cfg.threads);
-    let stale = ShardedCounter::new(cfg.threads);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..cfg.threads {
-            let queue = &queue;
-            let dist = &dist;
-            let counter = &counter;
-            let executed = &executed;
-            let pops = &pops;
-            let stale = &stale;
-            scope.spawn(move || {
-                let mut rng =
-                    SmallRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x51AB));
-                let backoff = Backoff::new();
-                loop {
-                    match queue.pop(&mut rng) {
-                        Some((v, d)) => {
-                            backoff.reset();
-                            pops.add(tid, 1);
-                            if d > dist[v].load(Ordering::Acquire) {
-                                stale.add(tid, 1);
-                                counter.task_done();
-                                continue;
-                            }
-                            executed.add(tid, 1);
-                            for (u, w) in g.neighbors(v) {
-                                let nd = d + w;
-                                let mut cur = dist[u].load(Ordering::Acquire);
-                                while nd < cur {
-                                    match dist[u].compare_exchange_weak(
-                                        cur,
-                                        nd,
-                                        Ordering::AcqRel,
-                                        Ordering::Acquire,
-                                    ) {
-                                        Ok(_) => {
-                                            counter.task_added();
-                                            queue.push(u, nd, &mut rng);
-                                            break;
-                                        }
-                                        Err(now) => cur = now,
-                                    }
-                                }
-                            }
-                            counter.task_done();
-                        }
-                        None => {
-                            if counter.wait_or_quiescent(&backoff) {
-                                break;
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let wall = start.elapsed();
-    ParSsspStats {
-        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
-        executed: executed.sum(),
-        pops: pops.sum(),
-        stale: stale.sum(),
-        wall,
-    }
+    let queue = DuplicateMultiQueue::<Weight>::new(cfg.threads * cfg.queue_multiplier);
+    parallel_sssp_on(g, src, cfg, &queue)
 }
 
 #[cfg(test)]
@@ -447,7 +278,10 @@ mod tests {
         let want = dijkstra(&g, 0);
         let stats = relaxed_sssp_seq(&g, 0, &mut Exact(IndexedBinaryHeap::new()));
         assert_eq!(stats.dist, want.dist);
-        assert_eq!(stats.pops, want.pops, "exact scheduler pops once per vertex");
+        assert_eq!(
+            stats.pops, want.pops,
+            "exact scheduler pops once per vertex"
+        );
         assert_eq!(stats.stale, 0);
         assert!((stats.overhead() - 1.0).abs() < 1e-12);
     }
@@ -517,9 +351,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_dijkstra_on_all_graph_families() {
-        let graphs = [random_gnm(1000, 5000, 1..=100, 4),
+        let graphs = [
+            random_gnm(1000, 5000, 1..=100, 4),
             grid_road(32, 32, 5),
-            power_law(1000, 5, 1..=100, 6)];
+            power_law(1000, 5, 1..=100, 6),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let want = dijkstra(g, 0).dist;
             let stats = parallel_sssp(

@@ -21,7 +21,9 @@
 use rsched_algos::BstSort;
 use rsched_bench::{fmt, Scale, Table};
 use rsched_core::theory;
-use rsched_core::{run_relaxed, run_relaxed_with, AdversarialScheduler, AdversaryStrategy, IncrementalAlgorithm};
+use rsched_core::{
+    run_relaxed, run_relaxed_with, AdversarialScheduler, AdversaryStrategy, IncrementalAlgorithm,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -32,7 +34,14 @@ fn main() {
     println!("== adversary ablation: BST sorting, n = {n} ==\n");
     let table = Table::new(
         "abl_adv",
-        &["k", "random_topk", "max_rank", "max_inv", "dep_aware", "k4_ln_n"],
+        &[
+            "k",
+            "random_topk",
+            "max_rank",
+            "max_inv",
+            "dep_aware",
+            "k4_ln_n",
+        ],
     );
     for k in [2usize, 4, 8, 16] {
         let extra_with = |strategy: AdversaryStrategy| {

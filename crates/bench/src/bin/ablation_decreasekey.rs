@@ -26,7 +26,10 @@ fn main() {
     for (name, g) in experiment_graphs(scale) {
         let exact = dijkstra(&g, 0);
         let reachable = exact.dist.iter().filter(|&&d| d != INF).count() as u64;
-        println!("\n-- {name}: sequential tasks = {} --", fmt::count(reachable));
+        println!(
+            "\n-- {name}: sequential tasks = {} --",
+            fmt::count(reachable)
+        );
         let table = Table::new(
             &format!("abl_dk_{name}"),
             &["variant", "pops", "stale", "executed", "overhead"],

@@ -24,7 +24,12 @@ fn main() {
     println!("== stickiness ablation: {nqueues}-queue MultiQueue, {n} elements ==\n");
     let table = Table::new(
         "abl_stick",
-        &["stickiness", "drain_ms", "mean_rank_proxy", "max_rank_proxy"],
+        &[
+            "stickiness",
+            "drain_ms",
+            "mean_rank_proxy",
+            "max_rank_proxy",
+        ],
     );
     for stickiness in [1usize, 2, 4, 8, 16, 64] {
         let q: ConcurrentMultiQueue<u64> = ConcurrentMultiQueue::new(nqueues);

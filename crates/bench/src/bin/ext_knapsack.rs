@@ -21,7 +21,9 @@ fn main() {
         Scale::Small => (26usize, 10u64),
         _ => (30, 20),
     };
-    println!("== branch-and-bound expansions vs relaxation ({n_items} items, {trials} instances) ==\n");
+    println!(
+        "== branch-and-bound expansions vs relaxation ({n_items} items, {trials} instances) ==\n"
+    );
     let table = Table::new(
         "ext_bnb",
         &["scheduler", "expanded", "pruned_pop", "vs_exact"],
@@ -71,7 +73,10 @@ fn main() {
         });
         run(&format!("adversary_k{k}"), &mut |_| {
             Box::new(move |inst| {
-                inst.solve(&mut AdversarialScheduler::new(k, AdversaryStrategy::MaxRank))
+                inst.solve(&mut AdversarialScheduler::new(
+                    k,
+                    AdversaryStrategy::MaxRank,
+                ))
             })
         });
     }

@@ -15,7 +15,15 @@ fn main() {
     let table = Table::new(
         "graphs_info",
         &[
-            "graph", "n", "m", "diam>=", "wmin", "wmax", "w_cv", "deg_max", "dmax/wmin",
+            "graph",
+            "n",
+            "m",
+            "diam>=",
+            "wmin",
+            "wmax",
+            "w_cv",
+            "deg_max",
+            "dmax/wmin",
         ],
     );
     for (name, g) in experiment_graphs(scale) {

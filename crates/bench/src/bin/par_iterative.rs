@@ -31,10 +31,7 @@ fn main() {
     let dense = complete_graph(300, 1..=5, 42);
 
     println!("-- greedy MIS --");
-    let table = Table::new(
-        "ext_par_mis",
-        &["threads", "random", "social", "K300"],
-    );
+    let table = Table::new("ext_par_mis", &["threads", "random", "social", "K300"]);
     for threads in thread_sweep() {
         let mut cells = vec![threads.to_string()];
         for (g, seed) in [(&random, 1u64), (&social, 2), (&dense, 3)] {
@@ -46,10 +43,7 @@ fn main() {
     }
 
     println!("\n-- greedy coloring --");
-    let table = Table::new(
-        "ext_par_color",
-        &["threads", "random", "social", "K300"],
-    );
+    let table = Table::new("ext_par_color", &["threads", "random", "social", "K300"]);
     for threads in thread_sweep() {
         let mut cells = vec![threads.to_string()];
         for (g, seed) in [(&random, 4u64), (&social, 5), (&dense, 6)] {

@@ -36,7 +36,14 @@ fn main() {
     println!("== empirical rank / fairness profiles (n = {n}) ==\n");
     let table = Table::new(
         "rank_profile",
-        &["scheduler", "nominal_k", "mean_rank", "p99_rank", "max_rank", "max_inv"],
+        &[
+            "scheduler",
+            "nominal_k",
+            "mean_rank",
+            "p99_rank",
+            "max_rank",
+            "max_inv",
+        ],
     );
     let row = |name: &str, k: usize, s: rsched_queues::RankStats| {
         table.row(&[

@@ -14,8 +14,8 @@
 
 use rsched_algos::{BstSort, DelaunayIncremental};
 use rsched_bench::{fmt, Scale, Table};
-use rsched_core::theory;
 use rsched_core::run_relaxed;
+use rsched_core::theory;
 use rsched_queues::{RelaxedQueue, SimMultiQueue};
 
 /// Measure Pr[inv_{i,i+1}]: drain a MultiQueue of n ordered tasks and count

@@ -250,7 +250,11 @@ mod tests {
         }
         drain(&mut q);
         let s = q.stats();
-        assert!(s.max_inv == (k - 1) as u64, "inv should hit k-1, got {}", s.max_inv);
+        assert!(
+            s.max_inv == (k - 1) as u64,
+            "inv should hit k-1, got {}",
+            s.max_inv
+        );
         assert!(s.max_rank <= k);
     }
 

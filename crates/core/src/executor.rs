@@ -169,12 +169,7 @@ pub struct TraceEntry {
 /// interaction to `observe` — the exact sequence of returned tasks,
 /// *including* fairness-forced returns the adversary did not choose. The
 /// lemma-validation tests and schedule-trace experiments build on this.
-pub fn run_relaxed_traced<A, F, O>(
-    alg: &mut A,
-    k: usize,
-    mut pick: F,
-    mut observe: O,
-) -> ExecStats
+pub fn run_relaxed_traced<A, F, O>(alg: &mut A, k: usize, mut pick: F, mut observe: O) -> ExecStats
 where
     A: IncrementalAlgorithm,
     F: FnMut(&A, &[usize]) -> usize,
@@ -360,9 +355,7 @@ mod tests {
         // Dependency-aware: among the window, prefer a blocked task.
         let mut alg1 = Chain::new(n);
         let dep_stats = run_relaxed_with(&mut alg1, k, |alg, w| {
-            w.iter()
-                .position(|&t| !alg.deps_satisfied(t))
-                .unwrap_or(0)
+            w.iter().position(|&t| !alg.deps_satisfied(t)).unwrap_or(0)
         });
         // Benign: always pick the head (exact behaviour).
         let mut alg2 = Chain::new(n);

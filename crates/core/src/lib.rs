@@ -19,8 +19,11 @@
 //!   wasted work;
 //! * [`theory`] — the closed-form bounds of Theorems 3.3, 4.3, 5.1 and 6.1,
 //!   used by the benchmark harness to print paper-vs-measured comparisons;
-//! * [`parallel`] — termination-detection utilities for the truly
-//!   concurrent executors in `rsched-algos`.
+//! * [`parallel`] — the concurrent iterative execution model
+//!   ([`ConcurrentIncremental`], [`run_relaxed_parallel`]), hosted on the
+//!   shared `rsched-runtime` worker pool; the termination-detection
+//!   utilities it used to own live in `rsched-runtime` now and are
+//!   re-exported here.
 
 pub mod adversary;
 pub mod executor;
@@ -30,8 +33,8 @@ pub mod transactional;
 
 pub use adversary::{AdversarialScheduler, AdversaryStrategy};
 pub use executor::{
-    run_exact, run_relaxed, run_relaxed_traced, run_relaxed_with, ExecStats,
-    IncrementalAlgorithm, TraceEntry,
+    run_exact, run_relaxed, run_relaxed_traced, run_relaxed_with, ExecStats, IncrementalAlgorithm,
+    TraceEntry,
 };
 pub use parallel::{run_relaxed_parallel, ActiveCounter, ConcurrentIncremental, ParExecStats};
 pub use transactional::{run_transactional, TxConfig, TxStats, TxStrategy};

@@ -1,116 +1,20 @@
-//! Utilities for the truly concurrent executors (Section 7 experiments).
+//! The concurrent execution model (Section 7 experiments), now hosted on
+//! the shared [`rsched-runtime`](rsched_runtime) worker pool.
 //!
-//! Relaxed concurrent queues cannot give a linearizable emptiness check
-//! (`pop` returning `None` races with concurrent pushes), so parallel task
-//! loops use an [`ActiveCounter`]: the count of *elements queued plus tasks
-//! being processed*. A worker that sees an empty queue may only terminate
-//! once the counter reaches zero — at that instant no task is queued and no
-//! running task can produce one, so the system is quiescent for good.
+//! This module used to own its own thread pool, termination detection and
+//! statistics plumbing; all of that machinery lives in `rsched-runtime`
+//! today (see [`ActiveCounter`], [`ShardedCounter`], [`rsched_runtime::run`])
+//! and is re-exported here for compatibility. What remains local is the
+//! *model*: the [`ConcurrentIncremental`] trait and the relaxed iterative
+//! executor [`run_relaxed_parallel`], which is a task handler over the
+//! runtime — pop a label, process it if its dependencies are satisfied,
+//! otherwise report it blocked and let the runtime re-queue it.
 
-use crossbeam::utils::Backoff;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+pub use rsched_runtime::{ActiveCounter, ShardedCounter};
+
 use rsched_queues::ConcurrentMultiQueue;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
-
-/// Termination-detection counter for concurrent task pools.
-///
-/// Protocol:
-/// 1. call [`task_added`](ActiveCounter::task_added) **before** pushing a
-///    task to the queue;
-/// 2. after popping a task, process it (pushing any children, each preceded
-///    by its own `task_added`), then call
-///    [`task_done`](ActiveCounter::task_done);
-/// 3. a worker whose pop returned `None` calls
-///    [`wait_or_quiescent`](ActiveCounter::wait_or_quiescent); `true` means
-///    globally done, `false` means "retry popping".
-///
-/// # Examples
-///
-/// ```
-/// use rsched_core::ActiveCounter;
-///
-/// let c = ActiveCounter::new();
-/// c.task_added();
-/// assert!(!c.is_quiescent());
-/// c.task_done();
-/// assert!(c.is_quiescent());
-/// ```
-#[derive(Debug, Default)]
-pub struct ActiveCounter {
-    active: AtomicUsize,
-}
-
-impl ActiveCounter {
-    /// A counter starting at zero (quiescent).
-    pub fn new() -> Self {
-        Self {
-            active: AtomicUsize::new(0),
-        }
-    }
-
-    /// Announce a task about to be queued.
-    #[inline]
-    pub fn task_added(&self) {
-        self.active.fetch_add(1, Ordering::AcqRel);
-    }
-
-    /// Announce completion of a popped task (after its children, if any,
-    /// were announced and queued).
-    #[inline]
-    pub fn task_done(&self) {
-        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "task_done without matching task_added");
-    }
-
-    /// `true` iff no tasks are queued or in flight.
-    #[inline]
-    pub fn is_quiescent(&self) -> bool {
-        self.active.load(Ordering::Acquire) == 0
-    }
-
-    /// Back off briefly; returns `true` if the pool is quiescent (caller
-    /// should terminate), `false` to retry popping.
-    #[inline]
-    pub fn wait_or_quiescent(&self, backoff: &Backoff) -> bool {
-        if self.is_quiescent() {
-            return true;
-        }
-        backoff.snooze();
-        false
-    }
-}
-
-/// A cache-padded set of per-thread counters summed on demand — cheap
-/// statistics aggregation for the concurrent executors (task counts, wasted
-/// pops) without cross-thread contention on a single atomic.
-#[derive(Debug)]
-pub struct ShardedCounter {
-    shards: Box<[crossbeam::utils::CachePadded<AtomicU64>]>,
-}
-
-impl ShardedCounter {
-    /// One shard per thread.
-    pub fn new(threads: usize) -> Self {
-        Self {
-            shards: (0..threads.max(1))
-                .map(|_| crossbeam::utils::CachePadded::new(AtomicU64::new(0)))
-                .collect(),
-        }
-    }
-
-    /// Increment thread `tid`'s shard by `by`.
-    #[inline]
-    pub fn add(&self, tid: usize, by: u64) {
-        self.shards[tid].fetch_add(by, Ordering::Relaxed);
-    }
-
-    /// Sum over all shards (exact once threads are joined).
-    pub fn sum(&self) -> u64 {
-        self.shards.iter().map(|s| s.load(Ordering::Acquire)).sum()
-    }
-}
+use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
+use std::time::Duration;
 
 /// A thread-safe incremental algorithm: the concurrent counterpart of
 /// [`IncrementalAlgorithm`](crate::executor::IncrementalAlgorithm) for the
@@ -164,8 +68,9 @@ impl ParExecStats {
 ///
 /// Unlike the sequential model — where a blocked task stays in the queue —
 /// a concurrent pop must physically remove the element, so blocked tasks
-/// are re-inserted at their original priority. Termination uses quiescence
-/// detection over queued-plus-in-flight tasks.
+/// are re-inserted at their original priority ([`TaskOutcome::Blocked`]);
+/// termination uses the runtime's quiescence detection over
+/// queued-plus-in-flight tasks.
 ///
 /// # Examples
 ///
@@ -203,70 +108,24 @@ pub fn run_relaxed_parallel<A: ConcurrentIncremental>(
     assert!(threads >= 1 && queue_multiplier >= 1);
     let n = alg.num_tasks();
     let queue = ConcurrentMultiQueue::<u64>::with_universe(threads * queue_multiplier, n);
-    let counter = ActiveCounter::new();
-    for task in 0..n {
-        counter.task_added();
-        queue.push(task, task as u64);
-    }
-    let steps = ShardedCounter::new(threads);
-    let extra = ShardedCounter::new(threads);
-    let processed = ShardedCounter::new(threads);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let queue = &queue;
-            let counter = &counter;
-            let steps = &steps;
-            let extra = &extra;
-            let processed = &processed;
-            scope.spawn(move || {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0xA5A5));
-                let backoff = Backoff::new();
-                // Separate backoff for blocked pops: when the queue front is
-                // dominated by blocked tasks, a worker would otherwise spin
-                // pop→re-queue→pop on the same elements while the worker
-                // holding their dependency makes progress. Real relaxed
-                // runtimes back off in this situation; without it the
-                // extra-step count measures spinning, not scheduling.
-                let blocked = Backoff::new();
-                loop {
-                    match queue.pop(&mut rng) {
-                        Some((task, prio)) => {
-                            backoff.reset();
-                            steps.add(tid, 1);
-                            if alg.deps_satisfied(task) {
-                                alg.process(task);
-                                processed.add(tid, 1);
-                                counter.task_done();
-                                blocked.reset();
-                            } else {
-                                extra.add(tid, 1);
-                                // Re-queue at the original priority. Count
-                                // the new element before inserting so the
-                                // quiescence check cannot fire in between.
-                                counter.task_added();
-                                queue.push(task, prio);
-                                counter.task_done();
-                                blocked.snooze();
-                            }
-                        }
-                        None => {
-                            if counter.wait_or_quiescent(&backoff) {
-                                break;
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let wall = start.elapsed();
+    let stats = run(
+        &queue,
+        RuntimeConfig { threads, seed },
+        (0..n).map(|task| (task, task as u64)),
+        |_, task, _| {
+            if alg.deps_satisfied(task) {
+                alg.process(task);
+                TaskOutcome::Executed
+            } else {
+                TaskOutcome::Blocked
+            }
+        },
+    );
     let stats = ParExecStats {
-        steps: steps.sum(),
-        processed: processed.sum(),
-        extra_steps: extra.sum(),
-        wall,
+        steps: stats.total.pops,
+        processed: stats.total.executed,
+        extra_steps: stats.total.extra,
+        wall: stats.wall,
     };
     debug_assert_eq!(stats.processed as usize, n);
     stats
@@ -275,28 +134,7 @@ pub fn run_relaxed_parallel<A: ConcurrentIncremental>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
-
-    #[test]
-    fn counter_roundtrip() {
-        let c = ActiveCounter::new();
-        assert!(c.is_quiescent());
-        c.task_added();
-        c.task_added();
-        c.task_done();
-        assert!(!c.is_quiescent());
-        c.task_done();
-        assert!(c.is_quiescent());
-    }
-
-    #[test]
-    fn sharded_counter_sums() {
-        let c = ShardedCounter::new(4);
-        c.add(0, 5);
-        c.add(3, 7);
-        c.add(0, 1);
-        assert_eq!(c.sum(), 13);
-    }
+    use std::sync::atomic::Ordering;
 
     struct AtomicChain {
         done: Vec<std::sync::atomic::AtomicBool>,
@@ -319,7 +157,9 @@ mod tests {
     fn parallel_chain_processes_each_task_once_in_order() {
         let n = 400;
         let alg = AtomicChain {
-            done: (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            done: (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
         };
         let stats = run_relaxed_parallel(&alg, 4, 2, 3);
         assert_eq!(stats.processed, n as u64);
@@ -333,59 +173,12 @@ mod tests {
     fn parallel_single_thread_single_queue_is_exact_order() {
         let n = 200;
         let alg = AtomicChain {
-            done: (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            done: (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
         };
         let stats = run_relaxed_parallel(&alg, 1, 1, 0);
         assert_eq!(stats.processed, n as u64);
         assert_eq!(stats.extra_steps, 0, "exact order never blocks");
-    }
-
-    #[test]
-    fn termination_protocol_under_threads() {
-        // A synthetic task pool: each task spawns children until a depth
-        // budget runs out; termination detection must not fire early and
-        // must fire eventually.
-        let queue: Arc<crossbeam::queue::SegQueue<u32>> = Arc::new(crossbeam::queue::SegQueue::new());
-        let counter = Arc::new(ActiveCounter::new());
-        let processed = Arc::new(AtomicU64::new(0));
-        counter.task_added();
-        queue.push(6); // depth-6 binary tree => 2^7 - 1 = 127 tasks
-        let threads = 4;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let counter = Arc::clone(&counter);
-                let processed = Arc::clone(&processed);
-                std::thread::spawn(move || {
-                    let backoff = Backoff::new();
-                    loop {
-                        match queue.pop() {
-                            Some(depth) => {
-                                backoff.reset();
-                                if depth > 0 {
-                                    counter.task_added();
-                                    queue.push(depth - 1);
-                                    counter.task_added();
-                                    queue.push(depth - 1);
-                                }
-                                processed.fetch_add(1, Ordering::Relaxed);
-                                counter.task_done();
-                            }
-                            None => {
-                                if counter.wait_or_quiescent(&backoff) {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(processed.load(Ordering::Acquire), 127);
-        assert!(counter.is_quiescent());
-        assert!(queue.pop().is_none());
     }
 }

@@ -143,9 +143,9 @@ where
             let r = running[ri];
             stats.max_contention = stats.max_contention.max(r.contention);
             // Abort if doomed, or if an ancestor is still running.
-            let ancestor_running = running.iter().any(|o| {
-                o.end != time && o.task < r.task && deps(o.task, r.task)
-            });
+            let ancestor_running = running
+                .iter()
+                .any(|o| o.end != time && o.task < r.task && deps(o.task, r.task));
             if r.doomed || ancestor_running {
                 stats.aborts += 1;
                 pending.insert(r.task);
@@ -178,8 +178,7 @@ where
                 let mut avail = Vec::new();
                 for (smaller_pending, &t) in pending.iter().enumerate() {
                     // Count running transactions with label < t lazily.
-                    let running_below =
-                        running.iter().filter(|r| r.task < t).count();
+                    let running_below = running.iter().filter(|r| r.task < t).count();
                     if smaller_pending + running_below < cfg.k {
                         avail.push(t);
                     } else {
@@ -194,9 +193,7 @@ where
                     min_pending
                 } else {
                     match cfg.strategy {
-                        TxStrategy::Random => {
-                            available[rng.gen_range(0..available.len())]
-                        }
+                        TxStrategy::Random => available[rng.gen_range(0..available.len())],
                         TxStrategy::MaxLabel => *available.last().expect("non-empty"),
                     }
                 };
@@ -289,8 +286,15 @@ mod tests {
         );
         // One start per step, interval = 7 steps: at most 7 others can start
         // during an interval and at most 7 were running at the start.
-        assert!(stats.max_contention <= 14, "contention {}", stats.max_contention);
-        assert!(stats.max_contention >= 5, "simulator should reach steady state");
+        assert!(
+            stats.max_contention <= 14,
+            "contention {}",
+            stats.max_contention
+        );
+        assert!(
+            stats.max_contention >= 5,
+            "simulator should reach steady state"
+        );
     }
 
     #[test]
@@ -327,7 +331,7 @@ mod tests {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(j as u64)
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            (h % (i as u64 * 4)) == 0
+            h.is_multiple_of(i as u64 * 4)
         };
         let stats = run_transactional(
             400,

@@ -77,7 +77,11 @@ impl TriMesh {
             let mut sorted = points.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), points.len(), "duplicate points are not allowed");
+            assert_eq!(
+                sorted.len(),
+                points.len(),
+                "duplicate points are not allowed"
+            );
         }
         let n_real = points.len();
         let mut pts = points;

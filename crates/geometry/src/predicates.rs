@@ -113,8 +113,7 @@ pub fn incircle_det(a: Point, b: Point, c: Point, d: Point) -> i128 {
     let ad2 = adx * adx + ady * ady;
     let bd2 = bdx * bdx + bdy * bdy;
     let cd2 = cdx * cdx + cdy * cdy;
-    adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2)
-        + ad2 * (bdx * cdy - cdx * bdy)
+    adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) + ad2 * (bdx * cdy - cdx * bdy)
 }
 
 #[cfg(test)]
@@ -176,7 +175,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(77);
         let mut tested = 0;
         while tested < 500 {
-            let p = |rng: &mut SmallRng| Point::new(rng.gen_range(-1000..1000), rng.gen_range(-1000..1000));
+            let p = |rng: &mut SmallRng| {
+                Point::new(rng.gen_range(-1000..1000), rng.gen_range(-1000..1000))
+            };
             let (a, b, c, d) = (p(&mut rng), p(&mut rng), p(&mut rng), p(&mut rng));
             if orient2d_det(a, b, c) <= 0 {
                 continue;
@@ -210,7 +211,11 @@ mod tests {
                 std::cmp::Ordering::Equal => Orientation::Zero,
                 std::cmp::Ordering::Greater => Orientation::Negative,
             };
-            assert_eq!(incircle(a, b, c, d), expect, "a={a:?} b={b:?} c={c:?} d={d:?}");
+            assert_eq!(
+                incircle(a, b, c, d),
+                expect,
+                "a={a:?} b={b:?} c={c:?} d={d:?}"
+            );
         }
     }
 

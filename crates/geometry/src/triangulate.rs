@@ -153,10 +153,7 @@ impl DelaunayState {
     /// Insert pending point `p`: carve its cavity and retriangulate the
     /// star fan, relocating the cavity's pending points into the fan.
     pub fn insert(&mut self, p: u32) {
-        assert!(
-            !self.inserted[p as usize],
-            "point {p} was already inserted"
-        );
+        assert!(!self.inserted[p as usize], "point {p} was already inserted");
         let cavity = self.cavity(p);
         // --- Collect directed boundary edges (a, b) with outer neighbours.
         // For a CCW triangle, the interior (and hence `p`) is to the left of
@@ -257,7 +254,10 @@ impl DelaunayState {
         let mut seen = vec![false; self.inserted.len()];
         for t in self.mesh.alive_tris() {
             for &q in &self.conflict[t as usize] {
-                assert!(!self.inserted[q as usize], "inserted point in conflict list");
+                assert!(
+                    !self.inserted[q as usize],
+                    "inserted point in conflict list"
+                );
                 assert!(!seen[q as usize], "point {q} in two conflict lists");
                 seen[q as usize] = true;
                 assert_eq!(self.pt_tri[q as usize], t, "pt_tri stale for {q}");
@@ -268,10 +268,7 @@ impl DelaunayState {
             }
         }
         for (q, (&ins, &s)) in self.inserted.iter().zip(&seen).enumerate() {
-            assert!(
-                ins || s,
-                "pending point {q} is in no conflict list"
-            );
+            assert!(ins || s, "pending point {q} is in no conflict list");
         }
     }
 }
@@ -374,9 +371,7 @@ mod tests {
             st.insert(p);
         }
         // After half the points are in, cavities are local and conflicts few.
-        let late: usize = (100..200u32)
-            .map(|p| st.pending_in_cavity(p).len())
-            .sum();
+        let late: usize = (100..200u32).map(|p| st.pending_in_cavity(p).len()).sum();
         let avg = late as f64 / 100.0;
         assert!(
             avg < 20.0,

@@ -52,7 +52,10 @@ pub fn num_components(g: &CsrGraph) -> usize {
 
 /// Vertices reachable from `src` (following edge directions).
 pub fn num_reachable(g: &CsrGraph, src: usize) -> usize {
-    bfs_levels(g, src).iter().filter(|&&l| l != usize::MAX).count()
+    bfs_levels(g, src)
+        .iter()
+        .filter(|&&l| l != usize::MAX)
+        .count()
 }
 
 /// Lower-bound estimate of the hop diameter by repeated double sweeps:
@@ -165,7 +168,13 @@ mod tests {
         let g = gen::path_graph(5, 7);
         assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
         // Directed: nothing reaches back to 0.
-        assert_eq!(bfs_levels(&g, 4), vec![usize::MAX; 4].into_iter().chain([0]).collect::<Vec<_>>());
+        assert_eq!(
+            bfs_levels(&g, 4),
+            vec![usize::MAX; 4]
+                .into_iter()
+                .chain([0])
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

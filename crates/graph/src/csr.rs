@@ -60,9 +60,7 @@ impl CsrGraph {
 
     /// Iterate over all directed edges as `(source, target, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, Weight)> + '_ {
-        (0..self.num_vertices()).flat_map(move |v| {
-            self.neighbors(v).map(move |(t, w)| (v, t, w))
-        })
+        (0..self.num_vertices()).flat_map(move |v| self.neighbors(v).map(move |(t, w)| (v, t, w)))
     }
 
     /// Build the transpose (all edges reversed). Weights are preserved.

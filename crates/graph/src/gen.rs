@@ -346,7 +346,7 @@ mod tests {
         assert_eq!(g.out_degree(5), 4);
         // Undirected: total degree = 2 * #undirected edges.
         let expected_edges = 2 * (3 * 3 + 4 * 2); // horiz: 3 per row * 3 rows, vert: 4 per col...
-        // horizontal edges: (width-1)*height = 3*3 = 9; vertical: width*(height-1) = 4*2 = 8.
+                                                  // horizontal edges: (width-1)*height = 3*3 = 9; vertical: width*(height-1) = 4*2 = 8.
         assert_eq!(g.num_edges(), 2 * (9 + 8));
         let _ = expected_edges;
     }
@@ -367,7 +367,10 @@ mod tests {
     fn power_law_is_connected_and_skewed() {
         let g = power_law(2000, 4, 1..=100, 5);
         assert_eq!(analysis::num_components(&g), 1);
-        let max_deg = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
         let mean_deg = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(
             max_deg as f64 > 5.0 * mean_deg,

@@ -44,14 +44,8 @@ pub fn read_dimacs_gr<R: Read>(reader: R) -> io::Result<CsrGraph> {
                 if sp != "sp" {
                     return Err(invalid(lineno, "expected 'p sp <n> <m>'"));
                 }
-                let n: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(bad)?;
-                let m: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(bad)?;
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let m: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
                 builder = Some(GraphBuilder::with_capacity(n, m));
             }
             Some("a") => {
@@ -59,18 +53,9 @@ pub fn read_dimacs_gr<R: Read>(reader: R) -> io::Result<CsrGraph> {
                     .as_mut()
                     .ok_or_else(|| invalid(lineno, "arc before problem line"))?;
                 let bad = || invalid(lineno, "malformed arc line");
-                let u: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(bad)?;
-                let v: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(bad)?;
-                let w: Weight = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(bad)?;
+                let u: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let w: Weight = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
                 if u == 0 || v == 0 || u > b.num_vertices() || v > b.num_vertices() {
                     return Err(invalid(lineno, "vertex id out of range (1-based)"));
                 }
@@ -115,14 +100,8 @@ pub fn read_snap_edges<R: Read>(
         }
         let mut parts = line.split_whitespace();
         let bad = || invalid(lineno, "malformed edge line");
-        let u: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(bad)?;
-        let v: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(bad)?;
+        let u: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
@@ -167,9 +146,18 @@ mod tests {
     #[test]
     fn dimacs_rejects_garbage() {
         assert!(read_dimacs_gr("x nonsense".as_bytes()).is_err());
-        assert!(read_dimacs_gr("a 1 2 3".as_bytes()).is_err(), "arc before p");
-        assert!(read_dimacs_gr("p sp 2 1\na 1 5 3".as_bytes()).is_err(), "id range");
-        assert!(read_dimacs_gr("p sp 2 1\na 0 1 3".as_bytes()).is_err(), "0 is not 1-based");
+        assert!(
+            read_dimacs_gr("a 1 2 3".as_bytes()).is_err(),
+            "arc before p"
+        );
+        assert!(
+            read_dimacs_gr("p sp 2 1\na 1 5 3".as_bytes()).is_err(),
+            "id range"
+        );
+        assert!(
+            read_dimacs_gr("p sp 2 1\na 0 1 3".as_bytes()).is_err(),
+            "0 is not 1-based"
+        );
         assert!(read_dimacs_gr("".as_bytes()).is_err(), "empty input");
     }
 

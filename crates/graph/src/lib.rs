@@ -24,7 +24,7 @@ pub mod io;
 pub mod sssp;
 
 pub use csr::{CsrGraph, GraphBuilder};
-pub use sssp::{bellman_ford, delta_stepping, dijkstra, SsspResult};
+pub use sssp::{bellman_ford, bfs, delta_stepping, dijkstra, SsspResult};
 
 /// Edge weight type used across the workspace: integer weights keep the
 /// concurrent SSSP free of floating-point atomics.

@@ -13,8 +13,8 @@
 
 use crate::csr::CsrGraph;
 use crate::{Weight, INF};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Result of a sequential SSSP run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,6 +26,39 @@ pub struct SsspResult {
     pub pops: u64,
     /// Number of edge relaxations performed.
     pub relaxations: u64,
+}
+
+/// Exact breadth-first search: `dist[v]` = minimum *hop count* from the
+/// source (edge weights ignored), or [`INF`] for unreachable vertices.
+///
+/// The sequential baseline for the relaxed-FIFO frontier BFS in
+/// `rsched-algos`: a relaxed FIFO may expand the frontier out of order,
+/// but the converged distances must equal this exact sweep.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_graph::{gen::path_graph, bfs};
+///
+/// let g = path_graph(4, 10);
+/// assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs(g: &CsrGraph, src: usize) -> Vec<Weight> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut frontier = std::collections::VecDeque::new();
+    dist[src] = 0;
+    frontier.push_back(src);
+    while let Some(v) = frontier.pop_front() {
+        let d = dist[v];
+        for (u, _) in g.neighbors(v) {
+            if dist[u] == INF {
+                dist[u] = d + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    dist
 }
 
 /// Dijkstra's algorithm with a DecreaseKey heap: each vertex is popped at

@@ -1,0 +1,674 @@
+//! Relaxed FIFO queues built on the random choice of two.
+//!
+//! A **relaxed FIFO** may dequeue *one of the oldest* items instead of
+//! necessarily the oldest. For a relaxed dequeue of item `x`, the number
+//! of items still in the queue that were enqueued before `x` is the
+//! **rank error** — the FIFO analogue of the priority-queue rank the
+//! [`RankTracker`](crate::instrument::RankTracker) measures. Relaxation
+//! buys scalability: sub-FIFOs are contended independently, and the
+//! choice-of-two rule keeps the error envelope logarithmically tight in
+//! the spirit of balanced allocations (Azar et al.), exactly as the
+//! MultiQueue does for priorities.
+//!
+//! Two family members, mirroring the d-RA / d-CBO line of relaxed-FIFO
+//! designs (see `relaxed-queue-simulations` and the PPoPP 2025 d-CBO
+//! paper referenced in SNIPPETS.md):
+//!
+//! * [`DRaQueue`] — sequential-model **d-RA**: `d` random sub-queue
+//!   samples per operation; enqueue goes to the shortest sampled
+//!   sub-queue (balanced allocation on *lengths*), dequeue takes the
+//!   oldest head among the sampled sub-queues.
+//! * [`DCboQueue`] — concurrent **d-CBO** (*choice of balanced
+//!   operations*): every shard counts its completed enqueues and
+//!   dequeues; enqueue goes to the sampled shard with the fewest
+//!   enqueues, dequeue pops the sampled shard with the fewest dequeues.
+//!   Because both counters stay balanced, shard heads age at nearly the
+//!   same rate and popping the least-dequeued shard approximates global
+//!   FIFO order — without reading any item timestamps, which is what
+//!   makes the concurrent version cheap (two atomic loads per choice).
+//!
+//! [`FifoRankTracker`] wraps any [`RelaxedFifo`] and measures empirical
+//! rank errors against a shadow order, mirroring the priority-queue
+//! instrumentation in [`instrument`](crate::instrument).
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A queue with relaxed FIFO semantics (sequential interface).
+///
+/// Dequeue returns *one of the oldest* items; how far from the oldest is
+/// bounded by the structure's relaxation. The concurrent members of the
+/// family ([`DCboQueue`]) additionally expose `&self` operations for the
+/// runtime; this trait is the sequential-model surface shared by every
+/// member, used for simulation and instrumentation.
+pub trait RelaxedFifo<T> {
+    /// Append `item` (relaxed tail position).
+    fn enqueue(&mut self, item: T);
+
+    /// Remove one of the oldest items, or `None` if empty.
+    fn dequeue(&mut self) -> Option<T>;
+
+    /// Number of stored items.
+    fn len(&self) -> usize;
+
+    /// `true` if no items are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of internal sub-queues — the scale parameter of the rank
+    /// error envelope (1 = exact FIFO).
+    fn subqueues(&self) -> usize;
+}
+
+/// Sequential d-RA relaxed FIFO: `d` random choices over sub-FIFOs.
+///
+/// Enqueue samples `d` sub-queues uniformly and appends to the
+/// *shortest*; dequeue samples `d` sub-queues and removes the *oldest
+/// head* among them (ties impossible: arrival numbers are unique). With
+/// `d = 1` both rules degenerate to uniform random placement/removal;
+/// with one sub-queue the structure is an exact FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::fifo::{DRaQueue, RelaxedFifo};
+///
+/// let mut q = DRaQueue::choice_of_two(8, 42);
+/// for i in 0..100 {
+///     q.enqueue(i);
+/// }
+/// let first = q.dequeue().unwrap();
+/// // Relaxed: one of the oldest items, not necessarily item 0.
+/// assert!(first < 100);
+/// assert_eq!(q.len(), 99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DRaQueue<T> {
+    subs: Vec<VecDeque<(u64, T)>>,
+    /// Next arrival number (unique, monotone).
+    arrivals: u64,
+    d: usize,
+    rng: SmallRng,
+    len: usize,
+}
+
+impl<T> DRaQueue<T> {
+    /// `subqueues` sub-FIFOs with `d` choices per operation.
+    pub fn new(subqueues: usize, d: usize, seed: u64) -> Self {
+        assert!(subqueues > 0, "d-RA needs at least one sub-queue");
+        assert!(d >= 1, "d-RA needs at least one choice");
+        Self {
+            subs: (0..subqueues).map(|_| VecDeque::new()).collect(),
+            arrivals: 0,
+            d,
+            rng: SmallRng::seed_from_u64(seed),
+            len: 0,
+        }
+    }
+
+    /// The classic two-choice configuration.
+    pub fn choice_of_two(subqueues: usize, seed: u64) -> Self {
+        Self::new(subqueues, 2, seed)
+    }
+
+    /// The number of choices `d`.
+    pub fn choices(&self) -> usize {
+        self.d
+    }
+
+    fn sample(&mut self) -> usize {
+        let q = self.subs.len();
+        self.rng.gen_range(0..q)
+    }
+}
+
+impl<T> RelaxedFifo<T> for DRaQueue<T> {
+    fn enqueue(&mut self, item: T) {
+        let mut best = self.sample();
+        for _ in 1..self.d {
+            let c = self.sample();
+            if self.subs[c].len() < self.subs[best].len() {
+                best = c;
+            }
+        }
+        let seq = self.arrivals;
+        self.arrivals += 1;
+        self.subs[best].push_back((seq, item));
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for _ in 0..self.d {
+            let c = self.sample();
+            match (
+                self.subs[c].front(),
+                best.and_then(|b| self.subs[b].front()),
+            ) {
+                (Some((seq, _)), Some((bseq, _))) if seq < bseq => best = Some(c),
+                (Some(_), None) => best = Some(c),
+                _ => {}
+            }
+        }
+        // All samples hit empty sub-queues: fall back to the oldest head
+        // overall so a non-empty queue never reports empty.
+        let best = best.unwrap_or_else(|| {
+            (0..self.subs.len())
+                .filter(|&i| !self.subs[i].is_empty())
+                .min_by_key(|&i| self.subs[i].front().expect("non-empty").0)
+                .expect("len > 0 implies a non-empty sub-queue")
+        });
+        let (_, item) = self.subs[best].pop_front().expect("chosen head vanished");
+        self.len -= 1;
+        Some(item)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn subqueues(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+/// Largest supported `d` for [`DCboQueue`] (dequeue candidate buffers are
+/// stack-allocated at this size).
+const MAX_CHOICES: usize = 8;
+
+/// One shard of a [`DCboQueue`]: a locked sub-FIFO plus its completed
+/// operation counters. Counters are read before locking (the choice is a
+/// heuristic; slight staleness only costs rank error, never correctness).
+#[derive(Debug)]
+struct CboShard<T> {
+    fifo: Mutex<VecDeque<T>>,
+    enqueues: AtomicU64,
+    dequeues: AtomicU64,
+}
+
+/// Concurrent d-CBO relaxed FIFO: choice of two by balanced operation
+/// counts over locked sub-FIFO shards.
+///
+/// `enqueue` samples `d` shards and appends to the one with the fewest
+/// *completed enqueues*; `dequeue` samples `d` shards and pops the one
+/// with the fewest *completed dequeues* (skipping empty shards). `None`
+/// is returned only after a full sweep found every shard empty — like
+/// the workspace's other concurrent queues this is a hint, not a
+/// linearizable emptiness check, and callers own termination detection.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::fifo::DCboQueue;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let q = DCboQueue::new(8, 1);
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// for i in 0..100u64 {
+///     q.enqueue(i, &mut rng);
+/// }
+/// assert_eq!(q.len(), 100);
+/// let mut popped = Vec::new();
+/// while let Some(v) = q.dequeue(&mut rng) {
+///     popped.push(v);
+/// }
+/// popped.sort_unstable();
+/// assert_eq!(popped, (0..100).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct DCboQueue<T> {
+    shards: Box<[CachePadded<CboShard<T>>]>,
+    len: AtomicUsize,
+    d: usize,
+    /// RNG for the sequential [`RelaxedFifo`] interface only; the
+    /// concurrent operations take the caller's RNG.
+    seq_rng: Mutex<SmallRng>,
+}
+
+impl<T: Send> DCboQueue<T> {
+    /// `shards` sub-FIFOs with the classic two choices per operation.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        Self::with_choice(shards, 2, seed)
+    }
+
+    /// Largest supported choice count `d` (the dequeue candidate buffer
+    /// is stack-allocated at this size).
+    pub const MAX_CHOICES: usize = MAX_CHOICES;
+
+    /// `shards` sub-FIFOs with `d` choices per operation
+    /// (`1 ..= MAX_CHOICES`).
+    pub fn with_choice(shards: usize, d: usize, seed: u64) -> Self {
+        assert!(shards > 0, "d-CBO needs at least one shard");
+        assert!(
+            (1..=Self::MAX_CHOICES).contains(&d),
+            "d-CBO supports 1..={} choices, got {d}",
+            Self::MAX_CHOICES
+        );
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    CachePadded::new(CboShard {
+                        fifo: Mutex::new(VecDeque::new()),
+                        enqueues: AtomicU64::new(0),
+                        dequeues: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+            d,
+            seq_rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0xD_CB0)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of stored items (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// `true` if empty (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `item` to the sampled shard with the fewest completed
+    /// enqueues.
+    pub fn enqueue<R: Rng>(&self, item: T, rng: &mut R) {
+        let q = self.shards.len();
+        let mut best = rng.gen_range(0..q);
+        for _ in 1..self.d {
+            let c = rng.gen_range(0..q);
+            if self.shards[c].enqueues.load(Ordering::Relaxed)
+                < self.shards[best].enqueues.load(Ordering::Relaxed)
+            {
+                best = c;
+            }
+        }
+        let shard = &self.shards[best];
+        shard.fifo.lock().push_back(item);
+        shard.enqueues.fetch_add(1, Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Pop from the sampled shard with the fewest completed dequeues;
+    /// `None` only after a full sweep found every shard empty.
+    pub fn dequeue<R: Rng>(&self, rng: &mut R) -> Option<T> {
+        self.dequeue_from(usize::MAX, rng).map(|(item, _)| item)
+    }
+
+    /// Worker-affine dequeue for the runtime: shard `home % shards` is
+    /// always one of the candidates, so an uncontended worker keeps
+    /// draining its own shard; the other `d - 1` samples are uniform and
+    /// win only when their shard is *behind* on dequeues (its heads are
+    /// older). The returned flag is `true` when the element came from a
+    /// foreign shard — a steal. Pass `usize::MAX` for no affinity.
+    pub fn dequeue_from<R: Rng>(&self, home: usize, rng: &mut R) -> Option<(T, bool)> {
+        let q = self.shards.len();
+        let home = if home == usize::MAX {
+            None
+        } else {
+            Some(home % q)
+        };
+        // Optimistic two-choice rounds with try_lock, like the multiqueue.
+        for round in 0..(2 * q + 4) {
+            let mut candidates = [0usize; MAX_CHOICES];
+            let d = self.d;
+            for (i, c) in candidates.iter_mut().take(d).enumerate() {
+                *c = match (home, i, round) {
+                    // Home shard participates in the first round's choice;
+                    // later rounds go fully random to escape an empty home.
+                    (Some(h), 0, 0) => h,
+                    _ => rng.gen_range(0..q),
+                };
+            }
+            let mut order: Vec<usize> = candidates[..d].to_vec();
+            order.sort_by_key(|&c| self.shards[c].dequeues.load(Ordering::Relaxed));
+            order.dedup();
+            for &c in &order {
+                let Some(mut fifo) = self.shards[c].fifo.try_lock() else {
+                    continue;
+                };
+                if let Some(item) = fifo.pop_front() {
+                    drop(fifo);
+                    self.shards[c].dequeues.fetch_add(1, Ordering::Relaxed);
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return Some((item, home.is_some_and(|h| h != c)));
+                }
+            }
+            if self.len.load(Ordering::Acquire) == 0 {
+                break;
+            }
+        }
+        // Fallback sweep: visit every shard once, blocking on its lock.
+        for (c, shard) in self.shards.iter().enumerate() {
+            let mut fifo = shard.fifo.lock();
+            if let Some(item) = fifo.pop_front() {
+                drop(fifo);
+                shard.dequeues.fetch_add(1, Ordering::Relaxed);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some((item, home.is_some_and(|h| h != c)));
+            }
+        }
+        None
+    }
+}
+
+impl<T: Send> RelaxedFifo<T> for DCboQueue<T> {
+    fn enqueue(&mut self, item: T) {
+        let this = &*self;
+        let mut rng = this.seq_rng.lock();
+        DCboQueue::enqueue(this, item, &mut *rng);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let this = &*self;
+        let mut rng = this.seq_rng.lock();
+        DCboQueue::dequeue(this, &mut *rng)
+    }
+
+    fn len(&self) -> usize {
+        DCboQueue::len(self)
+    }
+
+    fn subqueues(&self) -> usize {
+        self.num_shards()
+    }
+}
+
+/// Aggregated FIFO rank-error statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FifoRankStats {
+    /// Number of successful dequeues measured.
+    pub dequeues: u64,
+    /// Largest observed rank error (0 = exact FIFO).
+    pub max_error: u64,
+    /// Sum of observed rank errors (for the mean).
+    pub sum_error: u128,
+    /// `hist[e]` = dequeues with rank error `e`; errors beyond the
+    /// histogram length land in the last bucket.
+    pub hist: Vec<u64>,
+}
+
+impl FifoRankStats {
+    const HIST_BUCKETS: usize = 1024;
+
+    /// Mean rank error (0.0 = always exact).
+    pub fn mean_error(&self) -> f64 {
+        if self.dequeues == 0 {
+            0.0
+        } else {
+            self.sum_error as f64 / self.dequeues as f64
+        }
+    }
+
+    /// Fraction of dequeues that returned the exact oldest item.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.dequeues == 0 {
+            return 0.0;
+        }
+        self.hist.first().copied().unwrap_or(0) as f64 / self.dequeues as f64
+    }
+
+    /// The `q`-quantile (e.g. `0.99`) of the rank-error distribution.
+    pub fn error_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        let target = (self.dequeues as f64 * q).ceil() as u64;
+        let mut acc = 0u64;
+        for (e, &c) in self.hist.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return e as u64;
+            }
+        }
+        self.max_error
+    }
+
+    fn record(&mut self, error: u64) {
+        if self.hist.is_empty() {
+            self.hist = vec![0; Self::HIST_BUCKETS];
+        }
+        self.dequeues += 1;
+        self.max_error = self.max_error.max(error);
+        self.sum_error += error as u128;
+        self.hist[(error as usize).min(Self::HIST_BUCKETS - 1)] += 1;
+    }
+}
+
+/// A [`RelaxedFifo`] decorator measuring empirical rank errors.
+///
+/// Items are stamped with a global arrival number on enqueue; on dequeue
+/// the error is the count of still-queued items with smaller stamps —
+/// the definition from the relaxed-FIFO literature ("the number of items
+/// currently in the queue which were inserted before x").
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::fifo::{DRaQueue, FifoRankTracker, RelaxedFifo};
+///
+/// let mut q = FifoRankTracker::new(DRaQueue::choice_of_two(4, 7));
+/// for i in 0..1000 {
+///     q.enqueue(i);
+/// }
+/// while q.dequeue().is_some() {}
+/// let s = q.stats();
+/// assert_eq!(s.dequeues, 1000);
+/// assert!(s.mean_error() < 4.0 * 4.0, "choice-of-two keeps errors near q");
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoRankTracker<T, Q: RelaxedFifo<(u64, T)>> {
+    inner: Q,
+    next: u64,
+    live: BTreeSet<u64>,
+    stats: FifoRankStats,
+    _item: std::marker::PhantomData<T>,
+}
+
+impl<T, Q: RelaxedFifo<(u64, T)>> FifoRankTracker<T, Q> {
+    /// Wrap `inner`; the tracker starts empty, so wrap before filling.
+    pub fn new(inner: Q) -> Self {
+        assert!(inner.is_empty(), "wrap the queue before filling it");
+        Self {
+            inner,
+            next: 0,
+            live: BTreeSet::new(),
+            stats: FifoRankStats::default(),
+            _item: std::marker::PhantomData,
+        }
+    }
+
+    /// The collected statistics so far.
+    pub fn stats(&self) -> &FifoRankStats {
+        &self.stats
+    }
+
+    /// Consume the tracker, returning the inner queue and the statistics.
+    pub fn into_parts(self) -> (Q, FifoRankStats) {
+        (self.inner, self.stats)
+    }
+}
+
+impl<T, Q: RelaxedFifo<(u64, T)>> RelaxedFifo<T> for FifoRankTracker<T, Q> {
+    fn enqueue(&mut self, item: T) {
+        let seq = self.next;
+        self.next += 1;
+        self.live.insert(seq);
+        self.inner.enqueue((seq, item));
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let (seq, item) = self.inner.dequeue()?;
+        let error = self.live.range(..seq).count() as u64;
+        let removed = self.live.remove(&seq);
+        debug_assert!(removed, "dequeued an item the shadow does not hold");
+        self.stats.record(error);
+        Some(item)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn subqueues(&self) -> usize {
+        self.inner.subqueues()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T, Q: RelaxedFifo<T>>(q: &mut Q) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = q.dequeue() {
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn single_subqueue_is_exact_fifo() {
+        let mut q = DRaQueue::choice_of_two(1, 3);
+        for i in 0..500 {
+            q.enqueue(i);
+        }
+        assert_eq!(drain(&mut q), (0..500).collect::<Vec<_>>());
+
+        let mut q = FifoRankTracker::new(DRaQueue::choice_of_two(1, 3));
+        for i in 0..500 {
+            q.enqueue(i);
+        }
+        drain(&mut q);
+        assert_eq!(q.stats().max_error, 0, "one sub-queue is exact");
+        assert_eq!(q.stats().exact_fraction(), 1.0);
+    }
+
+    #[test]
+    fn dra_conserves_items_under_mixed_ops() {
+        let mut q = DRaQueue::new(8, 2, 11);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut pushed = 0u64;
+        let mut got = Vec::new();
+        for _ in 0..10_000 {
+            if rng.gen_range(0..3) > 0 {
+                q.enqueue(pushed);
+                pushed += 1;
+            } else if let Some(v) = q.dequeue() {
+                got.push(v);
+            }
+        }
+        got.extend(drain(&mut q));
+        got.sort_unstable();
+        assert_eq!(got, (0..pushed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choice_of_two_beats_random_placement() {
+        // d = 2 should give a substantially smaller mean rank error than
+        // d = 1 (pure random) on the same workload shape.
+        let mean_for = |d: usize| {
+            let mut q = FifoRankTracker::new(DRaQueue::new(16, d, 77));
+            for i in 0..20_000 {
+                q.enqueue(i);
+            }
+            while q.dequeue().is_some() {}
+            q.stats().mean_error()
+        };
+        let random = mean_for(1);
+        let two = mean_for(2);
+        assert!(
+            two < random,
+            "choice-of-two error {two} not below random {random}"
+        );
+    }
+
+    #[test]
+    fn dcbo_sequential_interface_tracks_errors() {
+        let mut q = FifoRankTracker::new(DCboQueue::new(8, 21));
+        for i in 0..5_000 {
+            q.enqueue(i);
+        }
+        while q.dequeue().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.dequeues, 5_000);
+        // Balanced operations keep the error around the shard count.
+        assert!(
+            s.mean_error() <= 4.0 * 8.0,
+            "d-CBO mean error {} far beyond shards",
+            s.mean_error()
+        );
+    }
+
+    #[test]
+    fn dcbo_concurrent_no_loss_no_duplication() {
+        use std::sync::Arc;
+        let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(6, 3));
+        let threads = 8;
+        let per = 5_000usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        q.enqueue(t * per + i, &mut rng);
+                        if i % 2 == 0 {
+                            if let Some(v) = q.dequeue(&mut rng) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        while let Some(v) = q.dequeue(&mut rng) {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..threads * per).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dcbo_home_shard_pops_are_not_steals() {
+        // A single worker draining with affinity takes mostly from its
+        // home shard at first; the flag distinguishes home from foreign.
+        let q: DCboQueue<u64> = DCboQueue::new(4, 9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..100 {
+            q.enqueue(i, &mut rng);
+        }
+        let mut home_pops = 0;
+        let mut steals = 0;
+        while let Some((_, stolen)) = q.dequeue_from(1, &mut rng) {
+            if stolen {
+                steals += 1;
+            } else {
+                home_pops += 1;
+            }
+        }
+        assert_eq!(home_pops + steals, 100);
+        assert!(home_pops > 0, "home shard never drained");
+        assert!(steals > 0, "foreign shards never drained");
+    }
+}

@@ -162,10 +162,7 @@ impl<P: Ord + Copy> IndexedBinaryHeap<P> {
     pub fn check_invariants(&self) {
         for i in 1..self.slots.len() {
             let parent = (i - 1) / 2;
-            assert!(
-                !self.less(i, parent),
-                "heap property violated at slot {i}"
-            );
+            assert!(!self.less(i, parent), "heap property violated at slot {i}");
         }
         for (slot, &(_, item)) in self.slots.iter().enumerate() {
             assert_eq!(self.pos[item], slot, "position table stale for {item}");

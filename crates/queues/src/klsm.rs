@@ -99,9 +99,7 @@ impl<P: Ord + Copy + Send> KLsmHandle<'_, P> {
     /// Insert `item` with priority `prio`. Items must be globally unique
     /// across handles (dense task ids, as elsewhere in this crate).
     pub fn insert(&mut self, item: usize, prio: P) {
-        let pos = self
-            .local
-            .partition_point(|&(p, i)| (p, i) > (prio, item));
+        let pos = self.local.partition_point(|&(p, i)| (p, i) > (prio, item));
         self.local.insert(pos, (prio, item));
         self.queue.len.fetch_add(1, Ordering::AcqRel);
         if self.local.len() > self.queue.buffer_cap {

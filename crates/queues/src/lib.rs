@@ -22,11 +22,18 @@
 //!   - [`kbounded::RotatingKQueue`]: a *deterministic* k-relaxed queue that
 //!     provably satisfies the paper's RankBound and Fairness properties
 //!     (in the spirit of deterministic structures such as the k-LSM).
+//! * **Relaxed FIFO queues** ([`fifo`]): the choice-of-two relaxed FIFO
+//!   family — sequential [`fifo::DRaQueue`] (d random choices over
+//!   sub-FIFOs) and concurrent [`fifo::DCboQueue`] (d-CBO: choice by
+//!   balanced operation counts over sharded sub-FIFOs) behind the
+//!   [`fifo::RelaxedFifo`] trait. These feed the `rsched-runtime` worker
+//!   pool for FIFO-ordered workloads (BFS frontiers, k-core peeling).
 //! * **Instrumentation**: [`instrument::RankTracker`] wraps any relaxed queue
 //!   and measures the empirical rank of every returned element and the
 //!   inversion count of every element that becomes the global minimum,
 //!   validating the paper's RankBound (`rank(t) <= k`) and Fairness
-//!   (`inv(u) <= k - 1`) properties.
+//!   (`inv(u) <= k - 1`) properties; [`fifo::FifoRankTracker`] is the FIFO
+//!   analogue, measuring rank errors (items overtaken per dequeue).
 //!
 //! ## The interface
 //!
@@ -42,6 +49,7 @@
 //! queue has a single deterministic total order, which is what the
 //! instrumentation layer measures ranks against.
 
+pub mod fifo;
 pub mod heap;
 pub mod instrument;
 pub mod kbounded;
@@ -50,11 +58,12 @@ pub mod multiqueue;
 pub mod pairing;
 pub mod spraylist;
 
+pub use fifo::{DCboQueue, DRaQueue, FifoRankStats, FifoRankTracker, RelaxedFifo};
 pub use heap::IndexedBinaryHeap;
-pub use multiqueue::Placement;
 pub use instrument::{RankStats, RankTracker};
 pub use kbounded::RotatingKQueue;
 pub use klsm::{KLsmHandle, KLsmQueue};
+pub use multiqueue::Placement;
 pub use multiqueue::{ConcurrentMultiQueue, DuplicateMultiQueue, SimMultiQueue, StickySession};
 pub use pairing::PairingHeap;
 pub use spraylist::{ConcurrentSprayList, SprayList};

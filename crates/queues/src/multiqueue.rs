@@ -791,8 +791,7 @@ mod tests {
     fn concurrent_multithreaded_no_loss_no_dup() {
         let threads = 8;
         let per_thread = 2000usize;
-        let mq: Arc<ConcurrentMultiQueue<u64>> =
-            Arc::new(ConcurrentMultiQueue::new(2 * threads));
+        let mq: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(2 * threads));
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let mq = Arc::clone(&mq);

@@ -381,10 +381,7 @@ mod tests {
                         let cur = ph.priority_of(item).unwrap();
                         if cur > 0 {
                             let newp = rng.gen_range(0..cur);
-                            assert_eq!(
-                                ph.decrease_key(item, newp),
-                                bh.decrease_key(item, newp)
-                            );
+                            assert_eq!(ph.decrease_key(item, newp), bh.decrease_key(item, newp));
                         }
                     }
                 }

@@ -398,8 +398,7 @@ impl<P: Ord + Copy + Send> ConcurrentSprayList<P> {
     /// Insert `item` with priority `prio` (must not be present).
     pub fn insert(&self, item: usize, prio: P) {
         self.shards[self.shard_of(item)].lock().insert(item, prio);
-        self.len
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        self.len.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Insert, or lower the priority if present with a larger one. Returns
@@ -412,8 +411,7 @@ impl<P: Ord + Copy + Send> ConcurrentSprayList<P> {
         } else {
             shard.insert(item, prio);
             drop(shard);
-            self.len
-                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            self.len.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
             true
         }
     }
@@ -430,8 +428,7 @@ impl<P: Ord + Copy + Send> ConcurrentSprayList<P> {
             };
             if let Some(got) = shard.pop_relaxed() {
                 drop(shard);
-                self.len
-                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                self.len.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
                 return Some(got);
             }
             if self.is_empty() {
@@ -442,8 +439,7 @@ impl<P: Ord + Copy + Send> ConcurrentSprayList<P> {
             let mut shard = shard.lock();
             if let Some(got) = shard.pop_relaxed() {
                 drop(shard);
-                self.len
-                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                self.len.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
                 return Some(got);
             }
         }
@@ -454,8 +450,7 @@ impl<P: Ord + Copy + Send> ConcurrentSprayList<P> {
     pub fn remove(&self, item: usize) -> bool {
         let removed = self.shards[self.shard_of(item)].lock().delete(item);
         if removed {
-            self.len
-                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+            self.len.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
         }
         removed
     }

@@ -1,0 +1,66 @@
+//! [`Scheduler`] implementations for the workspace's concurrent queues.
+//!
+//! One runtime, many orders: the relaxed *priority* schedulers drive
+//! label- and distance-ordered work (iterative algorithms, SSSP), the
+//! relaxed *FIFO* drives frontier-ordered work (BFS, k-core peeling).
+//! Every adapter maps the queue's native operations onto the runtime's
+//! push/pop contract, reporting `push → false` when an existing entry was
+//! merged so the termination counter stays exact.
+
+use crate::pool::Scheduler;
+use rand::rngs::SmallRng;
+use rsched_queues::{ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DuplicateMultiQueue};
+
+/// Keyed MultiQueue: pushes merge via `push_or_decrease`, pops are the
+/// classic two-choice relaxed delete-min.
+impl<P: Ord + Copy + Send> Scheduler<P> for ConcurrentMultiQueue<P> {
+    fn push(&self, item: usize, prio: P, _rng: &mut SmallRng) -> bool {
+        self.push_or_decrease(item, prio)
+    }
+
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
+        ConcurrentMultiQueue::pop(self, rng)
+    }
+}
+
+/// Duplicate-insertion MultiQueue (the DecreaseKey ablation): every push
+/// inserts a fresh copy, so pushes never merge.
+impl<P: Ord + Copy + Send> Scheduler<P> for DuplicateMultiQueue<P> {
+    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
+        DuplicateMultiQueue::push(self, item, prio, rng);
+        true
+    }
+
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
+        DuplicateMultiQueue::pop(self, rng)
+    }
+}
+
+/// Sharded SprayList: merge-on-push, spray-walk pops.
+impl<P: Ord + Copy + Send> Scheduler<P> for ConcurrentSprayList<P> {
+    fn push(&self, item: usize, prio: P, _rng: &mut SmallRng) -> bool {
+        self.push_or_decrease(item, prio)
+    }
+
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
+        ConcurrentSprayList::pop(self, rng)
+    }
+}
+
+/// Relaxed FIFO: the payload rides along as a carried value (e.g. a BFS
+/// depth) rather than an ordering key; pops prefer the worker's home
+/// shard and report choice-of-two steals.
+impl<P: Copy + Send> Scheduler<P> for DCboQueue<(usize, P)> {
+    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
+        self.enqueue((item, prio), rng);
+        true
+    }
+
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
+        self.dequeue(rng)
+    }
+
+    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
+        self.dequeue_from(home, rng)
+    }
+}

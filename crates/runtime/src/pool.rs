@@ -1,0 +1,362 @@
+//! The worker-pool scheduler runtime.
+//!
+//! [`run`] is the single thread-pool / termination-detection
+//! implementation in the workspace: every truly concurrent executor
+//! (`run_relaxed_parallel`, the concurrent SSSP family, relaxed-FIFO BFS,
+//! k-core peeling) is a thin handler over it. The runtime owns
+//!
+//! * the worker threads (scoped, one RNG stream per worker);
+//! * the pop → handle → re-queue loop with separate backoffs for
+//!   "queue empty" and "popped a blocked task";
+//! * quiescence termination detection ([`ActiveCounter`]) over queued
+//!   plus in-flight tasks;
+//! * per-worker statistics ([`WorkerStats`]) kept in plain worker-local
+//!   memory and aggregated lock-free at join time ([`PoolStats`]).
+//!
+//! The queue behind the runtime is anything implementing [`Scheduler`]:
+//! the relaxed priority schedulers (`ConcurrentMultiQueue`,
+//! `ConcurrentSprayList`, `DuplicateMultiQueue`) for label- or
+//! distance-ordered work, and the relaxed FIFO `DCboQueue` for
+//! frontier-ordered work. Sharded queues expose worker affinity through
+//! [`Scheduler::pop_from`], which reports whether the pop *stole* from a
+//! foreign shard — the choice-of-two stealing statistic.
+
+use crate::termination::ActiveCounter;
+use crossbeam::utils::Backoff;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// A concurrent task queue the runtime can drive.
+///
+/// `P` is the task's scheduling payload: a priority for relaxed priority
+/// queues, a carried value (e.g. BFS depth) for relaxed FIFOs.
+pub trait Scheduler<P: Copy>: Sync {
+    /// Enqueue `item` with payload `prio`.
+    ///
+    /// Returns `true` if a **new** element entered the queue, `false` if
+    /// an existing entry was merged (decrease-key). The runtime uses the
+    /// return value to keep its termination counter exact.
+    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool;
+
+    /// Relaxed pop. `None` is a hint, not a linearizable emptiness check;
+    /// the runtime owns termination detection.
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)>;
+
+    /// Pop with worker affinity: implementations with per-worker shards
+    /// may prefer the worker's `home` shard and report `true` when the
+    /// element was stolen from a foreign shard instead. The default
+    /// ignores affinity and never reports a steal.
+    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
+        let _ = home;
+        self.pop(rng).map(|t| (t, false))
+    }
+}
+
+/// What the handler did with a popped task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task was processed; its children (if any) were spawned by the
+    /// handler.
+    Executed,
+    /// The task's payload was outdated (e.g. a stale SSSP distance); the
+    /// pop is counted but nothing was done.
+    Stale,
+    /// The task's dependencies are unsatisfied. The runtime re-queues it
+    /// at its original payload, counts an extra step, and backs off so
+    /// blocked-dominated queues do not degenerate into spin-requeue loops.
+    Blocked,
+}
+
+/// Runtime configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Base RNG seed; per-worker streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with `threads` workers and seed 0.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters one worker accumulates locally (no atomics — each worker owns
+/// its struct and the pool aggregates at join time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Successful pops from the scheduler.
+    pub pops: u64,
+    /// Pops whose handler returned [`TaskOutcome::Executed`].
+    pub executed: u64,
+    /// Pops whose handler returned [`TaskOutcome::Stale`].
+    pub stale: u64,
+    /// Pops whose handler returned [`TaskOutcome::Blocked`] (the paper's
+    /// extra steps); each one was re-queued.
+    pub extra: u64,
+    /// `spawn` calls that inserted a new element.
+    pub spawned: u64,
+    /// `spawn` calls merged into an existing entry (decrease-key hits).
+    pub merged: u64,
+    /// Pops that took an element from a foreign shard of a
+    /// worker-affine scheduler.
+    pub steals: u64,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.pops += other.pops;
+        self.executed += other.executed;
+        self.stale += other.stale;
+        self.extra += other.extra;
+        self.spawned += other.spawned;
+        self.merged += other.merged;
+        self.steals += other.steals;
+    }
+}
+
+/// Aggregated result of a [`run`].
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Sum over workers.
+    pub total: WorkerStats,
+    /// Per-worker breakdown, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+    /// Wall-clock time of the worker phase (excludes initial seeding).
+    pub wall: Duration,
+}
+
+impl PoolStats {
+    /// `pops / executed` (1.0 = no wasted pops).
+    pub fn overhead(&self) -> f64 {
+        if self.total.executed == 0 {
+            1.0
+        } else {
+            self.total.pops as f64 / self.total.executed as f64
+        }
+    }
+}
+
+/// Per-worker execution context handed to the task handler.
+///
+/// The handler uses it to [`spawn`](Worker::spawn) child tasks and to draw
+/// worker-local randomness; all bookkeeping for termination detection and
+/// statistics happens inside.
+pub struct Worker<'a, P: Copy, S: Scheduler<P> + ?Sized> {
+    /// Worker id in `0..threads`.
+    pub tid: usize,
+    rng: SmallRng,
+    queue: &'a S,
+    counter: &'a ActiveCounter,
+    stats: WorkerStats,
+    _payload: PhantomData<P>,
+}
+
+impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
+    /// Enqueue a child task. Safe against the termination race: the
+    /// element is announced to the quiescence counter before it becomes
+    /// poppable, and merged pushes (decrease-key hits) retract the
+    /// announcement.
+    pub fn spawn(&mut self, item: usize, prio: P) {
+        self.counter.task_added();
+        if self.queue.push(item, prio, &mut self.rng) {
+            self.stats.spawned += 1;
+        } else {
+            self.counter.task_done();
+            self.stats.merged += 1;
+        }
+    }
+
+    /// The worker's private RNG stream.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Drive `queue` to quiescence with `cfg.threads` workers.
+///
+/// `initial` seeds the queue before workers start. `handler` is called
+/// once per successful pop with the worker context, the item and its
+/// payload, and reports what happened as a [`TaskOutcome`]; children are
+/// spawned from inside the handler via [`Worker::spawn`]. The call
+/// returns when every task is done and no worker can produce more — the
+/// quiescence point of the whole computation.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::ConcurrentMultiQueue;
+/// use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// // Count down from each seed task, spawning task-1 until zero.
+/// let queue = ConcurrentMultiQueue::<u64>::new(8);
+/// let hits = AtomicU64::new(0);
+/// let stats = run(
+///     &queue,
+///     RuntimeConfig { threads: 4, seed: 7 },
+///     (0..100usize).map(|i| (i, i as u64)),
+///     |w, item, prio| {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///         if item > 0 && prio > 0 {
+///             w.spawn(item - 1, prio - 1);
+///         }
+///         TaskOutcome::Executed
+///     },
+/// );
+/// assert_eq!(stats.total.executed, hits.load(Ordering::Relaxed));
+/// assert!(stats.total.executed >= 100);
+/// ```
+pub fn run<P, S, F>(
+    queue: &S,
+    cfg: RuntimeConfig,
+    initial: impl IntoIterator<Item = (usize, P)>,
+    handler: F,
+) -> PoolStats
+where
+    P: Copy + Send,
+    S: Scheduler<P> + ?Sized,
+    F: Fn(&mut Worker<'_, P, S>, usize, P) -> TaskOutcome + Sync,
+{
+    assert!(cfg.threads >= 1, "runtime needs at least one worker");
+    let counter = ActiveCounter::new();
+    let mut seed_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_1417_C0DE_D00D);
+    for (item, prio) in initial {
+        counter.task_added();
+        if !queue.push(item, prio, &mut seed_rng) {
+            counter.task_done();
+        }
+    }
+    let start = Instant::now();
+    let per_worker: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let counter = &counter;
+                let handler = &handler;
+                scope.spawn(move || {
+                    let mut worker = Worker {
+                        tid,
+                        rng: SmallRng::seed_from_u64(
+                            cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ),
+                        queue,
+                        counter,
+                        stats: WorkerStats::default(),
+                        _payload: PhantomData,
+                    };
+                    worker_loop(&mut worker, handler);
+                    worker.stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runtime worker panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    debug_assert!(counter.is_quiescent());
+    let mut total = WorkerStats::default();
+    for w in &per_worker {
+        total.merge(w);
+    }
+    PoolStats {
+        total,
+        per_worker,
+        wall,
+    }
+}
+
+fn worker_loop<P, S, F>(worker: &mut Worker<'_, P, S>, handler: &F)
+where
+    P: Copy,
+    S: Scheduler<P> + ?Sized,
+    F: Fn(&mut Worker<'_, P, S>, usize, P) -> TaskOutcome,
+{
+    let backoff = Backoff::new();
+    // Separate backoff for blocked pops: when the queue front is dominated
+    // by blocked tasks, a worker would otherwise spin pop→re-queue→pop on
+    // the same elements while the worker holding their dependency makes
+    // progress. Without it the extra-step count measures spinning, not
+    // scheduling.
+    let blocked = Backoff::new();
+    loop {
+        match worker.queue.pop_from(worker.tid, &mut worker.rng) {
+            Some(((item, prio), stolen)) => {
+                backoff.reset();
+                worker.stats.pops += 1;
+                if stolen {
+                    worker.stats.steals += 1;
+                }
+                match handler(worker, item, prio) {
+                    TaskOutcome::Executed => {
+                        worker.stats.executed += 1;
+                        blocked.reset();
+                    }
+                    TaskOutcome::Stale => {
+                        worker.stats.stale += 1;
+                    }
+                    TaskOutcome::Blocked => {
+                        worker.stats.extra += 1;
+                        // Re-queue at the original payload. spawn announces
+                        // the element before inserting, so the quiescence
+                        // check cannot fire in between.
+                        worker.spawn(item, prio);
+                        blocked.snooze();
+                    }
+                }
+                worker.counter.task_done();
+            }
+            None => {
+                if worker.counter.wait_or_quiescent(&backoff) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Fork-join companion to [`run`]: apply `f` to near-equal chunks of
+/// `items` on up to `threads` workers and collect the results in chunk
+/// order. Used by level-synchronous algorithms (Δ-stepping's light/heavy
+/// passes) that need data parallelism rather than a task queue. Runs
+/// inline when `threads == 1` or there is at most one chunk's worth of
+/// work.
+pub fn map_chunks<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(threads >= 1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    if threads == 1 || items.len() <= chunk {
+        return vec![f(items)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| scope.spawn(|| f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map_chunks worker panicked"))
+            .collect()
+    })
+}

@@ -1,0 +1,190 @@
+//! Quiescence-based termination detection and contention-free statistics.
+//!
+//! Relaxed concurrent queues cannot give a linearizable emptiness check
+//! (`pop` returning `None` races with concurrent pushes), so the runtime's
+//! worker loops use an [`ActiveCounter`]: the count of *elements queued plus
+//! tasks being processed*. A worker that sees an empty queue may only
+//! terminate once the counter reaches zero — at that instant no task is
+//! queued and no running task can produce one, so the system is quiescent
+//! for good. This is the epoch-style detector every executor in the
+//! workspace shares; it used to live in `rsched-core::parallel` and moved
+//! here when the runtime became the single concurrency substrate.
+
+use crossbeam::utils::Backoff;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Termination-detection counter for concurrent task pools.
+///
+/// Protocol:
+/// 1. call [`task_added`](ActiveCounter::task_added) **before** pushing a
+///    task to the queue;
+/// 2. after popping a task, process it (pushing any children, each preceded
+///    by its own `task_added`), then call
+///    [`task_done`](ActiveCounter::task_done);
+/// 3. a worker whose pop returned `None` calls
+///    [`wait_or_quiescent`](ActiveCounter::wait_or_quiescent); `true` means
+///    globally done, `false` means "retry popping".
+///
+/// # Examples
+///
+/// ```
+/// use rsched_runtime::ActiveCounter;
+///
+/// let c = ActiveCounter::new();
+/// c.task_added();
+/// assert!(!c.is_quiescent());
+/// c.task_done();
+/// assert!(c.is_quiescent());
+/// ```
+#[derive(Debug, Default)]
+pub struct ActiveCounter {
+    active: AtomicUsize,
+}
+
+impl ActiveCounter {
+    /// A counter starting at zero (quiescent).
+    pub fn new() -> Self {
+        Self {
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Announce a task about to be queued.
+    #[inline]
+    pub fn task_added(&self) {
+        self.active.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Announce completion of a popped task (after its children, if any,
+    /// were announced and queued).
+    #[inline]
+    pub fn task_done(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "task_done without matching task_added");
+    }
+
+    /// `true` iff no tasks are queued or in flight.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        self.active.load(Ordering::Acquire) == 0
+    }
+
+    /// Back off briefly; returns `true` if the pool is quiescent (caller
+    /// should terminate), `false` to retry popping.
+    #[inline]
+    pub fn wait_or_quiescent(&self, backoff: &Backoff) -> bool {
+        if self.is_quiescent() {
+            return true;
+        }
+        backoff.snooze();
+        false
+    }
+}
+
+/// A cache-padded set of per-thread counters summed on demand — cheap
+/// statistics aggregation for concurrent executors (task counts, wasted
+/// pops) without cross-thread contention on a single atomic.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: Box<[crossbeam::utils::CachePadded<AtomicU64>]>,
+}
+
+impl ShardedCounter {
+    /// One shard per thread.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            shards: (0..threads.max(1))
+                .map(|_| crossbeam::utils::CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Increment thread `tid`'s shard by `by`.
+    #[inline]
+    pub fn add(&self, tid: usize, by: u64) {
+        self.shards[tid].fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Sum over all shards (exact once threads are joined).
+    pub fn sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Acquire)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = ActiveCounter::new();
+        assert!(c.is_quiescent());
+        c.task_added();
+        c.task_added();
+        c.task_done();
+        assert!(!c.is_quiescent());
+        c.task_done();
+        assert!(c.is_quiescent());
+    }
+
+    #[test]
+    fn sharded_counter_sums() {
+        let c = ShardedCounter::new(4);
+        c.add(0, 5);
+        c.add(3, 7);
+        c.add(0, 1);
+        assert_eq!(c.sum(), 13);
+    }
+
+    #[test]
+    fn termination_protocol_under_threads() {
+        // A synthetic task pool: each task spawns children until a depth
+        // budget runs out; termination detection must not fire early and
+        // must fire eventually.
+        use crossbeam::utils::Backoff;
+        use std::sync::Arc;
+        let queue: Arc<crossbeam::queue::SegQueue<u32>> =
+            Arc::new(crossbeam::queue::SegQueue::new());
+        let counter = Arc::new(ActiveCounter::new());
+        let processed = Arc::new(AtomicU64::new(0));
+        counter.task_added();
+        queue.push(6); // depth-6 binary tree => 2^7 - 1 = 127 tasks
+        let threads = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let counter = Arc::clone(&counter);
+                let processed = Arc::clone(&processed);
+                std::thread::spawn(move || {
+                    let backoff = Backoff::new();
+                    loop {
+                        match queue.pop() {
+                            Some(depth) => {
+                                backoff.reset();
+                                if depth > 0 {
+                                    counter.task_added();
+                                    queue.push(depth - 1);
+                                    counter.task_added();
+                                    queue.push(depth - 1);
+                                }
+                                processed.fetch_add(1, Ordering::Relaxed);
+                                counter.task_done();
+                            }
+                            None => {
+                                if counter.wait_or_quiescent(&backoff) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(processed.load(Ordering::Acquire), 127);
+        assert!(counter.is_quiescent());
+        assert!(queue.pop().is_none());
+    }
+}

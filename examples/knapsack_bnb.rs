@@ -14,7 +14,10 @@ fn main() {
     let inst = Knapsack::random(28, 2026);
     let optimum = inst.dp_optimum();
     println!("28-item knapsack, DP optimum = {optimum}\n");
-    println!("{:>22} {:>10} {:>12} {:>8}", "scheduler", "expanded", "pruned@pop", "value");
+    println!(
+        "{:>22} {:>10} {:>12} {:>8}",
+        "scheduler", "expanded", "pruned@pop", "value"
+    );
 
     let show = |name: &str, stats: BnbStats| {
         assert_eq!(stats.best_value, optimum, "{name} lost the optimum!");
@@ -36,7 +39,10 @@ fn main() {
     for k in [16usize, 128] {
         show(
             &format!("adversary k={k}"),
-            inst.solve(&mut AdversarialScheduler::new(k, AdversaryStrategy::MaxRank)),
+            inst.solve(&mut AdversarialScheduler::new(
+                k,
+                AdversaryStrategy::MaxRank,
+            )),
         );
     }
     println!("\nevery scheduler found the optimum; relaxation only costs extra expansions ✓");

@@ -18,7 +18,11 @@ use rsched_algos::{GreedyColoring, GreedyMis};
 fn main() {
     let n = 50_000;
     let g = power_law(n, 8, 1..=100, 21);
-    println!("graph: {} vertices, {} directed edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} directed edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // --- MIS ---
     let alg = ConcurrentMis::new(&g, 99);
@@ -47,7 +51,10 @@ fn main() {
     let colors = alg.colors();
     let reference = GreedyColoring::sequential_reference(&g, alg.permutation());
     assert_eq!(colors, reference, "parallel coloring must equal sequential");
-    let ncolors = colors.iter().collect::<std::collections::HashSet<_>>().len();
+    let ncolors = colors
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     println!(
         "coloring: {} colours used; {} steps, {} wasted ({:.3}% overhead)",
         ncolors,

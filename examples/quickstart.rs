@@ -19,11 +19,17 @@ fn main() {
     // exactly once.
     let exact = dijkstra(&g, 0);
     let reachable = exact.dist.iter().filter(|&&d| d != INF).count();
-    println!("exact Dijkstra: {} tasks ({} reachable vertices)", exact.pops, reachable);
+    println!(
+        "exact Dijkstra: {} tasks ({} reachable vertices)",
+        exact.pops, reachable
+    );
 
     // Relaxed parallel runs: queues = 2 × threads, like Figure 1.
     let available = std::thread::available_parallelism().map_or(4, |p| p.get());
-    println!("\n{:>8} {:>10} {:>12} {:>10} {:>10}", "threads", "queues", "tasks", "overhead", "time");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>10} {:>10}",
+        "threads", "queues", "tasks", "overhead", "time"
+    );
     for threads in [1, 2, 4, available.min(8)] {
         let stats = parallel_sssp(
             &g,

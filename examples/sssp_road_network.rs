@@ -42,7 +42,10 @@ fn main() {
     let reachable = exact.dist.iter().filter(|&&d| d != INF).count();
     println!("\nexact tasks: {reachable}");
 
-    println!("\n{:>8} {:>12} {:>12} {:>10} {:>10}", "threads", "executed", "stale", "overhead", "time");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "threads", "executed", "stale", "overhead", "time"
+    );
     let available = std::thread::available_parallelism().map_or(4, |p| p.get());
     for threads in [1, 2, 4, available.min(16)] {
         let stats = parallel_sssp(

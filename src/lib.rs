@@ -18,11 +18,42 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`queues`] | indexed binary heap, pairing heap, MultiQueue (sequential + concurrent + duplicate-insertion), SprayList, deterministic rotating k-queue, rank/fairness instrumentation |
+//! | [`queues`] | indexed binary heap, pairing heap, MultiQueue (sequential + concurrent + duplicate-insertion), SprayList, deterministic rotating k-queue, relaxed FIFO family (d-RA, d-CBO), rank/fairness and FIFO rank-error instrumentation |
+//! | [`runtime`] | the sharded concurrent scheduling runtime: worker pool, `Scheduler` trait over relaxed queues, quiescence termination detection, per-worker stats, fork-join helper |
 //! | [`core`] | the `Q_k` scheduler model, Algorithm 1/2 executors with extra-step accounting, adversarial schedulers, the Section 4 transactional simulator, theorem formulas |
-//! | [`graph`] | CSR graphs, random/road/social generators, DIMACS & SNAP loaders, Dijkstra / Δ-stepping / Bellman–Ford baselines |
+//! | [`graph`] | CSR graphs, random/road/social generators, DIMACS & SNAP loaders, BFS / Dijkstra / Δ-stepping / Bellman–Ford baselines |
 //! | [`geometry`] | exact integer predicates, triangle mesh, Bowyer–Watson with conflict lists |
-//! | [`algos`] | BST-insertion sorting, Delaunay, relaxed SSSP (sequential-model + concurrent), greedy MIS & coloring |
+//! | [`algos`] | BST-insertion sorting, Delaunay, relaxed SSSP (sequential-model + concurrent), relaxed-FIFO BFS, k-core peeling, greedy MIS & coloring |
+//!
+//! ## Architecture: one runtime, many orders
+//!
+//! Every truly concurrent executor is a task handler over the
+//! [`runtime`]'s worker pool ([`runtime::run`]): the pool owns the
+//! threads, the pop→handle→re-queue loop, quiescence termination
+//! detection and per-worker statistics, while the queue behind it decides
+//! the scheduling order — relaxed *priority* (`ConcurrentMultiQueue`,
+//! `ConcurrentSprayList`, `DuplicateMultiQueue`) for SSSP and the
+//! iterative algorithms, relaxed *FIFO* (`DCboQueue`) for BFS frontiers
+//! and k-core peeling.
+//!
+//! ## Relaxed-FIFO BFS quickstart
+//!
+//! ```
+//! use relaxed_schedulers::prelude::*;
+//!
+//! let g = random_gnm(10_000, 100_000, 1..=100, 42);
+//!
+//! // BFS over a d-CBO relaxed FIFO frontier with 8 shards.
+//! let stats = parallel_bfs(&g, 0, ParSsspConfig {
+//!     threads: 4,
+//!     queue_multiplier: 2,
+//!     seed: 7,
+//! });
+//!
+//! // Relaxation reorders expansions but never changes the layering.
+//! assert_eq!(stats.dist, bfs(&g, 0));
+//! println!("overhead = {:.4}, steals = {}", stats.overhead(), stats.steals);
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -50,14 +81,15 @@ pub use rsched_core as core;
 pub use rsched_geometry as geometry;
 pub use rsched_graph as graph;
 pub use rsched_queues as queues;
+pub use rsched_runtime as runtime;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use rsched_algos::{
-        parallel_delta_stepping, parallel_sssp, parallel_sssp_duplicates,
-        parallel_sssp_spraylist, relaxed_sssp_seq,
-        BnbStats, BstSort, ConcurrentBstSort, ConcurrentColoring, ConcurrentMis, DelaunayIncremental,
-        GreedyColoring, GreedyMis, Knapsack, ParSsspConfig, ParSsspStats, SeqSsspStats,
+        kcore_sequential, parallel_bfs, parallel_delta_stepping, parallel_kcore, parallel_sssp,
+        parallel_sssp_duplicates, parallel_sssp_spraylist, relaxed_sssp_seq, BnbStats, BstSort,
+        ConcurrentBstSort, ConcurrentColoring, ConcurrentMis, DelaunayIncremental, GreedyColoring,
+        GreedyMis, KcoreStats, Knapsack, ParBfsStats, ParSsspConfig, ParSsspStats, SeqSsspStats,
     };
     pub use rsched_core::{
         run_exact, run_relaxed, run_relaxed_parallel, run_relaxed_traced, run_relaxed_with,
@@ -71,11 +103,18 @@ pub mod prelude {
         random_gnm, rmat, star_graph,
     };
     pub use rsched_graph::{
-        bellman_ford, delta_stepping, dijkstra, CsrGraph, GraphBuilder, SsspResult, Weight, INF,
+        bellman_ford, bfs, delta_stepping, dijkstra, CsrGraph, GraphBuilder, SsspResult, Weight,
+        INF,
     };
     pub use rsched_queues::{
-        ConcurrentMultiQueue, ConcurrentSprayList, DecreaseKey, DuplicateMultiQueue, Exact,
-        IndexedBinaryHeap, KLsmHandle, KLsmQueue, PairingHeap, PriorityQueue, RankStats, RankTracker, RelaxedQueue,
+        ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DecreaseKey,
+        DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, IndexedBinaryHeap, KLsmHandle,
+        KLsmQueue, PairingHeap, PriorityQueue, RankStats, RankTracker, RelaxedFifo, RelaxedQueue,
         RotatingKQueue, SimMultiQueue, SprayList, StickySession,
+    };
+    pub use rsched_runtime::run as run_pool;
+    pub use rsched_runtime::{
+        map_chunks, ActiveCounter, PoolStats, RuntimeConfig, Scheduler, ShardedCounter,
+        TaskOutcome, Worker, WorkerStats,
     };
 }

@@ -6,11 +6,18 @@
 use relaxed_schedulers::prelude::*;
 use rsched_algos::concurrent::{ConcurrentBstSort, ConcurrentMis};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Producer/consumer storm on the concurrent MultiQueue: heavy oversubscription,
-/// mixed push_or_decrease / pop / remove, then exhaustive accounting.
+/// mixed push_or_decrease / pop, then exhaustive accounting.
+///
+/// Conservation here is a *multiset* law, not a no-duplicates law: a
+/// `push_or_decrease` that races with a pop of the same item legitimately
+/// re-inserts it (that is exactly the semantics concurrent SSSP relies on),
+/// so an item may be popped once per successful insertion. The queue is
+/// correct iff, once quiescent and drained, every item's pop count equals
+/// its successful-insert count (`push_or_decrease` returning `true`).
 #[test]
 fn multiqueue_storm_conserves_elements() {
     use rand::rngs::SmallRng;
@@ -18,44 +25,56 @@ fn multiqueue_storm_conserves_elements() {
     let threads = 8;
     let per = 3000usize;
     let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(6));
-    let popped_sum = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let q = Arc::clone(&q);
-            let popped_sum = Arc::clone(&popped_sum);
             std::thread::spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(t as u64 * 31 + 1);
-                let mut local: Vec<usize> = Vec::new();
+                let mut inserts: Vec<usize> = Vec::new();
+                let mut pops: Vec<usize> = Vec::new();
                 for i in 0..per {
                     let item = t * per + i;
-                    q.push_or_decrease(item, rng.gen_range(100..1_000_000));
-                    // Decrease some of our own items.
-                    if i % 7 == 0 {
-                        q.push_or_decrease(item, 50);
+                    if q.push_or_decrease(item, rng.gen_range(100..1_000_000)) {
+                        inserts.push(item);
+                    }
+                    // Decrease some of our own items; if the item was popped
+                    // in the meantime this re-inserts it.
+                    if i % 7 == 0 && q.push_or_decrease(item, 50) {
+                        inserts.push(item);
                     }
                     if i % 3 == 0 {
                         if let Some((it, _)) = q.pop(&mut rng) {
-                            local.push(it);
+                            pops.push(it);
                         }
                     }
                 }
-                popped_sum.fetch_add(local.len() as u64, Ordering::AcqRel);
-                local
+                (inserts, pops)
             })
         })
         .collect();
-    let mut seen = HashSet::new();
+    let mut inserted: std::collections::HashMap<usize, i64> = Default::default();
+    let mut popped: std::collections::HashMap<usize, i64> = Default::default();
     for h in handles {
-        for it in h.join().unwrap() {
-            assert!(seen.insert(it), "duplicate pop of {it}");
+        let (inserts, pops) = h.join().unwrap();
+        for it in inserts {
+            *inserted.entry(it).or_default() += 1;
+        }
+        for it in pops {
+            *popped.entry(it).or_default() += 1;
         }
     }
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0);
     while let Some((it, _)) = q.pop(&mut rng) {
-        assert!(seen.insert(it), "duplicate pop of {it}");
+        *popped.entry(it).or_default() += 1;
     }
-    assert_eq!(seen.len(), threads * per, "elements lost");
     assert!(q.is_empty());
+    // Every item was inserted at least once; each insertion was popped
+    // exactly once; nothing was popped that was not inserted.
+    assert_eq!(inserted.len(), threads * per, "items never inserted");
+    assert_eq!(
+        popped, inserted,
+        "pop multiset differs from insert multiset"
+    );
 }
 
 /// Sticky sessions from many threads still conserve elements.
@@ -112,7 +131,11 @@ fn parallel_sssp_exactness_matrix() {
                 queue_multiplier: 2,
                 seed,
             };
-            assert_eq!(parallel_sssp(&g, 0, cfg).dist, want, "mq t{threads} s{seed}");
+            assert_eq!(
+                parallel_sssp(&g, 0, cfg).dist,
+                want,
+                "mq t{threads} s{seed}"
+            );
             assert_eq!(
                 parallel_sssp_duplicates(&g, 0, cfg).dist,
                 want,
@@ -159,6 +182,86 @@ fn concurrent_mis_determinism_under_contention() {
             (0..g.num_vertices()).map(|v| set.contains(&v)).collect()
         };
         assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+/// Producer/consumer storm on the concurrent d-CBO relaxed FIFO: heavy
+/// oversubscription, mixed enqueue/dequeue, then exhaustive accounting —
+/// the queue must never lose or duplicate an item.
+#[test]
+fn dcbo_storm_conserves_elements() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let threads = 8;
+    let per = 20_000usize;
+    let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(6, 13));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64 * 71 + 3);
+                let mut got: Vec<usize> = Vec::new();
+                for i in 0..per {
+                    q.enqueue(t * per + i, &mut rng);
+                    if i % 3 == 0 {
+                        if let Some(v) = q.dequeue(&mut rng) {
+                            got.push(v);
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let mut seen = HashSet::new();
+    for h in handles {
+        for v in h.join().unwrap() {
+            assert!(seen.insert(v), "duplicate dequeue of {v}");
+        }
+    }
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0);
+    while let Some(v) = q.dequeue(&mut rng) {
+        assert!(seen.insert(v), "duplicate dequeue of {v}");
+    }
+    assert_eq!(seen.len(), threads * per, "elements lost");
+    assert!(q.is_empty());
+}
+
+/// The runtime driving a d-CBO frontier under oversubscription: dynamic
+/// task creation, many threads, repeated seeds — every spawned task must
+/// execute exactly once and termination detection must fire exactly at
+/// quiescence.
+#[test]
+fn runtime_dcbo_executes_every_task_once() {
+    use std::sync::atomic::AtomicU32;
+    for seed in 0..3u64 {
+        let n = 5_000usize;
+        let children = 3u64;
+        let queue: DCboQueue<(usize, u64)> = DCboQueue::new(16, seed);
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = run_pool(
+            &queue,
+            RuntimeConfig { threads: 8, seed },
+            (0..n / 10).map(|i| (i * 10, children)),
+            |w, item, depth| {
+                hits[item].fetch_add(1, Ordering::AcqRel);
+                if depth > 0 && item + 1 < n {
+                    w.spawn(item + 1, depth - 1);
+                }
+                TaskOutcome::Executed
+            },
+        );
+        // Tasks form chains of length ≤ children+1 starting at multiples
+        // of 10; every execution is accounted and nothing runs twice
+        // unless spawned twice (chains overlap only via distinct spawns).
+        let total: u64 = hits.iter().map(|h| h.load(Ordering::Acquire) as u64).sum();
+        assert_eq!(stats.total.executed, total, "seed {seed}");
+        assert_eq!(
+            stats.total.executed,
+            (n as u64 / 10) * (children + 1),
+            "seed {seed}"
+        );
+        assert_eq!(stats.total.pops, stats.total.executed, "seed {seed}");
     }
 }
 

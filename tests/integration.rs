@@ -19,7 +19,11 @@ fn sssp_every_scheduler_every_graph() {
     for (name, g) in &graphs {
         let want = dijkstra(g, 0).dist;
         assert_eq!(bellman_ford(g, 0), want, "{name}: bellman-ford");
-        assert_eq!(delta_stepping(g, 0, 50).dist, want, "{name}: delta-stepping");
+        assert_eq!(
+            delta_stepping(g, 0, 50).dist,
+            want,
+            "{name}: delta-stepping"
+        );
 
         let s = relaxed_sssp_seq(g, 0, &mut Exact(IndexedBinaryHeap::new()));
         assert_eq!(s.dist, want, "{name}: exact queue");
@@ -125,7 +129,11 @@ fn instrumented_sssp_measures_sane_ranks() {
     assert!(rs.peeks > 0);
     assert!(rs.mean_rank() >= 1.0);
     // Two-choice over 8 queues: ranks concentrate near the front.
-    assert!(rs.rank_quantile(0.5) <= 8, "median rank {}", rs.rank_quantile(0.5));
+    assert!(
+        rs.rank_quantile(0.5) <= 8,
+        "median rank {}",
+        rs.rank_quantile(0.5)
+    );
 }
 
 /// The generated graph families have the structural properties the paper's

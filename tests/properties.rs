@@ -1,12 +1,48 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! workspace: queue semantics, scheduler guarantees, algorithm correctness
-//! on arbitrary inputs.
+//! Property-based tests over the core invariants of the workspace: queue
+//! semantics, scheduler guarantees, algorithm correctness on arbitrary
+//! inputs.
+//!
+//! The environment vendors its dependencies, so instead of the proptest
+//! DSL these are seeded random sweeps: each property draws `CASES`
+//! independent random instances from a per-case seed and asserts the
+//! invariant on every one. Failures print the case seed, which
+//! reproduces the instance deterministically.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use relaxed_schedulers::prelude::*;
 
-/// Build an arbitrary small weighted digraph from proptest-chosen edges.
+const CASES: u64 = 64;
+
+/// Per-property, per-case generator with a reproducible seed.
+fn gen_for(property: &str, case: u64) -> SmallRng {
+    let tag: u64 = property.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    SmallRng::seed_from_u64(tag ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Random edge list of up to `max_edges` edges over `n` vertices.
+fn random_edges(
+    rng: &mut SmallRng,
+    n: usize,
+    max_edges: usize,
+    max_w: u64,
+) -> Vec<(usize, usize, Weight)> {
+    let m = rng.gen_range(0..=max_edges);
+    (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1..max_w),
+            )
+        })
+        .collect()
+}
+
+/// Build a small weighted digraph from generated edges.
 fn graph_from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> CsrGraph {
     let mut b = GraphBuilder::new(n);
     for &(u, v, w) in edges {
@@ -15,91 +51,113 @@ fn graph_from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> CsrGraph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Dijkstra (DecreaseKey heap) equals Bellman–Ford on arbitrary graphs.
-    #[test]
-    fn dijkstra_equals_bellman_ford(
-        n in 2usize..40,
-        edges in vec((0usize..40, 0usize..40, 1u64..50), 0..120),
-    ) {
+/// Dijkstra (DecreaseKey heap) equals Bellman–Ford on arbitrary graphs.
+#[test]
+fn dijkstra_equals_bellman_ford() {
+    for case in 0..CASES {
+        let mut rng = gen_for("dijkstra_bf", case);
+        let n = rng.gen_range(2usize..40);
+        let edges = random_edges(&mut rng, 40, 120, 50);
         let g = graph_from_edges(n, &edges);
-        prop_assert_eq!(dijkstra(&g, 0).dist, bellman_ford(&g, 0));
+        assert_eq!(dijkstra(&g, 0).dist, bellman_ford(&g, 0), "case {case}");
     }
+}
 
-    /// Δ-stepping equals Dijkstra for arbitrary delta.
-    #[test]
-    fn delta_stepping_equals_dijkstra(
-        n in 2usize..30,
-        edges in vec((0usize..30, 0usize..30, 1u64..50), 0..100),
-        delta in 1u64..100,
-    ) {
+/// Δ-stepping equals Dijkstra for arbitrary delta.
+#[test]
+fn delta_stepping_equals_dijkstra() {
+    for case in 0..CASES {
+        let mut rng = gen_for("delta_stepping", case);
+        let n = rng.gen_range(2usize..30);
+        let edges = random_edges(&mut rng, 30, 100, 50);
+        let delta = rng.gen_range(1u64..100);
         let g = graph_from_edges(n, &edges);
-        prop_assert_eq!(delta_stepping(&g, 0, delta).dist, dijkstra(&g, 0).dist);
+        assert_eq!(
+            delta_stepping(&g, 0, delta).dist,
+            dijkstra(&g, 0).dist,
+            "case {case}"
+        );
     }
+}
 
-    /// The sequential-model relaxed SSSP is exact for any scheduler seed and
-    /// queue count, on arbitrary graphs.
-    #[test]
-    fn relaxed_sssp_exact_on_arbitrary_graphs(
-        n in 2usize..30,
-        edges in vec((0usize..30, 0usize..30, 1u64..50), 0..100),
-        queues in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+/// The sequential-model relaxed SSSP is exact for any scheduler seed and
+/// queue count, on arbitrary graphs.
+#[test]
+fn relaxed_sssp_exact_on_arbitrary_graphs() {
+    for case in 0..CASES {
+        let mut rng = gen_for("relaxed_sssp", case);
+        let n = rng.gen_range(2usize..30);
+        let edges = random_edges(&mut rng, 30, 100, 50);
+        let queues = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..1000);
         let g = graph_from_edges(n, &edges);
         let want = dijkstra(&g, 0).dist;
         let got = relaxed_sssp_seq(&g, 0, &mut SimMultiQueue::keyed(queues, seed));
         let reachable = want.iter().filter(|&&d| d != INF).count() as u64;
-        prop_assert_eq!(got.dist, want);
+        assert_eq!(got.dist, want, "case {case}");
         // Theorem 6.1 sanity: pops at least the reachable count.
-        prop_assert!(got.pops >= reachable);
+        assert!(got.pops >= reachable, "case {case}");
     }
+}
 
-    /// BST-insertion sorting sorts arbitrary distinct key sets under any
-    /// relaxation.
-    #[test]
-    fn bst_sort_sorts_arbitrary_keys(
-        keys in proptest::collection::hash_set(0u64..10_000, 1..200),
-        queues in 1usize..8,
-        seed in 0u64..100,
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// BST-insertion sorting sorts arbitrary distinct key sets under any
+/// relaxation.
+#[test]
+fn bst_sort_sorts_arbitrary_keys() {
+    for case in 0..CASES {
+        let mut rng = gen_for("bst_sort", case);
+        let len = rng.gen_range(1usize..200);
+        let mut keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..10_000)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // Re-shuffle after dedup: insertion order determines the treap
+        // shape, and sorted input would degenerate every tree to a chain.
+        keys.shuffle(&mut rng);
+        let queues = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..100);
         let mut want = keys.clone();
         want.sort_unstable();
         let mut alg = BstSort::from_keys(keys);
         run_relaxed(&mut alg, &mut SimMultiQueue::new(queues, seed));
-        prop_assert_eq!(alg.in_order_keys(), want);
+        assert_eq!(alg.in_order_keys(), want, "case {case}");
     }
+}
 
-    /// The rotating deterministic scheduler never violates RankBound or
-    /// Fairness, measured by the instrumentation layer, for arbitrary
-    /// priorities and k.
-    #[test]
-    fn rotating_queue_bounds_always_hold(
-        prios in vec(0u64..1000, 1..150),
-        k in 1usize..12,
-    ) {
+/// The rotating deterministic scheduler never violates RankBound or
+/// Fairness, measured by the instrumentation layer, for arbitrary
+/// priorities and k.
+#[test]
+fn rotating_queue_bounds_always_hold() {
+    for case in 0..CASES {
+        let mut rng = gen_for("rotating_bounds", case);
+        let len = rng.gen_range(1usize..150);
+        let k = rng.gen_range(1usize..12);
         let mut q = RankTracker::new(RotatingKQueue::new(k));
-        for (i, &p) in prios.iter().enumerate() {
-            q.insert(i, p);
+        for i in 0..len {
+            q.insert(i, rng.gen_range(0u64..1000));
         }
         while let Some((item, _)) = q.peek_relaxed() {
             q.delete(item);
         }
-        prop_assert!(q.stats().max_rank <= k);
-        prop_assert!(q.stats().max_inv <= (k - 1) as u64);
+        assert!(q.stats().max_rank <= k, "case {case}");
+        assert!(q.stats().max_inv <= (k - 1) as u64, "case {case}");
     }
+}
 
-    /// Indexed heap and pairing heap agree with a sorted-model queue on
-    /// arbitrary op sequences (push/pop/decrease/remove).
-    #[test]
-    fn heaps_match_model(ops in vec((0u8..4, 0usize..64, 0u64..1000), 1..300)) {
+/// Indexed heap and pairing heap agree with a sorted-model queue on
+/// arbitrary op sequences (push/pop/decrease/remove).
+#[test]
+fn heaps_match_model() {
+    for case in 0..CASES {
+        let mut rng = gen_for("heaps_model", case);
+        let nops = rng.gen_range(1usize..300);
         let mut bh = IndexedBinaryHeap::new();
         let mut ph = PairingHeap::new();
         let mut model: Vec<(u64, usize)> = Vec::new(); // (prio, item)
-        for (op, item, prio) in ops {
+        for _ in 0..nops {
+            let op = rng.gen_range(0u8..4);
+            let item = rng.gen_range(0usize..64);
+            let prio = rng.gen_range(0u64..1000);
             match op {
                 0 => {
                     if !model.iter().any(|&(_, it)| it == item) {
@@ -111,8 +169,8 @@ proptest! {
                 1 => {
                     model.sort_unstable();
                     let want = model.first().copied().map(|(p, it)| (it, p));
-                    prop_assert_eq!(bh.pop(), want);
-                    prop_assert_eq!(ph.pop(), want);
+                    assert_eq!(bh.pop(), want, "case {case}");
+                    assert_eq!(ph.pop(), want, "case {case}");
                     if !model.is_empty() {
                         model.remove(0);
                     }
@@ -126,32 +184,37 @@ proptest! {
                         }
                         _ => false,
                     };
-                    prop_assert_eq!(bh.decrease_key(item, prio), expect);
-                    prop_assert_eq!(ph.decrease_key(item, prio), expect);
+                    assert_eq!(bh.decrease_key(item, prio), expect, "case {case}");
+                    assert_eq!(ph.decrease_key(item, prio), expect, "case {case}");
                 }
                 _ => {
                     let present = model.iter().position(|&(_, it)| it == item);
                     let expect = present.map(|idx| model.remove(idx).0);
-                    prop_assert_eq!(bh.remove(item), expect);
-                    prop_assert_eq!(ph.remove(item), expect);
+                    assert_eq!(bh.remove(item), expect, "case {case}");
+                    assert_eq!(ph.remove(item), expect, "case {case}");
                 }
             }
-            prop_assert_eq!(PriorityQueue::len(&bh), model.len());
-            prop_assert_eq!(PriorityQueue::len(&ph), model.len());
+            assert_eq!(PriorityQueue::len(&bh), model.len(), "case {case}");
+            assert_eq!(PriorityQueue::len(&ph), model.len(), "case {case}");
         }
     }
+}
 
-    /// A SimMultiQueue never loses or duplicates elements under arbitrary
-    /// insert/pop/delete interleavings.
-    #[test]
-    fn multiqueue_conservation(
-        ops in vec((0u8..3, 0usize..64, 0u64..1000), 1..300),
-        queues in 1usize..8,
-    ) {
+/// A SimMultiQueue never loses or duplicates elements under arbitrary
+/// insert/pop/delete interleavings.
+#[test]
+fn multiqueue_conservation() {
+    for case in 0..CASES {
+        let mut rng = gen_for("mq_conservation", case);
+        let nops = rng.gen_range(1usize..300);
+        let queues = rng.gen_range(1usize..8);
         let mut mq = SimMultiQueue::new(queues, 12345);
         let mut live: std::collections::HashSet<usize> = Default::default();
         let mut popped: std::collections::HashSet<usize> = Default::default();
-        for (op, item, prio) in ops {
+        for _ in 0..nops {
+            let op = rng.gen_range(0u8..3);
+            let item = rng.gen_range(0usize..64);
+            let prio = rng.gen_range(0u64..1000);
             match op {
                 0 => {
                     if !live.contains(&item) {
@@ -162,105 +225,307 @@ proptest! {
                 }
                 1 => {
                     if let Some((it, _)) = mq.pop_relaxed() {
-                        prop_assert!(live.remove(&it), "popped non-live item");
-                        prop_assert!(popped.insert(it));
+                        assert!(live.remove(&it), "case {case}: popped non-live item");
+                        assert!(popped.insert(it), "case {case}");
                     } else {
-                        prop_assert!(live.is_empty());
+                        assert!(live.is_empty(), "case {case}");
                     }
                 }
                 _ => {
                     let did = mq.delete(item);
-                    prop_assert_eq!(did, live.remove(&item));
+                    assert_eq!(did, live.remove(&item), "case {case}");
                 }
             }
-            prop_assert_eq!(mq.len(), live.len());
+            assert_eq!(mq.len(), live.len(), "case {case}");
         }
     }
+}
 
-    /// Delaunay triangulation of arbitrary (deduplicated) point sets is
-    /// valid under arbitrary insertion order permutations.
-    #[test]
-    fn delaunay_valid_for_arbitrary_points_and_orders(
-        raw in proptest::collection::hash_set((0i64..500, 0i64..500), 3..60),
-        order_seed in 0u64..1000,
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Delaunay triangulation of arbitrary (deduplicated) point sets is valid
+/// under arbitrary insertion order permutations.
+#[test]
+fn delaunay_valid_for_arbitrary_points_and_orders() {
+    use rand::seq::SliceRandom;
+    for case in 0..CASES {
+        let mut rng = gen_for("delaunay_points", case);
+        let target = rng.gen_range(3usize..60);
+        let mut raw: std::collections::HashSet<(i64, i64)> = Default::default();
+        while raw.len() < target {
+            raw.insert((rng.gen_range(0i64..500), rng.gen_range(0i64..500)));
+        }
+        let order_seed = rng.gen_range(0u64..1000);
         let pts: Vec<Point> = raw.into_iter().map(|(x, y)| Point::new(x, y)).collect();
         let n = pts.len();
         let mut st = DelaunayState::new(pts);
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(order_seed));
+        order.shuffle(&mut SmallRng::seed_from_u64(order_seed));
         for p in order {
             st.insert(p);
         }
         st.check_invariants();
         st.mesh().check_delaunay(st.inserted_flags());
-        prop_assert_eq!(st.mesh().num_alive(), 2 * n + 1);
+        assert_eq!(st.mesh().num_alive(), 2 * n + 1, "case {case}");
     }
+}
 
-    /// Parallel Δ-stepping equals Dijkstra on arbitrary graphs, deltas and
-    /// thread counts.
-    #[test]
-    fn parallel_delta_stepping_exact(
-        n in 2usize..25,
-        edges in vec((0usize..25, 0usize..25, 1u64..50), 0..80),
-        delta in 1u64..200,
-        threads in 1usize..5,
-    ) {
+/// Parallel Δ-stepping equals Dijkstra on arbitrary graphs, deltas and
+/// thread counts.
+#[test]
+fn parallel_delta_stepping_exact() {
+    for case in 0..CASES {
+        let mut rng = gen_for("par_delta", case);
+        let n = rng.gen_range(2usize..25);
+        let edges = random_edges(&mut rng, 25, 80, 50);
+        let delta = rng.gen_range(1u64..200);
+        let threads = rng.gen_range(1usize..5);
         let g = graph_from_edges(n, &edges);
         let want = dijkstra(&g, 0).dist;
         let got = parallel_delta_stepping(&g, 0, delta, threads);
-        prop_assert_eq!(got.dist, want);
+        assert_eq!(got.dist, want, "case {case}");
     }
+}
 
-    /// Branch-and-bound finds the DP optimum under any relaxation.
-    #[test]
-    fn knapsack_bnb_matches_dp(
-        items in vec((1u64..60, 1u64..40), 1..14),
-        cap_frac in 1usize..4,
-        queues in 1usize..6,
-        seed in 0u64..50,
-    ) {
+/// Branch-and-bound finds the DP optimum under any relaxation.
+#[test]
+fn knapsack_bnb_matches_dp() {
+    for case in 0..CASES {
+        let mut rng = gen_for("knapsack", case);
+        let nitems = rng.gen_range(1usize..14);
+        let items: Vec<(u64, u64)> = (0..nitems)
+            .map(|_| (rng.gen_range(1u64..60), rng.gen_range(1u64..40)))
+            .collect();
+        let cap_frac = rng.gen_range(1usize..4);
+        let queues = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..50);
         let total: u64 = items.iter().map(|&(_, w)| w).sum();
         let inst = Knapsack::new(items, (total / cap_frac as u64).max(1));
         let want = inst.dp_optimum();
         let exact = inst.solve(&mut Exact(IndexedBinaryHeap::new()));
-        prop_assert_eq!(exact.best_value, want);
+        assert_eq!(exact.best_value, want, "case {case}");
         let relaxed = inst.solve(&mut SimMultiQueue::new(queues, seed));
-        prop_assert_eq!(relaxed.best_value, want);
-        prop_assert_eq!(
+        assert_eq!(relaxed.best_value, want, "case {case}");
+        assert_eq!(
             relaxed.expanded + relaxed.pruned_after_pop,
-            relaxed.generated
+            relaxed.generated,
+            "case {case}"
         );
     }
+}
 
-    /// The DIMACS writer/parser round-trips arbitrary graphs, and the
-    /// parser never panics on arbitrary junk input.
-    #[test]
-    fn dimacs_roundtrip_and_junk_resilience(
-        n in 2usize..20,
-        edges in vec((0usize..20, 0usize..20, 1u64..1000), 0..60),
-        junk in "[ -~\\n]{0,200}",
-    ) {
+/// The DIMACS writer/parser round-trips arbitrary graphs, and the parser
+/// never panics on arbitrary junk input.
+#[test]
+fn dimacs_roundtrip_and_junk_resilience() {
+    for case in 0..CASES {
+        let mut rng = gen_for("dimacs", case);
+        let n = rng.gen_range(2usize..20);
+        let edges = random_edges(&mut rng, 20, 60, 1000);
+        let junk_len = rng.gen_range(0usize..200);
+        let junk: String = (0..junk_len)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    '\n'
+                } else {
+                    rng.gen_range(0x20u8..0x7F) as char
+                }
+            })
+            .collect();
         let g = graph_from_edges(n, &edges);
         let mut buf = Vec::new();
         rsched_graph::io::write_dimacs_gr(&g, &mut buf).expect("write");
         let g2 = rsched_graph::io::read_dimacs_gr(&buf[..]).expect("read");
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "case {case}");
         // Arbitrary junk: must return (ok or err) without panicking.
         let _ = rsched_graph::io::read_dimacs_gr(junk.as_bytes());
         let _ = rsched_graph::io::read_snap_edges(junk.as_bytes(), 1..=10, 0);
     }
+}
 
-    /// Greedy MIS and coloring under relaxation equal their sequential
-    /// references on arbitrary graphs.
-    #[test]
-    fn mis_and_coloring_deterministic(
-        n in 2usize..40,
-        edges in vec((0usize..40, 0usize..40, 1u64..10), 0..150),
-        seed in 0u64..100,
-    ) {
+/// d-RA and d-CBO never lose or duplicate items under arbitrary
+/// enqueue/dequeue interleavings, for arbitrary sub-queue counts.
+#[test]
+fn relaxed_fifo_conservation() {
+    for case in 0..CASES {
+        let mut rng = gen_for("fifo_conservation", case);
+        let subqueues = rng.gen_range(1usize..12);
+        let nops = rng.gen_range(1usize..400);
+        let seed = rng.gen_range(0u64..1000);
+        let mut dra: DRaQueue<u64> = DRaQueue::choice_of_two(subqueues, seed);
+        let mut dcbo: DCboQueue<u64> = DCboQueue::new(subqueues, seed);
+        let mut pushed = 0u64;
+        let mut got_dra = Vec::new();
+        let mut got_dcbo = Vec::new();
+        for _ in 0..nops {
+            if rng.gen_bool(0.6) {
+                dra.enqueue(pushed);
+                RelaxedFifo::enqueue(&mut dcbo, pushed);
+                pushed += 1;
+            } else {
+                // Must agree on emptiness: both hold the same multiset.
+                if let Some(v) = dra.dequeue() {
+                    got_dra.push(v);
+                    got_dcbo.push(RelaxedFifo::dequeue(&mut dcbo).expect("same fill level"));
+                } else {
+                    assert!(RelaxedFifo::is_empty(&dcbo), "case {case}");
+                }
+            }
+        }
+        while let Some(v) = dra.dequeue() {
+            got_dra.push(v);
+        }
+        while let Some(v) = RelaxedFifo::dequeue(&mut dcbo) {
+            got_dcbo.push(v);
+        }
+        got_dra.sort_unstable();
+        got_dcbo.sort_unstable();
+        let want: Vec<u64> = (0..pushed).collect();
+        assert_eq!(got_dra, want, "case {case}: d-RA lost or duplicated items");
+        assert_eq!(
+            got_dcbo, want,
+            "case {case}: d-CBO lost or duplicated items"
+        );
+    }
+}
+
+/// d-RA / d-CBO rank errors stay within the choice-of-two envelope: the
+/// mean error is O(subqueues) and the tail is a small multiple of it,
+/// independently of how many operations run (stationarity). Empirically
+/// the mean sits near 0.65·q and the 99th percentile near 3·q; the
+/// asserted constants are generous multiples to stay seed-robust.
+#[test]
+fn relaxed_fifo_rank_error_envelope() {
+    for case in 0..16 {
+        let mut rng = gen_for("fifo_envelope", case);
+        let subqueues = [2usize, 4, 8, 16][case as usize % 4];
+        let prefill = rng.gen_range(64usize..2048);
+        let ops = rng.gen_range(4_000usize..20_000);
+        let seed = rng.gen_range(0u64..1000);
+
+        let check = |name: &str, stats: &FifoRankStats| {
+            let q = subqueues as f64;
+            assert!(
+                stats.mean_error() <= 2.0 * q,
+                "case {case} {name}: mean error {} beyond 2q = {}",
+                stats.mean_error(),
+                2.0 * q
+            );
+            assert!(
+                (stats.error_quantile(0.99) as f64) <= 8.0 * q,
+                "case {case} {name}: p99 error {} beyond 8q",
+                stats.error_quantile(0.99)
+            );
+            assert!(
+                (stats.max_error as f64) <= 32.0 * q,
+                "case {case} {name}: max error {} beyond 32q",
+                stats.max_error
+            );
+        };
+
+        fn mixed_sweep<Q: RelaxedFifo<(u64, usize)>>(
+            queue: Q,
+            prefill: usize,
+            ops: usize,
+            seed: u64,
+        ) -> FifoRankStats {
+            let mut q = FifoRankTracker::new(queue);
+            let mut next = 0usize;
+            for _ in 0..prefill {
+                q.enqueue(next);
+                next += 1;
+            }
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..ops {
+                if rng.gen_bool(0.5) {
+                    q.enqueue(next);
+                    next += 1;
+                } else {
+                    let _ = q.dequeue();
+                }
+            }
+            while q.dequeue().is_some() {}
+            q.into_parts().1
+        }
+
+        let dra = mixed_sweep(DRaQueue::choice_of_two(subqueues, seed), prefill, ops, seed);
+        check("d-RA", &dra);
+        let dcbo = mixed_sweep(DCboQueue::new(subqueues, seed), prefill, ops, seed);
+        check("d-CBO", &dcbo);
+    }
+}
+
+/// One sub-queue is an exact FIFO: zero rank error on arbitrary
+/// interleavings for both family members.
+#[test]
+fn relaxed_fifo_single_subqueue_exact() {
+    for case in 0..CASES {
+        let mut rng = gen_for("fifo_exact", case);
+        let nops = rng.gen_range(1usize..300);
+        let mut dra = FifoRankTracker::new(DRaQueue::choice_of_two(1, case));
+        let mut dcbo = FifoRankTracker::new(DCboQueue::new(1, case));
+        let mut next = 0u64;
+        for _ in 0..nops {
+            if rng.gen_bool(0.5) {
+                dra.enqueue(next);
+                dcbo.enqueue(next);
+                next += 1;
+            } else {
+                let a = dra.dequeue();
+                let b = dcbo.dequeue();
+                assert_eq!(a, b, "case {case}: exact FIFOs must agree");
+            }
+        }
+        while dra.dequeue().is_some() {}
+        while dcbo.dequeue().is_some() {}
+        assert_eq!(dra.stats().max_error, 0, "case {case}");
+        assert_eq!(dcbo.stats().max_error, 0, "case {case}");
+    }
+}
+
+/// Relaxed-FIFO BFS and k-core equal their sequential references on
+/// arbitrary graphs, thread counts and seeds (runtime end-to-end).
+#[test]
+fn runtime_bfs_and_kcore_exact_on_arbitrary_graphs() {
+    for case in 0..24 {
+        let mut rng = gen_for("runtime_bfs_kcore", case);
+        let n = rng.gen_range(2usize..60);
+        let edges = random_edges(&mut rng, 60, 240, 10);
+        let threads = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(1u64..6);
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            if u % n != v % n {
+                b.add_undirected_edge(u % n, v % n, w);
+            }
+        }
+        let g = b.build();
+        let cfg = ParSsspConfig {
+            threads,
+            queue_multiplier: 2,
+            seed,
+        };
+        assert_eq!(
+            parallel_bfs(&g, 0, cfg).dist,
+            bfs(&g, 0),
+            "case {case}: bfs"
+        );
+        assert_eq!(
+            parallel_kcore(&g, k, cfg).in_core,
+            kcore_sequential(&g, k),
+            "case {case}: k-core k={k}"
+        );
+    }
+}
+
+/// Greedy MIS and coloring under relaxation equal their sequential
+/// references on arbitrary graphs.
+#[test]
+fn mis_and_coloring_deterministic() {
+    for case in 0..CASES {
+        let mut rng = gen_for("mis_coloring", case);
+        let n = rng.gen_range(2usize..40);
+        let edges = random_edges(&mut rng, 40, 150, 10);
+        let seed = rng.gen_range(0u64..100);
         let mut b = GraphBuilder::new(n);
         for &(u, v, w) in &edges {
             if u % n != v % n {
@@ -272,10 +537,14 @@ proptest! {
         run_relaxed(&mut mis, &mut SimMultiQueue::new(4, seed));
         let mut mis_ref = GreedyMis::new(&g, seed);
         run_exact(&mut mis_ref);
-        prop_assert_eq!(mis.independent_set(), mis_ref.independent_set());
+        assert_eq!(
+            mis.independent_set(),
+            mis_ref.independent_set(),
+            "case {case}"
+        );
 
         let mut col = GreedyColoring::new(&g, seed);
         run_relaxed(&mut col, &mut SimMultiQueue::new(4, seed + 1));
-        prop_assert!(col.verify_proper());
+        assert!(col.verify_proper(), "case {case}");
     }
 }

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate. The build environment has
+//! no crates.io access, so this provides the API surface the workspace's
+//! benches use — `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a plain wall-clock harness that
+//! prints mean/min per iteration. No statistics, plots or baselines; the
+//! serious measurements live in `crates/bench/src/bin/*` which have their
+//! own reporting.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    /// Mean and minimum per-iteration time of the measured run.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let mut min = Duration::MAX;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            min = min.min(t0.elapsed());
+        }
+        let total = start.elapsed();
+        self.result = Some((total / self.iters as u32, min));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n as u64;
+        self
+    }
+
+    /// Annotate throughput (printed alongside timings).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op hook).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{}/{:<40} mean {:>12?}  min {:>12?}{}",
+                    self.name, id, mean, min, rate
+                );
+            }
+            None => println!("{}/{}: no measurement (iter not called)", self.name, id),
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `crossbeam` crate (the subset this workspace
+//! uses): [`utils::Backoff`], [`utils::CachePadded`] and
+//! [`queue::SegQueue`]. Semantics match the real crate for the used API;
+//! `SegQueue` is a mutex-backed MPMC queue rather than a lock-free
+//! segment list, which is fine for its only use here (a termination-
+//! detection unit test).
+
+pub mod utils {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for contended retry loops.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: std::cell::Cell<u32>,
+    }
+
+    impl Backoff {
+        /// A backoff at the initial (shortest) delay.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Return to the initial delay (call after successful progress).
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Busy-wait briefly, growing exponentially up to a cap.
+        pub fn spin(&self) {
+            let step = self.step.get().min(SPIN_LIMIT);
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Busy-wait, then yield the thread once spinning stops paying off.
+        pub fn snooze(&self) {
+            let step = self.step.get();
+            if step <= SPIN_LIMIT {
+                for _ in 0..1u32 << step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        /// `true` once snoozing has escalated past spinning — callers that
+        /// can block should do so now.
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+
+    /// Pads and aligns a value to 128 bytes, preventing false sharing
+    /// between adjacent entries of an array of counters.
+    #[derive(Clone, Copy, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in its own cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwrap, discarding the padding.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+
+    // Compile-time check that the padding actually isolates cache lines.
+    const _: () = assert!(std::mem::align_of::<CachePadded<AtomicUsize>>() == 128);
+    const _: () = {
+        let _ = Ordering::Relaxed;
+    };
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue usable through a shared reference.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Append `value` at the tail.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Remove the head, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Current element count.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// `true` if no elements are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::utils::{Backoff, CachePadded};
+
+    #[test]
+    fn segqueue_is_fifo_across_threads() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        std::thread::scope(|s| {
+            let q = &q;
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<i32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..20 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut c = CachePadded::new(41u64);
+        *c += 1;
+        assert_eq!(*c, 42);
+    }
+}
