@@ -1,0 +1,349 @@
+//! **FIFO-CONTENTION** — multithreaded throughput and concurrent
+//! rank-error sweep of the relaxed FIFO family across shard backends.
+//!
+//! For every `(queue ∈ {d-RA, d-CBO}) × (backend ∈ {mutex, ms, segring})
+//! × threads` cell, `threads` workers hammer one shared queue with a
+//! 50/50 enqueue/dequeue mix (worker-affine dequeues, so steal counts
+//! are meaningful) while the
+//! [`ConcurrentRankEstimator`] stamps every enqueue and logs every
+//! dequeue. This is the experiment
+//! behind the lock-free-shards claim: under oversubscription a preempted
+//! mutex holder stalls its whole shard, while the lock-free backends
+//! only lose the preempted thread's own progress ("lock-free algorithms
+//! are practically wait-free").
+//!
+//! Results print as one JSON object per line (prefixed `json,`); set
+//! `RSCHED_JSON_OUT=<path>` to also write the full run as a JSON array
+//! (what CI uploads as the `BENCH_fifo_contention.json` artifact).
+//! `RSCHED_THREADS=1,2,4,8` overrides the default thread sweep,
+//! `RSCHED_SCALE` (small/medium/paper) the per-thread operation count,
+//! `RSCHED_REPS` the repetitions per cell (the best run is reported,
+//! which suppresses scheduler noise on oversubscribed hosts), and
+//! `RSCHED_SHARD_MULT` the shards-per-thread ratio (default 1, the
+//! faithful d-CBO configuration).
+//!
+//! ```text
+//! cargo run -p rsched-bench --release --bin fifo_contention
+//! RSCHED_THREADS=8,16 RSCHED_SCALE=medium \
+//!     cargo run -p rsched-bench --release --bin fifo_contention
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsched_bench::Scale;
+use rsched_queues::instrument::ConcurrentRankEstimator;
+use rsched_queues::lockfree::{MsQueue, SegRingQueue};
+use rsched_queues::{DCboQueue, DRaQueue, FifoRankStats, MutexSub, PinSession, SubFifo};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// The operations the sweep needs, unified over both family members and
+/// every backend. The payload *is* the estimator stamp.
+trait ContendedFifo: Sync {
+    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession);
+    /// Worker-affine dequeue: `(stamp, stolen)`.
+    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)>;
+    /// Amortized epoch pin, inert for lock-based backends.
+    fn session(&self) -> PinSession;
+}
+
+impl<S: SubFifo<u64>> ContendedFifo for DRaQueue<u64, S> {
+    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession) {
+        self.enqueue_in(stamp, rng, session);
+    }
+
+    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)> {
+        self.dequeue_from_in(home, rng, session)
+    }
+
+    fn session(&self) -> PinSession {
+        self.pin_session()
+    }
+}
+
+impl<S: SubFifo<u64>> ContendedFifo for DCboQueue<u64, S> {
+    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession) {
+        self.enqueue_in(stamp, rng, session);
+    }
+
+    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)> {
+        self.dequeue_from_in(home, rng, session)
+    }
+
+    fn session(&self) -> PinSession {
+        self.pin_session()
+    }
+}
+
+struct Trial {
+    wall_s: f64,
+    ops: u64,
+    pops: u64,
+    steals: u64,
+    stats: FifoRankStats,
+}
+
+/// Workload shape: alternating enqueue/dequeue pairs (the classic queue
+/// microbenchmark, also the d-CBO paper's), or a seeded random 50/50 mix
+/// (`RSCHED_MIX=random`).
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Pairs,
+    Random,
+}
+
+impl Mix {
+    fn from_env() -> Self {
+        match std::env::var("RSCHED_MIX").as_deref() {
+            Ok("random") => Mix::Random,
+            _ => Mix::Pairs,
+        }
+    }
+}
+
+/// Run one contention cell: `threads` workers, each `ops_per_thread`
+/// mixed operations against `queue`, rank errors estimated live.
+fn trial<Q: ContendedFifo>(
+    queue: &Q,
+    threads: usize,
+    ops_per_thread: usize,
+    prefill: usize,
+    mix: Mix,
+) -> Trial {
+    let est = ConcurrentRankEstimator::new();
+    {
+        let rec = est.recorder();
+        let mut rng = SmallRng::seed_from_u64(0xF1F0);
+        let session = PinSession::none();
+        for _ in 0..prefill {
+            queue.enq(rec.stamp_enqueue(), &mut rng, &session);
+        }
+    }
+    let barrier = Barrier::new(threads);
+    let pops = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let mut rec = est.recorder();
+            let (barrier, pops, steals, queue) = (&barrier, &pops, &steals, &queue);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(tid as u64 * 0x9E37 + 1);
+                let mut my_pops = 0u64;
+                let mut my_steals = 0u64;
+                // One epoch pin per batch of ops, as a real worker would
+                // hold it, instead of one per operation.
+                let mut session = queue.session();
+                barrier.wait();
+                for op in 0..ops_per_thread {
+                    session.tick();
+                    let push = match mix {
+                        Mix::Pairs => op % 2 == 0,
+                        Mix::Random => rng.gen_bool(0.5),
+                    };
+                    if push {
+                        queue.enq(rec.stamp_enqueue(), &mut rng, &session);
+                    } else if let Some((stamp, stolen)) = queue.deq(tid, &mut rng, &session) {
+                        rec.record_dequeue(stamp);
+                        my_pops += 1;
+                        my_steals += u64::from(stolen);
+                    }
+                }
+                pops.fetch_add(my_pops, Ordering::Relaxed);
+                steals.fetch_add(my_steals, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    // Drain (unrecorded, outside the timed phase) and account: nothing
+    // lost, nothing duplicated.
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut drained = 0u64;
+    let session = PinSession::none();
+    while queue.deq(usize::MAX, &mut rng, &session).is_some() {
+        drained += 1;
+    }
+    let enqueued = est.enqueues();
+    let popped = pops.load(Ordering::Relaxed);
+    assert_eq!(
+        enqueued,
+        popped + drained,
+        "conservation violated: {enqueued} in, {popped} + {drained} out"
+    );
+    Trial {
+        wall_s,
+        ops: (threads * ops_per_thread) as u64,
+        pops: popped,
+        steals: steals.load(Ordering::Relaxed),
+        stats: est.into_stats(),
+    }
+}
+
+fn thread_list() -> Vec<usize> {
+    match std::env::var("RSCHED_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|t| t.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8, 16],
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops_per_thread = match scale {
+        Scale::Small => 100_000usize,
+        Scale::Medium => 400_000,
+        Scale::Paper => 1_000_000,
+    };
+    // Start empty by default: the mixed workload grows the queue
+    // organically, exercising both the contended-shard and near-empty
+    // regimes (frontier tails); RSCHED_PREFILL pins a starting depth.
+    let prefill = std::env::var("RSCHED_PREFILL")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let reps = std::env::var("RSCHED_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .clamp(1, 16);
+    let threads_sweep = thread_list();
+    let mix = Mix::from_env();
+    println!(
+        "== relaxed-FIFO contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
+         {} workload, best of {reps}, threads {threads_sweep:?}) ==",
+        if mix == Mix::Pairs {
+            "pairs"
+        } else {
+            "random-mix"
+        },
+    );
+    let mut records: Vec<String> = Vec::new();
+    let shard_mult = std::env::var("RSCHED_SHARD_MULT")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let shards_override = std::env::var("RSCHED_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    for &threads in &threads_sweep {
+        // One shard per thread by default: d-CBO's balanced-operation
+        // choice is designed to keep errors low *without* over-sharding
+        // (the PPoPP 2025 configuration); RSCHED_SHARD_MULT widens it
+        // and RSCHED_SHARDS pins an absolute count.
+        let shards = shards_override.unwrap_or((shard_mult * threads).max(4));
+        type Cell<'a> = (&'a str, &'a str, Box<dyn Fn() -> Trial>);
+        // Both family members over one backend, as boxed cells.
+        fn backend_cells<S: SubFifo<u64> + 'static>(
+            backend: &'static str,
+            shards: usize,
+            threads: usize,
+            ops_per_thread: usize,
+            prefill: usize,
+            mix: Mix,
+        ) -> Vec<Cell<'static>> {
+            vec![
+                (
+                    "d-ra",
+                    backend,
+                    Box::new(move || {
+                        let q = DRaQueue::<u64, S>::with_backend(shards, 2, 7);
+                        trial(&q, threads, ops_per_thread, prefill, mix)
+                    }),
+                ),
+                (
+                    "d-cbo",
+                    backend,
+                    Box::new(move || {
+                        let q = DCboQueue::<u64, S>::with_backend(shards, 2, 7);
+                        trial(&q, threads, ops_per_thread, prefill, mix)
+                    }),
+                ),
+            ]
+        }
+        let mut makes: Vec<Cell<'_>> = Vec::new();
+        for backend in ["mutex", "ms", "segring"] {
+            makes.extend(match backend {
+                "mutex" => backend_cells::<MutexSub<u64>>(
+                    backend,
+                    shards,
+                    threads,
+                    ops_per_thread,
+                    prefill,
+                    mix,
+                ),
+                "ms" => backend_cells::<MsQueue<u64>>(
+                    backend,
+                    shards,
+                    threads,
+                    ops_per_thread,
+                    prefill,
+                    mix,
+                ),
+                _ => backend_cells::<SegRingQueue<u64>>(
+                    backend,
+                    shards,
+                    threads,
+                    ops_per_thread,
+                    prefill,
+                    mix,
+                ),
+            });
+        }
+        // Interleave the repetitions round-robin so background-load
+        // drift on the host hits every cell equally, then keep each
+        // cell's best run.
+        let mut best: Vec<Option<Trial>> = makes.iter().map(|_| None).collect();
+        for _rep in 0..reps {
+            for (slot, (_, _, make)) in best.iter_mut().zip(&makes) {
+                let t = make();
+                let better = slot
+                    .as_ref()
+                    .is_none_or(|b| t.pops as f64 / t.wall_s > b.pops as f64 / b.wall_s);
+                if better {
+                    *slot = Some(t);
+                }
+            }
+        }
+        let cells: Vec<(&str, &str, Trial)> = makes
+            .iter()
+            .zip(best)
+            .map(|(&(q, b, _), t)| (q, b, t.expect("reps >= 1")))
+            .collect();
+        for (queue, backend, t) in cells {
+            let record = format!(
+                "{{\"queue\":\"{queue}\",\"backend\":\"{backend}\",\"threads\":{threads},\
+                 \"shards\":{shards},\"prefill\":{prefill},\"ops\":{},\"wall_s\":{:.6},\
+                 \"ops_per_sec\":{:.1},\"pops\":{},\"pops_per_sec\":{:.1},\"steals\":{},\
+                 \"steal_fraction\":{:.4},\"dequeues_measured\":{},\"mean_rank_error\":{:.4},\
+                 \"p99_rank_error\":{},\"max_rank_error\":{}}}",
+                t.ops,
+                t.wall_s,
+                t.ops as f64 / t.wall_s,
+                t.pops,
+                t.pops as f64 / t.wall_s,
+                t.steals,
+                if t.pops == 0 {
+                    0.0
+                } else {
+                    t.steals as f64 / t.pops as f64
+                },
+                t.stats.dequeues,
+                t.stats.mean_error(),
+                t.stats.error_quantile(0.99),
+                t.stats.max_error,
+            );
+            println!("json,{record}");
+            records.push(record);
+        }
+    }
+    if let Ok(path) = std::env::var("RSCHED_JSON_OUT") {
+        let body = format!("[\n  {}\n]\n", records.join(",\n  "));
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {} records to {path}", records.len());
+    }
+}

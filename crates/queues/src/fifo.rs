@@ -14,37 +14,62 @@
 //! designs (see `relaxed-queue-simulations` and the PPoPP 2025 d-CBO
 //! paper referenced in SNIPPETS.md):
 //!
-//! * [`DRaQueue`] — sequential-model **d-RA**: `d` random sub-queue
-//!   samples per operation; enqueue goes to the shortest sampled
-//!   sub-queue (balanced allocation on *lengths*), dequeue takes the
-//!   oldest head among the sampled sub-queues.
-//! * [`DCboQueue`] — concurrent **d-CBO** (*choice of balanced
-//!   operations*): every shard counts its completed enqueues and
-//!   dequeues; enqueue goes to the sampled shard with the fewest
-//!   enqueues, dequeue pops the sampled shard with the fewest dequeues.
-//!   Because both counters stay balanced, shard heads age at nearly the
-//!   same rate and popping the least-dequeued shard approximates global
-//!   FIFO order — without reading any item timestamps, which is what
-//!   makes the concurrent version cheap (two atomic loads per choice).
+//! * [`DRaQueue`] — **d-RA**: `d` random sub-queue samples per
+//!   operation; enqueue goes to the sampled sub-queue with the fewest
+//!   live items (balanced allocation on *lengths*), dequeue takes the
+//!   oldest visible head among the sampled sub-queues (items carry a
+//!   global arrival stamp).
+//! * [`DCboQueue`] — **d-CBO** (*choice of balanced operations*): every
+//!   shard counts its completed enqueues and dequeues; enqueue goes to
+//!   the sampled shard with the fewest enqueues, dequeue pops the
+//!   sampled shard with the fewest dequeues. Because both counters stay
+//!   balanced, shard heads age at nearly the same rate and popping the
+//!   least-dequeued shard approximates global FIFO order — without any
+//!   global coordination (two relaxed atomic loads per choice).
+//!
+//! Both are concurrent (`&self` operations taking the caller's RNG, as
+//! the runtime expects) **and** implement the sequential [`RelaxedFifo`]
+//! trait for simulation and instrumentation.
+//!
+//! # Shard backends
+//!
+//! The sub-queue inside each shard is pluggable through [`SubFifo`]:
+//!
+//! * [`MutexSub`] — the PR 1 baseline, a `Mutex<VecDeque>` per shard;
+//! * [`MsQueue`](crate::lockfree::MsQueue) — lock-free Michael–Scott
+//!   linked queue;
+//! * [`SegRingQueue`] — lock-free
+//!   segmented ring buffer, the **default** backend.
+//!
+//! See [`lockfree`](crate::lockfree) for the algorithms and for guidance
+//! on choosing; `fifo_contention` in `rsched-bench` sweeps all of them
+//! under thread contention.
 //!
 //! [`FifoRankTracker`] wraps any [`RelaxedFifo`] and measures empirical
 //! rank errors against a shadow order, mirroring the priority-queue
-//! instrumentation in [`instrument`](crate::instrument).
+//! instrumentation in [`instrument`](crate::instrument); its concurrent
+//! counterpart is
+//! [`ConcurrentRankEstimator`](crate::instrument::ConcurrentRankEstimator).
 
+use crate::lockfree::SegRingQueue;
+use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A queue with relaxed FIFO semantics (sequential interface).
 ///
 /// Dequeue returns *one of the oldest* items; how far from the oldest is
 /// bounded by the structure's relaxation. The concurrent members of the
-/// family ([`DCboQueue`]) additionally expose `&self` operations for the
-/// runtime; this trait is the sequential-model surface shared by every
-/// member, used for simulation and instrumentation.
+/// family ([`DRaQueue`], [`DCboQueue`]) additionally expose `&self`
+/// operations for the runtime; this trait is the sequential-model
+/// surface shared by every member, used for simulation and
+/// instrumentation.
 pub trait RelaxedFifo<T> {
     /// Append `item` (relaxed tail position).
     fn enqueue(&mut self, item: T);
@@ -65,55 +90,334 @@ pub trait RelaxedFifo<T> {
     fn subqueues(&self) -> usize;
 }
 
-/// Sequential d-RA relaxed FIFO: `d` random choices over sub-FIFOs.
+// ---------------------------------------------------------------------
+// Shard backends
+// ---------------------------------------------------------------------
+
+/// A per-operation token that is either borrowed from a live
+/// [`PinSession`] or freshly created — so workers holding a session pay
+/// no epoch entry at all per operation.
+pub enum TokRef<'a, G> {
+    /// Borrowed from the session's long-lived guard.
+    Borrowed(&'a G),
+    /// Freshly created for this operation.
+    Owned(G),
+}
+
+impl<G> std::ops::Deref for TokRef<'_, G> {
+    type Target = G;
+
+    fn deref(&self) -> &G {
+        match self {
+            TokRef::Borrowed(g) => g,
+            TokRef::Owned(g) => g,
+        }
+    }
+}
+
+/// Result of a non-blocking pop attempt on a [`SubFifo`].
+#[derive(Debug)]
+pub enum TryPop<T> {
+    /// Got the sub-queue's head element and its arrival stamp.
+    Item((u64, T)),
+    /// The sub-queue was observed empty (a hint under concurrency).
+    Empty,
+    /// The sub-queue is temporarily unavailable (a lock-based backend's
+    /// lock is held). Lock-free backends never report this.
+    Contended,
+}
+
+/// One concurrent sub-queue (shard) of the relaxed FIFO family.
 ///
-/// Enqueue samples `d` sub-queues uniformly and appends to the
-/// *shortest*; dequeue samples `d` sub-queues and removes the *oldest
-/// head* among them (ties impossible: arrival numbers are unique). With
+/// Elements carry a `u64` arrival stamp alongside the payload so that
+/// d-RA's oldest-head dequeue rule can peek stamps without touching the
+/// (racily moved-out) payload. d-CBO passes `0` — its policy never reads
+/// stamps.
+pub trait SubFifo<T>: Send + Sync {
+    /// `true` when the backend's operations pin the epoch-reclamation
+    /// scheme; lets [`PinSession`] and the runtime know whether holding
+    /// an amortized pin is worthwhile.
+    const NEEDS_EPOCH: bool = false;
+
+    /// Per-operation protection token: an epoch guard for lock-free
+    /// backends, zero-sized for lock-based ones. The composing queue
+    /// creates **one** token per relaxed-FIFO operation and threads it
+    /// through every sample, peek and pop attempt, so backends never
+    /// re-enter the epoch scheme per sub-call.
+    type Token;
+
+    /// Produce a token for one composed operation.
+    fn token() -> Self::Token;
+
+    /// Borrow the token from a live [`PinSession`] when possible,
+    /// falling back to a fresh one.
+    fn borrow_token(session: &PinSession) -> TokRef<'_, Self::Token>;
+
+    /// An empty sub-queue.
+    fn new() -> Self;
+
+    /// Append `item` stamped with `seq`.
+    fn push(&self, seq: u64, item: T, tok: &Self::Token);
+
+    /// Non-blocking pop attempt; never waits for another thread.
+    fn try_pop(&self, tok: &Self::Token) -> TryPop<T>;
+
+    /// Pop, waiting for a lock if the backend has one (lock-free
+    /// backends are identical to [`try_pop`](SubFifo::try_pop)).
+    fn pop_wait(&self, tok: &Self::Token) -> Option<(u64, T)>;
+
+    /// The arrival stamp of the head element, if observable right now
+    /// (`None` when empty, unavailable, or not yet published).
+    fn head_seq(&self, tok: &Self::Token) -> Option<u64>;
+}
+
+/// The PR 1 baseline backend: a mutex around a `VecDeque`.
+///
+/// Fastest under zero contention (an uncontended lock is cheaper than an
+/// epoch pin), worst under oversubscription: a preempted lock holder
+/// stalls every other thread on the shard.
+#[derive(Debug, Default)]
+pub struct MutexSub<T> {
+    fifo: Mutex<VecDeque<(u64, T)>>,
+}
+
+impl<T: Send> SubFifo<T> for MutexSub<T> {
+    type Token = ();
+
+    fn token() {}
+
+    fn borrow_token(_session: &PinSession) -> TokRef<'_, ()> {
+        TokRef::Owned(())
+    }
+
+    fn new() -> Self {
+        MutexSub {
+            fifo: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, seq: u64, item: T, _tok: &()) {
+        self.fifo.lock().push_back((seq, item));
+    }
+
+    fn try_pop(&self, _tok: &()) -> TryPop<T> {
+        match self.fifo.try_lock() {
+            None => TryPop::Contended,
+            Some(mut fifo) => match fifo.pop_front() {
+                Some(pair) => TryPop::Item(pair),
+                None => TryPop::Empty,
+            },
+        }
+    }
+
+    fn pop_wait(&self, _tok: &()) -> Option<(u64, T)> {
+        self.fifo.lock().pop_front()
+    }
+
+    fn head_seq(&self, _tok: &()) -> Option<u64> {
+        self.fifo
+            .try_lock()
+            .and_then(|f| f.front().map(|&(s, _)| s))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread shard-picker RNG
+// ---------------------------------------------------------------------
+
+/// Seed source for per-thread picker RNGs (distinct odd increments give
+/// every thread a distinct splitmix-expanded stream).
+static PICKER_SEED: AtomicU64 = AtomicU64::new(0xD1CE_5EED);
+
+thread_local! {
+    static PICKER_RNG: RefCell<SmallRng> = RefCell::new(SmallRng::seed_from_u64(
+        PICKER_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+    ));
+}
+
+/// Run `f` with this thread's shard-picker RNG.
+///
+/// The `*_local` convenience operations on [`DRaQueue`] / [`DCboQueue`]
+/// use this so callers without their own RNG stream never serialize on a
+/// shared generator (PR 1 kept a `Mutex<SmallRng>` inside the queue for
+/// that — a bottleneck as soon as two threads picked shards at once).
+pub fn with_thread_picker<R>(f: impl FnOnce(&mut SmallRng) -> R) -> R {
+    PICKER_RNG.with(|rng| f(&mut rng.borrow_mut()))
+}
+
+// ---------------------------------------------------------------------
+// Shared shard machinery
+// ---------------------------------------------------------------------
+
+/// Largest supported `d` for [`DRaQueue`] / [`DCboQueue`] (candidate
+/// buffers are stack-allocated at this size).
+const MAX_CHOICES: usize = 8;
+
+/// One shard: a sub-queue plus its completed operation counters.
+/// Counters are read before popping/pushing (the choice is a heuristic;
+/// slight staleness only costs rank error, never correctness).
+#[derive(Debug)]
+struct Shard<S> {
+    sub: S,
+    enqueues: AtomicU64,
+    dequeues: AtomicU64,
+}
+
+impl<S> Shard<S> {
+    /// Completed enqueues minus completed dequeues — the approximate
+    /// live length (exact when quiescent).
+    fn approx_len(&self) -> u64 {
+        self.enqueues
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.dequeues.load(Ordering::Relaxed))
+    }
+}
+
+fn new_shards<T, S: SubFifo<T>>(n: usize) -> Box<[CachePadded<Shard<S>>]> {
+    (0..n)
+        .map(|_| {
+            CachePadded::new(Shard {
+                sub: S::new(),
+                enqueues: AtomicU64::new(0),
+                dequeues: AtomicU64::new(0),
+            })
+        })
+        .collect()
+}
+
+/// How many operations a [`PinSession`] batches under one epoch pin
+/// before repinning (bounding how long reclamation can be held up).
+const REPIN_EVERY: u32 = 32;
+
+/// An amortized epoch pin for a batch of queue operations.
+///
+/// Entering the epoch scheme costs a fence; a worker doing millions of
+/// operations should not pay it per operation. A session (from
+/// [`DRaQueue::pin_session`] / [`DCboQueue::pin_session`]) holds one pin
+/// so the per-operation pins inside the queue collapse to counter bumps,
+/// and [`tick`](Self::tick) repins every `REPIN_EVERY` (32) calls so the
+/// global epoch — and therefore memory reclamation — keeps advancing.
+/// For backends that don't use epochs (e.g. [`MutexSub`]) the session is
+/// an inert no-op.
+#[derive(Debug, Default)]
+pub struct PinSession {
+    guard: Option<epoch::Guard>,
+    ops: u32,
+}
+
+impl PinSession {
+    /// A session that pins only if `needs_epoch`.
+    pub fn new(needs_epoch: bool) -> Self {
+        PinSession {
+            guard: needs_epoch.then(epoch::pin),
+            ops: 0,
+        }
+    }
+
+    /// An inert session (for schedulers without epoch reclamation).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The held epoch guard, if this session is live. Queue operations
+    /// called through the `*_in` variants borrow it instead of pinning.
+    pub fn guard(&self) -> Option<&epoch::Guard> {
+        self.guard.as_ref()
+    }
+
+    /// Count one batched operation, repinning when the batch is full.
+    /// Call once per queue operation performed under the session.
+    pub fn tick(&mut self) {
+        if let Some(guard) = &mut self.guard {
+            self.ops += 1;
+            if self.ops >= REPIN_EVERY {
+                self.ops = 0;
+                guard.repin();
+            }
+        }
+    }
+}
+
+/// Fill `buf[..d]` with shard samples; with affinity, the home shard
+/// participates in the first round's choice and later rounds go fully
+/// random to escape an empty home.
+fn fill_candidates<R: Rng>(
+    q: usize,
+    d: usize,
+    home: Option<usize>,
+    round: usize,
+    rng: &mut R,
+    buf: &mut [usize; MAX_CHOICES],
+) {
+    for (i, c) in buf.iter_mut().take(d).enumerate() {
+        *c = match (home, i, round) {
+            (Some(h), 0, 0) => h,
+            _ => rng.gen_range(0..q),
+        };
+    }
+}
+
+// ---------------------------------------------------------------------
+// d-RA
+// ---------------------------------------------------------------------
+
+/// d-RA relaxed FIFO: `d` random choices over sub-FIFO shards.
+///
+/// Enqueue samples `d` shards uniformly and appends to the one with the
+/// fewest live items; dequeue samples `d` shards and removes the *oldest
+/// visible head* among them (items carry a global arrival stamp). With
 /// `d = 1` both rules degenerate to uniform random placement/removal;
 /// with one sub-queue the structure is an exact FIFO.
+///
+/// Concurrent operations take the caller's RNG (`&self`); the
+/// [`RelaxedFifo`] impl provides the sequential-model interface. The
+/// shard backend defaults to the lock-free
+/// [`SegRingQueue`]; see [`SubFifo`].
 ///
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::fifo::{DRaQueue, RelaxedFifo};
+/// use rsched_queues::fifo::DRaQueue;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
 ///
-/// let mut q = DRaQueue::choice_of_two(8, 42);
+/// let q = DRaQueue::choice_of_two(8, 42);
+/// let mut rng = SmallRng::seed_from_u64(1);
 /// for i in 0..100 {
-///     q.enqueue(i);
+///     q.enqueue(i, &mut rng);
 /// }
-/// let first = q.dequeue().unwrap();
+/// let first = q.dequeue(&mut rng).unwrap();
 /// // Relaxed: one of the oldest items, not necessarily item 0.
 /// assert!(first < 100);
 /// assert_eq!(q.len(), 99);
 /// ```
-#[derive(Clone, Debug)]
-pub struct DRaQueue<T> {
-    subs: Vec<VecDeque<(u64, T)>>,
-    /// Next arrival number (unique, monotone).
-    arrivals: u64,
+pub struct DRaQueue<T, S = SegRingQueue<T>> {
+    shards: Box<[CachePadded<Shard<S>>]>,
+    /// Global arrival stamps (unique, monotone modulo fetch order).
+    arrivals: AtomicU64,
     d: usize,
-    rng: SmallRng,
-    len: usize,
+    /// RNG for the sequential [`RelaxedFifo`] interface only; the
+    /// concurrent operations take the caller's RNG.
+    seq_rng: SmallRng,
+    _item: PhantomData<fn() -> T>,
 }
 
-impl<T> DRaQueue<T> {
-    /// `subqueues` sub-FIFOs with `d` choices per operation.
-    pub fn new(subqueues: usize, d: usize, seed: u64) -> Self {
+impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
+    /// `subqueues` shards of backend `S` with `d` choices per operation
+    /// (`1 ..= MAX_CHOICES`).
+    pub fn with_backend(subqueues: usize, d: usize, seed: u64) -> Self {
         assert!(subqueues > 0, "d-RA needs at least one sub-queue");
-        assert!(d >= 1, "d-RA needs at least one choice");
+        assert!(
+            (1..=MAX_CHOICES).contains(&d),
+            "d-RA supports 1..={MAX_CHOICES} choices, got {d}"
+        );
         Self {
-            subs: (0..subqueues).map(|_| VecDeque::new()).collect(),
-            arrivals: 0,
+            shards: new_shards::<T, S>(subqueues),
+            arrivals: AtomicU64::new(0),
             d,
-            rng: SmallRng::seed_from_u64(seed),
-            len: 0,
+            seq_rng: SmallRng::seed_from_u64(seed),
+            _item: PhantomData,
         }
-    }
-
-    /// The classic two-choice configuration.
-    pub fn choice_of_two(subqueues: usize, seed: u64) -> Self {
-        Self::new(subqueues, 2, seed)
     }
 
     /// The number of choices `d`.
@@ -121,88 +425,240 @@ impl<T> DRaQueue<T> {
         self.d
     }
 
-    fn sample(&mut self) -> usize {
-        let q = self.subs.len();
-        self.rng.gen_range(0..q)
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of stored items, derived from the per-shard operation
+    /// counters — exact when quiescent, an approximation mid-flight, and
+    /// free of any shared hot-path counter.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.approx_len() as usize).sum()
+    }
+
+    /// `true` if empty (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `item` to the sampled shard with the fewest live items.
+    pub fn enqueue<R: Rng>(&self, item: T, rng: &mut R) {
+        self.enqueue_tok(item, rng, &S::token());
+    }
+
+    /// [`enqueue`](Self::enqueue) borrowing `session`'s pin (no epoch
+    /// entry per operation for lock-free backends).
+    pub fn enqueue_in<R: Rng>(&self, item: T, rng: &mut R, session: &PinSession) {
+        self.enqueue_tok(item, rng, &S::borrow_token(session));
+    }
+
+    fn enqueue_tok<R: Rng>(&self, item: T, rng: &mut R, tok: &S::Token) {
+        let q = self.shards.len();
+        let mut best = rng.gen_range(0..q);
+        let mut best_len = self.shards[best].approx_len();
+        for _ in 1..self.d {
+            let c = rng.gen_range(0..q);
+            let l = self.shards[c].approx_len();
+            if l < best_len {
+                best = c;
+                best_len = l;
+            }
+        }
+        let seq = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[best];
+        shard.sub.push(seq, item, tok);
+        shard.enqueues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pop the oldest visible head among `d` sampled shards; `None` only
+    /// after a full sweep found every shard empty (a hint, not a
+    /// linearizable emptiness check — callers own termination detection).
+    pub fn dequeue<R: Rng>(&self, rng: &mut R) -> Option<T> {
+        self.dequeue_from(usize::MAX, rng).map(|(item, _)| item)
+    }
+
+    /// [`enqueue`](Self::enqueue) with this thread's picker RNG.
+    pub fn enqueue_local(&self, item: T) {
+        with_thread_picker(|rng| self.enqueue(item, rng));
+    }
+
+    /// [`dequeue`](Self::dequeue) with this thread's picker RNG.
+    pub fn dequeue_local(&self) -> Option<T> {
+        with_thread_picker(|rng| self.dequeue(rng))
+    }
+
+    /// [`dequeue_from`](Self::dequeue_from) with this thread's picker RNG.
+    pub fn dequeue_from_local(&self, home: usize) -> Option<(T, bool)> {
+        with_thread_picker(|rng| self.dequeue_from(home, rng))
+    }
+
+    /// An amortized [`PinSession`] for a batch of operations on this
+    /// queue (inert when the backend doesn't use epoch reclamation).
+    pub fn pin_session(&self) -> PinSession {
+        PinSession::new(S::NEEDS_EPOCH)
+    }
+
+    /// Worker-affine dequeue for the runtime: shard `home % shards` is
+    /// always one of the first round's candidates, so an uncontended
+    /// worker keeps draining its own shard; among candidates the oldest
+    /// visible head wins. The returned flag is `true` when the element
+    /// came from a foreign shard — a steal. Pass `usize::MAX` for no
+    /// affinity.
+    pub fn dequeue_from<R: Rng>(&self, home: usize, rng: &mut R) -> Option<(T, bool)> {
+        self.dequeue_from_tok(home, rng, &S::token())
+    }
+
+    /// [`dequeue_from`](Self::dequeue_from) borrowing `session`'s pin
+    /// (no epoch entry per operation for lock-free backends).
+    pub fn dequeue_from_in<R: Rng>(
+        &self,
+        home: usize,
+        rng: &mut R,
+        session: &PinSession,
+    ) -> Option<(T, bool)> {
+        self.dequeue_from_tok(home, rng, &S::borrow_token(session))
+    }
+
+    fn dequeue_from_tok<R: Rng>(
+        &self,
+        home: usize,
+        rng: &mut R,
+        tok: &S::Token,
+    ) -> Option<(T, bool)> {
+        let q = self.shards.len();
+        let home = (home != usize::MAX).then(|| home % q);
+        let d = self.d;
+        for round in 0..(2 * q + 4) {
+            let mut cand = [0usize; MAX_CHOICES];
+            fill_candidates(q, d, home, round, rng, &mut cand);
+            // Oldest visible head first; shards with no visible head
+            // (empty, or a contended mutex backend) are skipped.
+            let mut heads = [(u64::MAX, usize::MAX); MAX_CHOICES];
+            let mut n = 0;
+            for &c in &cand[..d] {
+                if let Some(s) = self.shards[c].sub.head_seq(tok) {
+                    heads[n] = (s, c);
+                    n += 1;
+                }
+            }
+            heads[..n].sort_unstable();
+            let mut tried = usize::MAX;
+            for &(_, c) in &heads[..n] {
+                if c == tried {
+                    continue;
+                }
+                tried = c;
+                if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
+                    self.finish_pop(c);
+                    return Some((item, home.is_some_and(|h| h != c)));
+                }
+            }
+            if self.is_empty() {
+                break;
+            }
+        }
+        // Oldest-head fallback over *all* shards: preserves the
+        // sequential guarantee that a non-empty queue never reports
+        // empty, and keeps the error small at drain tails.
+        for _ in 0..2 {
+            let oldest = (0..q)
+                .filter_map(|c| self.shards[c].sub.head_seq(tok).map(|s| (s, c)))
+                .min();
+            let Some((_, c)) = oldest else { break };
+            if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
+                self.finish_pop(c);
+                return Some((item, home.is_some_and(|h| h != c)));
+            }
+        }
+        // Final sweep, rotated from a per-thread offset (home shard if
+        // affine, else a random start) so convoys don't all line up on
+        // shard 0.
+        let start = home.unwrap_or_else(|| rng.gen_range(0..q));
+        for k in 0..q {
+            let c = (start + k) % q;
+            if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
+                self.finish_pop(c);
+                return Some((item, home.is_some_and(|h| h != c)));
+            }
+        }
+        None
+    }
+
+    fn finish_pop(&self, c: usize) {
+        self.shards[c].dequeues.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-impl<T> RelaxedFifo<T> for DRaQueue<T> {
+impl<T: Send> DRaQueue<T> {
+    /// `subqueues` sub-FIFOs with `d` choices per operation, on the
+    /// default lock-free segmented-ring backend.
+    pub fn new(subqueues: usize, d: usize, seed: u64) -> Self {
+        Self::with_backend(subqueues, d, seed)
+    }
+
+    /// The classic two-choice configuration.
+    pub fn choice_of_two(subqueues: usize, seed: u64) -> Self {
+        Self::new(subqueues, 2, seed)
+    }
+}
+
+impl<T, S: SubFifo<T>> std::fmt::Debug for DRaQueue<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DRaQueue")
+            .field("shards", &self.shards.len())
+            .field("d", &self.d)
+            .field(
+                "len",
+                &self.shards.iter().map(|s| s.approx_len()).sum::<u64>(),
+            )
+            .finish()
+    }
+}
+
+impl<T: Send, S: SubFifo<T>> RelaxedFifo<T> for DRaQueue<T, S> {
     fn enqueue(&mut self, item: T) {
-        let mut best = self.sample();
-        for _ in 1..self.d {
-            let c = self.sample();
-            if self.subs[c].len() < self.subs[best].len() {
-                best = c;
-            }
-        }
-        let seq = self.arrivals;
-        self.arrivals += 1;
-        self.subs[best].push_back((seq, item));
-        self.len += 1;
+        // Exclusive access: run the concurrent op on a moved-out copy of
+        // the sequential RNG (cloning 4 words beats any lock).
+        let mut rng = self.seq_rng.clone();
+        DRaQueue::enqueue(&*self, item, &mut rng);
+        self.seq_rng = rng;
     }
 
     fn dequeue(&mut self) -> Option<T> {
-        if self.len == 0 {
-            return None;
-        }
-        let mut best: Option<usize> = None;
-        for _ in 0..self.d {
-            let c = self.sample();
-            match (
-                self.subs[c].front(),
-                best.and_then(|b| self.subs[b].front()),
-            ) {
-                (Some((seq, _)), Some((bseq, _))) if seq < bseq => best = Some(c),
-                (Some(_), None) => best = Some(c),
-                _ => {}
-            }
-        }
-        // All samples hit empty sub-queues: fall back to the oldest head
-        // overall so a non-empty queue never reports empty.
-        let best = best.unwrap_or_else(|| {
-            (0..self.subs.len())
-                .filter(|&i| !self.subs[i].is_empty())
-                .min_by_key(|&i| self.subs[i].front().expect("non-empty").0)
-                .expect("len > 0 implies a non-empty sub-queue")
-        });
-        let (_, item) = self.subs[best].pop_front().expect("chosen head vanished");
-        self.len -= 1;
-        Some(item)
+        let mut rng = self.seq_rng.clone();
+        let out = DRaQueue::dequeue(&*self, &mut rng);
+        self.seq_rng = rng;
+        out
     }
 
     fn len(&self) -> usize {
-        self.len
+        DRaQueue::len(self)
     }
 
     fn subqueues(&self) -> usize {
-        self.subs.len()
+        self.num_shards()
     }
 }
 
-/// Largest supported `d` for [`DCboQueue`] (dequeue candidate buffers are
-/// stack-allocated at this size).
-const MAX_CHOICES: usize = 8;
-
-/// One shard of a [`DCboQueue`]: a locked sub-FIFO plus its completed
-/// operation counters. Counters are read before locking (the choice is a
-/// heuristic; slight staleness only costs rank error, never correctness).
-#[derive(Debug)]
-struct CboShard<T> {
-    fifo: Mutex<VecDeque<T>>,
-    enqueues: AtomicU64,
-    dequeues: AtomicU64,
-}
+// ---------------------------------------------------------------------
+// d-CBO
+// ---------------------------------------------------------------------
 
 /// Concurrent d-CBO relaxed FIFO: choice of two by balanced operation
-/// counts over locked sub-FIFO shards.
+/// counts over sub-FIFO shards.
 ///
 /// `enqueue` samples `d` shards and appends to the one with the fewest
 /// *completed enqueues*; `dequeue` samples `d` shards and pops the one
-/// with the fewest *completed dequeues* (skipping empty shards). `None`
-/// is returned only after a full sweep found every shard empty — like
-/// the workspace's other concurrent queues this is a hint, not a
-/// linearizable emptiness check, and callers own termination detection.
+/// with the fewest *completed dequeues* (skipping empty or contended
+/// shards). `None` is returned only after a full sweep found every shard
+/// empty — like the workspace's other concurrent queues this is a hint,
+/// not a linearizable emptiness check, and callers own termination
+/// detection.
+///
+/// The shard backend defaults to the lock-free
+/// [`SegRingQueue`]; see [`SubFifo`] and
+/// the [`DCboMutexQueue`] / [`DCboMsQueue`] aliases.
 ///
 /// # Examples
 ///
@@ -224,29 +680,23 @@ struct CboShard<T> {
 /// popped.sort_unstable();
 /// assert_eq!(popped, (0..100).collect::<Vec<_>>());
 /// ```
-#[derive(Debug)]
-pub struct DCboQueue<T> {
-    shards: Box<[CachePadded<CboShard<T>>]>,
-    len: AtomicUsize,
+pub struct DCboQueue<T, S = SegRingQueue<T>> {
+    shards: Box<[CachePadded<Shard<S>>]>,
     d: usize,
     /// RNG for the sequential [`RelaxedFifo`] interface only; the
     /// concurrent operations take the caller's RNG.
-    seq_rng: Mutex<SmallRng>,
+    seq_rng: SmallRng,
+    _item: PhantomData<fn() -> T>,
 }
 
-impl<T: Send> DCboQueue<T> {
-    /// `shards` sub-FIFOs with the classic two choices per operation.
-    pub fn new(shards: usize, seed: u64) -> Self {
-        Self::with_choice(shards, 2, seed)
-    }
-
+impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
     /// Largest supported choice count `d` (the dequeue candidate buffer
     /// is stack-allocated at this size).
     pub const MAX_CHOICES: usize = MAX_CHOICES;
 
-    /// `shards` sub-FIFOs with `d` choices per operation
+    /// `shards` sub-FIFOs of backend `S` with `d` choices per operation
     /// (`1 ..= MAX_CHOICES`).
-    pub fn with_choice(shards: usize, d: usize, seed: u64) -> Self {
+    pub fn with_backend(shards: usize, d: usize, seed: u64) -> Self {
         assert!(shards > 0, "d-CBO needs at least one shard");
         assert!(
             (1..=Self::MAX_CHOICES).contains(&d),
@@ -254,18 +704,10 @@ impl<T: Send> DCboQueue<T> {
             Self::MAX_CHOICES
         );
         Self {
-            shards: (0..shards)
-                .map(|_| {
-                    CachePadded::new(CboShard {
-                        fifo: Mutex::new(VecDeque::new()),
-                        enqueues: AtomicU64::new(0),
-                        dequeues: AtomicU64::new(0),
-                    })
-                })
-                .collect(),
-            len: AtomicUsize::new(0),
+            shards: new_shards::<T, S>(shards),
             d,
-            seq_rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0xD_CB0)),
+            seq_rng: SmallRng::seed_from_u64(seed ^ 0xD_CB0),
+            _item: PhantomData,
         }
     }
 
@@ -274,9 +716,11 @@ impl<T: Send> DCboQueue<T> {
         self.shards.len()
     }
 
-    /// Number of stored items (exact when quiescent).
+    /// Number of stored items, derived from the per-shard operation
+    /// counters — exact when quiescent, an approximation mid-flight, and
+    /// free of any shared hot-path counter.
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
+        self.shards.iter().map(|s| s.approx_len() as usize).sum()
     }
 
     /// `true` if empty (exact when quiescent).
@@ -287,6 +731,16 @@ impl<T: Send> DCboQueue<T> {
     /// Append `item` to the sampled shard with the fewest completed
     /// enqueues.
     pub fn enqueue<R: Rng>(&self, item: T, rng: &mut R) {
+        self.enqueue_tok(item, rng, &S::token());
+    }
+
+    /// [`enqueue`](Self::enqueue) borrowing `session`'s pin (no epoch
+    /// entry per operation for lock-free backends).
+    pub fn enqueue_in<R: Rng>(&self, item: T, rng: &mut R, session: &PinSession) {
+        self.enqueue_tok(item, rng, &S::borrow_token(session));
+    }
+
+    fn enqueue_tok<R: Rng>(&self, item: T, rng: &mut R, tok: &S::Token) {
         let q = self.shards.len();
         let mut best = rng.gen_range(0..q);
         for _ in 1..self.d {
@@ -298,15 +752,36 @@ impl<T: Send> DCboQueue<T> {
             }
         }
         let shard = &self.shards[best];
-        shard.fifo.lock().push_back(item);
+        // d-CBO never reads stamps; the balanced counters are the order.
+        shard.sub.push(0, item, tok);
         shard.enqueues.fetch_add(1, Ordering::Relaxed);
-        self.len.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Pop from the sampled shard with the fewest completed dequeues;
     /// `None` only after a full sweep found every shard empty.
     pub fn dequeue<R: Rng>(&self, rng: &mut R) -> Option<T> {
         self.dequeue_from(usize::MAX, rng).map(|(item, _)| item)
+    }
+
+    /// [`enqueue`](Self::enqueue) with this thread's picker RNG.
+    pub fn enqueue_local(&self, item: T) {
+        with_thread_picker(|rng| self.enqueue(item, rng));
+    }
+
+    /// [`dequeue`](Self::dequeue) with this thread's picker RNG.
+    pub fn dequeue_local(&self) -> Option<T> {
+        with_thread_picker(|rng| self.dequeue(rng))
+    }
+
+    /// [`dequeue_from`](Self::dequeue_from) with this thread's picker RNG.
+    pub fn dequeue_from_local(&self, home: usize) -> Option<(T, bool)> {
+        with_thread_picker(|rng| self.dequeue_from(home, rng))
+    }
+
+    /// An amortized [`PinSession`] for a batch of operations on this
+    /// queue (inert when the backend doesn't use epoch reclamation).
+    pub fn pin_session(&self) -> PinSession {
+        PinSession::new(S::NEEDS_EPOCH)
     }
 
     /// Worker-affine dequeue for the runtime: shard `home % shards` is
@@ -316,67 +791,109 @@ impl<T: Send> DCboQueue<T> {
     /// older). The returned flag is `true` when the element came from a
     /// foreign shard — a steal. Pass `usize::MAX` for no affinity.
     pub fn dequeue_from<R: Rng>(&self, home: usize, rng: &mut R) -> Option<(T, bool)> {
+        self.dequeue_from_tok(home, rng, &S::token())
+    }
+
+    /// [`dequeue_from`](Self::dequeue_from) borrowing `session`'s pin
+    /// (no epoch entry per operation for lock-free backends).
+    pub fn dequeue_from_in<R: Rng>(
+        &self,
+        home: usize,
+        rng: &mut R,
+        session: &PinSession,
+    ) -> Option<(T, bool)> {
+        self.dequeue_from_tok(home, rng, &S::borrow_token(session))
+    }
+
+    fn dequeue_from_tok<R: Rng>(
+        &self,
+        home: usize,
+        rng: &mut R,
+        tok: &S::Token,
+    ) -> Option<(T, bool)> {
         let q = self.shards.len();
-        let home = if home == usize::MAX {
-            None
-        } else {
-            Some(home % q)
-        };
-        // Optimistic two-choice rounds with try_lock, like the multiqueue.
+        let home = (home != usize::MAX).then(|| home % q);
+        let d = self.d;
+        // Optimistic choice-of-d rounds with non-blocking pops.
         for round in 0..(2 * q + 4) {
-            let mut candidates = [0usize; MAX_CHOICES];
-            let d = self.d;
-            for (i, c) in candidates.iter_mut().take(d).enumerate() {
-                *c = match (home, i, round) {
-                    // Home shard participates in the first round's choice;
-                    // later rounds go fully random to escape an empty home.
-                    (Some(h), 0, 0) => h,
-                    _ => rng.gen_range(0..q),
-                };
-            }
-            let mut order: Vec<usize> = candidates[..d].to_vec();
-            order.sort_by_key(|&c| self.shards[c].dequeues.load(Ordering::Relaxed));
-            order.dedup();
-            for &c in &order {
-                let Some(mut fifo) = self.shards[c].fifo.try_lock() else {
+            let mut cand = [0usize; MAX_CHOICES];
+            fill_candidates(q, d, home, round, rng, &mut cand);
+            let cand = &mut cand[..d];
+            cand.sort_by_key(|&c| self.shards[c].dequeues.load(Ordering::Relaxed));
+            let mut tried = usize::MAX;
+            for &c in cand.iter() {
+                if c == tried {
                     continue;
-                };
-                if let Some(item) = fifo.pop_front() {
-                    drop(fifo);
-                    self.shards[c].dequeues.fetch_add(1, Ordering::Relaxed);
-                    self.len.fetch_sub(1, Ordering::AcqRel);
+                }
+                tried = c;
+                if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
+                    self.finish_pop(c);
                     return Some((item, home.is_some_and(|h| h != c)));
                 }
             }
-            if self.len.load(Ordering::Acquire) == 0 {
+            if self.is_empty() {
                 break;
             }
         }
-        // Fallback sweep: visit every shard once, blocking on its lock.
-        for (c, shard) in self.shards.iter().enumerate() {
-            let mut fifo = shard.fifo.lock();
-            if let Some(item) = fifo.pop_front() {
-                drop(fifo);
-                shard.dequeues.fetch_add(1, Ordering::Relaxed);
-                self.len.fetch_sub(1, Ordering::AcqRel);
+        // Fallback sweep: visit every shard once, waiting on locks.
+        // Rotated from a per-thread offset (home shard if affine, else a
+        // random start) so threads that fall back together fan out over
+        // the shards instead of convoying onto shard 0.
+        let start = home.unwrap_or_else(|| rng.gen_range(0..q));
+        for k in 0..q {
+            let c = (start + k) % q;
+            if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
+                self.finish_pop(c);
                 return Some((item, home.is_some_and(|h| h != c)));
             }
         }
         None
     }
+
+    fn finish_pop(&self, c: usize) {
+        self.shards[c].dequeues.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-impl<T: Send> RelaxedFifo<T> for DCboQueue<T> {
+impl<T: Send> DCboQueue<T> {
+    /// `shards` sub-FIFOs with the classic two choices per operation, on
+    /// the default lock-free segmented-ring backend.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        Self::with_backend(shards, 2, seed)
+    }
+
+    /// `shards` sub-FIFOs with `d` choices per operation
+    /// (`1 ..= MAX_CHOICES`), on the default backend.
+    pub fn with_choice(shards: usize, d: usize, seed: u64) -> Self {
+        Self::with_backend(shards, d, seed)
+    }
+}
+
+impl<T, S: SubFifo<T>> std::fmt::Debug for DCboQueue<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DCboQueue")
+            .field("shards", &self.shards.len())
+            .field("d", &self.d)
+            .field(
+                "len",
+                &self.shards.iter().map(|s| s.approx_len()).sum::<u64>(),
+            )
+            .finish()
+    }
+}
+
+impl<T: Send, S: SubFifo<T>> RelaxedFifo<T> for DCboQueue<T, S> {
     fn enqueue(&mut self, item: T) {
-        let this = &*self;
-        let mut rng = this.seq_rng.lock();
-        DCboQueue::enqueue(this, item, &mut *rng);
+        let mut rng = self.seq_rng.clone();
+        DCboQueue::enqueue(&*self, item, &mut rng);
+        self.seq_rng = rng;
     }
 
     fn dequeue(&mut self) -> Option<T> {
-        let this = &*self;
-        let mut rng = this.seq_rng.lock();
-        DCboQueue::dequeue(this, &mut *rng)
+        let mut rng = self.seq_rng.clone();
+        let out = DCboQueue::dequeue(&*self, &mut rng);
+        self.seq_rng = rng;
+        out
     }
 
     fn len(&self) -> usize {
@@ -387,6 +904,27 @@ impl<T: Send> RelaxedFifo<T> for DCboQueue<T> {
         self.num_shards()
     }
 }
+
+// ---------------------------------------------------------------------
+// Backend aliases
+// ---------------------------------------------------------------------
+
+/// d-RA over mutex-guarded shards (the PR 1 baseline).
+pub type DRaMutexQueue<T> = DRaQueue<T, MutexSub<T>>;
+/// d-RA over lock-free Michael–Scott shards.
+pub type DRaMsQueue<T> = DRaQueue<T, crate::lockfree::MsQueue<T>>;
+/// d-RA over lock-free segmented-ring shards (the default).
+pub type DRaSegQueue<T> = DRaQueue<T, SegRingQueue<T>>;
+/// d-CBO over mutex-guarded shards (the PR 1 baseline).
+pub type DCboMutexQueue<T> = DCboQueue<T, MutexSub<T>>;
+/// d-CBO over lock-free Michael–Scott shards.
+pub type DCboMsQueue<T> = DCboQueue<T, crate::lockfree::MsQueue<T>>;
+/// d-CBO over lock-free segmented-ring shards (the default).
+pub type DCboSegQueue<T> = DCboQueue<T, SegRingQueue<T>>;
+
+// ---------------------------------------------------------------------
+// Rank-error instrumentation (sequential)
+// ---------------------------------------------------------------------
 
 /// Aggregated FIFO rank-error statistics.
 #[derive(Clone, Debug, Default)]
@@ -436,7 +974,7 @@ impl FifoRankStats {
         self.max_error
     }
 
-    fn record(&mut self, error: u64) {
+    pub(crate) fn record(&mut self, error: u64) {
         if self.hist.is_empty() {
             self.hist = vec![0; Self::HIST_BUCKETS];
         }
@@ -452,7 +990,9 @@ impl FifoRankStats {
 /// Items are stamped with a global arrival number on enqueue; on dequeue
 /// the error is the count of still-queued items with smaller stamps —
 /// the definition from the relaxed-FIFO literature ("the number of items
-/// currently in the queue which were inserted before x").
+/// currently in the queue which were inserted before x"). For
+/// measurement under real thread contention use
+/// [`ConcurrentRankEstimator`](crate::instrument::ConcurrentRankEstimator).
 ///
 /// # Examples
 ///
@@ -468,7 +1008,7 @@ impl FifoRankStats {
 /// assert_eq!(s.dequeues, 1000);
 /// assert!(s.mean_error() < 4.0 * 4.0, "choice-of-two keeps errors near q");
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct FifoRankTracker<T, Q: RelaxedFifo<(u64, T)>> {
     inner: Q,
     next: u64,
@@ -530,6 +1070,7 @@ impl<T, Q: RelaxedFifo<(u64, T)>> RelaxedFifo<T> for FifoRankTracker<T, Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lockfree::MsQueue;
 
     fn drain<T, Q: RelaxedFifo<T>>(q: &mut Q) -> Vec<T> {
         let mut out = Vec::new();
@@ -543,7 +1084,7 @@ mod tests {
     fn single_subqueue_is_exact_fifo() {
         let mut q = DRaQueue::choice_of_two(1, 3);
         for i in 0..500 {
-            q.enqueue(i);
+            RelaxedFifo::enqueue(&mut q, i);
         }
         assert_eq!(drain(&mut q), (0..500).collect::<Vec<_>>());
 
@@ -557,6 +1098,25 @@ mod tests {
     }
 
     #[test]
+    fn single_subqueue_exact_on_every_backend() {
+        fn check<S: SubFifo<i32>>() {
+            let mut q: DRaQueue<i32, S> = DRaQueue::with_backend(1, 2, 3);
+            for i in 0..200 {
+                RelaxedFifo::enqueue(&mut q, i);
+            }
+            assert_eq!(drain(&mut q), (0..200).collect::<Vec<_>>());
+            let mut q: DCboQueue<i32, S> = DCboQueue::with_backend(1, 2, 3);
+            for i in 0..200 {
+                RelaxedFifo::enqueue(&mut q, i);
+            }
+            assert_eq!(drain(&mut q), (0..200).collect::<Vec<_>>());
+        }
+        check::<MutexSub<i32>>();
+        check::<MsQueue<i32>>();
+        check::<SegRingQueue<i32>>();
+    }
+
+    #[test]
     fn dra_conserves_items_under_mixed_ops() {
         let mut q = DRaQueue::new(8, 2, 11);
         let mut rng = SmallRng::seed_from_u64(5);
@@ -564,15 +1124,51 @@ mod tests {
         let mut got = Vec::new();
         for _ in 0..10_000 {
             if rng.gen_range(0..3) > 0 {
-                q.enqueue(pushed);
+                RelaxedFifo::enqueue(&mut q, pushed);
                 pushed += 1;
-            } else if let Some(v) = q.dequeue() {
+            } else if let Some(v) = RelaxedFifo::dequeue(&mut q) {
                 got.push(v);
             }
         }
         got.extend(drain(&mut q));
         got.sort_unstable();
         assert_eq!(got, (0..pushed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backend_matrix_conserves_items_under_mixed_ops() {
+        fn check<S: SubFifo<u64>>(name: &str) {
+            let mut dra: DRaQueue<u64, S> = DRaQueue::with_backend(6, 2, 11);
+            let mut dcbo: DCboQueue<u64, S> = DCboQueue::with_backend(6, 2, 11);
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut pushed = 0u64;
+            let mut got_dra = Vec::new();
+            let mut got_dcbo = Vec::new();
+            for _ in 0..5_000 {
+                if rng.gen_range(0..3) > 0 {
+                    RelaxedFifo::enqueue(&mut dra, pushed);
+                    RelaxedFifo::enqueue(&mut dcbo, pushed);
+                    pushed += 1;
+                } else {
+                    if let Some(v) = RelaxedFifo::dequeue(&mut dra) {
+                        got_dra.push(v);
+                    }
+                    if let Some(v) = RelaxedFifo::dequeue(&mut dcbo) {
+                        got_dcbo.push(v);
+                    }
+                }
+            }
+            got_dra.extend(drain(&mut dra));
+            got_dcbo.extend(drain(&mut dcbo));
+            got_dra.sort_unstable();
+            got_dcbo.sort_unstable();
+            let want: Vec<u64> = (0..pushed).collect();
+            assert_eq!(got_dra, want, "{name}: d-RA lost or duplicated items");
+            assert_eq!(got_dcbo, want, "{name}: d-CBO lost or duplicated items");
+        }
+        check::<MutexSub<u64>>("mutex");
+        check::<MsQueue<u64>>("ms");
+        check::<SegRingQueue<u64>>("segring");
     }
 
     #[test]
@@ -650,6 +1246,43 @@ mod tests {
     }
 
     #[test]
+    fn dra_concurrent_no_loss_no_duplication() {
+        use std::sync::Arc;
+        let q: Arc<DRaQueue<usize>> = Arc::new(DRaQueue::new(6, 2, 3));
+        let threads = 8;
+        let per = 5_000usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        q.enqueue(t * per + i, &mut rng);
+                        if i % 2 == 0 {
+                            if let Some(v) = q.dequeue(&mut rng) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        while let Some(v) = q.dequeue(&mut rng) {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..threads * per).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn dcbo_home_shard_pops_are_not_steals() {
         // A single worker draining with affinity takes mostly from its
         // home shard at first; the flag distinguishes home from foreign.
@@ -670,5 +1303,28 @@ mod tests {
         assert_eq!(home_pops + steals, 100);
         assert!(home_pops > 0, "home shard never drained");
         assert!(steals > 0, "foreign shards never drained");
+    }
+
+    #[test]
+    fn thread_local_picker_ops_conserve_items() {
+        use std::sync::Arc;
+        let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(4, 17));
+        let threads = 4;
+        let per = 2_000usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue_local(t * per + i);
+                    }
+                });
+            }
+        });
+        let mut seen = std::collections::HashSet::new();
+        while let Some((v, _)) = q.dequeue_from_local(0) {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        assert_eq!(seen.len(), threads * per);
     }
 }

@@ -23,17 +23,26 @@
 //!     provably satisfies the paper's RankBound and Fairness properties
 //!     (in the spirit of deterministic structures such as the k-LSM).
 //! * **Relaxed FIFO queues** ([`fifo`]): the choice-of-two relaxed FIFO
-//!   family — sequential [`fifo::DRaQueue`] (d random choices over
-//!   sub-FIFOs) and concurrent [`fifo::DCboQueue`] (d-CBO: choice by
-//!   balanced operation counts over sharded sub-FIFOs) behind the
-//!   [`fifo::RelaxedFifo`] trait. These feed the `rsched-runtime` worker
-//!   pool for FIFO-ordered workloads (BFS frontiers, k-core peeling).
+//!   family — [`fifo::DRaQueue`] (d random choices over sub-FIFOs,
+//!   oldest-visible-head dequeues) and [`fifo::DCboQueue`] (d-CBO:
+//!   choice by balanced operation counts over sharded sub-FIFOs), both
+//!   concurrent and both behind the sequential [`fifo::RelaxedFifo`]
+//!   trait. These feed the `rsched-runtime` worker pool for FIFO-ordered
+//!   workloads (BFS frontiers, k-core peeling).
+//! * **Lock-free sub-queues** ([`lockfree`]): the shard backends of the
+//!   FIFO family — a Michael–Scott linked queue
+//!   ([`lockfree::MsQueue`]) and a segmented ring buffer
+//!   ([`lockfree::SegRingQueue`], the default), reclaimed through the
+//!   epoch scheme in `crossbeam::epoch`, selectable per queue through
+//!   [`fifo::SubFifo`] (with [`fifo::MutexSub`] as the locked baseline).
 //! * **Instrumentation**: [`instrument::RankTracker`] wraps any relaxed queue
 //!   and measures the empirical rank of every returned element and the
 //!   inversion count of every element that becomes the global minimum,
 //!   validating the paper's RankBound (`rank(t) <= k`) and Fairness
 //!   (`inv(u) <= k - 1`) properties; [`fifo::FifoRankTracker`] is the FIFO
-//!   analogue, measuring rank errors (items overtaken per dequeue).
+//!   analogue, measuring rank errors (items overtaken per dequeue), and
+//!   [`instrument::ConcurrentRankEstimator`] estimates FIFO rank errors
+//!   under real thread contention via timestamp replay.
 //!
 //! ## The interface
 //!
@@ -54,15 +63,21 @@ pub mod heap;
 pub mod instrument;
 pub mod kbounded;
 pub mod klsm;
+pub mod lockfree;
 pub mod multiqueue;
 pub mod pairing;
 pub mod spraylist;
 
-pub use fifo::{DCboQueue, DRaQueue, FifoRankStats, FifoRankTracker, RelaxedFifo};
+pub use fifo::{
+    DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue,
+    DRaSegQueue, FifoRankStats, FifoRankTracker, MutexSub, PinSession, RelaxedFifo, SubFifo,
+    TryPop,
+};
 pub use heap::IndexedBinaryHeap;
-pub use instrument::{RankStats, RankTracker};
+pub use instrument::{ConcurrentRankEstimator, RankRecorder, RankStats, RankTracker};
 pub use kbounded::RotatingKQueue;
 pub use klsm::{KLsmHandle, KLsmQueue};
+pub use lockfree::{MsQueue, SegRingQueue};
 pub use multiqueue::Placement;
 pub use multiqueue::{ConcurrentMultiQueue, DuplicateMultiQueue, SimMultiQueue, StickySession};
 pub use pairing::PairingHeap;

@@ -1,0 +1,932 @@
+//! Lock-free sub-queues for the relaxed FIFO family.
+//!
+//! PR 1 built every relaxed structure on one `parking_lot::Mutex` per
+//! shard, which caps scalability exactly where choice-of-two relaxation
+//! is supposed to shine: under contention, a preempted lock holder
+//! stalls every other thread on that shard. "Are Lock-Free Concurrent
+//! Algorithms Practically Wait-Free?" (Alistarh, Censor-Hillel, Shavit)
+//! argues lock-free designs behave wait-free under realistic
+//! schedulers — a descheduled thread mid-operation costs only its own
+//! progress. This module provides two such sub-queues, both implementing
+//! [`SubFifo`] so [`DRaQueue`](crate::fifo::DRaQueue)
+//! and [`DCboQueue`](crate::fifo::DCboQueue) compose them per shard:
+//!
+//! # [`MsQueue`] — Michael–Scott linked queue
+//!
+//! The classic two-pointer linked queue (PODC 1996). A sentinel node
+//! heads a singly linked list; `push` CASes the new node onto
+//! `tail.next` (helping a lagging tail forward first), `pop` CASes
+//! `head` to `head.next` and takes the value out of the *new* sentinel.
+//! One allocation per element, unbounded, no spinning anywhere: an
+//! operation that loses a CAS retries against fresh state, and a
+//! preempted thread never blocks others.
+//!
+//! # [`SegRingQueue`] — segmented ring buffer
+//!
+//! A linked list of fixed-size segments ([`SEGMENT_CAP`] slots each).
+//! Within a segment, `push` claims a slot with one `fetch_add` on the
+//! segment's enqueue cursor and publishes it with one release store;
+//! `pop` claims with a CAS on the dequeue cursor. A full segment is
+//! *never reused*: the overflowing pusher links a fresh segment and
+//! swings the shared tail, so **pops never spin on a full segment** —
+//! the only wait in the structure is a popper briefly yielding to a
+//! claimed-but-not-yet-published slot's writer. One allocation per
+//! [`SEGMENT_CAP`] elements and slot-local cache traffic make this the
+//! faster backend under churn; cursors only grow, so there is no ABA.
+//!
+//! # Memory reclamation
+//!
+//! Both queues reclaim through the epoch scheme in [`crossbeam::epoch`]
+//! (the vendored stand-in): every operation pins the thread, unlinked
+//! nodes/segments are `defer_destroy`ed, and the allocation is freed two
+//! epoch advances later, when no pinned thread can still reach it.
+//! Values are moved out at pop time; a reclaimed MS node or drained
+//! segment destructs no element. Arrival stamps (`u64`) are stored in a
+//! field that is written once before publication and never mutated, so
+//! [`SubFifo::head_seq`] can peek the
+//! head's stamp without racing the popper that moves the value out.
+//!
+//! # Choosing a backend
+//!
+//! * **[`SegRingQueue`]** (the family default): best throughput under
+//!   contention — slot claims are a single RMW on a cursor shared only
+//!   by one side of the queue, and allocation is amortized. Use it
+//!   whenever elements are `Send` and throughput matters.
+//! * **[`MsQueue`]**: simplest possible lock-free baseline, useful to
+//!   isolate how much of the win is "no locks" versus "fewer, batched
+//!   allocations"; also the better citizen when elements are huge (a
+//!   segment pre-reserves `SEGMENT_CAP` slots of `T` up front).
+//! * **[`MutexSub`](crate::fifo::MutexSub)**: the PR 1 baseline, kept
+//!   for comparison (`fifo_contention` sweeps all three) and for
+//!   single-threaded use, where an uncontended lock beats an epoch pin.
+
+use crate::fifo::{SubFifo, TryPop};
+use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use crossbeam::utils::{Backoff, CachePadded};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Slots per [`SegRingQueue`] segment. Small enough that unit tests
+/// cross segment boundaries constantly; large enough to amortize the
+/// segment allocation across real workloads.
+pub const SEGMENT_CAP: usize = 256;
+
+// ---------------------------------------------------------------------
+// Michael–Scott queue
+// ---------------------------------------------------------------------
+
+struct MsNode<T> {
+    /// Arrival stamp; written before the node is published, never
+    /// mutated, so racy head peeks are sound.
+    seq: u64,
+    /// The element; moved out by the unique pop winner.
+    value: UnsafeCell<MaybeUninit<T>>,
+    next: Atomic<MsNode<T>>,
+}
+
+/// Lock-free Michael–Scott linked FIFO with arrival stamps.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::lockfree::MsQueue;
+///
+/// let q = MsQueue::new();
+/// q.push_stamped(0, "a");
+/// q.push_stamped(1, "b");
+/// assert_eq!(q.head_seq(), Some(0));
+/// assert_eq!(q.pop_stamped(), Some((0, "a")));
+/// assert_eq!(q.pop_stamped(), Some((1, "b")));
+/// assert_eq!(q.pop_stamped(), None);
+/// ```
+pub struct MsQueue<T> {
+    head: CachePadded<Atomic<MsNode<T>>>,
+    tail: CachePadded<Atomic<MsNode<T>>>,
+    pushes: CachePadded<AtomicU64>,
+    pops: CachePadded<AtomicU64>,
+}
+
+// SAFETY: elements are accessed by at most one thread at a time (the
+// publishing pusher before the release CAS, the unique pop winner after
+// the head CAS); everything else is atomics.
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MsQueue<T> {
+    /// An empty queue (allocates the sentinel node).
+    pub fn new() -> Self {
+        let sentinel = Box::into_raw(Box::new(MsNode {
+            seq: 0,
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            next: Atomic::null(),
+        }));
+        MsQueue {
+            head: CachePadded::new(Atomic::from_raw(sentinel)),
+            tail: CachePadded::new(Atomic::from_raw(sentinel)),
+            pushes: CachePadded::new(AtomicU64::new(0)),
+            pops: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Completed pushes minus completed pops — exact when quiescent.
+    pub fn len(&self) -> usize {
+        let pushes = self.pushes.load(Ordering::Acquire);
+        let pops = self.pops.load(Ordering::Acquire);
+        pushes.saturating_sub(pops) as usize
+    }
+
+    /// `true` if [`len`](Self::len) is zero (a hint under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `value` stamped with `seq`.
+    pub fn push_stamped(&self, seq: u64, value: T) {
+        self.push_with(seq, value, &epoch::pin());
+    }
+
+    /// [`push_stamped`](Self::push_stamped) under a caller-held pin.
+    pub fn push_with(&self, seq: u64, value: T, guard: &epoch::Guard) {
+        let node = Owned::new(MsNode {
+            seq,
+            value: UnsafeCell::new(MaybeUninit::new(value)),
+            next: Atomic::null(),
+        })
+        .into_shared(guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            // SAFETY: tail is never null and is protected by the guard.
+            let t = unsafe { tail.deref() };
+            let next = t.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                // Tail lags: help it forward, then retry.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                continue;
+            }
+            if t.next
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                )
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                self.pushes.fetch_add(1, Ordering::Release);
+                return;
+            }
+        }
+    }
+
+    /// Remove the head element, returning its stamp and value.
+    pub fn pop_stamped(&self) -> Option<(u64, T)> {
+        self.pop_with(&epoch::pin())
+    }
+
+    /// [`pop_stamped`](Self::pop_stamped) under a caller-held pin.
+    pub fn pop_with(&self, guard: &epoch::Guard) -> Option<(u64, T)> {
+        loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: head is never null and is protected by the guard.
+            let h = unsafe { head.deref() };
+            let next = h.next.load(Ordering::Acquire, guard);
+            // SAFETY: non-null `next` is protected by the guard.
+            let n = (unsafe { next.as_ref() })?;
+            // Keep the tail at or ahead of the head so no thread can load
+            // an unlinked (soon reclaimed) node from `tail`.
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            if tail.as_raw() == head.as_raw() {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                // SAFETY: winning the head CAS grants unique ownership of
+                // the value in the new sentinel `n`; the pusher's release
+                // CAS made the write visible.
+                let value = unsafe { (*n.value.get()).assume_init_read() };
+                let seq = n.seq;
+                // SAFETY: the old sentinel is unlinked and its value slot
+                // is uninit (moved out by a previous pop or never set).
+                unsafe { guard.defer_destroy(head) };
+                self.pops.fetch_add(1, Ordering::Release);
+                return Some((seq, value));
+            }
+        }
+    }
+
+    /// The arrival stamp of the current head element, if one is visible.
+    pub fn head_seq(&self) -> Option<u64> {
+        self.head_seq_with(&epoch::pin())
+    }
+
+    /// [`head_seq`](Self::head_seq) under a caller-held pin.
+    pub fn head_seq_with(&self, guard: &epoch::Guard) -> Option<u64> {
+        let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: head is never null and is protected by the guard.
+        let h = unsafe { head.deref() };
+        let next = h.next.load(Ordering::Acquire, guard);
+        // SAFETY: non-null `next` is protected by the guard; only the
+        // immutable `seq` field is read, never the racy value slot.
+        unsafe { next.as_ref() }.map(|n| n.seq)
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the raw list. The first node is the
+        // sentinel (value already moved out or never set); every node
+        // after it holds a live element.
+        let mut node = self.head.load_raw();
+        let mut is_sentinel = true;
+        while !node.is_null() {
+            // SAFETY: nodes reachable from head at drop time are owned by
+            // the queue; each is freed exactly once.
+            let boxed = unsafe { Box::from_raw(node) };
+            if !is_sentinel {
+                // SAFETY: non-sentinel nodes hold an initialized value.
+                unsafe { (*boxed.value.get()).assume_init_drop() };
+            }
+            is_sentinel = false;
+            node = boxed.next.load_raw();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsQueue").field("len", &self.len()).finish()
+    }
+}
+
+impl<T: Send> SubFifo<T> for MsQueue<T> {
+    const NEEDS_EPOCH: bool = true;
+
+    type Token = epoch::Guard;
+
+    fn token() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    fn borrow_token(session: &crate::fifo::PinSession) -> crate::fifo::TokRef<'_, epoch::Guard> {
+        match session.guard() {
+            Some(g) => crate::fifo::TokRef::Borrowed(g),
+            None => crate::fifo::TokRef::Owned(epoch::pin()),
+        }
+    }
+
+    fn new() -> Self {
+        MsQueue::new()
+    }
+
+    fn push(&self, seq: u64, item: T, tok: &epoch::Guard) {
+        self.push_with(seq, item, tok);
+    }
+
+    fn try_pop(&self, tok: &epoch::Guard) -> TryPop<T> {
+        match self.pop_with(tok) {
+            Some(pair) => TryPop::Item(pair),
+            None => TryPop::Empty,
+        }
+    }
+
+    fn pop_wait(&self, tok: &epoch::Guard) -> Option<(u64, T)> {
+        self.pop_with(tok)
+    }
+
+    fn head_seq(&self, tok: &epoch::Guard) -> Option<u64> {
+        self.head_seq_with(tok)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segmented ring queue
+// ---------------------------------------------------------------------
+
+struct Slot<T> {
+    /// Publication flag and arrival stamp in one word: `0` while empty,
+    /// `(seq << 1) | 1` once the value is written. A single acquire load
+    /// gives poppers and peekers both the "published?" answer and the
+    /// stamp, and the slot stays two words wide.
+    seq_state: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+impl<T> Slot<T> {
+    const EMPTY: u64 = 0;
+
+    fn pack(seq: u64) -> u64 {
+        debug_assert!(seq < u64::MAX / 2, "arrival stamp overflows the packing");
+        (seq << 1) | 1
+    }
+}
+
+struct Segment<T> {
+    /// Global position of slot 0 (successor segments get
+    /// `base + SEGMENT_CAP`); lets [`SegRingQueue::len`] derive the live
+    /// count from the two end cursors with no hot-path counters.
+    base: u64,
+    /// Next slot a pusher claims (grows past `SEGMENT_CAP` when the
+    /// segment overflows; the excess is the signal to link a successor).
+    enq: CachePadded<AtomicUsize>,
+    /// Next slot a popper claims (claimed by CAS, so it never overshoots
+    /// the published prefix and an empty pop loses no reservation).
+    deq: CachePadded<AtomicUsize>,
+    next: Atomic<Segment<T>>,
+    slots: [Slot<T>; SEGMENT_CAP],
+}
+
+impl<T> Segment<T> {
+    fn new(base: u64) -> Self {
+        Segment {
+            base,
+            enq: CachePadded::new(AtomicUsize::new(0)),
+            deq: CachePadded::new(AtomicUsize::new(0)),
+            next: Atomic::null(),
+            slots: std::array::from_fn(|_| Slot {
+                seq_state: AtomicU64::new(Slot::<T>::EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            }),
+        }
+    }
+}
+
+impl<T> Drop for Segment<T> {
+    fn drop(&mut self) {
+        // Exclusive access: slots in [deq, min(enq, CAP)) that were
+        // published still hold live elements (a fully drained segment has
+        // deq == CAP and drops nothing).
+        let deq = self.deq.load(Ordering::Relaxed).min(SEGMENT_CAP);
+        let enq = self.enq.load(Ordering::Relaxed).min(SEGMENT_CAP);
+        for slot in &self.slots[deq.min(enq)..enq] {
+            if slot.seq_state.load(Ordering::Relaxed) != Slot::<T>::EMPTY {
+                // SAFETY: published and never claimed by a popper.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Lock-free segmented ring-buffer FIFO with arrival stamps.
+///
+/// Bounded segments are linked lock-free: a full segment is abandoned to
+/// its poppers and a fresh one appended, so pushes never wait for pops
+/// and pops never spin on a full segment.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::lockfree::{SegRingQueue, SEGMENT_CAP};
+///
+/// let q = SegRingQueue::new();
+/// for i in 0..(3 * SEGMENT_CAP as u64) {
+///     q.push_stamped(i, i);
+/// }
+/// for i in 0..(3 * SEGMENT_CAP as u64) {
+///     assert_eq!(q.pop_stamped(), Some((i, i)));
+/// }
+/// assert_eq!(q.pop_stamped(), None);
+/// ```
+pub struct SegRingQueue<T> {
+    head: CachePadded<Atomic<Segment<T>>>,
+    tail: CachePadded<Atomic<Segment<T>>>,
+}
+
+// SAFETY: slot values are accessed by at most one thread at a time (the
+// claiming pusher before the release store, the unique claiming popper
+// after its CAS); cursors and states are atomics.
+unsafe impl<T: Send> Send for SegRingQueue<T> {}
+unsafe impl<T: Send> Sync for SegRingQueue<T> {}
+
+impl<T> Default for SegRingQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SegRingQueue<T> {
+    /// An empty queue (allocates the first segment).
+    pub fn new() -> Self {
+        let first = Box::into_raw(Box::new(Segment::new(0)));
+        SegRingQueue {
+            head: CachePadded::new(Atomic::from_raw(first)),
+            tail: CachePadded::new(Atomic::from_raw(first)),
+        }
+    }
+
+    /// Tail push position minus head pop position, derived from the end
+    /// segments' base offsets and cursors — exact when quiescent, an
+    /// approximation mid-flight, and free of hot-path counters.
+    pub fn len(&self) -> usize {
+        let guard = epoch::pin();
+        let tail = self.tail.load(Ordering::Acquire, &guard);
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: both ends are never null and protected by the guard.
+        let (t, h) = unsafe { (tail.deref(), head.deref()) };
+        let push_pos = t.base + t.enq.load(Ordering::Acquire).min(SEGMENT_CAP) as u64;
+        let pop_pos = h.base + h.deq.load(Ordering::Acquire).min(SEGMENT_CAP) as u64;
+        push_pos.saturating_sub(pop_pos) as usize
+    }
+
+    /// `true` if [`len`](Self::len) is zero (a hint under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `value` stamped with `seq`.
+    pub fn push_stamped(&self, seq: u64, value: T) {
+        self.push_with(seq, value, &epoch::pin());
+    }
+
+    /// [`push_stamped`](Self::push_stamped) under a caller-held pin.
+    pub fn push_with(&self, seq: u64, value: T, guard: &epoch::Guard) {
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            // SAFETY: tail is never null and is protected by the guard.
+            let t = unsafe { tail.deref() };
+            let i = t.enq.fetch_add(1, Ordering::SeqCst);
+            if i < SEGMENT_CAP {
+                let slot = &t.slots[i];
+                // SAFETY: the fetch_add claimed slot `i` exclusively for
+                // this pusher; nothing reads it until the release store.
+                unsafe {
+                    (*slot.value.get()).write(value);
+                }
+                slot.seq_state
+                    .store(Slot::<T>::pack(seq), Ordering::Release);
+                return;
+            }
+            // Segment full: link a successor (or help whoever did), swing
+            // the tail, and retry there.
+            let next = t.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                continue;
+            }
+            match t.next.compare_exchange(
+                Shared::null(),
+                Owned::new(Segment::new(t.base + SEGMENT_CAP as u64)),
+                Ordering::Release,
+                Ordering::Relaxed,
+                guard,
+            ) {
+                Ok(linked) => {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        linked,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        guard,
+                    );
+                }
+                Err(lost) => {
+                    // Another pusher linked first; its segment wins and
+                    // our fresh one is dropped by the error value.
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        lost.current,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        guard,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Remove the head element, returning its stamp and value.
+    pub fn pop_stamped(&self) -> Option<(u64, T)> {
+        self.pop_with(&epoch::pin())
+    }
+
+    /// [`pop_stamped`](Self::pop_stamped) under a caller-held pin.
+    pub fn pop_with(&self, guard: &epoch::Guard) -> Option<(u64, T)> {
+        'segment: loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: head is never null and is protected by the guard.
+            let h = unsafe { head.deref() };
+            loop {
+                let d = h.deq.load(Ordering::SeqCst);
+                if d >= SEGMENT_CAP {
+                    // Segment fully claimed: retire it and move on.
+                    let next = h.next.load(Ordering::Acquire, guard);
+                    if next.is_null() {
+                        return None;
+                    }
+                    // Push the tail past the dying segment first so no
+                    // future pusher can load a reclaimed pointer from it.
+                    let tail = self.tail.load(Ordering::Acquire, guard);
+                    if tail.as_raw() == head.as_raw() {
+                        let _ = self.tail.compare_exchange(
+                            tail,
+                            next,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                            guard,
+                        );
+                    }
+                    if self
+                        .head
+                        .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, guard)
+                        .is_ok()
+                    {
+                        // SAFETY: the segment is unlinked and all its
+                        // slots were claimed; in-flight claimants hold
+                        // epoch guards, so destruction is deferred.
+                        unsafe { guard.defer_destroy(head) };
+                    }
+                    continue 'segment;
+                }
+                let slot = &h.slots[d];
+                let published = slot.seq_state.load(Ordering::Acquire);
+                if published != Slot::<T>::EMPTY {
+                    // Fast path: the head slot is already published, so a
+                    // successful claim needs no cursor comparison and no
+                    // publication wait.
+                    if h.deq
+                        .compare_exchange(d, d + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        // SAFETY: the deq CAS claimed slot `d` exclusively
+                        // and the acquire load above saw the publication.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        return Some((published >> 1, value));
+                    }
+                    continue;
+                }
+                let e = h.enq.load(Ordering::SeqCst).min(SEGMENT_CAP);
+                if d >= e {
+                    // Nothing published here right now. A non-null next
+                    // pointer proves the segment overflowed, so re-read
+                    // the cursor; otherwise report empty (a hint — the
+                    // callers own termination detection).
+                    let next = h.next.load(Ordering::Acquire, guard);
+                    if next.is_null() {
+                        return None;
+                    }
+                    continue;
+                }
+                if h.deq
+                    .compare_exchange(d, d + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    // The claiming pusher has not published yet; yield to
+                    // it briefly (never on a *full* segment — full
+                    // segments are left behind, not waited on).
+                    let backoff = Backoff::new();
+                    let mut published = slot.seq_state.load(Ordering::Acquire);
+                    while published == Slot::<T>::EMPTY {
+                        backoff.snooze();
+                        published = slot.seq_state.load(Ordering::Acquire);
+                    }
+                    // SAFETY: the deq CAS claimed slot `d` exclusively
+                    // and the acquire load above saw the publication.
+                    let value = unsafe { (*slot.value.get()).assume_init_read() };
+                    return Some((published >> 1, value));
+                }
+            }
+        }
+    }
+
+    /// The arrival stamp of the current head element, if one is visible.
+    pub fn head_seq(&self) -> Option<u64> {
+        self.head_seq_with(&epoch::pin())
+    }
+
+    /// [`head_seq`](Self::head_seq) under a caller-held pin.
+    pub fn head_seq_with(&self, guard: &epoch::Guard) -> Option<u64> {
+        let mut current = self.head.load(Ordering::Acquire, guard);
+        loop {
+            // SAFETY: segment pointers walked here are protected by the
+            // guard (reached from head, destruction deferred).
+            let h = unsafe { current.as_ref() }?;
+            let d = h.deq.load(Ordering::SeqCst);
+            if d < SEGMENT_CAP {
+                // The packed word is written once before publication and
+                // never mutated; racing the value move-out is fine.
+                let published = h.slots[d].seq_state.load(Ordering::Acquire);
+                if published != Slot::<T>::EMPTY {
+                    return Some(published >> 1);
+                }
+                return None;
+            }
+            current = h.next.load(Ordering::Acquire, guard);
+        }
+    }
+}
+
+impl<T> Drop for SegRingQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the raw segment chain; each segment's
+        // own Drop releases its unconsumed elements.
+        let mut seg = self.head.load_raw();
+        while !seg.is_null() {
+            // SAFETY: segments reachable from head at drop time are owned
+            // by the queue; each is freed exactly once.
+            let boxed = unsafe { Box::from_raw(seg) };
+            seg = boxed.next.load_raw();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SegRingQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegRingQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Send> SubFifo<T> for SegRingQueue<T> {
+    const NEEDS_EPOCH: bool = true;
+
+    type Token = epoch::Guard;
+
+    fn token() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    fn borrow_token(session: &crate::fifo::PinSession) -> crate::fifo::TokRef<'_, epoch::Guard> {
+        match session.guard() {
+            Some(g) => crate::fifo::TokRef::Borrowed(g),
+            None => crate::fifo::TokRef::Owned(epoch::pin()),
+        }
+    }
+
+    fn new() -> Self {
+        SegRingQueue::new()
+    }
+
+    fn push(&self, seq: u64, item: T, tok: &epoch::Guard) {
+        self.push_with(seq, item, tok);
+    }
+
+    fn try_pop(&self, tok: &epoch::Guard) -> TryPop<T> {
+        match self.pop_with(tok) {
+            Some(pair) => TryPop::Item(pair),
+            None => TryPop::Empty,
+        }
+    }
+
+    fn pop_wait(&self, tok: &epoch::Guard) -> Option<(u64, T)> {
+        self.pop_with(tok)
+    }
+
+    fn head_seq(&self, tok: &epoch::Guard) -> Option<u64> {
+        self.head_seq_with(tok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    /// Iteration multiplier for the heavy tests; `RSCHED_STRESS=1` (or a
+    /// number) raises it in the CI stress job.
+    fn stress_mult() -> usize {
+        match std::env::var("RSCHED_STRESS").as_deref() {
+            Ok("0") | Err(_) => 1,
+            Ok(v) => v.parse::<usize>().unwrap_or(1).clamp(1, 64) * 4,
+        }
+    }
+
+    #[test]
+    fn ms_exact_fifo_single_thread() {
+        let q = MsQueue::new();
+        assert_eq!(q.pop_stamped(), None);
+        for i in 0..500u64 {
+            q.push_stamped(i, i * 3);
+        }
+        assert_eq!(q.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(q.head_seq(), Some(i));
+            assert_eq!(q.pop_stamped(), Some((i, i * 3)));
+        }
+        assert_eq!(q.pop_stamped(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn segring_exact_fifo_across_segment_boundaries() {
+        let q = SegRingQueue::new();
+        let n = (5 * SEGMENT_CAP + 3) as u64;
+        for i in 0..n {
+            q.push_stamped(i, i);
+        }
+        assert_eq!(q.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(q.head_seq(), Some(i));
+            assert_eq!(q.pop_stamped(), Some((i, i)));
+        }
+        assert_eq!(q.pop_stamped(), None);
+    }
+
+    #[test]
+    fn segring_wraparound_mixed_ops_at_boundaries() {
+        // Alternate fill/drain patterns sized to land exactly on, one
+        // short of, and one past the segment boundary.
+        let q = SegRingQueue::new();
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for delta in [
+            SEGMENT_CAP,
+            SEGMENT_CAP - 1,
+            SEGMENT_CAP + 1,
+            2 * SEGMENT_CAP,
+            1,
+            3,
+        ] {
+            for _ in 0..delta {
+                q.push_stamped(next, next);
+                next += 1;
+            }
+            for _ in 0..delta {
+                assert_eq!(q.pop_stamped(), Some((expect, expect)));
+                expect += 1;
+            }
+            // Empty pop at a segment boundary must not lose a slot
+            // reservation: the next push must still come out.
+            assert_eq!(q.pop_stamped(), None);
+        }
+        assert_eq!(next, expect);
+        q.push_stamped(next, next);
+        assert_eq!(q.pop_stamped(), Some((next, next)));
+    }
+
+    #[test]
+    fn empty_pop_then_push_recovers() {
+        let ms = MsQueue::new();
+        let sr = SegRingQueue::new();
+        for round in 0..(3 * SEGMENT_CAP as u64) {
+            assert_eq!(ms.pop_stamped(), None);
+            assert_eq!(sr.pop_stamped(), None);
+            ms.push_stamped(round, round);
+            sr.push_stamped(round, round);
+            assert_eq!(ms.pop_stamped(), Some((round, round)));
+            assert_eq!(sr.pop_stamped(), Some((round, round)));
+        }
+    }
+
+    fn conservation_storm<Q: SubFifo<usize> + 'static>(q: Arc<Q>, threads: usize, per: usize) {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let tok = Q::token();
+                    for i in 0..per {
+                        let v = t * per + i;
+                        q.push(v as u64, v, &tok);
+                        if i % 3 == 0 {
+                            if let TryPop::Item((_, v)) = q.try_pop(&tok) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate pop of {v}");
+            }
+        }
+        let tok = Q::token();
+        while let Some((_, v)) = q.pop_wait(&tok) {
+            assert!(seen.insert(v), "duplicate pop of {v}");
+        }
+        assert_eq!(seen.len(), threads * per, "elements lost");
+    }
+
+    #[test]
+    fn ms_multithread_conservation() {
+        conservation_storm(Arc::new(MsQueue::new()), 8, 5_000 * stress_mult());
+    }
+
+    #[test]
+    fn segring_multithread_conservation() {
+        conservation_storm(Arc::new(SegRingQueue::new()), 8, 5_000 * stress_mult());
+    }
+
+    #[test]
+    fn drop_releases_every_remaining_element() {
+        struct Counted(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let n = 2 * SEGMENT_CAP + 7;
+        let popped = 10;
+        for which in 0..2 {
+            drops.store(0, Ordering::SeqCst);
+            match which {
+                0 => {
+                    let q = MsQueue::new();
+                    for i in 0..n {
+                        q.push_stamped(i as u64, Counted(Arc::clone(&drops)));
+                    }
+                    for _ in 0..popped {
+                        drop(q.pop_stamped());
+                    }
+                    drop(q);
+                }
+                _ => {
+                    let q = SegRingQueue::new();
+                    for i in 0..n {
+                        q.push_stamped(i as u64, Counted(Arc::clone(&drops)));
+                    }
+                    for _ in 0..popped {
+                        drop(q.pop_stamped());
+                    }
+                    drop(q);
+                }
+            }
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                n,
+                "queue {which} leaked elements on drop"
+            );
+        }
+    }
+
+    #[test]
+    fn head_seq_is_racy_but_memory_safe() {
+        // Peeks racing pops must never crash or return stamps that were
+        // never pushed.
+        let q: Arc<SegRingQueue<u64>> = Arc::new(SegRingQueue::new());
+        let n = 20_000 * stress_mult() as u64;
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            for i in 0..n {
+                q2.push_stamped(i, i);
+            }
+        });
+        let q3 = Arc::clone(&q);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let peeker = std::thread::spawn(move || {
+            let mut peeks = 0u64;
+            while !done2.load(Ordering::Acquire) {
+                if let Some(s) = q3.head_seq() {
+                    assert!(s < n, "peeked stamp {s} never pushed");
+                    peeks += 1;
+                }
+            }
+            peeks
+        });
+        let mut got = 0u64;
+        while got < n {
+            if q.pop_stamped().is_some() {
+                got += 1;
+            }
+        }
+        done.store(true, Ordering::Release);
+        pusher.join().unwrap();
+        // Liveness is scheduler-dependent (a single-core host may never
+        // run the peeker mid-drain); the test's assertions are the bounds
+        // checks inside the peeker loop.
+        let _peeks = peeker.join().unwrap();
+        assert_eq!(q.pop_stamped(), None);
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::pool::Scheduler;
 use rand::rngs::SmallRng;
-use rsched_queues::{ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DuplicateMultiQueue};
+use rsched_queues::{
+    ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DuplicateMultiQueue, SubFifo,
+};
 
 /// Keyed MultiQueue: pushes merge via `push_or_decrease`, pops are the
 /// classic two-choice relaxed delete-min.
@@ -47,10 +49,10 @@ impl<P: Ord + Copy + Send> Scheduler<P> for ConcurrentSprayList<P> {
     }
 }
 
-/// Relaxed FIFO: the payload rides along as a carried value (e.g. a BFS
-/// depth) rather than an ordering key; pops prefer the worker's home
-/// shard and report choice-of-two steals.
-impl<P: Copy + Send> Scheduler<P> for DCboQueue<(usize, P)> {
+/// Relaxed FIFO (d-CBO, any shard backend): the payload rides along as a
+/// carried value (e.g. a BFS depth) rather than an ordering key; pops
+/// prefer the worker's home shard and report choice-of-two steals.
+impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DCboQueue<(usize, P), S> {
     fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
         self.enqueue((item, prio), rng);
         true
@@ -62,5 +64,31 @@ impl<P: Copy + Send> Scheduler<P> for DCboQueue<(usize, P)> {
 
     fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
         self.dequeue_from(home, rng)
+    }
+
+    fn pin_session(&self) -> rsched_queues::PinSession {
+        Self::pin_session(self)
+    }
+}
+
+/// Relaxed FIFO (d-RA, any shard backend): same contract as the d-CBO
+/// adapter, with oldest-visible-head dequeues instead of balanced
+/// operation counts.
+impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DRaQueue<(usize, P), S> {
+    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
+        self.enqueue((item, prio), rng);
+        true
+    }
+
+    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
+        self.dequeue(rng)
+    }
+
+    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
+        self.dequeue_from(home, rng)
+    }
+
+    fn pin_session(&self) -> rsched_queues::PinSession {
+        Self::pin_session(self)
     }
 }

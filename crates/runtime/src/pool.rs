@@ -52,6 +52,14 @@ pub trait Scheduler<P: Copy>: Sync {
         let _ = home;
         self.pop(rng).map(|t| (t, false))
     }
+
+    /// An amortized epoch pin each worker holds across its pop loop
+    /// (ticked once per pop). Inert by default; schedulers backed by
+    /// epoch-reclaimed lock-free shards return a live session so their
+    /// per-operation pins collapse to counter bumps.
+    fn pin_session(&self) -> rsched_queues::PinSession {
+        rsched_queues::PinSession::none()
+    }
 }
 
 /// What the handler did with a popped task.
@@ -296,7 +304,9 @@ where
     // progress. Without it the extra-step count measures spinning, not
     // scheduling.
     let blocked = Backoff::new();
+    let mut session = worker.queue.pin_session();
     loop {
+        session.tick();
         match worker.queue.pop_from(worker.tid, &mut worker.rng) {
             Some(((item, prio), stolen)) => {
                 backoff.reset();

@@ -18,7 +18,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`queues`] | indexed binary heap, pairing heap, MultiQueue (sequential + concurrent + duplicate-insertion), SprayList, deterministic rotating k-queue, relaxed FIFO family (d-RA, d-CBO), rank/fairness and FIFO rank-error instrumentation |
+//! | [`queues`] | indexed binary heap, pairing heap, MultiQueue (sequential + concurrent + duplicate-insertion), SprayList, deterministic rotating k-queue, relaxed FIFO family (d-RA, d-CBO) over pluggable shard backends (mutex, Michael–Scott, segmented ring — the lock-free backends epoch-reclaimed), rank/fairness instrumentation plus a concurrent timestamp-based FIFO rank-error estimator |
 //! | [`runtime`] | the sharded concurrent scheduling runtime: worker pool, `Scheduler` trait over relaxed queues, quiescence termination detection, per-worker stats, fork-join helper |
 //! | [`core`] | the `Q_k` scheduler model, Algorithm 1/2 executors with extra-step accounting, adversarial schedulers, the Section 4 transactional simulator, theorem formulas |
 //! | [`graph`] | CSR graphs, random/road/social generators, DIMACS & SNAP loaders, BFS / Dijkstra / Δ-stepping / Bellman–Ford baselines |
@@ -33,8 +33,12 @@
 //! detection and per-worker statistics, while the queue behind it decides
 //! the scheduling order — relaxed *priority* (`ConcurrentMultiQueue`,
 //! `ConcurrentSprayList`, `DuplicateMultiQueue`) for SSSP and the
-//! iterative algorithms, relaxed *FIFO* (`DCboQueue`) for BFS frontiers
-//! and k-core peeling.
+//! iterative algorithms, relaxed *FIFO* (`DCboQueue`, `DRaQueue`) for
+//! BFS frontiers and k-core peeling. The relaxed-FIFO shards default to
+//! the lock-free segmented ring buffer in `rsched_queues::lockfree`
+//! (Michael–Scott and the PR 1 mutex baseline stay selectable through
+//! the `SubFifo` trait), and workers amortize epoch entry with a
+//! `PinSession` held across their pop loops.
 //!
 //! ## Relaxed-FIFO BFS quickstart
 //!
@@ -107,10 +111,12 @@ pub mod prelude {
         INF,
     };
     pub use rsched_queues::{
-        ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DecreaseKey,
-        DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, IndexedBinaryHeap, KLsmHandle,
-        KLsmQueue, PairingHeap, PriorityQueue, RankStats, RankTracker, RelaxedFifo, RelaxedQueue,
-        RotatingKQueue, SimMultiQueue, SprayList, StickySession,
+        ConcurrentMultiQueue, ConcurrentRankEstimator, ConcurrentSprayList, DCboMsQueue,
+        DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue, DRaSegQueue,
+        DecreaseKey, DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, IndexedBinaryHeap,
+        KLsmHandle, KLsmQueue, MsQueue, MutexSub, PairingHeap, PinSession, PriorityQueue,
+        RankStats, RankTracker, RelaxedFifo, RelaxedQueue, RotatingKQueue, SegRingQueue,
+        SimMultiQueue, SprayList, StickySession, SubFifo,
     };
     pub use rsched_runtime::run as run_pool;
     pub use rsched_runtime::{

@@ -9,6 +9,16 @@ use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// Iteration/thread multiplier for the heavy tests. Defaults to 1 for
+/// developer runs; the CI stress job sets `RSCHED_STRESS` to raise it
+/// (any value >= 1; `RSCHED_STRESS=2` roughly quadruples the work).
+fn stress() -> usize {
+    match std::env::var("RSCHED_STRESS").as_deref() {
+        Ok("0") | Err(_) => 1,
+        Ok(v) => v.parse::<usize>().unwrap_or(1).clamp(1, 64) * 2,
+    }
+}
+
 /// Producer/consumer storm on the concurrent MultiQueue: heavy oversubscription,
 /// mixed push_or_decrease / pop, then exhaustive accounting.
 ///
@@ -192,8 +202,8 @@ fn concurrent_mis_determinism_under_contention() {
 fn dcbo_storm_conserves_elements() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    let threads = 8;
-    let per = 20_000usize;
+    let threads = 4 * stress();
+    let per = 10_000 * stress();
     let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(6, 13));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -295,4 +305,124 @@ fn concurrent_spraylist_drain_storm() {
         }
     }
     assert_eq!(seen.len(), n);
+}
+
+/// The full backend matrix {mutex, MS, segring} x {d-RA, d-CBO} under a
+/// concurrent enqueue/dequeue storm: no element may be lost or
+/// duplicated regardless of the shard sub-queue implementation.
+#[test]
+fn relaxed_fifo_backend_matrix_storm() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rsched_queues::lockfree::{MsQueue, SegRingQueue};
+    use rsched_queues::{MutexSub, SubFifo};
+
+    fn storm_pair<S: SubFifo<usize> + 'static>(name: &str) {
+        let threads = 4 * stress();
+        let per = 4_000 * stress();
+        let dra: Arc<DRaQueue<usize, S>> = Arc::new(DRaQueue::with_backend(6, 2, 13));
+        let dcbo: Arc<DCboQueue<usize, S>> = Arc::new(DCboQueue::with_backend(6, 2, 13));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let dra = Arc::clone(&dra);
+                let dcbo = Arc::clone(&dcbo);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64 * 91 + 5);
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        dra.enqueue(2 * (t * per + i), &mut rng);
+                        dcbo.enqueue(2 * (t * per + i) + 1, &mut rng);
+                        if i % 3 == 0 {
+                            if let Some(v) = dra.dequeue(&mut rng) {
+                                got.push(v);
+                            }
+                            if let Some(v) = dcbo.dequeue(&mut rng) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "{name}: duplicate {v}");
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        while let Some(v) = dra.dequeue(&mut rng) {
+            assert!(seen.insert(v), "{name}: duplicate {v}");
+        }
+        while let Some(v) = dcbo.dequeue(&mut rng) {
+            assert!(seen.insert(v), "{name}: duplicate {v}");
+        }
+        assert_eq!(seen.len(), 2 * threads * per, "{name}: elements lost");
+        assert!(dra.is_empty() && dcbo.is_empty());
+    }
+
+    storm_pair::<MutexSub<usize>>("mutex");
+    storm_pair::<MsQueue<usize>>("ms");
+    storm_pair::<SegRingQueue<usize>>("segring");
+}
+
+/// Rank-error envelope under *real* contention, measured by the
+/// timestamp-based concurrent estimator: the mean estimated error of a
+/// d-CBO stays within a generous multiple of shards x threads (the
+/// concurrent analogue of the sequential 2q envelope), and a
+/// single-threaded exact-FIFO control measures (near) zero.
+#[test]
+fn concurrent_estimator_envelope_under_contention() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rsched_queues::ConcurrentRankEstimator;
+
+    // Control: an exact FIFO driven by one thread has zero estimated
+    // error — the estimator itself adds none.
+    let est = ConcurrentRankEstimator::new();
+    {
+        let mut rec = est.recorder();
+        let mut q = std::collections::VecDeque::new();
+        for _ in 0..2_000 {
+            q.push_back(rec.stamp_enqueue());
+        }
+        while let Some(stamp) = q.pop_front() {
+            rec.record_dequeue(stamp);
+        }
+    }
+    assert_eq!(est.into_stats().max_error, 0);
+
+    // d-CBO under contention: choice-of-two on operation counters keeps
+    // the error envelope near shards x threads even with every thread
+    // hammering the queue.
+    let shards = 8usize;
+    let threads = 4 * stress();
+    let per = 8_000usize;
+    let q: Arc<DCboQueue<u64>> = Arc::new(DCboQueue::new(shards, 29));
+    let est = ConcurrentRankEstimator::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mut rec = est.recorder();
+            let q = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                for _ in 0..per {
+                    if rng.gen_bool(0.5) {
+                        q.enqueue(rec.stamp_enqueue(), &mut rng);
+                    } else if let Some(stamp) = q.dequeue(&mut rng) {
+                        rec.record_dequeue(stamp);
+                    }
+                }
+            });
+        }
+    });
+    let stats = est.into_stats();
+    assert!(stats.dequeues > 0, "no dequeues measured");
+    let envelope = 8.0 * (shards * threads) as f64;
+    assert!(
+        stats.mean_error() <= envelope,
+        "mean estimated error {} beyond envelope {envelope}",
+        stats.mean_error()
+    );
 }

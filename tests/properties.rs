@@ -357,12 +357,12 @@ fn relaxed_fifo_conservation() {
         let mut got_dcbo = Vec::new();
         for _ in 0..nops {
             if rng.gen_bool(0.6) {
-                dra.enqueue(pushed);
+                RelaxedFifo::enqueue(&mut dra, pushed);
                 RelaxedFifo::enqueue(&mut dcbo, pushed);
                 pushed += 1;
             } else {
                 // Must agree on emptiness: both hold the same multiset.
-                if let Some(v) = dra.dequeue() {
+                if let Some(v) = RelaxedFifo::dequeue(&mut dra) {
                     got_dra.push(v);
                     got_dcbo.push(RelaxedFifo::dequeue(&mut dcbo).expect("same fill level"));
                 } else {
@@ -370,7 +370,7 @@ fn relaxed_fifo_conservation() {
                 }
             }
         }
-        while let Some(v) = dra.dequeue() {
+        while let Some(v) = RelaxedFifo::dequeue(&mut dra) {
             got_dra.push(v);
         }
         while let Some(v) = RelaxedFifo::dequeue(&mut dcbo) {

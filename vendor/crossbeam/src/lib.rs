@@ -1,9 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate (the subset this workspace
-//! uses): [`utils::Backoff`], [`utils::CachePadded`] and
-//! [`queue::SegQueue`]. Semantics match the real crate for the used API;
-//! `SegQueue` is a mutex-backed MPMC queue rather than a lock-free
-//! segment list, which is fine for its only use here (a termination-
-//! detection unit test).
+//! uses): [`utils::Backoff`], [`utils::CachePadded`], [`queue::SegQueue`]
+//! and [`epoch`] (minimal epoch-based memory reclamation for the
+//! lock-free queues in `rsched-queues::lockfree`). Semantics match the
+//! real crate for the used API; `SegQueue` is a mutex-backed MPMC queue
+//! rather than a lock-free segment list, which is fine for its only use
+//! here (a termination-detection unit test), and `epoch` trades the real
+//! crate's fence-shaving for an all-`SeqCst` implementation that is easy
+//! to audit.
+
+pub mod epoch;
 
 pub mod utils {
     use std::sync::atomic::{AtomicUsize, Ordering};
