@@ -27,7 +27,10 @@
 //! to eventually converge to the minimum").
 
 use rsched_graph::{CsrGraph, Weight, INF};
-use rsched_queues::{ConcurrentMultiQueue, ConcurrentSprayList, DuplicateMultiQueue, RelaxedQueue};
+use rsched_queues::{
+    ConcurrentMultiQueue, ConcurrentSprayList, DuplicateMultiQueue, MutexHeapMultiQueue,
+    RelaxedQueue,
+};
 use rsched_runtime::{run, RuntimeConfig, Scheduler, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -224,6 +227,12 @@ fn parallel_sssp_on<S: Scheduler<Weight>>(
 /// Concurrent SSSP over a keyed [`ConcurrentMultiQueue`] with
 /// `push_or_decrease` (the Section 7 experiment engine).
 ///
+/// Since PR 3 the MultiQueue's default shard backend is the lock-free
+/// skiplist (`rsched_queues::skipshard::SkipShard`), so the scheduler's
+/// pop path acquires no mutex; [`parallel_sssp_mutexheap`] runs the same
+/// algorithm on the mutex-per-shard baseline for comparison
+/// (`mq_contention` in `rsched-bench` sweeps both under contention).
+///
 /// # Examples
 ///
 /// ```
@@ -236,6 +245,17 @@ fn parallel_sssp_on<S: Scheduler<Weight>>(
 /// ```
 pub fn parallel_sssp(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
     let queue = ConcurrentMultiQueue::<Weight>::with_universe(
+        cfg.threads * cfg.queue_multiplier,
+        g.num_vertices(),
+    );
+    parallel_sssp_on(g, src, cfg, &queue)
+}
+
+/// [`parallel_sssp`] on the mutex-per-shard MultiQueue baseline — the
+/// pre-PR 3 scheduler, kept callable so the lock-free/locked comparison
+/// is one engine swap rather than two codebases.
+pub fn parallel_sssp_mutexheap(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
+    let queue = MutexHeapMultiQueue::<Weight>::with_backend_universe(
         cfg.threads * cfg.queue_multiplier,
         g.num_vertices(),
     );
@@ -409,6 +429,26 @@ mod tests {
         assert_eq!(stats.dist, want);
         // Without DecreaseKey, stale pops are the norm on dense relaxations.
         assert!(stats.pops >= stats.executed);
+    }
+
+    #[test]
+    fn parallel_mutexheap_baseline_matches_dijkstra() {
+        // Both shard backends run the identical engine; distances (and
+        // the executed >= reachable invariant) must agree with Dijkstra.
+        let g = random_gnm(800, 4000, 1..=100, 21);
+        let want = dijkstra(&g, 0).dist;
+        let stats = parallel_sssp_mutexheap(
+            &g,
+            0,
+            ParSsspConfig {
+                threads: 4,
+                queue_multiplier: 2,
+                seed: 11,
+            },
+        );
+        assert_eq!(stats.dist, want);
+        let reachable = want.iter().filter(|&&d| d != INF).count() as u64;
+        assert!(stats.executed >= reachable);
     }
 
     #[test]

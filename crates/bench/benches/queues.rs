@@ -151,10 +151,109 @@ fn bench_concurrent_multiqueue(c: &mut Criterion) {
     group.finish();
 }
 
+/// Contended MultiQueue throughput per priority-shard backend: the
+/// lock-free skiplist (default since PR 3) against the mutex-heap
+/// baseline, same workload as `bench_concurrent_multiqueue`. The
+/// `mq_contention` binary runs the full thread sweep; this is the
+/// quick-look cell.
+fn bench_multiqueue_backends(c: &mut Criterion) {
+    use rsched_queues::SubPriority;
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .clamp(2, 8);
+    let per_thread = 20_000usize;
+    let mut group = c.benchmark_group(format!("mq_backends_{threads}threads"));
+    group.throughput(Throughput::Elements((threads * per_thread) as u64));
+    group.sample_size(10);
+    fn cell<S: SubPriority<u64> + 'static>(threads: usize, per_thread: usize) {
+        let q: Arc<ConcurrentMultiQueue<u64, S>> =
+            Arc::new(ConcurrentMultiQueue::with_backend(2 * threads));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    let session = q.pin_session();
+                    for i in 0..per_thread {
+                        q.push_or_decrease_in(
+                            t * per_thread + i,
+                            rng.gen_range(0..1_000_000),
+                            &session,
+                        );
+                        if i % 2 == 0 {
+                            q.pop_in(&mut rng, &session);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    group.bench_function("skiplist", |b| {
+        b.iter(|| cell::<rsched_queues::SkipShard<u64>>(threads, per_thread))
+    });
+    group.bench_function("mutexheap", |b| {
+        b.iter(|| cell::<rsched_queues::MutexHeapSub<u64>>(threads, per_thread))
+    });
+    group.finish();
+}
+
+/// Single-thread push/pop throughput of the lock-free sub-queues (the
+/// FIFO shard backends plus the skiplist priority shard), mirroring the
+/// `fifo_contention` / `mq_contention` cells at the micro level.
+fn bench_lockfree_subqueues(c: &mut Criterion) {
+    use rsched_queues::skipshard::TryPopMin;
+    use rsched_queues::{MsQueue, SegRingQueue, SkipShard, SubPriority};
+    let mut group = c.benchmark_group("lockfree_push_pop_10k");
+    group.throughput(Throughput::Elements(N as u64));
+    let ks = keys(7);
+    group.bench_function("ms_queue", |b| {
+        b.iter(|| {
+            let q = MsQueue::new();
+            for (i, &k) in ks.iter().enumerate() {
+                q.push_stamped(i as u64, k);
+            }
+            while q.pop_stamped().is_some() {}
+        })
+    });
+    group.bench_function("seg_ring", |b| {
+        b.iter(|| {
+            let q = SegRingQueue::new();
+            for (i, &k) in ks.iter().enumerate() {
+                q.push_stamped(i as u64, k);
+            }
+            while q.pop_stamped().is_some() {}
+        })
+    });
+    group.bench_function("seg_ring_reused", |b| {
+        // One long-lived queue: after warm-up the segment pool absorbs
+        // every allocation, the steady state real workloads see.
+        let q = SegRingQueue::new();
+        b.iter(|| {
+            for (i, &k) in ks.iter().enumerate() {
+                q.push_stamped(i as u64, k);
+            }
+            while q.pop_stamped().is_some() {}
+        })
+    });
+    group.bench_function("skiplist_shard", |b| {
+        b.iter(|| {
+            let s: SkipShard<u64> = SubPriority::new();
+            let tok = <SkipShard<u64> as SubPriority<u64>>::token();
+            for (i, &k) in ks.iter().enumerate() {
+                s.push_or_decrease(i, k, &tok);
+            }
+            while let TryPopMin::Item(_) = s.try_pop_min(&tok) {}
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequential_queues,
     bench_decrease_key,
-    bench_concurrent_multiqueue
+    bench_concurrent_multiqueue,
+    bench_multiqueue_backends,
+    bench_lockfree_subqueues
 );
 criterion_main!(benches);

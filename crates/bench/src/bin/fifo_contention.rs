@@ -30,7 +30,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rsched_bench::Scale;
+use rsched_bench::{env_thread_list, write_json_artifact, Scale};
 use rsched_queues::instrument::ConcurrentRankEstimator;
 use rsched_queues::lockfree::{MsQueue, SegRingQueue};
 use rsched_queues::{DCboQueue, DRaQueue, FifoRankStats, MutexSub, PinSession, SubFifo};
@@ -180,17 +180,6 @@ fn trial<Q: ContendedFifo>(
     }
 }
 
-fn thread_list() -> Vec<usize> {
-    match std::env::var("RSCHED_THREADS") {
-        Ok(list) => list
-            .split(',')
-            .filter_map(|t| t.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .collect(),
-        Err(_) => vec![1, 2, 4, 8, 16],
-    }
-}
-
 fn main() {
     let scale = Scale::from_env();
     let ops_per_thread = match scale {
@@ -210,7 +199,7 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(8)
         .clamp(1, 16);
-    let threads_sweep = thread_list();
+    let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16]);
     let mix = Mix::from_env();
     println!(
         "== relaxed-FIFO contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
@@ -341,9 +330,5 @@ fn main() {
             records.push(record);
         }
     }
-    if let Ok(path) = std::env::var("RSCHED_JSON_OUT") {
-        let body = format!("[\n  {}\n]\n", records.join(",\n  "));
-        std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("wrote {} records to {path}", records.len());
-    }
+    write_json_artifact(&records);
 }

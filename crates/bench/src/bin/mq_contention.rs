@@ -1,0 +1,258 @@
+//! **MQ-CONTENTION** — multithreaded throughput sweep of the concurrent
+//! MultiQueue across priority-shard backends.
+//!
+//! For every `(backend ∈ {mutexheap, skiplist}) × threads` cell,
+//! `threads` workers hammer one shared [`ConcurrentMultiQueue`] with the
+//! **SSSP-pop workload**: alternating `push_or_decrease` of a random
+//! item at a priority just above the worker's advancing distance front,
+//! and a two-choice relaxed `pop` — the operation mix Algorithm 3 of the
+//! paper issues while the distance frontier advances, including the
+//! decrease-key hits a keyed MultiQueue exists for. This is the
+//! experiment behind the lock-free-priority-shards claim: the mutex
+//! backend pays a lock per peek and convoys when a holder is preempted,
+//! while the skiplist backend peeks racily and claims with one CAS, so a
+//! preempted thread costs only its own progress.
+//!
+//! The interesting read-out is the **regime crossover**, so the default
+//! sweep deliberately runs deep into oversubscription. At low thread
+//! counts an uncontended ~30ns critical section never convoys and the
+//! mutex-heap's smaller constants win; as threads exceed cores the mutex
+//! baseline's throughput collapses (preempted holders, futex sleeps)
+//! while the skiplist's stays nearly flat, and it takes the lead — on a
+//! single-core host around 32–64 workers, earlier the more cores are
+//! contending. CI validates that the crossover exists at some measured
+//! thread count ≥ 8.
+//!
+//! Results print as one JSON object per line (prefixed `json,`); set
+//! `RSCHED_JSON_OUT=<path>` to also write the full run as a JSON array
+//! (what CI uploads as the `BENCH_mq_contention.json` artifact).
+//! `RSCHED_THREADS=1,2,4,8` overrides the thread sweep, `RSCHED_SCALE`
+//! (small/medium/paper) the per-thread operation count, `RSCHED_REPS`
+//! the repetitions per cell (best run reported, suppressing scheduler
+//! noise on oversubscribed hosts), `RSCHED_SHARD_MULT` the
+//! shards-per-thread ratio (default 2, the paper's Figure 1
+//! configuration), `RSCHED_SHARDS` an absolute shard count, and
+//! `RSCHED_PREFILL` / `RSCHED_UNIVERSE` the queue's starting depth and
+//! item-id range.
+//!
+//! ```text
+//! cargo run -p rsched-bench --release --bin mq_contention
+//! RSCHED_THREADS=8,16 RSCHED_SCALE=medium \
+//!     cargo run -p rsched-bench --release --bin mq_contention
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsched_bench::{env_thread_list, env_usize, write_json_artifact, Scale};
+use rsched_queues::{ConcurrentMultiQueue, MutexHeapSub, PinSession, SkipShard, SubPriority};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// The operations the sweep needs, unified over every shard backend.
+trait ContendedMq: Sync {
+    /// Returns `true` when a net-new element entered the queue.
+    fn push_or_dec(&self, item: usize, prio: u64, rng: &mut SmallRng, session: &PinSession)
+        -> bool;
+    fn pop(&self, rng: &mut SmallRng, session: &PinSession) -> Option<(usize, u64)>;
+    /// Amortized epoch pin, inert for the mutex backend.
+    fn session(&self) -> PinSession;
+}
+
+impl<S: SubPriority<u64>> ContendedMq for ConcurrentMultiQueue<u64, S> {
+    fn push_or_dec(
+        &self,
+        item: usize,
+        prio: u64,
+        _rng: &mut SmallRng,
+        session: &PinSession,
+    ) -> bool {
+        self.push_or_decrease_in(item, prio, session)
+    }
+
+    fn pop(&self, rng: &mut SmallRng, session: &PinSession) -> Option<(usize, u64)> {
+        self.pop_in(rng, session)
+    }
+
+    fn session(&self) -> PinSession {
+        self.pin_session()
+    }
+}
+
+struct Trial {
+    wall_s: f64,
+    ops: u64,
+    pops: u64,
+    inserts: u64,
+    merges: u64,
+}
+
+/// Run one contention cell: `threads` workers, each `ops_per_thread`
+/// operations of the SSSP-pop mix against `queue`.
+fn trial<Q: ContendedMq>(
+    queue: &Q,
+    threads: usize,
+    ops_per_thread: usize,
+    prefill: usize,
+    universe: usize,
+) -> Trial {
+    let mut prefill_inserts = 0u64;
+    {
+        let mut rng = SmallRng::seed_from_u64(0x55_59);
+        let session = PinSession::none();
+        for _ in 0..prefill {
+            let item = rng.gen_range(0..universe);
+            if queue.push_or_dec(item, rng.gen_range(0..1_000), &mut rng, &session) {
+                prefill_inserts += 1;
+            }
+        }
+    }
+    let barrier = Barrier::new(threads);
+    let pops = AtomicU64::new(0);
+    let inserts = AtomicU64::new(0);
+    let merges = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let (barrier, pops, inserts, merges, queue) =
+                (&barrier, &pops, &inserts, &merges, &queue);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(tid as u64 * 0x9E37 + 1);
+                let (mut my_pops, mut my_inserts, mut my_merges) = (0u64, 0u64, 0u64);
+                // The worker's advancing "distance front", as in SSSP:
+                // new priorities land just above the last popped one.
+                let mut front = 0u64;
+                let mut session = queue.session();
+                barrier.wait();
+                for op in 0..ops_per_thread {
+                    session.tick();
+                    if op % 2 == 0 {
+                        let item = rng.gen_range(0..universe);
+                        let prio = front + rng.gen_range(0..1_000u64);
+                        if queue.push_or_dec(item, prio, &mut rng, &session) {
+                            my_inserts += 1;
+                        } else {
+                            my_merges += 1;
+                        }
+                    } else if let Some((_, d)) = queue.pop(&mut rng, &session) {
+                        my_pops += 1;
+                        front = front.max(d);
+                    }
+                }
+                pops.fetch_add(my_pops, Ordering::Relaxed);
+                inserts.fetch_add(my_inserts, Ordering::Relaxed);
+                merges.fetch_add(my_merges, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    // Drain (outside the timed phase) and check conservation: every
+    // insert that reported "net-new" must come out exactly once.
+    let mut rng = SmallRng::seed_from_u64(0);
+    let session = PinSession::none();
+    let mut drained = 0u64;
+    while queue.pop(&mut rng, &session).is_some() {
+        drained += 1;
+    }
+    let popped = pops.load(Ordering::Relaxed);
+    let inserted = prefill_inserts + inserts.load(Ordering::Relaxed);
+    assert_eq!(
+        inserted,
+        popped + drained,
+        "conservation violated: {inserted} in, {popped} + {drained} out"
+    );
+    Trial {
+        wall_s,
+        ops: (threads * ops_per_thread) as u64,
+        pops: popped,
+        inserts: inserts.load(Ordering::Relaxed),
+        merges: merges.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops_per_thread = match scale {
+        Scale::Small => 100_000usize,
+        Scale::Medium => 400_000,
+        Scale::Paper => 1_000_000,
+    };
+    let prefill = env_usize("RSCHED_PREFILL", 4_096);
+    let universe = env_usize("RSCHED_UNIVERSE", 1 << 16).max(1);
+    let reps = env_usize("RSCHED_REPS", 8).clamp(1, 16);
+    let shard_mult = env_usize("RSCHED_SHARD_MULT", 2).clamp(1, 8);
+    let shards_override = std::env::var("RSCHED_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    // Deep oversubscription on purpose: the crossover is the result.
+    let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16, 32, 64]);
+    println!(
+        "== MultiQueue contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
+         SSSP-pop workload, universe {universe}, prefill {prefill}, best of {reps}, \
+         threads {threads_sweep:?}) ==",
+    );
+    let mut records: Vec<String> = Vec::new();
+    for &threads in &threads_sweep {
+        // Two shards per thread: the paper's Figure 1 MultiQueue
+        // configuration (queue_multiplier = 2).
+        let shards = shards_override.unwrap_or((shard_mult * threads).max(2));
+        type Cell<'a> = (&'a str, Box<dyn Fn() -> Trial>);
+        let makes: Vec<Cell<'_>> = vec![
+            (
+                "mutexheap",
+                Box::new(move || {
+                    let q: ConcurrentMultiQueue<u64, MutexHeapSub<u64>> =
+                        ConcurrentMultiQueue::with_backend_universe(shards, universe);
+                    trial(&q, threads, ops_per_thread, prefill, universe)
+                }),
+            ),
+            (
+                "skiplist",
+                Box::new(move || {
+                    let q: ConcurrentMultiQueue<u64, SkipShard<u64>> =
+                        ConcurrentMultiQueue::with_backend_universe(shards, universe);
+                    trial(&q, threads, ops_per_thread, prefill, universe)
+                }),
+            ),
+        ];
+        // Interleave the repetitions round-robin so background-load
+        // drift on the host hits every cell equally; keep each cell's
+        // best run.
+        let mut best: Vec<Option<Trial>> = makes.iter().map(|_| None).collect();
+        for _rep in 0..reps {
+            for (slot, (_, make)) in best.iter_mut().zip(&makes) {
+                let t = make();
+                let better = slot
+                    .as_ref()
+                    .is_none_or(|b| t.pops as f64 / t.wall_s > b.pops as f64 / b.wall_s);
+                if better {
+                    *slot = Some(t);
+                }
+            }
+        }
+        for ((backend, _), t) in makes.iter().zip(best) {
+            let t = t.expect("reps >= 1");
+            let record = format!(
+                "{{\"queue\":\"multiqueue\",\"backend\":\"{backend}\",\"threads\":{threads},\
+                 \"shards\":{shards},\"prefill\":{prefill},\"universe\":{universe},\
+                 \"ops\":{},\"wall_s\":{:.6},\"ops_per_sec\":{:.1},\"pops\":{},\
+                 \"pops_per_sec\":{:.1},\"inserts\":{},\"merges\":{},\"merge_fraction\":{:.4}}}",
+                t.ops,
+                t.wall_s,
+                t.ops as f64 / t.wall_s,
+                t.pops,
+                t.pops as f64 / t.wall_s,
+                t.inserts,
+                t.merges,
+                if t.inserts + t.merges == 0 {
+                    0.0
+                } else {
+                    t.merges as f64 / (t.inserts + t.merges) as f64
+                },
+            );
+            println!("json,{record}");
+            records.push(record);
+        }
+    }
+    write_json_artifact(&records);
+}

@@ -80,6 +80,39 @@ pub fn thread_sweep() -> Vec<usize> {
     out
 }
 
+/// Thread sweep for the contention benchmarks: the `RSCHED_THREADS`
+/// environment variable as a comma-separated list, or `default`.
+pub fn env_thread_list(default: &[usize]) -> Vec<usize> {
+    match std::env::var("RSCHED_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|t| t.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// A `usize` knob from the environment, falling back to `default` when
+/// unset or unparsable.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// Write pre-serialized JSON object `records` as a JSON array to the
+/// path named by `RSCHED_JSON_OUT`, if set — the framing the CI
+/// perf-smoke validation parses for every `BENCH_*.json` artifact.
+pub fn write_json_artifact(records: &[String]) {
+    if let Ok(path) = std::env::var("RSCHED_JSON_OUT") {
+        let body = format!("[\n  {}\n]\n", records.join(",\n  "));
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {} records to {path}", records.len());
+    }
+}
+
 /// Minimal fixed-width table printer with a parallel CSV emitter.
 pub struct Table {
     headers: Vec<String>,

@@ -13,9 +13,11 @@
 //!   - [`multiqueue::SimMultiQueue`]: the sequential-model MultiQueue
 //!     (insert into a random queue, pop the better of two random tops),
 //!     exactly the structure analysed in Section 5 of the paper;
-//!   - [`multiqueue::ConcurrentMultiQueue`]: a thread-safe MultiQueue with
-//!     per-queue locks and consistent hashing of items to queues so that
-//!     `decrease_key` is supported (required by the paper's SSSP, Section 6);
+//!   - [`multiqueue::ConcurrentMultiQueue`]: a thread-safe MultiQueue
+//!     with consistent hashing of items to shards so that `decrease_key`
+//!     is supported (required by the paper's SSSP, Section 6), generic
+//!     over its per-shard backend — lock-free skiplist by default, mutex
+//!     heap as the baseline (see the shard-backend section below);
 //!   - [`spraylist::SprayList`]: a skip-list based relaxed queue whose
 //!     `pop_relaxed` performs a "spray" random walk, following the SprayList
 //!     of Alistarh et al. (PPoPP 2015);
@@ -35,6 +37,11 @@
 //!   ([`lockfree::SegRingQueue`], the default), reclaimed through the
 //!   epoch scheme in `crossbeam::epoch`, selectable per queue through
 //!   [`fifo::SubFifo`] (with [`fifo::MutexSub`] as the locked baseline).
+//! * **Lock-free priority shards** ([`skipshard`]): the shard backends
+//!   of the concurrent MultiQueue — an epoch-reclaimed Harris-style
+//!   skiplist ([`skipshard::SkipShard`], the default) and the
+//!   mutex-around-a-heap baseline ([`skipshard::MutexHeapSub`]),
+//!   selectable through [`skipshard::SubPriority`].
 //! * **Instrumentation**: [`instrument::RankTracker`] wraps any relaxed queue
 //!   and measures the empirical rank of every returned element and the
 //!   inversion count of every element that becomes the global minimum,
@@ -57,6 +64,46 @@
 //! priorities are any `Ord + Copy` type; ties are broken by item id so every
 //! queue has a single deterministic total order, which is what the
 //! instrumentation layer measures ranks against.
+//!
+//! ## Architecture: the shard-backend design
+//!
+//! Every concurrent relaxed structure in this crate has the same shape:
+//! a **composition layer** that owns the relaxation policy, over an
+//! array of **shards** that own the synchronization. The composition
+//! layer picks shards (two random choices, balanced counters, keyed
+//! hashing), compares cheap per-shard summaries (head stamp, minimum
+//! key), and claims from the winner; the shard provides those primitives
+//! behind one of two parallel traits:
+//!
+//! * [`fifo::SubFifo`] — FIFO shards: `push`/`try_pop`/`pop_wait` plus
+//!   the racy-safe [`head_seq`](fifo::SubFifo::head_seq) peek. Backends:
+//!   [`MutexSub`] (locked `VecDeque`), [`MsQueue`], [`SegRingQueue`]
+//!   (default). Composed by [`DRaQueue`] and [`DCboQueue`].
+//! * [`skipshard::SubPriority`] — priority shards: `push_or_decrease` /
+//!   `try_pop_min` / `remove` / `decrease_key` plus the racy-safe
+//!   [`min_key`](skipshard::SubPriority::min_key) peek. Backends:
+//!   [`MutexHeapSub`] (locked indexed heap), [`SkipShard`] (default).
+//!   Composed by [`ConcurrentMultiQueue`].
+//!
+//! Both traits thread a per-operation **token** through every sub-call —
+//! an epoch [`Guard`](crossbeam::epoch::Guard) for lock-free backends,
+//! zero-sized for locked ones — and both borrow it from an amortized
+//! [`PinSession`] when the caller holds one (the `rsched-runtime` worker
+//! loop does, via `Scheduler::push_in`/`pop_from_in`), so entering the
+//! reclamation scheme costs one TLS hop per *batch*, not per operation.
+//! Retired memory (MS nodes, ring segments, skiplist towers) is handed
+//! back through epoch-deferred callbacks that *recycle* into bounded
+//! per-structure pools instead of hitting the allocator, which keeps
+//! steady-state churn allocation-free without weakening the grace-period
+//! argument.
+//!
+//! The regime trade-off is consistent across both families: locked
+//! shards have the smaller constants and win while every critical
+//! section stays uncontended and un-preempted; the lock-free backends
+//! hold their throughput flat as threads exceed cores and win under
+//! oversubscription and real multicore contention (`fifo_contention`
+//! and `mq_contention` in `rsched-bench` measure exactly this
+//! crossover).
 
 pub mod fifo;
 pub mod heap;
@@ -66,6 +113,7 @@ pub mod klsm;
 pub mod lockfree;
 pub mod multiqueue;
 pub mod pairing;
+pub mod skipshard;
 pub mod spraylist;
 
 pub use fifo::{
@@ -79,8 +127,12 @@ pub use kbounded::RotatingKQueue;
 pub use klsm::{KLsmHandle, KLsmQueue};
 pub use lockfree::{MsQueue, SegRingQueue};
 pub use multiqueue::Placement;
-pub use multiqueue::{ConcurrentMultiQueue, DuplicateMultiQueue, SimMultiQueue, StickySession};
+pub use multiqueue::{
+    ConcurrentMultiQueue, DuplicateMultiQueue, MutexHeapMultiQueue, SimMultiQueue,
+    SkipListMultiQueue, StickySession,
+};
 pub use pairing::PairingHeap;
+pub use skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
 pub use spraylist::{ConcurrentSprayList, SprayList};
 
 /// Sentinel meaning "item is not currently stored in the queue".

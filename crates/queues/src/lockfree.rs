@@ -27,12 +27,16 @@
 //! Within a segment, `push` claims a slot with one `fetch_add` on the
 //! segment's enqueue cursor and publishes it with one release store;
 //! `pop` claims with a CAS on the dequeue cursor. A full segment is
-//! *never reused*: the overflowing pusher links a fresh segment and
-//! swings the shared tail, so **pops never spin on a full segment** —
-//! the only wait in the structure is a popper briefly yielding to a
-//! claimed-but-not-yet-published slot's writer. One allocation per
-//! [`SEGMENT_CAP`] elements and slot-local cache traffic make this the
-//! faster backend under churn; cursors only grow, so there is no ABA.
+//! *never reused in place*: the overflowing pusher links a successor
+//! and swings the shared tail, so **pops never spin on a full
+//! segment** — the only wait in the structure is a popper briefly
+//! yielding to a claimed-but-not-yet-published slot's writer. Retired
+//! segments come back through a bounded per-queue free list, but only
+//! via an **epoch-deferred recycling callback** — after the grace
+//! period, when no thread can still hold a pointer into them — so
+//! steady-state churn runs with (amortized) zero allocator traffic and
+//! cache-resident slots; within a segment's lifetime cursors only grow,
+//! so there is no ABA.
 //!
 //! # Memory reclamation
 //!
@@ -61,11 +65,13 @@
 //!   single-threaded use, where an uncontended lock beats an epoch pin.
 
 use crate::fifo::{SubFifo, TryPop};
-use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use crossbeam::epoch::{self, Atomic, Owned, Pointer, Shared};
 use crossbeam::utils::{Backoff, CachePadded};
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Slots per [`SegRingQueue`] segment. Small enough that unit tests
 /// cross segment boundaries constantly; large enough to amortize the
@@ -362,6 +368,12 @@ struct Segment<T> {
     /// the published prefix and an empty pop loses no reservation).
     deq: CachePadded<AtomicUsize>,
     next: Atomic<Segment<T>>,
+    /// Owned strong reference (via `Arc::into_raw`) to the queue's
+    /// segment pool, so the grace-period recycling callback can find the
+    /// pool from the segment alone. Null once the reference has been
+    /// taken (pooled segments) or for segments that should just drop.
+    /// Only mutated under exclusive (`Box`) ownership.
+    pool: *const SegPool<T>,
     slots: [Slot<T>; SEGMENT_CAP],
 }
 
@@ -372,11 +384,40 @@ impl<T> Segment<T> {
             enq: CachePadded::new(AtomicUsize::new(0)),
             deq: CachePadded::new(AtomicUsize::new(0)),
             next: Atomic::null(),
+            pool: std::ptr::null(),
             slots: std::array::from_fn(|_| Slot {
                 seq_state: AtomicU64::new(Slot::<T>::EMPTY),
                 value: UnsafeCell::new(MaybeUninit::uninit()),
             }),
         }
+    }
+
+    /// Rewind a fully-drained (or never-published) pooled segment for
+    /// reuse at `base`. The relaxed stores are published to other
+    /// threads by the Release link CAS that re-inserts the segment into
+    /// a queue.
+    fn reset(&mut self, base: u64, pool: *const SegPool<T>) {
+        debug_assert!(
+            self.deq.load(Ordering::Relaxed) >= SEGMENT_CAP
+                || self.enq.load(Ordering::Relaxed) == 0,
+            "resetting a segment that still holds live elements"
+        );
+        self.base = base;
+        self.enq.store(0, Ordering::Relaxed);
+        self.deq.store(0, Ordering::Relaxed);
+        self.next.store(Shared::null(), Ordering::Relaxed);
+        self.pool = pool;
+        for slot in &self.slots {
+            slot.seq_state.store(Slot::<T>::EMPTY, Ordering::Relaxed);
+        }
+    }
+
+    /// Take the owned pool reference out of the segment, if any.
+    fn take_pool(&mut self) -> Option<Arc<SegPool<T>>> {
+        let ptr = std::mem::replace(&mut self.pool, std::ptr::null());
+        // SAFETY: a non-null `pool` is an owned `Arc::into_raw` reference
+        // installed at allocation time and taken at most once.
+        (!ptr.is_null()).then(|| unsafe { Arc::from_raw(ptr) })
     }
 }
 
@@ -393,7 +434,67 @@ impl<T> Drop for Segment<T> {
                 unsafe { (*slot.value.get()).assume_init_drop() };
             }
         }
+        drop(self.take_pool());
     }
+}
+
+/// How many retired segments a queue keeps for reuse. Beyond this the
+/// recycling callback lets the segment drop — the pool bounds memory,
+/// it does not hoard it.
+const POOL_CAP: usize = 8;
+
+/// Per-queue free list of retired segments (ROADMAP follow-up from
+/// PR 2): a retired segment reaches the pool through an **epoch-deferred
+/// callback** — i.e. only after every thread that could still hold a
+/// pointer into it has unpinned — so reuse carries exactly the ABA
+/// protection `defer_destroy` gave outright destruction. The allocating
+/// path `try_lock`s the pool (falling back to a fresh allocation on
+/// contention, preserving lock-freedom) and rewinds the segment, cutting
+/// allocator traffic and keeping slot memory cache-resident under churn.
+struct SegPool<T> {
+    stack: Mutex<Vec<Box<Segment<T>>>>,
+    /// Segments handed back for reuse (monotone; for tests/benchmarks).
+    recycled: AtomicU64,
+    /// Segments taken from the pool instead of the allocator.
+    reused: AtomicU64,
+}
+
+// SAFETY: the raw back-pointers inside pooled segments are only
+// dereferenced by the single owner of the containing Box; everything
+// else behind the mutex/atomics is ordinary Send data (for T: Send).
+unsafe impl<T: Send> Send for SegPool<T> {}
+unsafe impl<T: Send> Sync for SegPool<T> {}
+
+impl<T> SegPool<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(SegPool {
+            stack: Mutex::new(Vec::new()),
+            recycled: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Grace-period callback: hand a retired segment back to its queue's
+/// pool (or drop it if the pool is full or gone).
+///
+/// # Safety
+///
+/// `ptr` must be a retired, fully-claimed `Segment<T>` allocated via
+/// `Box`, unreachable from any queue, past its grace period, and not
+/// recycled twice.
+unsafe fn recycle_segment<T>(ptr: *mut u8) {
+    // SAFETY: per contract, we own the segment exclusively now.
+    let mut seg = unsafe { Box::from_raw(ptr.cast::<Segment<T>>()) };
+    let Some(pool) = seg.take_pool() else {
+        return; // no pool: plain deferred destruction
+    };
+    let mut stack = pool.stack.lock();
+    if stack.len() < POOL_CAP {
+        stack.push(seg);
+        pool.recycled.fetch_add(1, Ordering::Relaxed);
+    }
+    // else: drop `seg` (it is fully drained; only memory is released).
 }
 
 /// Lock-free segmented ring-buffer FIFO with arrival stamps.
@@ -419,6 +520,7 @@ impl<T> Drop for Segment<T> {
 pub struct SegRingQueue<T> {
     head: CachePadded<Atomic<Segment<T>>>,
     tail: CachePadded<Atomic<Segment<T>>>,
+    pool: Arc<SegPool<T>>,
 }
 
 // SAFETY: slot values are accessed by at most one thread at a time (the
@@ -434,12 +536,67 @@ impl<T> Default for SegRingQueue<T> {
 }
 
 impl<T> SegRingQueue<T> {
-    /// An empty queue (allocates the first segment).
+    /// An empty queue (allocates the first segment and its reuse pool).
     pub fn new() -> Self {
-        let first = Box::into_raw(Box::new(Segment::new(0)));
+        let pool = SegPool::new();
+        let mut seg = Box::new(Segment::new(0));
+        seg.pool = Arc::into_raw(Arc::clone(&pool));
+        let first = Box::into_raw(seg);
         SegRingQueue {
             head: CachePadded::new(Atomic::from_raw(first)),
             tail: CachePadded::new(Atomic::from_raw(first)),
+            pool,
+        }
+    }
+
+    /// `(recycled, reused)` segment counts of the per-queue free list —
+    /// how many retired segments entered the pool and how many
+    /// allocations it absorbed. For tests and benchmarks.
+    pub fn segment_reuse_stats(&self) -> (u64, u64) {
+        (
+            self.pool.recycled.load(Ordering::Relaxed),
+            self.pool.reused.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A segment positioned at `base`: reused from the pool when one is
+    /// available and the pool lock is free, freshly allocated otherwise
+    /// (`try_lock`, so the push path never blocks on the pool).
+    fn alloc_segment(&self, base: u64) -> Owned<Segment<T>> {
+        let pooled = self.pool.stack.try_lock().and_then(|mut s| s.pop());
+        let raw = match pooled {
+            Some(mut seg) => {
+                self.pool.reused.fetch_add(1, Ordering::Relaxed);
+                seg.reset(base, Arc::into_raw(Arc::clone(&self.pool)));
+                Box::into_raw(seg)
+            }
+            None => {
+                let mut seg = Box::new(Segment::new(base));
+                seg.pool = Arc::into_raw(Arc::clone(&self.pool));
+                Box::into_raw(seg)
+            }
+        };
+        // SAFETY: `raw` came from `Box::into_raw` and ownership moves
+        // into the returned `Owned`.
+        unsafe { Owned::from_raw(raw) }
+    }
+
+    /// Give back a segment that was allocated (possibly from the pool)
+    /// but never published — the loser of the tail-link race. An
+    /// unpublished segment was never reachable, so it needs no grace
+    /// period to be pooled again.
+    fn pool_return(&self, seg: Owned<Segment<T>>) {
+        // SAFETY: an `Owned` is exclusively ours; recover the `Box`.
+        let mut boxed = unsafe { Box::from_raw(seg.into_raw()) };
+        drop(boxed.take_pool());
+        // `try_lock`, like the allocation path: blocking here would
+        // reintroduce the preempted-holder convoy on `push`. On
+        // contention the unpublished segment simply drops.
+        if let Some(mut stack) = self.pool.stack.try_lock() {
+            if stack.len() < POOL_CAP {
+                stack.push(boxed);
+                self.pool.recycled.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -500,7 +657,7 @@ impl<T> SegRingQueue<T> {
             }
             match t.next.compare_exchange(
                 Shared::null(),
-                Owned::new(Segment::new(t.base + SEGMENT_CAP as u64)),
+                self.alloc_segment(t.base + SEGMENT_CAP as u64),
                 Ordering::Release,
                 Ordering::Relaxed,
                 guard,
@@ -516,7 +673,9 @@ impl<T> SegRingQueue<T> {
                 }
                 Err(lost) => {
                     // Another pusher linked first; its segment wins and
-                    // our fresh one is dropped by the error value.
+                    // ours — never published — goes straight back to
+                    // the pool instead of paying the allocator
+                    // round-trip this race makes most frequent.
                     let _ = self.tail.compare_exchange(
                         tail,
                         lost.current,
@@ -524,6 +683,7 @@ impl<T> SegRingQueue<T> {
                         Ordering::Relaxed,
                         guard,
                     );
+                    self.pool_return(lost.new);
                 }
             }
         }
@@ -567,8 +727,12 @@ impl<T> SegRingQueue<T> {
                     {
                         // SAFETY: the segment is unlinked and all its
                         // slots were claimed; in-flight claimants hold
-                        // epoch guards, so destruction is deferred.
-                        unsafe { guard.defer_destroy(head) };
+                        // epoch guards, so the recycling callback runs
+                        // only after the grace period (reuse is then as
+                        // safe as destruction was).
+                        unsafe {
+                            guard.defer_with_raw(head.as_raw() as *mut u8, recycle_segment::<T>)
+                        };
                     }
                     continue 'segment;
                 }
@@ -845,6 +1009,46 @@ mod tests {
     #[test]
     fn segring_multithread_conservation() {
         conservation_storm(Arc::new(SegRingQueue::new()), 8, 5_000 * stress_mult());
+    }
+
+    #[test]
+    fn segring_recycles_retired_segments() {
+        // Churn enough segments single-threadedly that the epoch
+        // collector runs (every COLLECT_EVERY deferrals) and the pool
+        // starts absorbing allocations.
+        let q: SegRingQueue<u64> = SegRingQueue::new();
+        let segments = 300u64; // > 64 deferrals, forcing collections
+        for i in 0..segments * SEGMENT_CAP as u64 {
+            q.push_stamped(i, i);
+            assert_eq!(q.pop_stamped(), Some((i, i)));
+        }
+        let (recycled, reused) = q.segment_reuse_stats();
+        assert!(
+            recycled > 0,
+            "no retired segment ever reached the pool over {segments} segments"
+        );
+        assert!(
+            reused > 0,
+            "the pool absorbed no allocation ({recycled} recycled)"
+        );
+        // Reused segments must still deliver exact FIFO.
+        let n = 3 * SEGMENT_CAP as u64;
+        for i in 0..n {
+            q.push_stamped(i, i * 7);
+        }
+        for i in 0..n {
+            assert_eq!(q.pop_stamped(), Some((i, i * 7)));
+        }
+    }
+
+    #[test]
+    fn segring_pool_conserves_elements_under_contention() {
+        // Multithreaded churn across many segment boundaries with the
+        // pool active: conservation must hold and stats stay coherent.
+        let q: Arc<SegRingQueue<usize>> = Arc::new(SegRingQueue::new());
+        conservation_storm(Arc::clone(&q), 8, 3 * SEGMENT_CAP * stress_mult());
+        let (recycled, reused) = q.segment_reuse_stats();
+        assert!(reused <= recycled + POOL_CAP as u64);
     }
 
     #[test]

@@ -20,11 +20,20 @@
 //! * [`SimMultiQueue`] — single-threaded, used by the sequential model of the
 //!   paper (Sections 2–5), by the lower-bound experiment of Section 5, and by
 //!   all deterministic-seed tests;
-//! * [`ConcurrentMultiQueue`] — thread-safe with one `parking_lot::Mutex` per
-//!   internal queue and `try_lock` retry loops, used by the parallel SSSP of
-//!   Sections 6–7.
+//! * [`ConcurrentMultiQueue`] — thread-safe and **generic over its shard
+//!   backend** ([`SubPriority`]): the default
+//!   [`SkipShard`] is an epoch-reclaimed
+//!   lock-free skiplist, so `pop` performs its choice-of-two comparison
+//!   with two mutex-free [`min_key`](SubPriority::min_key) peeks and
+//!   claims the winner with a CAS — no lock anywhere on the pop path.
+//!   The pre-PR 3 mutex-around-a-heap shard survives as
+//!   [`MutexHeapSub`] (alias [`MutexHeapMultiQueue`]) for comparison;
+//!   `mq_contention` in `rsched-bench` sweeps both backends under
+//!   thread contention.
 
+use crate::fifo::PinSession;
 use crate::heap::IndexedBinaryHeap;
+use crate::skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
 use crate::{DecreaseKey, PriorityQueue, RelaxedQueue, NOT_PRESENT};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
@@ -212,23 +221,28 @@ impl<P: Ord + Copy> RelaxedQueue<P> for SimMultiQueue<P> {
     }
 }
 
-/// One internal queue of the concurrent MultiQueue: a mutex-protected heap,
-/// cache-padded to avoid false sharing between adjacent locks, plus an
-/// unlocked copy of the current minimum priority for optimistic scanning.
-struct Shard<P> {
-    heap: Mutex<IndexedBinaryHeap<P>>,
-}
-
-/// Thread-safe MultiQueue with per-queue locks and keyed placement.
+/// Thread-safe MultiQueue with keyed placement, generic over the
+/// per-shard [`SubPriority`] backend.
 ///
 /// This is the scheduler used by the paper's parallel SSSP experiments
-/// (Section 7): `q = queue_multiplier × threads` internal queues, each
-/// protected by its own lock; `pop` compares the tops of two random queues
-/// using `try_lock` so contended threads retry elsewhere instead of blocking.
+/// (Section 7): `q = queue_multiplier × threads` internal shards; `pop`
+/// compares the minima of two random shards and claims the smaller one.
+/// With the default [`SkipShard`] backend both the comparison
+/// ([`min_key`](SubPriority::min_key), a racy-safe peek of immutable
+/// node data) and the claim (a CAS on the head node's deletion mark) are
+/// **mutex-free** — a preempted thread never stalls the shard, the
+/// "practically wait-free" behaviour lock-free structures show under
+/// oversubscription. The [`MutexHeapSub`] backend (alias
+/// [`MutexHeapMultiQueue`]) is the pre-PR 3 lock-per-shard baseline.
 ///
-/// Placement is always **keyed** (item id hashed consistently to a queue),
-/// which makes `push_or_decrease` — the operation Algorithm 3 of the paper
-/// needs — race-free: all updates to a given item happen under the same lock.
+/// Placement is always **keyed** (item id hashed consistently to a
+/// shard), which funnels every update of a given item into one shard so
+/// `push_or_decrease` — the operation Algorithm 3 of the paper needs —
+/// can merge updates. Under the lock-free backend a decrease racing a
+/// concurrent pop of the same item may briefly leave a stale duplicate;
+/// it surfaces as a stale pop, which every consumer of a *relaxed*
+/// scheduler (e.g. the SSSP handler's distance check) tolerates by
+/// construction, and the element count stays conserved.
 ///
 /// # Examples
 ///
@@ -257,48 +271,61 @@ struct Shard<P> {
 /// }
 /// assert_eq!(popped, 4 * 256);
 /// ```
-pub struct ConcurrentMultiQueue<P = u64> {
-    shards: Box<[CachePadded<Shard<P>>]>,
+pub struct ConcurrentMultiQueue<P = u64, S = SkipShard<P>>
+where
+    P: Ord + Copy,
+{
+    shards: Box<[CachePadded<S>]>,
     /// Total number of stored elements (kept eventually consistent; exact
     /// when the structure is quiescent).
     len: AtomicUsize,
+    _prio: std::marker::PhantomData<fn() -> P>,
 }
 
-impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
-    /// Create a MultiQueue with `nqueues` internal queues.
+/// The default lock-free skiplist-backed MultiQueue, spelled out.
+pub type SkipListMultiQueue<P = u64> = ConcurrentMultiQueue<P, SkipShard<P>>;
+/// The mutex-per-shard baseline MultiQueue (pre-PR 3 behaviour).
+pub type MutexHeapMultiQueue<P = u64> = ConcurrentMultiQueue<P, MutexHeapSub<P>>;
+
+impl<P: Ord + Copy + Send + Sync> ConcurrentMultiQueue<P> {
+    /// Create a MultiQueue with `nqueues` internal shards on the default
+    /// lock-free skiplist backend.
     pub fn new(nqueues: usize) -> Self {
-        assert!(nqueues > 0, "a MultiQueue needs at least one queue");
-        let shards = (0..nqueues)
-            .map(|_| {
-                CachePadded::new(Shard {
-                    heap: Mutex::new(IndexedBinaryHeap::new()),
-                })
-            })
-            .collect();
-        Self {
-            shards,
-            len: AtomicUsize::new(0),
-        }
+        Self::with_backend(nqueues)
     }
 
-    /// Create a MultiQueue whose internal heaps pre-allocate position tables
-    /// for items `0..universe`.
+    /// Create a default-backend MultiQueue whose shards pre-allocate
+    /// their item tables for items `0..universe`.
     pub fn with_universe(nqueues: usize, universe: usize) -> Self {
+        Self::with_backend_universe(nqueues, universe)
+    }
+}
+
+impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
+    /// Create a MultiQueue with `nqueues` internal shards of backend `S`.
+    pub fn with_backend(nqueues: usize) -> Self {
         assert!(nqueues > 0, "a MultiQueue needs at least one queue");
-        let shards = (0..nqueues)
-            .map(|_| {
-                CachePadded::new(Shard {
-                    heap: Mutex::new(IndexedBinaryHeap::with_universe(universe)),
-                })
-            })
-            .collect();
         Self {
-            shards,
+            shards: (0..nqueues).map(|_| CachePadded::new(S::new())).collect(),
             len: AtomicUsize::new(0),
+            _prio: std::marker::PhantomData,
         }
     }
 
-    /// Number of internal queues.
+    /// Create a backend-`S` MultiQueue whose shards pre-allocate their
+    /// item tables for items `0..universe`.
+    pub fn with_backend_universe(nqueues: usize, universe: usize) -> Self {
+        assert!(nqueues > 0, "a MultiQueue needs at least one queue");
+        Self {
+            shards: (0..nqueues)
+                .map(|_| CachePadded::new(S::with_universe(universe)))
+                .collect(),
+            len: AtomicUsize::new(0),
+            _prio: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of internal shards.
     pub fn nqueues(&self) -> usize {
         self.shards.len()
     }
@@ -320,8 +347,14 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
         (q * lg).max(1)
     }
 
+    /// An amortized [`PinSession`] for a batch of operations on this
+    /// queue (inert when the backend doesn't use epoch reclamation).
+    pub fn pin_session(&self) -> PinSession {
+        PinSession::new(S::NEEDS_EPOCH)
+    }
+
     #[inline]
-    fn shard_of(&self, item: usize) -> &Shard<P> {
+    fn shard_of(&self, item: usize) -> &S {
         &self.shards[queue_of(item, self.shards.len())]
     }
 
@@ -333,16 +366,21 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
     /// already ≤ `prio`). The caller uses this to maintain its element count
     /// for termination detection.
     pub fn push_or_decrease(&self, item: usize, prio: P) -> bool {
-        let shard = self.shard_of(item);
-        let mut heap = shard.heap.lock();
-        if heap.contains(item) {
-            heap.decrease_key(item, prio);
-            false
-        } else {
-            heap.push(item, prio);
-            drop(heap);
+        self.push_or_decrease_tok(item, prio, &S::token())
+    }
+
+    /// [`push_or_decrease`](Self::push_or_decrease) borrowing `session`'s
+    /// pin (no epoch entry per operation for lock-free backends).
+    pub fn push_or_decrease_in(&self, item: usize, prio: P, session: &PinSession) -> bool {
+        self.push_or_decrease_tok(item, prio, &S::borrow_token(session))
+    }
+
+    fn push_or_decrease_tok(&self, item: usize, prio: P, tok: &S::Token) -> bool {
+        if self.shard_of(item).push_or_decrease(item, prio, tok) {
             self.len.fetch_add(1, Ordering::AcqRel);
             true
+        } else {
+            false
         }
     }
 
@@ -350,38 +388,44 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
     /// the duplicate-insertion SSSP ablation, where the same vertex may be
     /// queued multiple times under *different* item ids.
     pub fn push(&self, item: usize, prio: P) {
-        let shard = self.shard_of(item);
-        shard.heap.lock().push(item, prio);
+        self.shard_of(item).push(item, prio, &S::token());
         self.len.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Relaxed delete-min: sample two random queues, lock them (via
-    /// `try_lock`, retrying on contention), and pop the smaller of the two
-    /// minima.
+    /// Relaxed delete-min: sample two random shards, compare their minima
+    /// via racy-safe peeks, and claim the smaller one.
     ///
-    /// Returns `None` only after a full sweep over all queues found every
+    /// Returns `None` only after a full sweep over all shards found every
     /// one of them empty; because concurrent pushes may land behind the
     /// sweep, `None` is a hint, not a linearizable emptiness check — callers
     /// must use their own element accounting for termination (as the SSSP
     /// executor in `rsched-algos` does).
     pub fn pop<R: Rng>(&self, rng: &mut R) -> Option<(usize, P)> {
+        self.pop_tok(rng, &S::token())
+    }
+
+    /// [`pop`](Self::pop) borrowing `session`'s pin (no epoch entry per
+    /// operation for lock-free backends).
+    pub fn pop_in<R: Rng>(&self, rng: &mut R, session: &PinSession) -> Option<(usize, P)> {
+        self.pop_tok(rng, &S::borrow_token(session))
+    }
+
+    fn pop_tok<R: Rng>(&self, rng: &mut R, tok: &S::Token) -> Option<(usize, P)> {
         let q = self.shards.len();
         // Optimistic phase: a bounded number of two-choice samples.
         for _ in 0..(4 * q + 8) {
             let a = rng.gen_range(0..q);
             let b = rng.gen_range(0..q);
-            if let Some(got) = self.try_pop_pair(a, b) {
+            if let Some(got) = self.try_pop_pair(a, b, tok) {
                 return Some(got);
             }
             if self.len.load(Ordering::Acquire) == 0 {
                 break;
             }
         }
-        // Fallback sweep: visit every queue once, blocking on its lock.
-        for i in 0..q {
-            let mut heap = self.shards[i].heap.lock();
-            if let Some((item, prio)) = heap.pop() {
-                drop(heap);
+        // Fallback sweep: visit every shard once, waiting on any locks.
+        for shard in self.shards.iter() {
+            if let Some((item, prio)) = shard.pop_min_wait(tok) {
                 self.len.fetch_sub(1, Ordering::AcqRel);
                 return Some((item, prio));
             }
@@ -389,53 +433,40 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
         None
     }
 
-    /// One two-choice attempt. Returns `None` if both sampled queues were
-    /// empty or their locks were contended.
-    fn try_pop_pair(&self, a: usize, b: usize) -> Option<(usize, P)> {
-        // Lock in index order to avoid deadlock when a == b is sampled by
-        // two threads crosswise (try_lock alone cannot deadlock, but ordered
-        // acquisition also avoids livelock between symmetric pairs).
-        let (first, second) = if a <= b { (a, b) } else { (b, a) };
-        let ha = self.shards[first].heap.try_lock()?;
-        let hb = if second != first {
-            Some(self.shards[second].heap.try_lock()?)
-        } else {
-            None
-        };
-        let ta = ha.peek();
-        let tb = hb.as_ref().and_then(|h| h.peek());
-        let use_first = match (ta, tb) {
-            (None, None) => return None,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some((ia, pa)), Some((ib, pb))) => (pa, ia) <= (pb, ib),
-        };
-        let popped = if use_first {
-            let mut ha = ha;
-            drop(hb);
-            ha.pop()
-        } else {
-            drop(ha);
-            hb.expect("second lock held").pop()
-        };
-        let (item, prio) = popped.expect("peeked entry vanished under lock");
-        self.len.fetch_sub(1, Ordering::AcqRel);
-        Some((item, prio))
+    /// One two-choice attempt, delegated to the backend's
+    /// [`SubPriority::try_pop_pair`]: racy peek-compare-claim for the
+    /// lock-free backends, both locks held across compare-and-pop for
+    /// the mutex baseline. Shards are passed in ascending index order so
+    /// lock-holding backends acquire consistently. Returns `None` if
+    /// both shards came up empty/contended or the claim raced with the
+    /// shard draining.
+    fn try_pop_pair(&self, a: usize, b: usize, tok: &S::Token) -> Option<(usize, P)> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let second = (hi != lo).then(|| &*self.shards[hi]);
+        match S::try_pop_pair(&self.shards[lo], second, tok) {
+            TryPopMin::Item((item, prio)) => {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                Some((item, prio))
+            }
+            TryPopMin::Empty | TryPopMin::Contended => None,
+        }
     }
 
     /// `true` if `item` is currently queued.
     pub fn contains(&self, item: usize) -> bool {
-        self.shard_of(item).heap.lock().contains(item)
+        self.shard_of(item).contains(item, &S::token())
     }
 
     /// Current queued priority of `item`, if present.
     pub fn priority_of(&self, item: usize) -> Option<P> {
-        self.shard_of(item).heap.lock().priority_of(item)
+        self.shard_of(item).priority_of(item, &S::token())
     }
 
-    /// Remove `item` wherever it is queued.
+    /// Remove `item` wherever it is queued. Under a race with a
+    /// concurrent pop of the same item the popper wins and `None` is
+    /// returned.
     pub fn remove(&self, item: usize) -> Option<P> {
-        let removed = self.shard_of(item).heap.lock().remove(item);
+        let removed = self.shard_of(item).remove(item, &S::token());
         if removed.is_some() {
             self.len.fetch_sub(1, Ordering::AcqRel);
         }
@@ -445,10 +476,10 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
     /// Drain every element, returning them unordered. Requires `&mut self`,
     /// i.e. quiescence.
     pub fn drain(&mut self) -> Vec<(usize, P)> {
+        let tok = S::token();
         let mut out = Vec::with_capacity(self.len());
         for shard in self.shards.iter() {
-            let mut heap = shard.heap.lock();
-            while let Some(e) = heap.pop() {
+            while let Some(e) = shard.pop_min_wait(&tok) {
                 out.push(e);
             }
         }
@@ -482,26 +513,30 @@ impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
 /// }
 /// assert_eq!(got, 100);
 /// ```
-pub struct StickySession<'q, P> {
-    queue: &'q ConcurrentMultiQueue<P>,
+pub struct StickySession<'q, P, S = SkipShard<P>>
+where
+    P: Ord + Copy,
+{
+    queue: &'q ConcurrentMultiQueue<P, S>,
     rng: SmallRng,
     stickiness: usize,
     remaining: usize,
     pair: (usize, usize),
 }
 
-impl<P: Ord + Copy + Send> StickySession<'_, P> {
+impl<P: Ord + Copy + Send, S: SubPriority<P>> StickySession<'_, P, S> {
     /// Pop via the sticky pair, re-sampling after `stickiness` pops or when
     /// the pair is contended/empty. Same `None` semantics as
     /// [`ConcurrentMultiQueue::pop`].
     pub fn pop(&mut self) -> Option<(usize, P)> {
+        let tok = S::token();
         let q = self.queue.shards.len();
         for _ in 0..(4 * q + 8) {
             if self.remaining == 0 {
                 self.pair = (self.rng.gen_range(0..q), self.rng.gen_range(0..q));
                 self.remaining = self.stickiness;
             }
-            match self.queue.try_pop_pair(self.pair.0, self.pair.1) {
+            match self.queue.try_pop_pair(self.pair.0, self.pair.1, &tok) {
                 Some(got) => {
                     self.remaining -= 1;
                     return Some(got);
@@ -516,13 +551,13 @@ impl<P: Ord + Copy + Send> StickySession<'_, P> {
             }
         }
         // Delegate to the fallback sweep.
-        self.queue.pop(&mut self.rng)
+        self.queue.pop_tok(&mut self.rng, &tok)
     }
 }
 
-impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
+impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     /// Start a sticky pop session (see [`StickySession`]).
-    pub fn sticky_session(&self, stickiness: usize, seed: u64) -> StickySession<'_, P> {
+    pub fn sticky_session(&self, stickiness: usize, seed: u64) -> StickySession<'_, P, S> {
         assert!(stickiness >= 1);
         StickySession {
             queue: self,
@@ -647,7 +682,7 @@ thread_local! {
     static POP_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
-impl<P: Ord + Copy + Send> ConcurrentMultiQueue<P> {
+impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     /// `pop` using a cheap thread-local xorshift generator, for callers that
     /// do not thread an RNG through (e.g. drop-in queue benchmarks).
     pub fn pop_thread_local(&self) -> Option<(usize, P)> {
@@ -759,9 +794,8 @@ mod tests {
         assert_eq!(mq.pop_relaxed(), Some((5, 10)));
     }
 
-    #[test]
-    fn concurrent_push_pop_exhaustive() {
-        let mq: ConcurrentMultiQueue<u64> = ConcurrentMultiQueue::new(4);
+    fn check_push_pop_exhaustive<S: SubPriority<u64>>() {
+        let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(4);
         for i in 0..500usize {
             mq.push_or_decrease(i, 500 - i as u64);
         }
@@ -776,8 +810,13 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_decrease_key_path() {
-        let mq: ConcurrentMultiQueue<u64> = ConcurrentMultiQueue::new(4);
+    fn concurrent_push_pop_exhaustive_both_backends() {
+        check_push_pop_exhaustive::<SkipShard<u64>>();
+        check_push_pop_exhaustive::<MutexHeapSub<u64>>();
+    }
+
+    fn check_decrease_key_path<S: SubPriority<u64>>() {
+        let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(4);
         assert!(mq.push_or_decrease(7, 100));
         assert!(!mq.push_or_decrease(7, 50), "decrease, not insert");
         assert!(!mq.push_or_decrease(7, 80), "no-op update");
@@ -788,10 +827,16 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_multithreaded_no_loss_no_dup() {
+    fn concurrent_decrease_key_path_both_backends() {
+        check_decrease_key_path::<SkipShard<u64>>();
+        check_decrease_key_path::<MutexHeapSub<u64>>();
+    }
+
+    fn check_multithreaded_no_loss_no_dup<S: SubPriority<u64> + 'static>() {
         let threads = 8;
         let per_thread = 2000usize;
-        let mq: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(2 * threads));
+        let mq: Arc<ConcurrentMultiQueue<u64, S>> =
+            Arc::new(ConcurrentMultiQueue::with_backend(2 * threads));
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let mq = Arc::clone(&mq);
@@ -825,6 +870,16 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_multithreaded_no_loss_no_dup_skiplist() {
+        check_multithreaded_no_loss_no_dup::<SkipShard<u64>>();
+    }
+
+    #[test]
+    fn concurrent_multithreaded_no_loss_no_dup_mutexheap() {
+        check_multithreaded_no_loss_no_dup::<MutexHeapSub<u64>>();
+    }
+
+    #[test]
     fn keyed_placement_is_stable() {
         // The same item must always map to the same shard index.
         for &q in &[1usize, 2, 3, 8, 17, 64] {
@@ -839,10 +894,50 @@ mod tests {
     fn pop_scan_finds_lone_element() {
         // Element hidden in one of many queues: the fallback sweep must
         // find it even if sampling repeatedly misses.
-        let mq: ConcurrentMultiQueue<u64> = ConcurrentMultiQueue::new(64);
-        mq.push_or_decrease(42, 7);
-        let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(mq.pop(&mut rng), Some((42, 7)));
-        assert_eq!(mq.pop(&mut rng), None);
+        fn check<S: SubPriority<u64>>() {
+            let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(64);
+            mq.push_or_decrease(42, 7);
+            let mut rng = SmallRng::seed_from_u64(0);
+            assert_eq!(mq.pop(&mut rng), Some((42, 7)));
+            assert_eq!(mq.pop(&mut rng), None);
+        }
+        check::<SkipShard<u64>>();
+        check::<MutexHeapSub<u64>>();
+    }
+
+    #[test]
+    fn session_threaded_ops_match_plain_ones() {
+        let mq: SkipListMultiQueue<u64> = ConcurrentMultiQueue::new(8);
+        let session = mq.pin_session();
+        for i in 0..200usize {
+            assert!(mq.push_or_decrease_in(i, 1000 + i as u64, &session));
+            assert!(!mq.push_or_decrease_in(i, i as u64, &session));
+        }
+        assert_eq!(mq.len(), 200);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = HashSet::new();
+        while let Some((it, p)) = mq.pop_in(&mut rng, &session) {
+            assert_eq!(p, it as u64, "decrease was lost");
+            assert!(seen.insert(it));
+        }
+        assert_eq!(seen.len(), 200);
+    }
+
+    #[test]
+    fn sticky_session_drains_both_backends() {
+        fn check<S: SubPriority<u64>>() {
+            let q: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(8);
+            for i in 0..100usize {
+                q.push_or_decrease(i, i as u64);
+            }
+            let mut session = q.sticky_session(4, 42);
+            let mut got = 0;
+            while session.pop().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 100);
+        }
+        check::<SkipShard<u64>>();
+        check::<MutexHeapSub<u64>>();
     }
 }

@@ -6,22 +6,52 @@
 //! Every adapter maps the queue's native operations onto the runtime's
 //! push/pop contract, reporting `push → false` when an existing entry was
 //! merged so the termination counter stays exact.
+//!
+//! The sharded queues are **backend-generic**: the MultiQueue adapter
+//! accepts any [`SubPriority`] priority shard (lock-free skiplist by
+//! default, mutex-heap baseline), the FIFO adapters any
+//! [`SubFifo`] sub-queue. All of them override the session-threaded
+//! trait methods (`push_in`/`pop_from_in`) so the worker's long-lived
+//! [`PinSession`](rsched_queues::PinSession) replaces per-operation
+//! epoch entries.
 
 use crate::pool::Scheduler;
 use rand::rngs::SmallRng;
 use rsched_queues::{
-    ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DuplicateMultiQueue, SubFifo,
+    ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DuplicateMultiQueue,
+    PinSession, SubFifo, SubPriority,
 };
 
-/// Keyed MultiQueue: pushes merge via `push_or_decrease`, pops are the
-/// classic two-choice relaxed delete-min.
-impl<P: Ord + Copy + Send> Scheduler<P> for ConcurrentMultiQueue<P> {
+/// Keyed MultiQueue over any priority-shard backend: pushes merge via
+/// `push_or_decrease`, pops are the classic two-choice relaxed
+/// delete-min (peek-and-claim — mutex-free on the default skiplist
+/// backend).
+impl<P: Ord + Copy + Send, S: SubPriority<P>> Scheduler<P> for ConcurrentMultiQueue<P, S> {
     fn push(&self, item: usize, prio: P, _rng: &mut SmallRng) -> bool {
         self.push_or_decrease(item, prio)
     }
 
     fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
         ConcurrentMultiQueue::pop(self, rng)
+    }
+
+    fn push_in(&self, item: usize, prio: P, _rng: &mut SmallRng, session: &PinSession) -> bool {
+        self.push_or_decrease_in(item, prio, session)
+    }
+
+    fn pop_from_in(
+        &self,
+        _home: usize,
+        rng: &mut SmallRng,
+        session: &PinSession,
+    ) -> Option<((usize, P), bool)> {
+        // Keyed placement has no worker-home shard; steals are not a
+        // meaningful notion here.
+        self.pop_in(rng, session).map(|t| (t, false))
+    }
+
+    fn pin_session(&self) -> PinSession {
+        Self::pin_session(self)
     }
 }
 
@@ -66,7 +96,21 @@ impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DCboQueue<(usize, 
         self.dequeue_from(home, rng)
     }
 
-    fn pin_session(&self) -> rsched_queues::PinSession {
+    fn push_in(&self, item: usize, prio: P, rng: &mut SmallRng, session: &PinSession) -> bool {
+        self.enqueue_in((item, prio), rng, session);
+        true
+    }
+
+    fn pop_from_in(
+        &self,
+        home: usize,
+        rng: &mut SmallRng,
+        session: &PinSession,
+    ) -> Option<((usize, P), bool)> {
+        self.dequeue_from_in(home, rng, session)
+    }
+
+    fn pin_session(&self) -> PinSession {
         Self::pin_session(self)
     }
 }
@@ -88,7 +132,21 @@ impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DRaQueue<(usize, P
         self.dequeue_from(home, rng)
     }
 
-    fn pin_session(&self) -> rsched_queues::PinSession {
+    fn push_in(&self, item: usize, prio: P, rng: &mut SmallRng, session: &PinSession) -> bool {
+        self.enqueue_in((item, prio), rng, session);
+        true
+    }
+
+    fn pop_from_in(
+        &self,
+        home: usize,
+        rng: &mut SmallRng,
+        session: &PinSession,
+    ) -> Option<((usize, P), bool)> {
+        self.dequeue_from_in(home, rng, session)
+    }
+
+    fn pin_session(&self) -> PinSession {
         Self::pin_session(self)
     }
 }

@@ -25,6 +25,7 @@ use crate::termination::ActiveCounter;
 use crossbeam::utils::Backoff;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rsched_queues::PinSession;
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
@@ -59,6 +60,31 @@ pub trait Scheduler<P: Copy>: Sync {
     /// per-operation pins collapse to counter bumps.
     fn pin_session(&self) -> rsched_queues::PinSession {
         rsched_queues::PinSession::none()
+    }
+
+    /// [`push`](Self::push) under the worker's held [`PinSession`]:
+    /// epoch-backed schedulers borrow the session's pin instead of
+    /// entering the epoch scheme (a TLS hop plus a counter bump) per
+    /// operation. The default ignores the session.
+    fn push_in(
+        &self,
+        item: usize,
+        prio: P,
+        rng: &mut SmallRng,
+        _session: &rsched_queues::PinSession,
+    ) -> bool {
+        self.push(item, prio, rng)
+    }
+
+    /// [`pop_from`](Self::pop_from) under the worker's held
+    /// [`PinSession`]; same contract, same default.
+    fn pop_from_in(
+        &self,
+        home: usize,
+        rng: &mut SmallRng,
+        _session: &rsched_queues::PinSession,
+    ) -> Option<((usize, P), bool)> {
+        self.pop_from(home, rng)
     }
 }
 
@@ -173,6 +199,10 @@ pub struct Worker<'a, P: Copy, S: Scheduler<P> + ?Sized> {
     queue: &'a S,
     counter: &'a ActiveCounter,
     stats: WorkerStats,
+    /// The worker's amortized epoch pin, threaded through every queue
+    /// operation (`push_in`/`pop_from_in`) so epoch-backed schedulers
+    /// never re-enter the reclamation scheme per op.
+    session: PinSession,
     _payload: PhantomData<P>,
 }
 
@@ -183,7 +213,8 @@ impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
     /// announcement.
     pub fn spawn(&mut self, item: usize, prio: P) {
         self.counter.task_added();
-        if self.queue.push(item, prio, &mut self.rng) {
+        let queue = self.queue;
+        if queue.push_in(item, prio, &mut self.rng, &self.session) {
             self.stats.spawned += 1;
         } else {
             self.counter.task_done();
@@ -266,6 +297,7 @@ where
                         queue,
                         counter,
                         stats: WorkerStats::default(),
+                        session: queue.pin_session(),
                         _payload: PhantomData,
                     };
                     worker_loop(&mut worker, handler);
@@ -304,10 +336,10 @@ where
     // progress. Without it the extra-step count measures spinning, not
     // scheduling.
     let blocked = Backoff::new();
-    let mut session = worker.queue.pin_session();
     loop {
-        session.tick();
-        match worker.queue.pop_from(worker.tid, &mut worker.rng) {
+        worker.session.tick();
+        let queue = worker.queue;
+        match queue.pop_from_in(worker.tid, &mut worker.rng, &worker.session) {
             Some(((item, prio), stolen)) => {
                 backoff.reset();
                 worker.stats.pops += 1;

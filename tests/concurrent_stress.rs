@@ -367,6 +367,126 @@ fn relaxed_fifo_backend_matrix_storm() {
     storm_pair::<SegRingQueue<usize>>("segring");
 }
 
+/// The priority-shard backend matrix {skiplist, mutexheap} under the
+/// multiset-conservation storm of `multiqueue_storm_conserves_elements`:
+/// the lock-free skiplist MultiQueue must obey exactly the accounting
+/// law the mutex baseline does, races between decreases and pops of the
+/// same item included.
+#[test]
+fn multiqueue_backend_matrix_storm() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rsched_queues::{MutexHeapSub, SkipShard, SubPriority};
+
+    fn storm<S: SubPriority<u64> + 'static>(name: &str) {
+        let threads = 4 * stress();
+        let per = 2_500 * stress();
+        let q: Arc<ConcurrentMultiQueue<u64, S>> = Arc::new(ConcurrentMultiQueue::with_backend(6));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64 * 37 + 2);
+                    let mut inserts: Vec<usize> = Vec::new();
+                    let mut pops: Vec<usize> = Vec::new();
+                    let session = q.pin_session();
+                    for i in 0..per {
+                        let item = t * per + i;
+                        if q.push_or_decrease_in(item, rng.gen_range(100..1_000_000), &session) {
+                            inserts.push(item);
+                        }
+                        if i % 7 == 0 && q.push_or_decrease_in(item, 50, &session) {
+                            inserts.push(item);
+                        }
+                        if i % 3 == 0 {
+                            if let Some((it, _)) = q.pop_in(&mut rng, &session) {
+                                pops.push(it);
+                            }
+                        }
+                    }
+                    (inserts, pops)
+                })
+            })
+            .collect();
+        let mut inserted: std::collections::HashMap<usize, i64> = Default::default();
+        let mut popped: std::collections::HashMap<usize, i64> = Default::default();
+        for h in handles {
+            let (inserts, pops) = h.join().unwrap();
+            for it in inserts {
+                *inserted.entry(it).or_default() += 1;
+            }
+            for it in pops {
+                *popped.entry(it).or_default() += 1;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        while let Some((it, _)) = q.pop(&mut rng) {
+            *popped.entry(it).or_default() += 1;
+        }
+        assert!(q.is_empty(), "{name}: queue not drained");
+        assert_eq!(
+            inserted.len(),
+            threads * per,
+            "{name}: items never inserted"
+        );
+        assert_eq!(
+            popped, inserted,
+            "{name}: pop multiset differs from insert multiset"
+        );
+    }
+
+    storm::<SkipShard<u64>>("skiplist");
+    storm::<MutexHeapSub<u64>>("mutexheap");
+}
+
+/// Rank-error envelope of the **skiplist-backed MultiQueue** under real
+/// contention, measured by the timestamp-based concurrent estimator:
+/// priorities are the enqueue tickets themselves, so priority order
+/// coincides with arrival order and the estimator's FIFO rank error *is*
+/// the MultiQueue's priority rank error. The mean must stay within a
+/// generous multiple of the nominal `O(q log q)` relaxation factor
+/// scaled by the thread count (in-flight operations add slack).
+#[test]
+fn skiplist_multiqueue_estimator_envelope() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rsched_queues::ConcurrentRankEstimator;
+
+    let nqueues = 8usize;
+    let threads = 4 * stress();
+    let per = 8_000usize;
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(nqueues));
+    let est = ConcurrentRankEstimator::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mut rec = est.recorder();
+            let q = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64 + 9);
+                let session = q.pin_session();
+                for _ in 0..per {
+                    if rng.gen_bool(0.5) {
+                        let stamp = rec.stamp_enqueue();
+                        // Ticket as item id (unique) *and* priority:
+                        // priority order == arrival order.
+                        q.push_or_decrease_in(stamp as usize, stamp, &session);
+                    } else if let Some((_, stamp)) = q.pop_in(&mut rng, &session) {
+                        rec.record_dequeue(stamp);
+                    }
+                }
+            });
+        }
+    });
+    let stats = est.into_stats();
+    assert!(stats.dequeues > 0, "no dequeues measured");
+    let envelope = 8.0 * (q.relaxation_factor() * threads) as f64;
+    assert!(
+        stats.mean_error() <= envelope,
+        "skiplist MultiQueue mean estimated rank error {} beyond envelope {envelope}",
+        stats.mean_error()
+    );
+}
+
 /// Rank-error envelope under *real* contention, measured by the
 /// timestamp-based concurrent estimator: the mean estimated error of a
 /// d-CBO stays within a generous multiple of shards x threads (the

@@ -78,6 +78,35 @@ unsafe fn drop_box<T>(ptr: *mut u8) {
     drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
 }
 
+unsafe fn call_closure<F: FnOnce()>(ptr: *mut u8) {
+    let f = unsafe { Box::from_raw(ptr.cast::<F>()) };
+    (*f)();
+}
+
+/// Low bits of a `*mut T` that are guaranteed zero by alignment and thus
+/// available for tags (crossbeam's pointer-tagging scheme).
+#[inline]
+fn low_bits<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+#[inline]
+fn decompose<T>(raw: *mut T) -> (*mut T, usize) {
+    let bits = raw as usize;
+    let mask = low_bits::<T>();
+    ((bits & !mask) as *mut T, bits & mask)
+}
+
+#[inline]
+fn compose<T>(data: *mut T, tag: usize) -> *mut T {
+    debug_assert_eq!(
+        data as usize & low_bits::<T>(),
+        0,
+        "pointer not aligned for tagging"
+    );
+    (data as usize | (tag & low_bits::<T>())) as *mut T
+}
+
 struct Local {
     participant: Arc<Participant>,
     pins: Cell<usize>,
@@ -156,9 +185,19 @@ fn collect(local: &Local) {
         unsafe { (g.dropper)(g.ptr) };
     };
     {
-        let mut bag = local.bag.borrow_mut();
-        while bag.front().is_some_and(|g| g.epoch + 2 <= current) {
-            free(bag.pop_front().expect("checked front"));
+        // Move the eligible prefix out of the bag *before* running any
+        // dropper: a dropper may itself defer garbage (recycling
+        // closures, nested structures), which must not observe the bag
+        // mid-borrow.
+        let mut ready = Vec::new();
+        {
+            let mut bag = local.bag.borrow_mut();
+            while bag.front().is_some_and(|g| g.epoch + 2 <= current) {
+                ready.push(bag.pop_front().expect("checked front"));
+            }
+        }
+        for g in ready {
+            free(g);
         }
     }
     // Orphans: only pay for the lock when the hint says something could
@@ -263,13 +302,55 @@ impl Guard {
     #[inline]
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
         debug_assert!(!ptr.is_null(), "cannot defer the null pointer");
-        // SAFETY: guard is pinned to its creating thread (!Send).
-        let l = unsafe { &*self.local };
-        l.bag.borrow_mut().push_back(Garbage {
+        // Strip any tag bits: the allocator wants the real address.
+        let (data, _) = decompose(ptr.raw);
+        self.defer_garbage(Garbage {
             epoch: EPOCH.load(Ordering::SeqCst),
-            ptr: ptr.raw.cast::<u8>(),
+            ptr: data.cast::<u8>(),
             dropper: drop_box::<T>,
         });
+    }
+
+    /// Schedule an arbitrary closure to run once no pinned thread can
+    /// still reach memory unlinked before this call — the general form of
+    /// [`defer_destroy`](Self::defer_destroy), used e.g. to *recycle* a
+    /// retired allocation into a free pool instead of freeing it.
+    ///
+    /// The closure runs at most once, on whichever thread performs the
+    /// collection (hence `Send`), after two epoch advances.
+    #[inline]
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.defer_garbage(Garbage {
+            epoch: EPOCH.load(Ordering::SeqCst),
+            ptr: Box::into_raw(Box::new(f)).cast::<u8>(),
+            dropper: call_closure::<F>,
+        });
+    }
+
+    /// The raw form of [`defer`](Self::defer): schedule `f(ptr)` after
+    /// the grace period. Lets intrusive structures defer non-`'static`
+    /// work (the callee recovers its context from the pointee itself).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must stay valid until `f` runs (i.e. be unreachable to
+    /// threads that pin later), `f` must be safe to run once on any
+    /// thread with that pointer, and the pair must not be deferred
+    /// twice.
+    #[inline]
+    pub unsafe fn defer_with_raw(&self, ptr: *mut u8, f: unsafe fn(*mut u8)) {
+        self.defer_garbage(Garbage {
+            epoch: EPOCH.load(Ordering::SeqCst),
+            ptr,
+            dropper: f,
+        });
+    }
+
+    #[inline]
+    fn defer_garbage(&self, garbage: Garbage) {
+        // SAFETY: guard is pinned to its creating thread (!Send).
+        let l = unsafe { &*self.local };
+        l.bag.borrow_mut().push_back(garbage);
         let n = l.deferred.get() + 1;
         l.deferred.set(n);
         if n.is_multiple_of(COLLECT_EVERY) {
@@ -331,6 +412,13 @@ impl<T> Atomic<T> {
             raw: self.ptr.load(ord),
             _life: PhantomData,
         }
+    }
+
+    /// Unconditionally store `new`. Only sound for unpublished structures
+    /// (e.g. initializing a node's links before its publishing CAS); on
+    /// shared hot paths use [`compare_exchange`](Self::compare_exchange).
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.ptr.store(new.raw, ord);
     }
 
     /// Compare-and-swap `current` for `new`; on failure the observed
@@ -428,34 +516,50 @@ impl<'g, T> Shared<'g, T> {
         }
     }
 
-    /// `true` if this is the null pointer.
+    /// `true` if this is the null pointer (ignoring tag bits).
     pub fn is_null(&self) -> bool {
-        self.raw.is_null()
+        decompose(self.raw).0.is_null()
     }
 
-    /// The raw pointer value (for identity comparisons).
+    /// The raw pointer value with tag bits stripped (for identity
+    /// comparisons).
     pub fn as_raw(&self) -> *const T {
-        self.raw
+        decompose(self.raw).0
     }
 
-    /// Dereference without a null check.
+    /// The tag stored in the pointer's alignment bits (0 when untagged).
+    pub fn tag(&self) -> usize {
+        decompose(self.raw).1
+    }
+
+    /// The same pointer with its tag bits replaced by `tag` (masked to
+    /// the bits `T`'s alignment frees up; for the workspace's lock-free
+    /// lists, tag 1 is the Harris deletion mark).
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared {
+            raw: compose(decompose(self.raw).0, tag),
+            _life: PhantomData,
+        }
+    }
+
+    /// Dereference without a null check (tag bits stripped).
     ///
     /// # Safety
     ///
     /// The pointer must be non-null and must have been loaded under the
     /// guard that bounds `'g`.
     pub unsafe fn deref(&self) -> &'g T {
-        unsafe { &*self.raw }
+        unsafe { &*decompose(self.raw).0 }
     }
 
-    /// Dereference, mapping null to `None`.
+    /// Dereference, mapping null to `None` (tag bits stripped).
     ///
     /// # Safety
     ///
     /// Non-null pointers must have been loaded under the guard that
     /// bounds `'g`.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
-        unsafe { self.raw.as_ref() }
+        unsafe { decompose(self.raw).0.as_ref() }
     }
 }
 
@@ -577,6 +681,57 @@ mod tests {
             }
         }
         unsafe { guard.defer_destroy(current) };
+    }
+
+    #[test]
+    fn tags_ride_the_alignment_bits() {
+        let guard = pin();
+        let a = Atomic::new(7u64); // align 8 => 3 tag bits
+        let p = a.load(Ordering::Acquire, &guard);
+        assert_eq!(p.tag(), 0);
+        let marked = p.with_tag(1);
+        assert_eq!(marked.tag(), 1);
+        assert_eq!(marked.as_raw(), p.as_raw());
+        assert!(!marked.is_null());
+        assert_eq!(unsafe { *marked.deref() }, 7);
+        // CAS distinguishes tagged from untagged values of the same ptr.
+        assert!(a
+            .compare_exchange(marked, p, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_err());
+        assert!(a
+            .compare_exchange(p, marked, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_ok());
+        assert_eq!(a.load(Ordering::Acquire, &guard).tag(), 1);
+        // Tagged null is still null.
+        assert!(Shared::<u64>::null().with_tag(1).is_null());
+        unsafe { guard.defer_destroy(marked) }; // strips the tag internally
+    }
+
+    #[test]
+    fn deferred_closures_eventually_run() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let n = 2 * COLLECT_EVERY;
+        for _ in 0..n {
+            let guard = pin();
+            let ran = Arc::clone(&ran);
+            guard.defer(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..16 {
+            let guard = pin();
+            let ran2 = Arc::clone(&ran);
+            guard.defer(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            });
+            drop(guard);
+            LOCAL.with(collect);
+        }
+        assert!(
+            ran.load(Ordering::SeqCst) >= n,
+            "only {} of {n} deferred closures ran",
+            ran.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
