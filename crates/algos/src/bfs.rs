@@ -32,6 +32,8 @@ pub struct ParBfsStats {
     pub pops: u64,
     /// Stale pops (outdated hop count at pop time).
     pub stale: u64,
+    /// Pops served by a worker's own home shard of the d-CBO frontier.
+    pub home_hits: u64,
     /// Pops stolen from a foreign shard of the d-CBO frontier.
     pub steals: u64,
     /// Worker wall-clock time.
@@ -80,6 +82,7 @@ pub fn parallel_bfs(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParBfsStats
         RuntimeConfig {
             threads: cfg.threads,
             seed: cfg.seed,
+            ..RuntimeConfig::default()
         },
         [(src, 0)],
         |w, v, d| {
@@ -100,6 +103,7 @@ pub fn parallel_bfs(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParBfsStats
         executed: stats.total.executed,
         pops: stats.total.pops,
         stale: stats.total.stale,
+        home_hits: stats.total.home_hits,
         steals: stats.total.steals,
         wall: stats.wall,
     }

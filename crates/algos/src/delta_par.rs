@@ -222,7 +222,11 @@ pub fn relaxed_delta_stepping(
     let start = Instant::now();
     let stats = run(
         &queue,
-        RuntimeConfig { threads, seed },
+        RuntimeConfig {
+            threads,
+            seed,
+            ..RuntimeConfig::default()
+        },
         [(src, 0)],
         |w, v, bucket| {
             let d = dist[v].load(Ordering::Acquire);

@@ -112,6 +112,7 @@ pub fn parallel_kcore(g: &CsrGraph, k: u64, cfg: ParSsspConfig) -> KcoreStats {
         RuntimeConfig {
             threads: cfg.threads,
             seed: cfg.seed,
+            ..RuntimeConfig::default()
         },
         seeds,
         |w, v, _| {

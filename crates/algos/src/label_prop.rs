@@ -1,0 +1,268 @@
+//! Connected components by **min-label propagation** over the relaxed
+//! FIFO frontier runtime.
+//!
+//! Every vertex starts labelled with its own id; a task `(v, l)` lowers
+//! the labels of `v`'s neighbours to `l` and re-spawns the ones it
+//! improved. Labels only ever decrease (a `fetch_min`), so the fixed
+//! point — every vertex carrying the minimum vertex id of its component
+//! — is **confluent**: whatever order the relaxed FIFO executes tasks
+//! in, the result equals the sequential reference exactly, and the
+//! relaxation shows up only as wasted re-propagations (stale pops).
+//!
+//! This is the ROADMAP's "more FIFO workloads" item, and deliberately
+//! the workload that leans hardest on the worker-session **spawn
+//! batching** path: label propagation spawns in bursts (every improved
+//! neighbour of a popped vertex), so parking a burst in the session
+//! buffer and publishing it as one batch to the home shard is the
+//! intended fast path — [`LabelPropConfig::spawn_batch`] defaults to a
+//! real batch, unlike the exactness-sensitive SSSP executors.
+
+use rsched_graph::CsrGraph;
+use rsched_queues::DCboQueue;
+use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Configuration for [`parallel_label_propagation`].
+#[derive(Clone, Copy, Debug)]
+pub struct LabelPropConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Frontier shards = `queue_multiplier × threads`.
+    pub queue_multiplier: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Home shards per worker session (locality-aware stealing).
+    pub shards_per_worker: usize,
+    /// Spawn-buffer capacity per worker session; label propagation is
+    /// batch-friendly, so the default is a real batch (16).
+    pub spawn_batch: usize,
+}
+
+impl Default for LabelPropConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            queue_multiplier: 2,
+            seed: 0,
+            shards_per_worker: 1,
+            spawn_batch: 16,
+        }
+    }
+}
+
+/// Result of a concurrent label-propagation run.
+#[derive(Clone, Debug)]
+pub struct LabelPropStats {
+    /// `label[v]` = minimum vertex id of `v`'s component.
+    pub labels: Vec<u64>,
+    /// Frontier pops that propagated a live label.
+    pub executed: u64,
+    /// Total frontier pops, including stale ones.
+    pub pops: u64,
+    /// Stale pops (the carried label was already beaten).
+    pub stale: u64,
+    /// Pops served by a worker's own home shard.
+    pub home_hits: u64,
+    /// Pops stolen from a foreign shard.
+    pub steals: u64,
+    /// Worker wall-clock time.
+    pub wall: Duration,
+}
+
+impl LabelPropStats {
+    /// `executed / n` — wasted-propagation overhead (1.0 = each vertex
+    /// propagated exactly once, as in the sequential sweep).
+    pub fn overhead(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 1.0;
+        }
+        self.executed as f64 / self.labels.len() as f64
+    }
+}
+
+/// Sequential reference: min-vertex-id component labels by BFS flooding.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_algos::label_components;
+/// use rsched_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(5);
+/// b.add_undirected_edge(0, 3, 1);
+/// b.add_undirected_edge(4, 2, 1);
+/// let g = b.build();
+/// assert_eq!(label_components(&g), vec![0, 1, 2, 0, 2]);
+/// ```
+pub fn label_components(g: &CsrGraph) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut labels: Vec<u64> = vec![u64::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n {
+        if labels[root] != u64::MAX {
+            continue;
+        }
+        labels[root] = root as u64;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in g.neighbors(v) {
+                if labels[u] == u64::MAX {
+                    labels[u] = root as u64;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Concurrent connected components: min-label propagation over a d-CBO
+/// relaxed FIFO frontier, exact on every graph.
+///
+/// The graph is expected to be symmetric (undirected edges inserted in
+/// both directions, as the workspace's generators do); propagation then
+/// floods each component from its minimum-id vertex.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_algos::{label_components, parallel_label_propagation, LabelPropConfig};
+/// use rsched_graph::gen::random_gnm;
+///
+/// let g = random_gnm(500, 1200, 1..=10, 3);
+/// let stats = parallel_label_propagation(&g, LabelPropConfig::default());
+/// assert_eq!(stats.labels, label_components(&g));
+/// ```
+pub fn parallel_label_propagation(g: &CsrGraph, cfg: LabelPropConfig) -> LabelPropStats {
+    assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
+    let frontier: DCboQueue<(usize, u64)> =
+        DCboQueue::new(cfg.threads * cfg.queue_multiplier, cfg.seed);
+    let stats = run(
+        &frontier,
+        RuntimeConfig {
+            threads: cfg.threads,
+            seed: cfg.seed,
+            shards_per_worker: cfg.shards_per_worker,
+            spawn_batch: cfg.spawn_batch,
+        },
+        (0..n).map(|v| (v, v as u64)),
+        |w, v, l| {
+            if l > labels[v].load(Ordering::Acquire) {
+                return TaskOutcome::Stale;
+            }
+            for (u, _) in g.neighbors(v) {
+                if labels[u].fetch_min(l, Ordering::AcqRel) > l {
+                    w.spawn(u, l);
+                }
+            }
+            TaskOutcome::Executed
+        },
+    );
+    LabelPropStats {
+        labels: labels.into_iter().map(|l| l.into_inner()).collect(),
+        executed: stats.total.executed,
+        pops: stats.total.pops,
+        stale: stats.total.stale,
+        home_hits: stats.total.home_hits,
+        steals: stats.total.steals,
+        wall: stats.wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_graph::gen::{grid_road, path_graph, power_law, random_gnm, star_graph};
+    use rsched_graph::GraphBuilder;
+
+    #[test]
+    fn matches_sequential_on_graph_families() {
+        let graphs = [
+            random_gnm(1000, 1500, 1..=10, 4), // sparse: many components
+            grid_road(24, 24, 5),
+            power_law(800, 3, 1..=10, 6),
+            path_graph(300, 1),
+            star_graph(200, 2),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let want = label_components(g);
+            for threads in [1usize, 4] {
+                let stats = parallel_label_propagation(
+                    g,
+                    LabelPropConfig {
+                        threads,
+                        seed: 42,
+                        ..LabelPropConfig::default()
+                    },
+                );
+                assert_eq!(stats.labels, want, "family {i}, threads {threads}");
+                assert!(stats.executed >= 1, "family {i}");
+                assert_eq!(
+                    stats.pops,
+                    stats.executed + stats.stale,
+                    "family {i}: propagation never blocks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_keep_distinct_labels() {
+        let mut b = GraphBuilder::new(9);
+        b.add_undirected_edge(0, 1, 1);
+        b.add_undirected_edge(1, 2, 1);
+        b.add_undirected_edge(5, 6, 1);
+        b.add_undirected_edge(7, 8, 1);
+        let g = b.build();
+        let stats = parallel_label_propagation(&g, LabelPropConfig::default());
+        assert_eq!(stats.labels, vec![0, 0, 0, 3, 4, 5, 5, 7, 7]);
+    }
+
+    #[test]
+    fn batch_and_affinity_sweep_is_exact() {
+        // The session axes must never change the fixed point — only the
+        // wasted-work statistics.
+        let g = random_gnm(600, 2400, 1..=10, 9);
+        let want = label_components(&g);
+        for spawn_batch in [1usize, 4, 64] {
+            for shards_per_worker in [0usize, 1, 2] {
+                let stats = parallel_label_propagation(
+                    &g,
+                    LabelPropConfig {
+                        threads: 8,
+                        spawn_batch,
+                        shards_per_worker,
+                        seed: spawn_batch as u64 ^ 0xA5,
+                        ..LabelPropConfig::default()
+                    },
+                );
+                assert_eq!(
+                    stats.labels, want,
+                    "batch {spawn_batch}, homes {shards_per_worker}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_burst_spawns_stay_exact() {
+        // A star graph floods the hub's entire neighbourhood in one
+        // burst — hundreds of spawns from a single handler call, parked
+        // and published batch by batch through the session buffer.
+        let g = star_graph(400, 1);
+        let stats = parallel_label_propagation(
+            &g,
+            LabelPropConfig {
+                threads: 2,
+                spawn_batch: 64,
+                seed: 7,
+                ..LabelPropConfig::default()
+            },
+        );
+        assert_eq!(stats.labels, label_components(&g));
+        assert!(stats.labels.iter().all(|&l| l == 0), "star is connected");
+    }
+}

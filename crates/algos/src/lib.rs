@@ -22,6 +22,10 @@
 //! * [`kcore`] — greedy **k-core peeling** over the relaxed FIFO work
 //!   queue: deletion order is confluent, so the relaxed result equals the
 //!   sequential k-core exactly.
+//! * [`label_prop`] — **connected components by min-label propagation**
+//!   over the relaxed FIFO frontier: another confluent fixed point, and
+//!   the workload that exercises the worker sessions' spawn-batching
+//!   path hardest (bursty spawns, batch-published frontiers).
 //! * [`branch_bound`] — best-first **branch-and-bound** (0/1 knapsack)
 //!   under relaxed scheduling: the Karp–Zhang parallel-backtracking setting
 //!   the paper's introduction traces the whole approach to, with *dynamic*
@@ -40,6 +44,7 @@ pub mod concurrent;
 pub mod delaunay;
 pub mod delta_par;
 pub mod kcore;
+pub mod label_prop;
 pub mod mis;
 pub mod sssp;
 
@@ -51,6 +56,9 @@ pub use concurrent::{ConcurrentBstSort, ConcurrentColoring, ConcurrentMis};
 pub use delaunay::DelaunayIncremental;
 pub use delta_par::{parallel_delta_stepping, ParDeltaStats};
 pub use kcore::{kcore_sequential, parallel_kcore, KcoreStats};
+pub use label_prop::{
+    label_components, parallel_label_propagation, LabelPropConfig, LabelPropStats,
+};
 pub use mis::GreedyMis;
 pub use sssp::{
     parallel_sssp, parallel_sssp_duplicates, parallel_sssp_spraylist, relaxed_sssp_seq,

@@ -188,6 +188,7 @@ fn parallel_sssp_on<S: Scheduler<Weight>>(
         RuntimeConfig {
             threads: cfg.threads,
             seed: cfg.seed,
+            ..RuntimeConfig::default()
         },
         [(src, 0)],
         |w, v, d| {

@@ -166,6 +166,7 @@ fn bench_multiqueue_backends(c: &mut Criterion) {
     group.throughput(Throughput::Elements((threads * per_thread) as u64));
     group.sample_size(10);
     fn cell<S: SubPriority<u64> + 'static>(threads: usize, per_thread: usize) {
+        use rsched_queues::SessionConfig;
         let q: Arc<ConcurrentMultiQueue<u64, S>> =
             Arc::new(ConcurrentMultiQueue::with_backend(2 * threads));
         std::thread::scope(|s| {
@@ -173,15 +174,15 @@ fn bench_multiqueue_backends(c: &mut Criterion) {
                 let q = Arc::clone(&q);
                 s.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(t as u64);
-                    let session = q.pin_session();
+                    let mut session = q.session(&SessionConfig::for_worker(t, threads));
                     for i in 0..per_thread {
-                        q.push_or_decrease_in(
+                        q.push_session(
                             t * per_thread + i,
                             rng.gen_range(0..1_000_000),
-                            &session,
+                            &mut session,
                         );
                         if i % 2 == 0 {
-                            q.pop_in(&mut rng, &session);
+                            q.pop_session(&mut session);
                         }
                     }
                 });

@@ -3,14 +3,16 @@
 //!
 //! For every `(queue ∈ {d-RA, d-CBO}) × (backend ∈ {mutex, ms, segring})
 //! × threads` cell, `threads` workers hammer one shared queue with a
-//! 50/50 enqueue/dequeue mix (worker-affine dequeues, so steal counts
-//! are meaningful) while the
+//! 50/50 enqueue/dequeue mix while the
 //! [`ConcurrentRankEstimator`] stamps every enqueue and logs every
-//! dequeue. This is the experiment
-//! behind the lock-free-shards claim: under oversubscription a preempted
-//! mutex holder stalls its whole shard, while the lock-free backends
-//! only lose the preempted thread's own progress ("lock-free algorithms
-//! are practically wait-free").
+//! dequeue. Each worker drives the queue through its **worker session**
+//! ([`FifoSession`]): the amortized epoch pin, owned home shards drained
+//! before stealing, and the bounded spawn buffer that publishes batches
+//! — so the sweep exercises exactly the path the runtime's worker pool
+//! uses. This is the experiment behind the lock-free-shards claim: under
+//! oversubscription a preempted mutex holder stalls its whole shard,
+//! while the lock-free backends only lose the preempted thread's own
+//! progress ("lock-free algorithms are practically wait-free").
 //!
 //! Results print as one JSON object per line (prefixed `json,`); set
 //! `RSCHED_JSON_OUT=<path>` to also write the full run as a JSON array
@@ -18,61 +20,76 @@
 //! `RSCHED_THREADS=1,2,4,8` overrides the default thread sweep,
 //! `RSCHED_SCALE` (small/medium/paper) the per-thread operation count,
 //! `RSCHED_REPS` the repetitions per cell (the best run is reported,
-//! which suppresses scheduler noise on oversubscribed hosts), and
+//! which suppresses scheduler noise on oversubscribed hosts),
 //! `RSCHED_SHARD_MULT` the shards-per-thread ratio (default 1, the
-//! faithful d-CBO configuration).
+//! faithful d-CBO configuration), and the session axes ride on
+//! `RSCHED_SHARDS_PER_WORKER` (home shards per worker, 0 = no affinity)
+//! and `RSCHED_SPAWN_BATCH` (enqueue batching) — both recorded in every
+//! JSON line.
 //!
 //! ```text
 //! cargo run -p rsched-bench --release --bin fifo_contention
-//! RSCHED_THREADS=8,16 RSCHED_SCALE=medium \
+//! RSCHED_THREADS=8,16 RSCHED_SHARDS_PER_WORKER=2 RSCHED_SPAWN_BATCH=8 \
 //!     cargo run -p rsched-bench --release --bin fifo_contention
 //! ```
+//!
+//! [`ConcurrentRankEstimator`]: rsched_queues::instrument::ConcurrentRankEstimator
+//! [`FifoSession`]: rsched_queues::FifoSession
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rsched_bench::{env_thread_list, write_json_artifact, Scale};
+use rsched_bench::{env_thread_list, env_usize, session_knobs, write_json_artifact, Scale};
 use rsched_queues::instrument::ConcurrentRankEstimator;
 use rsched_queues::lockfree::{MsQueue, SegRingQueue};
-use rsched_queues::{DCboQueue, DRaQueue, FifoRankStats, MutexSub, PinSession, SubFifo};
+use rsched_queues::{
+    DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, SessionConfig, SubFifo,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
 /// The operations the sweep needs, unified over both family members and
-/// every backend. The payload *is* the estimator stamp.
+/// every backend. The payload *is* the estimator stamp; all traffic
+/// flows through the worker session.
 trait ContendedFifo: Sync {
-    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession);
-    /// Worker-affine dequeue: `(stamp, stolen)`.
-    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)>;
-    /// Amortized epoch pin, inert for lock-based backends.
-    fn session(&self) -> PinSession;
+    fn open(&self, cfg: &SessionConfig) -> FifoSession<u64>;
+    fn enq(&self, stamp: u64, s: &mut FifoSession<u64>);
+    fn deq(&self, s: &mut FifoSession<u64>) -> Option<(u64, PopSource)>;
+    /// Publish any parked enqueues (end of a worker's run, pre-drain).
+    fn flush(&self, s: &mut FifoSession<u64>);
 }
 
 impl<S: SubFifo<u64>> ContendedFifo for DRaQueue<u64, S> {
-    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession) {
-        self.enqueue_in(stamp, rng, session);
+    fn open(&self, cfg: &SessionConfig) -> FifoSession<u64> {
+        self.session(cfg)
     }
 
-    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)> {
-        self.dequeue_from_in(home, rng, session)
+    fn enq(&self, stamp: u64, s: &mut FifoSession<u64>) {
+        self.push_session(stamp, s);
     }
 
-    fn session(&self) -> PinSession {
-        self.pin_session()
+    fn deq(&self, s: &mut FifoSession<u64>) -> Option<(u64, PopSource)> {
+        self.pop_session(s)
+    }
+
+    fn flush(&self, s: &mut FifoSession<u64>) {
+        self.flush_session(s);
     }
 }
 
 impl<S: SubFifo<u64>> ContendedFifo for DCboQueue<u64, S> {
-    fn enq(&self, stamp: u64, rng: &mut SmallRng, session: &PinSession) {
-        self.enqueue_in(stamp, rng, session);
+    fn open(&self, cfg: &SessionConfig) -> FifoSession<u64> {
+        self.session(cfg)
     }
 
-    fn deq(&self, home: usize, rng: &mut SmallRng, session: &PinSession) -> Option<(u64, bool)> {
-        self.dequeue_from_in(home, rng, session)
+    fn enq(&self, stamp: u64, s: &mut FifoSession<u64>) {
+        self.push_session(stamp, s);
     }
 
-    fn session(&self) -> PinSession {
-        self.pin_session()
+    fn deq(&self, s: &mut FifoSession<u64>) -> Option<(u64, PopSource)> {
+        self.pop_session(s)
+    }
+
+    fn flush(&self, s: &mut FifoSession<u64>) {
+        self.flush_session(s);
     }
 }
 
@@ -80,6 +97,7 @@ struct Trial {
     wall_s: f64,
     ops: u64,
     pops: u64,
+    home_hits: u64,
     steals: u64,
     stats: FifoRankStats,
 }
@@ -102,55 +120,79 @@ impl Mix {
     }
 }
 
+/// Session tuning for one trial cell.
+#[derive(Clone, Copy)]
+struct Tuning {
+    shards_per_worker: usize,
+    spawn_batch: usize,
+}
+
 /// Run one contention cell: `threads` workers, each `ops_per_thread`
-/// mixed operations against `queue`, rank errors estimated live.
+/// mixed operations against `queue` through per-worker sessions, rank
+/// errors estimated live.
 fn trial<Q: ContendedFifo>(
     queue: &Q,
     threads: usize,
     ops_per_thread: usize,
     prefill: usize,
     mix: Mix,
+    tuning: Tuning,
 ) -> Trial {
     let est = ConcurrentRankEstimator::new();
     {
         let rec = est.recorder();
-        let mut rng = SmallRng::seed_from_u64(0xF1F0);
-        let session = PinSession::none();
+        let mut session = queue.open(&SessionConfig::unaffine(0xF1F0));
         for _ in 0..prefill {
-            queue.enq(rec.stamp_enqueue(), &mut rng, &session);
+            queue.enq(rec.stamp_enqueue(), &mut session);
         }
+        queue.flush(&mut session);
     }
     let barrier = Barrier::new(threads);
     let pops = AtomicU64::new(0);
+    let home_hits = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for tid in 0..threads {
             let mut rec = est.recorder();
-            let (barrier, pops, steals, queue) = (&barrier, &pops, &steals, &queue);
+            let (barrier, pops, home_hits, steals, queue) =
+                (&barrier, &pops, &home_hits, &steals, &queue);
             scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(tid as u64 * 0x9E37 + 1);
-                let mut my_pops = 0u64;
-                let mut my_steals = 0u64;
-                // One epoch pin per batch of ops, as a real worker would
-                // hold it, instead of one per operation.
-                let mut session = queue.session();
+                use rand::Rng;
+                let mut session = queue.open(&SessionConfig {
+                    shards_per_worker: tuning.shards_per_worker,
+                    spawn_batch: tuning.spawn_batch,
+                    ..SessionConfig::for_worker(tid, threads)
+                });
+                // A private coin for the random mix (the session owns the
+                // shard-picker RNG; this one only decides push vs pop).
+                let mut coin = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+                    tid as u64 * 0x9E37 + 1,
+                );
+                let (mut my_pops, mut my_homes, mut my_steals) = (0u64, 0u64, 0u64);
                 barrier.wait();
                 for op in 0..ops_per_thread {
-                    session.tick();
                     let push = match mix {
                         Mix::Pairs => op % 2 == 0,
-                        Mix::Random => rng.gen_bool(0.5),
+                        Mix::Random => coin.gen_bool(0.5),
                     };
                     if push {
-                        queue.enq(rec.stamp_enqueue(), &mut rng, &session);
-                    } else if let Some((stamp, stolen)) = queue.deq(tid, &mut rng, &session) {
+                        queue.enq(rec.stamp_enqueue(), &mut session);
+                    } else if let Some((stamp, src)) = queue.deq(&mut session) {
                         rec.record_dequeue(stamp);
                         my_pops += 1;
-                        my_steals += u64::from(stolen);
+                        match src {
+                            PopSource::Home => my_homes += 1,
+                            PopSource::Steal => my_steals += 1,
+                            PopSource::Shared => {}
+                        }
                     }
                 }
+                // Forced flush at the end of the run: parked enqueues
+                // must publish for the conservation accounting below.
+                queue.flush(&mut session);
                 pops.fetch_add(my_pops, Ordering::Relaxed);
+                home_hits.fetch_add(my_homes, Ordering::Relaxed);
                 steals.fetch_add(my_steals, Ordering::Relaxed);
             });
         }
@@ -158,10 +200,9 @@ fn trial<Q: ContendedFifo>(
     let wall_s = start.elapsed().as_secs_f64();
     // Drain (unrecorded, outside the timed phase) and account: nothing
     // lost, nothing duplicated.
-    let mut rng = SmallRng::seed_from_u64(0);
+    let mut drain = queue.open(&SessionConfig::unaffine(0));
     let mut drained = 0u64;
-    let session = PinSession::none();
-    while queue.deq(usize::MAX, &mut rng, &session).is_some() {
+    while queue.deq(&mut drain).is_some() {
         drained += 1;
     }
     let enqueued = est.enqueues();
@@ -175,6 +216,7 @@ fn trial<Q: ContendedFifo>(
         wall_s,
         ops: (threads * ops_per_thread) as u64,
         pops: popped,
+        home_hits: home_hits.load(Ordering::Relaxed),
         steals: steals.load(Ordering::Relaxed),
         stats: est.into_stats(),
     }
@@ -190,20 +232,19 @@ fn main() {
     // Start empty by default: the mixed workload grows the queue
     // organically, exercising both the contended-shard and near-empty
     // regimes (frontier tails); RSCHED_PREFILL pins a starting depth.
-    let prefill = std::env::var("RSCHED_PREFILL")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(0);
-    let reps = std::env::var("RSCHED_REPS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(8)
-        .clamp(1, 16);
+    let prefill = env_usize("RSCHED_PREFILL", 0);
+    let reps = env_usize("RSCHED_REPS", 8).clamp(1, 16);
     let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16]);
     let mix = Mix::from_env();
+    let (shards_per_worker, spawn_batch) = session_knobs();
+    let tuning = Tuning {
+        shards_per_worker,
+        spawn_batch,
+    };
     println!(
         "== relaxed-FIFO contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
-         {} workload, best of {reps}, threads {threads_sweep:?}) ==",
+         {} workload, best of {reps}, threads {threads_sweep:?}, \
+         shards/worker {shards_per_worker}, spawn batch {spawn_batch}) ==",
         if mix == Mix::Pairs {
             "pairs"
         } else {
@@ -211,11 +252,7 @@ fn main() {
         },
     );
     let mut records: Vec<String> = Vec::new();
-    let shard_mult = std::env::var("RSCHED_SHARD_MULT")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1)
-        .clamp(1, 8);
+    let shard_mult = env_usize("RSCHED_SHARD_MULT", 1).clamp(1, 8);
     let shards_override = std::env::var("RSCHED_SHARDS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok());
@@ -234,6 +271,7 @@ fn main() {
             ops_per_thread: usize,
             prefill: usize,
             mix: Mix,
+            tuning: Tuning,
         ) -> Vec<Cell<'static>> {
             vec![
                 (
@@ -241,7 +279,7 @@ fn main() {
                     backend,
                     Box::new(move || {
                         let q = DRaQueue::<u64, S>::with_backend(shards, 2, 7);
-                        trial(&q, threads, ops_per_thread, prefill, mix)
+                        trial(&q, threads, ops_per_thread, prefill, mix, tuning)
                     }),
                 ),
                 (
@@ -249,7 +287,7 @@ fn main() {
                     backend,
                     Box::new(move || {
                         let q = DCboQueue::<u64, S>::with_backend(shards, 2, 7);
-                        trial(&q, threads, ops_per_thread, prefill, mix)
+                        trial(&q, threads, ops_per_thread, prefill, mix, tuning)
                     }),
                 ),
             ]
@@ -264,6 +302,7 @@ fn main() {
                     ops_per_thread,
                     prefill,
                     mix,
+                    tuning,
                 ),
                 "ms" => backend_cells::<MsQueue<u64>>(
                     backend,
@@ -272,6 +311,7 @@ fn main() {
                     ops_per_thread,
                     prefill,
                     mix,
+                    tuning,
                 ),
                 _ => backend_cells::<SegRingQueue<u64>>(
                     backend,
@@ -280,6 +320,7 @@ fn main() {
                     ops_per_thread,
                     prefill,
                     mix,
+                    tuning,
                 ),
             });
         }
@@ -306,8 +347,11 @@ fn main() {
         for (queue, backend, t) in cells {
             let record = format!(
                 "{{\"queue\":\"{queue}\",\"backend\":\"{backend}\",\"threads\":{threads},\
-                 \"shards\":{shards},\"prefill\":{prefill},\"ops\":{},\"wall_s\":{:.6},\
-                 \"ops_per_sec\":{:.1},\"pops\":{},\"pops_per_sec\":{:.1},\"steals\":{},\
+                 \"shards\":{shards},\"prefill\":{prefill},\
+                 \"shards_per_worker\":{shards_per_worker},\"spawn_batch\":{spawn_batch},\
+                 \"ops\":{},\"wall_s\":{:.6},\
+                 \"ops_per_sec\":{:.1},\"pops\":{},\"pops_per_sec\":{:.1},\
+                 \"home_hits\":{},\"home_fraction\":{:.4},\"steals\":{},\
                  \"steal_fraction\":{:.4},\"dequeues_measured\":{},\"mean_rank_error\":{:.4},\
                  \"p99_rank_error\":{},\"max_rank_error\":{}}}",
                 t.ops,
@@ -315,6 +359,12 @@ fn main() {
                 t.ops as f64 / t.wall_s,
                 t.pops,
                 t.pops as f64 / t.wall_s,
+                t.home_hits,
+                if t.pops == 0 {
+                    0.0
+                } else {
+                    t.home_hits as f64 / t.pops as f64
+                },
                 t.steals,
                 if t.pops == 0 {
                     0.0

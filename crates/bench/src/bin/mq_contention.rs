@@ -7,7 +7,10 @@
 //! item at a priority just above the worker's advancing distance front,
 //! and a two-choice relaxed `pop` — the operation mix Algorithm 3 of the
 //! paper issues while the distance frontier advances, including the
-//! decrease-key hits a keyed MultiQueue exists for. This is the
+//! decrease-key hits a keyed MultiQueue exists for. Every worker drives
+//! the queue through its [`MqSession`]: the amortized epoch pin, the
+//! sticky peek cache and the spawn buffer (`RSCHED_SPAWN_BATCH`), so
+//! the sweep exercises exactly the runtime's session path. This is the
 //! experiment behind the lock-free-priority-shards claim: the mutex
 //! backend pays a lock per peek and convoys when a holder is preempted,
 //! while the skiplist backend peeks racily and claims with one CAS, so a
@@ -31,51 +34,54 @@
 //! the repetitions per cell (best run reported, suppressing scheduler
 //! noise on oversubscribed hosts), `RSCHED_SHARD_MULT` the
 //! shards-per-thread ratio (default 2, the paper's Figure 1
-//! configuration), `RSCHED_SHARDS` an absolute shard count, and
+//! configuration), `RSCHED_SHARDS` an absolute shard count,
 //! `RSCHED_PREFILL` / `RSCHED_UNIVERSE` the queue's starting depth and
-//! item-id range.
+//! item-id range, and the session axes ride on `RSCHED_STICKINESS`
+//! (peek-cache reuse), `RSCHED_SPAWN_BATCH` and
+//! `RSCHED_SHARDS_PER_WORKER` (recorded for artifact uniformity; keyed
+//! placement itself has no home shards).
 //!
 //! ```text
 //! cargo run -p rsched-bench --release --bin mq_contention
-//! RSCHED_THREADS=8,16 RSCHED_SCALE=medium \
+//! RSCHED_THREADS=8,16 RSCHED_SPAWN_BATCH=8 \
 //!     cargo run -p rsched-bench --release --bin mq_contention
 //! ```
+//!
+//! [`MqSession`]: rsched_queues::MqSession
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rsched_bench::{env_thread_list, env_usize, write_json_artifact, Scale};
-use rsched_queues::{ConcurrentMultiQueue, MutexHeapSub, PinSession, SkipShard, SubPriority};
+use rsched_bench::{env_thread_list, env_usize, session_knobs, write_json_artifact, Scale};
+use rsched_queues::{
+    ConcurrentMultiQueue, FlushReport, MqSession, MutexHeapSub, PopSource, PushOutcome,
+    SessionConfig, SkipShard, SubPriority,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
 /// The operations the sweep needs, unified over every shard backend.
+/// All traffic flows through the worker session.
 trait ContendedMq: Sync {
-    /// Returns `true` when a net-new element entered the queue.
-    fn push_or_dec(&self, item: usize, prio: u64, rng: &mut SmallRng, session: &PinSession)
-        -> bool;
-    fn pop(&self, rng: &mut SmallRng, session: &PinSession) -> Option<(usize, u64)>;
-    /// Amortized epoch pin, inert for the mutex backend.
-    fn session(&self) -> PinSession;
+    fn open(&self, cfg: &SessionConfig) -> MqSession<u64>;
+    fn push_or_dec(&self, item: usize, prio: u64, s: &mut MqSession<u64>) -> PushOutcome;
+    fn pop(&self, s: &mut MqSession<u64>) -> Option<((usize, u64), PopSource)>;
+    fn flush(&self, s: &mut MqSession<u64>) -> FlushReport;
 }
 
 impl<S: SubPriority<u64>> ContendedMq for ConcurrentMultiQueue<u64, S> {
-    fn push_or_dec(
-        &self,
-        item: usize,
-        prio: u64,
-        _rng: &mut SmallRng,
-        session: &PinSession,
-    ) -> bool {
-        self.push_or_decrease_in(item, prio, session)
+    fn open(&self, cfg: &SessionConfig) -> MqSession<u64> {
+        self.session(cfg)
     }
 
-    fn pop(&self, rng: &mut SmallRng, session: &PinSession) -> Option<(usize, u64)> {
-        self.pop_in(rng, session)
+    fn push_or_dec(&self, item: usize, prio: u64, s: &mut MqSession<u64>) -> PushOutcome {
+        self.push_session(item, prio, s)
     }
 
-    fn session(&self) -> PinSession {
-        self.pin_session()
+    fn pop(&self, s: &mut MqSession<u64>) -> Option<((usize, u64), PopSource)> {
+        self.pop_session(s)
+    }
+
+    fn flush(&self, s: &mut MqSession<u64>) -> FlushReport {
+        self.flush_session(s)
     }
 }
 
@@ -83,75 +89,116 @@ struct Trial {
     wall_s: f64,
     ops: u64,
     pops: u64,
+    cache_hits: u64,
     inserts: u64,
     merges: u64,
 }
 
+/// Per-worker conservation bookkeeping over session outcomes, split
+/// into inserts/merges for the JSON record; the net-insert rule itself
+/// is [`PushOutcome::net_new`].
+#[derive(Default)]
+struct Accounting {
+    pushes: u64,
+    net: i64,
+}
+
+impl Accounting {
+    fn push(&mut self, out: PushOutcome) {
+        self.pushes += 1;
+        self.net += out.net_new();
+    }
+
+    fn flush(&mut self, rep: FlushReport) {
+        self.net -= rep.merged as i64;
+    }
+
+    fn inserts(&self) -> u64 {
+        self.net as u64
+    }
+
+    fn merges(&self) -> u64 {
+        self.pushes - self.net as u64
+    }
+}
+
 /// Run one contention cell: `threads` workers, each `ops_per_thread`
-/// operations of the SSSP-pop mix against `queue`.
+/// operations of the SSSP-pop mix against `queue`, through sessions.
 fn trial<Q: ContendedMq>(
     queue: &Q,
     threads: usize,
     ops_per_thread: usize,
     prefill: usize,
     universe: usize,
+    session_cfg: SessionConfig,
 ) -> Trial {
-    let mut prefill_inserts = 0u64;
-    {
-        let mut rng = SmallRng::seed_from_u64(0x55_59);
-        let session = PinSession::none();
+    use rand::Rng;
+    let prefill_inserts = {
+        let mut acct = Accounting::default();
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0x55_59);
+        let mut session = queue.open(&SessionConfig::unaffine(0x55_59));
         for _ in 0..prefill {
             let item = rng.gen_range(0..universe);
-            if queue.push_or_dec(item, rng.gen_range(0..1_000), &mut rng, &session) {
-                prefill_inserts += 1;
-            }
+            acct.push(queue.push_or_dec(item, rng.gen_range(0..1_000), &mut session));
         }
-    }
+        acct.flush(queue.flush(&mut session));
+        acct.inserts()
+    };
     let barrier = Barrier::new(threads);
     let pops = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
     let inserts = AtomicU64::new(0);
     let merges = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for tid in 0..threads {
-            let (barrier, pops, inserts, merges, queue) =
-                (&barrier, &pops, &inserts, &merges, &queue);
+            let (barrier, pops, cache_hits, inserts, merges, queue) =
+                (&barrier, &pops, &cache_hits, &inserts, &merges, &queue);
             scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(tid as u64 * 0x9E37 + 1);
-                let (mut my_pops, mut my_inserts, mut my_merges) = (0u64, 0u64, 0u64);
+                let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+                    tid as u64 * 0x9E37 + 1,
+                );
+                let mut acct = Accounting::default();
+                let (mut my_pops, mut my_cache_hits) = (0u64, 0u64);
                 // The worker's advancing "distance front", as in SSSP:
                 // new priorities land just above the last popped one.
                 let mut front = 0u64;
-                let mut session = queue.session();
+                let mut session = queue.open(&SessionConfig {
+                    tid,
+                    workers: threads,
+                    seed: tid as u64 * 0x5E55 + 7,
+                    ..session_cfg
+                });
                 barrier.wait();
                 for op in 0..ops_per_thread {
-                    session.tick();
                     if op % 2 == 0 {
                         let item = rng.gen_range(0..universe);
                         let prio = front + rng.gen_range(0..1_000u64);
-                        if queue.push_or_dec(item, prio, &mut rng, &session) {
-                            my_inserts += 1;
-                        } else {
-                            my_merges += 1;
-                        }
-                    } else if let Some((_, d)) = queue.pop(&mut rng, &session) {
+                        acct.push(queue.push_or_dec(item, prio, &mut session));
+                    } else if let Some(((_, d), src)) = queue.pop(&mut session) {
                         my_pops += 1;
+                        if src == PopSource::Home {
+                            my_cache_hits += 1;
+                        }
                         front = front.max(d);
                     }
                 }
+                // Forced flush: parked pushes must publish before the
+                // conservation accounting below.
+                acct.flush(queue.flush(&mut session));
                 pops.fetch_add(my_pops, Ordering::Relaxed);
-                inserts.fetch_add(my_inserts, Ordering::Relaxed);
-                merges.fetch_add(my_merges, Ordering::Relaxed);
+                cache_hits.fetch_add(my_cache_hits, Ordering::Relaxed);
+                inserts.fetch_add(acct.inserts(), Ordering::Relaxed);
+                merges.fetch_add(acct.merges(), Ordering::Relaxed);
             });
         }
     });
     let wall_s = start.elapsed().as_secs_f64();
     // Drain (outside the timed phase) and check conservation: every
     // insert that reported "net-new" must come out exactly once.
-    let mut rng = SmallRng::seed_from_u64(0);
-    let session = PinSession::none();
+    let mut drain = queue.open(&SessionConfig::unaffine(0));
     let mut drained = 0u64;
-    while queue.pop(&mut rng, &session).is_some() {
+    while queue.pop(&mut drain).is_some() {
         drained += 1;
     }
     let popped = pops.load(Ordering::Relaxed);
@@ -165,6 +212,7 @@ fn trial<Q: ContendedMq>(
         wall_s,
         ops: (threads * ops_per_thread) as u64,
         pops: popped,
+        cache_hits: cache_hits.load(Ordering::Relaxed),
         inserts: inserts.load(Ordering::Relaxed),
         merges: merges.load(Ordering::Relaxed),
     }
@@ -184,12 +232,20 @@ fn main() {
     let shards_override = std::env::var("RSCHED_SHARDS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok());
+    let (shards_per_worker, spawn_batch) = session_knobs();
+    let stickiness = env_usize("RSCHED_STICKINESS", 1).max(1);
+    let session_cfg = SessionConfig {
+        shards_per_worker,
+        spawn_batch,
+        stickiness,
+        ..SessionConfig::default()
+    };
     // Deep oversubscription on purpose: the crossover is the result.
     let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16, 32, 64]);
     println!(
         "== MultiQueue contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
          SSSP-pop workload, universe {universe}, prefill {prefill}, best of {reps}, \
-         threads {threads_sweep:?}) ==",
+         threads {threads_sweep:?}, spawn batch {spawn_batch}, stickiness {stickiness}) ==",
     );
     let mut records: Vec<String> = Vec::new();
     for &threads in &threads_sweep {
@@ -203,7 +259,7 @@ fn main() {
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, MutexHeapSub<u64>> =
                         ConcurrentMultiQueue::with_backend_universe(shards, universe);
-                    trial(&q, threads, ops_per_thread, prefill, universe)
+                    trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ),
             (
@@ -211,7 +267,7 @@ fn main() {
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, SkipShard<u64>> =
                         ConcurrentMultiQueue::with_backend_universe(shards, universe);
-                    trial(&q, threads, ops_per_thread, prefill, universe)
+                    trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ),
         ];
@@ -235,13 +291,17 @@ fn main() {
             let record = format!(
                 "{{\"queue\":\"multiqueue\",\"backend\":\"{backend}\",\"threads\":{threads},\
                  \"shards\":{shards},\"prefill\":{prefill},\"universe\":{universe},\
+                 \"shards_per_worker\":{shards_per_worker},\"spawn_batch\":{spawn_batch},\
+                 \"stickiness\":{stickiness},\
                  \"ops\":{},\"wall_s\":{:.6},\"ops_per_sec\":{:.1},\"pops\":{},\
-                 \"pops_per_sec\":{:.1},\"inserts\":{},\"merges\":{},\"merge_fraction\":{:.4}}}",
+                 \"pops_per_sec\":{:.1},\"cache_hits\":{},\"inserts\":{},\"merges\":{},\
+                 \"merge_fraction\":{:.4}}}",
                 t.ops,
                 t.wall_s,
                 t.ops as f64 / t.wall_s,
                 t.pops,
                 t.pops as f64 / t.wall_s,
+                t.cache_hits,
                 t.inserts,
                 t.merges,
                 if t.inserts + t.merges == 0 {

@@ -102,6 +102,19 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// The worker-session tuning knobs every contention benchmark sweeps and
+/// records: `RSCHED_SHARDS_PER_WORKER` (home shards per worker, default
+/// 1; 0 disables affinity) and `RSCHED_SPAWN_BATCH` (spawn-buffer
+/// capacity, default 1 = publish immediately). Returned as
+/// `(shards_per_worker, spawn_batch)`; emit both in every JSON record so
+/// the BENCH artifacts pin down the session axes of a run.
+pub fn session_knobs() -> (usize, usize) {
+    (
+        env_usize("RSCHED_SHARDS_PER_WORKER", 1),
+        env_usize("RSCHED_SPAWN_BATCH", 1),
+    )
+}
+
 /// Write pre-serialized JSON object `records` as a JSON array to the
 /// path named by `RSCHED_JSON_OUT`, if set — the framing the CI
 /// perf-smoke validation parses for every `BENCH_*.json` artifact.

@@ -110,7 +110,11 @@ pub fn run_relaxed_parallel<A: ConcurrentIncremental>(
     let queue = ConcurrentMultiQueue::<u64>::with_universe(threads * queue_multiplier, n);
     let stats = run(
         &queue,
-        RuntimeConfig { threads, seed },
+        RuntimeConfig {
+            threads,
+            seed,
+            ..RuntimeConfig::default()
+        },
         (0..n).map(|task| (task, task as u64)),
         |_, task, _| {
             if alg.deps_satisfied(task) {

@@ -45,6 +45,18 @@
 //! on choosing; `fifo_contention` in `rsched-bench` sweeps all of them
 //! under thread contention.
 //!
+//! # Worker sessions
+//!
+//! Long-lived workers drive these queues through a [`FifoSession`]
+//! (from [`DRaQueue::session`] / [`DCboQueue::session`]): the amortized
+//! epoch pin, a private shard-picker RNG, **owned home shards** drained
+//! before any steal ([`pop_session`](DCboQueue::pop_session)), and a
+//! bounded **spawn buffer** whose contents publish as one
+//! balanced-choice batch ([`flush_session`](DCboQueue::flush_session)).
+//! The raw `&self` + caller-RNG operations remain for tests and
+//! one-shot callers; the session path is what `rsched-runtime` workers
+//! and the contention benchmarks use.
+//!
 //! [`FifoRankTracker`] wraps any [`RelaxedFifo`] and measures empirical
 //! rank errors against a shadow order, mirroring the priority-queue
 //! instrumentation in [`instrument`](crate::instrument); its concurrent
@@ -52,12 +64,12 @@
 //! [`ConcurrentRankEstimator`](crate::instrument::ConcurrentRankEstimator).
 
 use crate::lockfree::SegRingQueue;
+use crate::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush, MAX_SPAWN_BATCH};
 use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,30 +234,6 @@ impl<T: Send> SubFifo<T> for MutexSub<T> {
 }
 
 // ---------------------------------------------------------------------
-// Per-thread shard-picker RNG
-// ---------------------------------------------------------------------
-
-/// Seed source for per-thread picker RNGs (distinct odd increments give
-/// every thread a distinct splitmix-expanded stream).
-static PICKER_SEED: AtomicU64 = AtomicU64::new(0xD1CE_5EED);
-
-thread_local! {
-    static PICKER_RNG: RefCell<SmallRng> = RefCell::new(SmallRng::seed_from_u64(
-        PICKER_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
-    ));
-}
-
-/// Run `f` with this thread's shard-picker RNG.
-///
-/// The `*_local` convenience operations on [`DRaQueue`] / [`DCboQueue`]
-/// use this so callers without their own RNG stream never serialize on a
-/// shared generator (PR 1 kept a `Mutex<SmallRng>` inside the queue for
-/// that — a bottleneck as soon as two threads picked shards at once).
-pub fn with_thread_picker<R>(f: impl FnOnce(&mut SmallRng) -> R) -> R {
-    PICKER_RNG.with(|rng| f(&mut rng.borrow_mut()))
-}
-
-// ---------------------------------------------------------------------
 // Shared shard machinery
 // ---------------------------------------------------------------------
 
@@ -292,13 +280,13 @@ const REPIN_EVERY: u32 = 32;
 /// An amortized epoch pin for a batch of queue operations.
 ///
 /// Entering the epoch scheme costs a fence; a worker doing millions of
-/// operations should not pay it per operation. A session (from
-/// [`DRaQueue::pin_session`] / [`DCboQueue::pin_session`]) holds one pin
-/// so the per-operation pins inside the queue collapse to counter bumps,
-/// and [`tick`](Self::tick) repins every `REPIN_EVERY` (32) calls so the
-/// global epoch — and therefore memory reclamation — keeps advancing.
-/// For backends that don't use epochs (e.g. [`MutexSub`]) the session is
-/// an inert no-op.
+/// operations should not pay it per operation. Every worker session
+/// ([`FifoSession`], [`MqSession`](crate::multiqueue::MqSession)) embeds
+/// one pin so the per-operation pins inside the queue collapse to
+/// counter bumps, and [`tick`](Self::tick) repins every `REPIN_EVERY`
+/// (32) calls so the global epoch — and therefore memory reclamation —
+/// keeps advancing. For backends that don't use epochs (e.g.
+/// [`MutexSub`]) the pin is an inert no-op.
 #[derive(Debug, Default)]
 pub struct PinSession {
     guard: Option<epoch::Guard>,
@@ -338,22 +326,93 @@ impl PinSession {
     }
 }
 
-/// Fill `buf[..d]` with shard samples; with affinity, the home shard
-/// participates in the first round's choice and later rounds go fully
-/// random to escape an empty home.
-fn fill_candidates<R: Rng>(
-    q: usize,
-    d: usize,
-    home: Option<usize>,
-    round: usize,
-    rng: &mut R,
-    buf: &mut [usize; MAX_CHOICES],
-) {
-    for (i, c) in buf.iter_mut().take(d).enumerate() {
-        *c = match (home, i, round) {
-            (Some(h), 0, 0) => h,
-            _ => rng.gen_range(0..q),
-        };
+/// Fill `buf[..d]` with uniform shard samples — the steal-phase
+/// candidates (home shards were already drained by the locality phase).
+fn fill_candidates<R: Rng>(q: usize, d: usize, rng: &mut R, buf: &mut [usize; MAX_CHOICES]) {
+    for c in buf.iter_mut().take(d) {
+        *c = rng.gen_range(0..q);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The FIFO worker session
+// ---------------------------------------------------------------------
+
+/// A worker's session over a [`DRaQueue`] / [`DCboQueue`] — the single
+/// per-worker state object of the relaxed FIFO family (see the
+/// worker-session section of the [crate docs](crate)).
+///
+/// Carries the amortized epoch pin, the worker's private shard-picker
+/// RNG, the **owned home shards** drained before any steal, and the
+/// bounded **spawn buffer** whose contents publish as one batch to a
+/// single balanced-choice shard. Obtained from [`DRaQueue::session`] /
+/// [`DCboQueue::session`]; every session operation on the queue takes
+/// `&mut` session and `&self` queue, so any number of sessions can work
+/// one queue concurrently.
+#[derive(Debug)]
+pub struct FifoSession<T> {
+    pin: PinSession,
+    rng: SmallRng,
+    /// Home shards, strided across workers (`tid + i·workers mod q`), so
+    /// with `workers × shards_per_worker ≤ q` no shard has two owners.
+    homes: Vec<usize>,
+    /// Index into `homes` of the last home hit — the locality phase
+    /// resumes there so a hot home shard keeps serving until it misses.
+    rotor: usize,
+    buf: Vec<T>,
+    batch: usize,
+}
+
+impl<T> FifoSession<T> {
+    /// The home shards this session owns (empty = no affinity).
+    pub fn homes(&self) -> &[usize] {
+        &self.homes
+    }
+
+    /// Elements parked in the spawn buffer, not yet published.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn is_home(&self, shard: usize) -> bool {
+        self.homes.contains(&shard)
+    }
+
+    fn classify(&self, shard: usize) -> PopSource {
+        if self.homes.is_empty() {
+            PopSource::Shared
+        } else if self.is_home(shard) {
+            PopSource::Home
+        } else {
+            PopSource::Steal
+        }
+    }
+}
+
+/// Build a session over `q` shards from `cfg`: derive the RNG stream,
+/// stride the home shards, size the buffer.
+fn new_fifo_session<T>(q: usize, cfg: &SessionConfig) -> FifoSession<T> {
+    let workers = cfg.workers.max(1);
+    let spw = cfg.shards_per_worker.min(q);
+    let mut homes = Vec::with_capacity(spw);
+    for i in 0..spw {
+        let shard = (cfg.tid + i * workers) % q;
+        if !homes.contains(&shard) {
+            homes.push(shard);
+        }
+    }
+    let batch = cfg.spawn_batch.clamp(1, MAX_SPAWN_BATCH);
+    FifoSession {
+        pin: PinSession::none(),
+        // `cfg.seed` is already the per-worker stream (the config
+        // constructors mix the tid in exactly once); re-mixing the tid
+        // here would cancel that mix and hand every worker the same
+        // picker stream.
+        rng: SmallRng::seed_from_u64(cfg.seed),
+        homes,
+        rotor: 0,
+        buf: Vec::with_capacity(if batch > 1 { batch } else { 0 }),
+        batch,
     }
 }
 
@@ -447,12 +506,6 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
         self.enqueue_tok(item, rng, &S::token());
     }
 
-    /// [`enqueue`](Self::enqueue) borrowing `session`'s pin (no epoch
-    /// entry per operation for lock-free backends).
-    pub fn enqueue_in<R: Rng>(&self, item: T, rng: &mut R, session: &PinSession) {
-        self.enqueue_tok(item, rng, &S::borrow_token(session));
-    }
-
     fn enqueue_tok<R: Rng>(&self, item: T, rng: &mut R, tok: &S::Token) {
         let q = self.shards.len();
         let mut best = rng.gen_range(0..q);
@@ -475,65 +528,160 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
     /// after a full sweep found every shard empty (a hint, not a
     /// linearizable emptiness check — callers own termination detection).
     pub fn dequeue<R: Rng>(&self, rng: &mut R) -> Option<T> {
-        self.dequeue_from(usize::MAX, rng).map(|(item, _)| item)
+        self.pop_with_homes(&[], &mut 0, rng, &S::token())
+            .map(|(item, _)| item)
     }
 
-    /// [`enqueue`](Self::enqueue) with this thread's picker RNG.
-    pub fn enqueue_local(&self, item: T) {
-        with_thread_picker(|rng| self.enqueue(item, rng));
-    }
-
-    /// [`dequeue`](Self::dequeue) with this thread's picker RNG.
-    pub fn dequeue_local(&self) -> Option<T> {
-        with_thread_picker(|rng| self.dequeue(rng))
-    }
-
-    /// [`dequeue_from`](Self::dequeue_from) with this thread's picker RNG.
-    pub fn dequeue_from_local(&self, home: usize) -> Option<(T, bool)> {
-        with_thread_picker(|rng| self.dequeue_from(home, rng))
-    }
-
-    /// An amortized [`PinSession`] for a batch of operations on this
-    /// queue (inert when the backend doesn't use epoch reclamation).
-    pub fn pin_session(&self) -> PinSession {
-        PinSession::new(S::NEEDS_EPOCH)
-    }
-
-    /// Worker-affine dequeue for the runtime: shard `home % shards` is
-    /// always one of the first round's candidates, so an uncontended
-    /// worker keeps draining its own shard; among candidates the oldest
-    /// visible head wins. The returned flag is `true` when the element
-    /// came from a foreign shard — a steal. Pass `usize::MAX` for no
-    /// affinity.
+    /// Worker-affine dequeue without a session: shard `home % shards` is
+    /// drained first, then the choice-of-`d` steal rounds run. The
+    /// returned flag is `true` when the element came from a foreign
+    /// shard — a steal. Pass `usize::MAX` for no affinity. Workers in a
+    /// pool use [`session`](Self::session) + [`pop_session`] instead,
+    /// which add multi-shard ownership and the amortized epoch pin.
+    ///
+    /// [`pop_session`]: Self::pop_session
     pub fn dequeue_from<R: Rng>(&self, home: usize, rng: &mut R) -> Option<(T, bool)> {
-        self.dequeue_from_tok(home, rng, &S::token())
+        let q = self.shards.len();
+        let arr = [home % q.max(1)];
+        let homes: &[usize] = if home == usize::MAX { &[] } else { &arr };
+        self.pop_with_homes(homes, &mut 0, rng, &S::token())
+            .map(|(item, c)| (item, !homes.is_empty() && homes[0] != c))
     }
 
-    /// [`dequeue_from`](Self::dequeue_from) borrowing `session`'s pin
-    /// (no epoch entry per operation for lock-free backends).
-    pub fn dequeue_from_in<R: Rng>(
-        &self,
-        home: usize,
-        rng: &mut R,
-        session: &PinSession,
-    ) -> Option<(T, bool)> {
-        self.dequeue_from_tok(home, rng, &S::borrow_token(session))
+    /// Open a worker session (see [`FifoSession`]): home shards strided
+    /// by `cfg.tid`/`cfg.workers`, spawn buffer of `cfg.spawn_batch`,
+    /// epoch pin live iff the backend needs one.
+    pub fn session(&self, cfg: &SessionConfig) -> FifoSession<T> {
+        let mut s = new_fifo_session(self.shards.len(), cfg);
+        s.pin = PinSession::new(S::NEEDS_EPOCH);
+        s
     }
 
-    fn dequeue_from_tok<R: Rng>(
+    /// Session push: publishes immediately when `spawn_batch == 1`,
+    /// otherwise parks the item in the session buffer, auto-flushing a
+    /// full buffer. FIFO pushes never merge, so the outcome is
+    /// [`SessionPush::Inserted`] or [`SessionPush::Buffered`].
+    pub fn push_session(&self, item: T, s: &mut FifoSession<T>) -> PushOutcome {
+        if s.batch <= 1 {
+            s.pin.tick();
+            let tok = S::borrow_token(&s.pin);
+            self.enqueue_tok(item, &mut s.rng, &tok);
+            return PushOutcome::immediate(SessionPush::Inserted);
+        }
+        s.buf.push(item);
+        let flushed = if s.buf.len() >= s.batch {
+            self.flush_session(s)
+        } else {
+            FlushReport::default()
+        };
+        PushOutcome {
+            push: SessionPush::Buffered,
+            flushed,
+        }
+    }
+
+    /// Publish everything parked in the session buffer as **one batch**:
+    /// one balanced choice (the session's current home shard competes
+    /// with `d − 1` random samples on live length), one arrival-stamp
+    /// range claim, one enqueue-counter bump.
+    pub fn flush_session(&self, s: &mut FifoSession<T>) -> FlushReport {
+        if s.buf.is_empty() {
+            return FlushReport::default();
+        }
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let q = self.shards.len();
+        let mut best = s
+            .homes
+            .get(s.rotor)
+            .copied()
+            .unwrap_or_else(|| s.rng.gen_range(0..q));
+        let mut best_len = self.shards[best].approx_len();
+        for _ in 1..self.d {
+            let c = s.rng.gen_range(0..q);
+            let l = self.shards[c].approx_len();
+            if l < best_len {
+                best = c;
+                best_len = l;
+            }
+        }
+        let n = s.buf.len() as u64;
+        let base = self.arrivals.fetch_add(n, Ordering::Relaxed);
+        let shard = &self.shards[best];
+        for (i, item) in s.buf.drain(..).enumerate() {
+            shard.sub.push(base + i as u64, item, &tok);
+        }
+        shard.enqueues.fetch_add(n, Ordering::Relaxed);
+        FlushReport {
+            published: n,
+            merged: 0,
+        }
+    }
+
+    /// Locality-aware session pop: drain the session's home shards first
+    /// (oldest visible home head — [`PopSource::Home`]), then fall back
+    /// to the choice-of-`d` steal rounds over random shards
+    /// ([`PopSource::Steal`]). Sessions without affinity report
+    /// [`PopSource::Shared`]. `None` semantics match
+    /// [`dequeue`](Self::dequeue). Buffered spawns are **not** popped
+    /// here — flush on a miss (the runtime's worker loop does).
+    pub fn pop_session(&self, s: &mut FifoSession<T>) -> Option<(T, PopSource)> {
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let mut rotor = s.rotor;
+        let out = self.pop_with_homes(&s.homes, &mut rotor, &mut s.rng, &tok);
+        s.rotor = rotor;
+        out.map(|(item, shard)| {
+            let src = s.classify(shard);
+            (item, src)
+        })
+    }
+
+    /// The shared pop engine: locality phase over `homes`, then steal
+    /// rounds, then the oldest-head and full-sweep fallbacks. Returns
+    /// the popped item and the shard it came from.
+    fn pop_with_homes<R: Rng>(
         &self,
-        home: usize,
+        homes: &[usize],
+        rotor: &mut usize,
         rng: &mut R,
         tok: &S::Token,
-    ) -> Option<(T, bool)> {
+    ) -> Option<(T, usize)> {
         let q = self.shards.len();
-        let home = (home != usize::MAX).then(|| home % q);
         let d = self.d;
-        for round in 0..(2 * q + 4) {
+        // Locality phase: start at the home shard with the oldest
+        // visible head, then fall through the remaining owned homes in
+        // rotor order — a lost race or a contended mutex on one home
+        // must not forfeit the whole phase to the steal rounds.
+        let nh = homes.len();
+        if nh > 0 {
+            let mut start = *rotor % nh;
+            let mut best: Option<u64> = None;
+            for i in 0..nh {
+                let idx = (*rotor + i) % nh;
+                if let Some(stamp) = self.shards[homes[idx]].sub.head_seq(tok) {
+                    if best.is_none_or(|b| stamp < b) {
+                        best = Some(stamp);
+                        start = idx;
+                    }
+                }
+            }
+            for i in 0..nh {
+                let idx = (start + i) % nh;
+                let c = homes[idx];
+                if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
+                    *rotor = idx;
+                    self.finish_pop(c);
+                    return Some((item, c));
+                }
+            }
+        }
+        // Steal rounds: `d` random samples, oldest visible head first;
+        // shards with no visible head (empty, or a contended mutex
+        // backend) are skipped.
+        for _ in 0..(2 * q + 4) {
             let mut cand = [0usize; MAX_CHOICES];
-            fill_candidates(q, d, home, round, rng, &mut cand);
-            // Oldest visible head first; shards with no visible head
-            // (empty, or a contended mutex backend) are skipped.
+            fill_candidates(q, d, rng, &mut cand);
             let mut heads = [(u64::MAX, usize::MAX); MAX_CHOICES];
             let mut n = 0;
             for &c in &cand[..d] {
@@ -551,7 +699,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
                 tried = c;
                 if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                     self.finish_pop(c);
-                    return Some((item, home.is_some_and(|h| h != c)));
+                    return Some((item, c));
                 }
             }
             if self.is_empty() {
@@ -568,18 +716,21 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
             let Some((_, c)) = oldest else { break };
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
-                return Some((item, home.is_some_and(|h| h != c)));
+                return Some((item, c));
             }
         }
-        // Final sweep, rotated from a per-thread offset (home shard if
-        // affine, else a random start) so convoys don't all line up on
-        // shard 0.
-        let start = home.unwrap_or_else(|| rng.gen_range(0..q));
+        // Final sweep, rotated from a per-thread offset (first home
+        // shard if affine, else a random start) so convoys don't all
+        // line up on shard 0.
+        let start = homes
+            .first()
+            .copied()
+            .unwrap_or_else(|| rng.gen_range(0..q));
         for k in 0..q {
             let c = (start + k) % q;
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
-                return Some((item, home.is_some_and(|h| h != c)));
+                return Some((item, c));
             }
         }
         None
@@ -734,12 +885,6 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
         self.enqueue_tok(item, rng, &S::token());
     }
 
-    /// [`enqueue`](Self::enqueue) borrowing `session`'s pin (no epoch
-    /// entry per operation for lock-free backends).
-    pub fn enqueue_in<R: Rng>(&self, item: T, rng: &mut R, session: &PinSession) {
-        self.enqueue_tok(item, rng, &S::borrow_token(session));
-    }
-
     fn enqueue_tok<R: Rng>(&self, item: T, rng: &mut R, tok: &S::Token) {
         let q = self.shards.len();
         let mut best = rng.gen_range(0..q);
@@ -760,64 +905,139 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
     /// Pop from the sampled shard with the fewest completed dequeues;
     /// `None` only after a full sweep found every shard empty.
     pub fn dequeue<R: Rng>(&self, rng: &mut R) -> Option<T> {
-        self.dequeue_from(usize::MAX, rng).map(|(item, _)| item)
+        self.pop_with_homes(&[], &mut 0, rng, &S::token())
+            .map(|(item, _)| item)
     }
 
-    /// [`enqueue`](Self::enqueue) with this thread's picker RNG.
-    pub fn enqueue_local(&self, item: T) {
-        with_thread_picker(|rng| self.enqueue(item, rng));
-    }
-
-    /// [`dequeue`](Self::dequeue) with this thread's picker RNG.
-    pub fn dequeue_local(&self) -> Option<T> {
-        with_thread_picker(|rng| self.dequeue(rng))
-    }
-
-    /// [`dequeue_from`](Self::dequeue_from) with this thread's picker RNG.
-    pub fn dequeue_from_local(&self, home: usize) -> Option<(T, bool)> {
-        with_thread_picker(|rng| self.dequeue_from(home, rng))
-    }
-
-    /// An amortized [`PinSession`] for a batch of operations on this
-    /// queue (inert when the backend doesn't use epoch reclamation).
-    pub fn pin_session(&self) -> PinSession {
-        PinSession::new(S::NEEDS_EPOCH)
-    }
-
-    /// Worker-affine dequeue for the runtime: shard `home % shards` is
-    /// always one of the candidates, so an uncontended worker keeps
-    /// draining its own shard; the other `d - 1` samples are uniform and
-    /// win only when their shard is *behind* on dequeues (its heads are
-    /// older). The returned flag is `true` when the element came from a
-    /// foreign shard — a steal. Pass `usize::MAX` for no affinity.
+    /// Worker-affine dequeue without a session: shard `home % shards` is
+    /// drained first, then the choice-of-`d` steal rounds run. The
+    /// returned flag is `true` when the element came from a foreign
+    /// shard — a steal. Pass `usize::MAX` for no affinity. Workers in a
+    /// pool use [`session`](Self::session) + [`pop_session`] instead.
+    ///
+    /// [`pop_session`]: Self::pop_session
     pub fn dequeue_from<R: Rng>(&self, home: usize, rng: &mut R) -> Option<(T, bool)> {
-        self.dequeue_from_tok(home, rng, &S::token())
+        let q = self.shards.len();
+        let arr = [home % q.max(1)];
+        let homes: &[usize] = if home == usize::MAX { &[] } else { &arr };
+        self.pop_with_homes(homes, &mut 0, rng, &S::token())
+            .map(|(item, c)| (item, !homes.is_empty() && homes[0] != c))
     }
 
-    /// [`dequeue_from`](Self::dequeue_from) borrowing `session`'s pin
-    /// (no epoch entry per operation for lock-free backends).
-    pub fn dequeue_from_in<R: Rng>(
-        &self,
-        home: usize,
-        rng: &mut R,
-        session: &PinSession,
-    ) -> Option<(T, bool)> {
-        self.dequeue_from_tok(home, rng, &S::borrow_token(session))
+    /// Open a worker session (see [`FifoSession`]): home shards strided
+    /// by `cfg.tid`/`cfg.workers`, spawn buffer of `cfg.spawn_batch`,
+    /// epoch pin live iff the backend needs one.
+    pub fn session(&self, cfg: &SessionConfig) -> FifoSession<T> {
+        let mut s = new_fifo_session(self.shards.len(), cfg);
+        s.pin = PinSession::new(S::NEEDS_EPOCH);
+        s
     }
 
-    fn dequeue_from_tok<R: Rng>(
+    /// Session push: publishes immediately when `spawn_batch == 1`,
+    /// otherwise parks the item in the session buffer, auto-flushing a
+    /// full buffer. FIFO pushes never merge, so the outcome is
+    /// [`SessionPush::Inserted`] or [`SessionPush::Buffered`].
+    pub fn push_session(&self, item: T, s: &mut FifoSession<T>) -> PushOutcome {
+        if s.batch <= 1 {
+            s.pin.tick();
+            let tok = S::borrow_token(&s.pin);
+            self.enqueue_tok(item, &mut s.rng, &tok);
+            return PushOutcome::immediate(SessionPush::Inserted);
+        }
+        s.buf.push(item);
+        let flushed = if s.buf.len() >= s.batch {
+            self.flush_session(s)
+        } else {
+            FlushReport::default()
+        };
+        PushOutcome {
+            push: SessionPush::Buffered,
+            flushed,
+        }
+    }
+
+    /// Publish everything parked in the session buffer as **one batch**
+    /// to a single shard: the session's current home shard competes with
+    /// `d − 1` random samples on completed enqueues, then the whole
+    /// batch lands there under one counter bump.
+    pub fn flush_session(&self, s: &mut FifoSession<T>) -> FlushReport {
+        if s.buf.is_empty() {
+            return FlushReport::default();
+        }
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let q = self.shards.len();
+        let mut best = s
+            .homes
+            .get(s.rotor)
+            .copied()
+            .unwrap_or_else(|| s.rng.gen_range(0..q));
+        for _ in 1..self.d {
+            let c = s.rng.gen_range(0..q);
+            if self.shards[c].enqueues.load(Ordering::Relaxed)
+                < self.shards[best].enqueues.load(Ordering::Relaxed)
+            {
+                best = c;
+            }
+        }
+        let n = s.buf.len() as u64;
+        let shard = &self.shards[best];
+        for item in s.buf.drain(..) {
+            // d-CBO never reads stamps; the balanced counters are the order.
+            shard.sub.push(0, item, &tok);
+        }
+        shard.enqueues.fetch_add(n, Ordering::Relaxed);
+        FlushReport {
+            published: n,
+            merged: 0,
+        }
+    }
+
+    /// Locality-aware session pop: drain the session's home shards first
+    /// ([`PopSource::Home`]), then run the fewest-dequeues choice-of-`d`
+    /// steal rounds ([`PopSource::Steal`]). Sessions without affinity
+    /// report [`PopSource::Shared`]. Buffered spawns are **not** popped
+    /// here — flush on a miss (the runtime's worker loop does).
+    pub fn pop_session(&self, s: &mut FifoSession<T>) -> Option<(T, PopSource)> {
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let mut rotor = s.rotor;
+        let out = self.pop_with_homes(&s.homes, &mut rotor, &mut s.rng, &tok);
+        s.rotor = rotor;
+        out.map(|(item, shard)| {
+            let src = s.classify(shard);
+            (item, src)
+        })
+    }
+
+    /// The shared pop engine: locality phase over `homes` (round-robin
+    /// from the last hit), then fewest-dequeues steal rounds, then the
+    /// waiting fallback sweep. Returns the popped item and its shard.
+    fn pop_with_homes<R: Rng>(
         &self,
-        home: usize,
+        homes: &[usize],
+        rotor: &mut usize,
         rng: &mut R,
         tok: &S::Token,
-    ) -> Option<(T, bool)> {
+    ) -> Option<(T, usize)> {
         let q = self.shards.len();
-        let home = (home != usize::MAX).then(|| home % q);
         let d = self.d;
-        // Optimistic choice-of-d rounds with non-blocking pops.
-        for round in 0..(2 * q + 4) {
+        // Locality phase: keep draining the last hot home shard, falling
+        // through the other owned homes on a miss.
+        let nh = homes.len();
+        for i in 0..nh {
+            let idx = (*rotor + i) % nh;
+            let c = homes[idx];
+            if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
+                *rotor = idx;
+                self.finish_pop(c);
+                return Some((item, c));
+            }
+        }
+        // Steal rounds: choice-of-d on completed dequeues, non-blocking.
+        for _ in 0..(2 * q + 4) {
             let mut cand = [0usize; MAX_CHOICES];
-            fill_candidates(q, d, home, round, rng, &mut cand);
+            fill_candidates(q, d, rng, &mut cand);
             let cand = &mut cand[..d];
             cand.sort_by_key(|&c| self.shards[c].dequeues.load(Ordering::Relaxed));
             let mut tried = usize::MAX;
@@ -828,7 +1048,7 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
                 tried = c;
                 if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                     self.finish_pop(c);
-                    return Some((item, home.is_some_and(|h| h != c)));
+                    return Some((item, c));
                 }
             }
             if self.is_empty() {
@@ -836,15 +1056,18 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
             }
         }
         // Fallback sweep: visit every shard once, waiting on locks.
-        // Rotated from a per-thread offset (home shard if affine, else a
-        // random start) so threads that fall back together fan out over
-        // the shards instead of convoying onto shard 0.
-        let start = home.unwrap_or_else(|| rng.gen_range(0..q));
+        // Rotated from a per-thread offset (first home shard if affine,
+        // else a random start) so threads that fall back together fan
+        // out over the shards instead of convoying onto shard 0.
+        let start = homes
+            .first()
+            .copied()
+            .unwrap_or_else(|| rng.gen_range(0..q));
         for k in 0..q {
             let c = (start + k) % q;
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
-                return Some((item, home.is_some_and(|h| h != c)));
+                return Some((item, c));
             }
         }
         None
@@ -1306,7 +1529,7 @@ mod tests {
     }
 
     #[test]
-    fn thread_local_picker_ops_conserve_items() {
+    fn session_ops_conserve_items_across_threads() {
         use std::sync::Arc;
         let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(4, 17));
         let threads = 4;
@@ -1315,16 +1538,95 @@ mod tests {
             for t in 0..threads {
                 let q = Arc::clone(&q);
                 s.spawn(move || {
+                    let mut session = q.session(&SessionConfig {
+                        spawn_batch: 8,
+                        ..SessionConfig::for_worker(t, threads)
+                    });
                     for i in 0..per {
-                        q.enqueue_local(t * per + i);
+                        q.push_session(t * per + i, &mut session);
                     }
+                    let rep = q.flush_session(&mut session);
+                    assert_eq!(rep.merged, 0, "FIFO flushes never merge");
                 });
             }
         });
+        let mut drain = q.session(&SessionConfig::unaffine(3));
         let mut seen = std::collections::HashSet::new();
-        while let Some((v, _)) = q.dequeue_from_local(0) {
+        while let Some((v, src)) = q.pop_session(&mut drain) {
+            assert_eq!(src, PopSource::Shared, "unaffine session pops are Shared");
             assert!(seen.insert(v), "duplicate {v}");
         }
         assert_eq!(seen.len(), threads * per);
+    }
+
+    #[test]
+    fn session_batched_pushes_publish_on_flush() {
+        let q: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let mut s = q.session(&SessionConfig {
+            spawn_batch: 16,
+            ..SessionConfig::for_worker(0, 1)
+        });
+        for i in 0..15u64 {
+            let out = q.push_session(i, &mut s);
+            assert_eq!(out.push, SessionPush::Buffered);
+            assert_eq!(out.flushed, FlushReport::default());
+        }
+        assert_eq!(s.buffered(), 15);
+        assert_eq!(q.len(), 0, "parked spawns are invisible");
+        // The 16th push fills the buffer and auto-flushes the batch.
+        let out = q.push_session(15, &mut s);
+        assert_eq!(out.flushed.published, 16);
+        assert_eq!(s.buffered(), 0);
+        assert_eq!(q.len(), 16);
+        // An explicit flush of an empty buffer is a no-op.
+        assert_eq!(q.flush_session(&mut s), FlushReport::default());
+    }
+
+    #[test]
+    fn session_home_pops_drain_home_first() {
+        // One worker owning 2 of 4 shards: everything it pushed through
+        // immediate (unbatched) publication is spread over shards, so
+        // draining must report both Home and Steal pops, never Shared.
+        let q: DCboQueue<u64> = DCboQueue::new(4, 9);
+        let cfg = SessionConfig {
+            shards_per_worker: 2,
+            ..SessionConfig::for_worker(1, 2)
+        };
+        let mut s = q.session(&cfg);
+        assert_eq!(s.homes(), &[1, 3], "strided home assignment");
+        for i in 0..200u64 {
+            q.push_session(i, &mut s);
+        }
+        let (mut homes, mut steals) = (0u32, 0u32);
+        while let Some((_, src)) = q.pop_session(&mut s) {
+            match src {
+                PopSource::Home => homes += 1,
+                PopSource::Steal => steals += 1,
+                PopSource::Shared => panic!("affine session reported Shared"),
+            }
+        }
+        assert_eq!(homes + steals, 200);
+        assert!(homes > 0, "home shards never drained first");
+        assert!(steals > 0, "foreign shards never stolen from");
+    }
+
+    #[test]
+    fn dra_session_batch_keeps_fifo_exact_on_one_shard() {
+        // A single shard is an exact FIFO even through batched flushes:
+        // batches preserve buffer order and stamp order.
+        let q: DRaQueue<u64> = DRaQueue::new(1, 2, 3);
+        let mut s = q.session(&SessionConfig {
+            spawn_batch: 7,
+            ..SessionConfig::for_worker(0, 1)
+        });
+        for i in 0..100u64 {
+            q.push_session(i, &mut s);
+        }
+        q.flush_session(&mut s);
+        let mut got = Vec::new();
+        while let Some((v, _)) = q.pop_session(&mut s) {
+            got.push(v);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
     }
 }

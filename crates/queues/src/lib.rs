@@ -65,7 +65,7 @@
 //! queue has a single deterministic total order, which is what the
 //! instrumentation layer measures ranks against.
 //!
-//! ## Architecture: the shard-backend design
+//! ## Architecture: shard backends below, worker sessions above
 //!
 //! Every concurrent relaxed structure in this crate has the same shape:
 //! a **composition layer** that owns the relaxation policy, over an
@@ -87,15 +87,50 @@
 //!
 //! Both traits thread a per-operation **token** through every sub-call —
 //! an epoch [`Guard`](crossbeam::epoch::Guard) for lock-free backends,
-//! zero-sized for locked ones — and both borrow it from an amortized
-//! [`PinSession`] when the caller holds one (the `rsched-runtime` worker
-//! loop does, via `Scheduler::push_in`/`pop_from_in`), so entering the
-//! reclamation scheme costs one TLS hop per *batch*, not per operation.
-//! Retired memory (MS nodes, ring segments, skiplist towers) is handed
-//! back through epoch-deferred callbacks that *recycle* into bounded
-//! per-structure pools instead of hitting the allocator, which keeps
-//! steady-state churn allocation-free without weakening the grace-period
-//! argument.
+//! zero-sized for locked ones. Retired memory (MS nodes, ring segments,
+//! skiplist towers) is handed back through epoch-deferred callbacks that
+//! *recycle* into bounded per-structure pools instead of hitting the
+//! allocator, which keeps steady-state churn allocation-free without
+//! weakening the grace-period argument.
+//!
+//! ### The worker-session layer
+//!
+//! Above the composition layer sits **one** abstraction for everything a
+//! long-lived worker thread accumulates against a queue. Earlier
+//! revisions grew three parallel mechanisms — an amortized epoch pin
+//! threaded through `*_in` method variants, a `StickySession` that
+//! pinned MultiQueue shard *indices* across pops, and a thread-local
+//! picker RNG behind `*_local` convenience calls — all replaced by the
+//! per-queue session types built from one vocabulary
+//! ([`SessionConfig`], [`SessionPush`], [`PushOutcome`],
+//! [`FlushReport`], [`PopSource`]):
+//!
+//! * [`fifo::FifoSession`] (from [`DRaQueue::session`] /
+//!   [`DCboQueue::session`]) carries the worker's [`PinSession`] epoch
+//!   pin, its private shard-picker RNG, its **owned home shards**
+//!   (`shards_per_worker ≥ 1`, strided over the workers so every shard
+//!   has at most one owner), and a **bounded spawn buffer** that parks
+//!   pushes and publishes them as one batch to a single
+//!   balanced-choice target shard (one choice, one counter bump and one
+//!   stamp-range claim per *batch*). Pops are locality-aware: drain the
+//!   session's home shards first ([`PopSource::Home`]), then fall back
+//!   to the choice-of-`d` steal rounds ([`PopSource::Steal`]).
+//! * [`multiqueue::MqSession`] (from [`ConcurrentMultiQueue::session`])
+//!   carries the pin, the RNG, the same spawn buffer (deduplicating
+//!   repeated items locally — a buffered decrease-key that costs no
+//!   shared-memory traffic), and a **sticky peek cache** that pins the
+//!   shard *minimum* observed while losing the previous choice-of-two —
+//!   not the shard index, so going stale only costs relaxation slack,
+//!   never a wrong claim (the claim is still a validated CAS).
+//!
+//! Buffered spawns interact with termination detection through the
+//! flush protocol: [`FlushReport`] tells the caller how many parked
+//! elements were published and how many of those merged into existing
+//! entries, which is exactly the signal the `rsched-runtime` quiescence
+//! counter needs to stay conservative (a parked element counts as in
+//! flight until its flush resolves it). The runtime's worker loop
+//! flushes on every pop miss, so a buffer can never hide the last tasks
+//! of a computation.
 //!
 //! The regime trade-off is consistent across both families: locked
 //! shards have the smaller constants and win while every critical
@@ -103,7 +138,8 @@
 //! hold their throughput flat as threads exceed cores and win under
 //! oversubscription and real multicore contention (`fifo_contention`
 //! and `mq_contention` in `rsched-bench` measure exactly this
-//! crossover).
+//! crossover, now with the session `shards_per_worker × spawn_batch`
+//! axes swept alongside).
 
 pub mod fifo;
 pub mod heap;
@@ -118,8 +154,8 @@ pub mod spraylist;
 
 pub use fifo::{
     DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue,
-    DRaSegQueue, FifoRankStats, FifoRankTracker, MutexSub, PinSession, RelaxedFifo, SubFifo,
-    TryPop,
+    DRaSegQueue, FifoRankStats, FifoRankTracker, FifoSession, MutexSub, PinSession, RelaxedFifo,
+    SubFifo, TryPop,
 };
 pub use heap::IndexedBinaryHeap;
 pub use instrument::{ConcurrentRankEstimator, RankRecorder, RankStats, RankTracker};
@@ -128,8 +164,8 @@ pub use klsm::{KLsmHandle, KLsmQueue};
 pub use lockfree::{MsQueue, SegRingQueue};
 pub use multiqueue::Placement;
 pub use multiqueue::{
-    ConcurrentMultiQueue, DuplicateMultiQueue, MutexHeapMultiQueue, SimMultiQueue,
-    SkipListMultiQueue, StickySession,
+    ConcurrentMultiQueue, DuplicateMultiQueue, MqSession, MutexHeapMultiQueue, SimMultiQueue,
+    SkipListMultiQueue,
 };
 pub use pairing::PairingHeap;
 pub use skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
@@ -137,6 +173,160 @@ pub use spraylist::{ConcurrentSprayList, SprayList};
 
 /// Sentinel meaning "item is not currently stored in the queue".
 pub(crate) const NOT_PRESENT: usize = usize::MAX;
+
+// ---------------------------------------------------------------------
+// The worker-session vocabulary
+// ---------------------------------------------------------------------
+
+/// Ceiling on [`SessionConfig::spawn_batch`]: an unbounded buffer would
+/// let one worker hold an arbitrary slice of the computation invisible
+/// to every other worker.
+pub const MAX_SPAWN_BATCH: usize = 4096;
+
+/// Configuration for a worker session over any concurrent queue in this
+/// crate ([`DRaQueue::session`], [`DCboQueue::session`],
+/// [`ConcurrentMultiQueue::session`]).
+///
+/// A session is the worker-owned half of a queue: the epoch pin, the
+/// shard-picker RNG stream, the owned home shards, the sticky peek
+/// cache and the bounded spawn buffer all live in it, so the shared
+/// structure stays free of any per-thread state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// This worker's id in `0..workers`.
+    pub tid: usize,
+    /// Total cooperating workers (determines the home-shard stride).
+    pub workers: usize,
+    /// Seed for the session's private RNG stream (derive per worker).
+    pub seed: u64,
+    /// Home shards this worker owns and drains first (FIFO queues).
+    /// `0` disables affinity entirely — every pop is an unbiased
+    /// choice-of-`d`, as the pre-session queues behaved.
+    pub shards_per_worker: usize,
+    /// Spawn-buffer capacity (clamped to [`MAX_SPAWN_BATCH`]); `1`
+    /// publishes every push immediately.
+    pub spawn_batch: usize,
+    /// How many consecutive pops may reuse the session's sticky peek
+    /// cache before a forced re-sample (MultiQueue); `1` re-samples
+    /// every pop — the classic two-choice protocol.
+    pub stickiness: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            tid: 0,
+            workers: 1,
+            seed: 0,
+            shards_per_worker: 1,
+            spawn_batch: 1,
+            stickiness: 1,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A session config for worker `tid` of `workers`, everything else
+    /// at the defaults.
+    pub fn for_worker(tid: usize, workers: usize) -> Self {
+        Self {
+            tid,
+            workers: workers.max(1),
+            seed: (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..Self::default()
+        }
+    }
+
+    /// A session with no shard affinity (uniform random pops) — what a
+    /// drain loop or a caller outside any worker pool wants.
+    pub fn unaffine(seed: u64) -> Self {
+        Self {
+            seed,
+            shards_per_worker: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a session-mediated push did — the conservation signal callers
+/// maintaining element counts (the runtime's quiescence detector, the
+/// contention benchmarks) fold into their accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionPush {
+    /// A net-new element became (or will become, once the buffer
+    /// flushes without merging it) visible in the shared structure.
+    Inserted,
+    /// Merged into an existing entry — a decrease-key hit in the shared
+    /// structure or a dedup inside the session's own buffer. No net-new
+    /// element.
+    Merged,
+    /// Parked in the session's spawn buffer; whether it merges is
+    /// decided by the [`FlushReport`] of the flush that publishes it.
+    Buffered,
+}
+
+/// Outcome of a flush: how many parked elements were published and how
+/// many of those merged into existing entries (and therefore are *not*
+/// net-new, whatever the pusher assumed when parking them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Buffered elements pushed to the shared structure.
+    pub published: u64,
+    /// Of those, how many merged (net element count unchanged).
+    pub merged: u64,
+}
+
+impl FlushReport {
+    /// Fold another report into this one.
+    pub fn absorb(&mut self, other: FlushReport) {
+        self.published += other.published;
+        self.merged += other.merged;
+    }
+}
+
+/// A session push plus any flush it triggered (a full buffer publishes
+/// itself before accepting the new element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The pushed element's own fate.
+    pub push: SessionPush,
+    /// Side-effect flush, empty when none happened.
+    pub flushed: FlushReport,
+}
+
+impl PushOutcome {
+    pub(crate) fn immediate(push: SessionPush) -> Self {
+        Self {
+            push,
+            flushed: FlushReport::default(),
+        }
+    }
+
+    /// The net element-count delta this outcome implies — **the**
+    /// conservation rule for session pushes, in one place: `Inserted`
+    /// and `Buffered` elements are presumed net-new, `Merged` ones are
+    /// not, and every merge the side-effect flush reported retracts one
+    /// earlier presumption. Summing this over all pushes, plus
+    /// `-merged` of every explicit [`FlushReport`], equals the number
+    /// of elements pops will deliver once the structure drains.
+    pub fn net_new(&self) -> i64 {
+        let presumed = matches!(self.push, SessionPush::Inserted | SessionPush::Buffered) as i64;
+        presumed - self.flushed.merged as i64
+    }
+}
+
+/// Where a session pop found its element — the locality statistic the
+/// runtime folds into per-worker home-hit/steal counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopSource {
+    /// One of the session's own home shards (FIFO queues), or a sticky
+    /// peek-cache hit (MultiQueue).
+    Home,
+    /// A foreign shard of a session that owns home shards.
+    Steal,
+    /// A session without affinity (or a queue without a home notion).
+    Shared,
+}
 
 /// An exact priority queue over dense `usize` items.
 ///

@@ -34,12 +34,14 @@
 use crate::fifo::PinSession;
 use crate::heap::IndexedBinaryHeap;
 use crate::skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
-use crate::{DecreaseKey, PriorityQueue, RelaxedQueue, NOT_PRESENT};
+use crate::{
+    DecreaseKey, FlushReport, PopSource, PriorityQueue, PushOutcome, RelaxedQueue, SessionConfig,
+    SessionPush, MAX_SPAWN_BATCH, NOT_PRESENT,
+};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Multiply-shift hash used to map item ids to internal queues in keyed mode.
@@ -347,12 +349,6 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
         (q * lg).max(1)
     }
 
-    /// An amortized [`PinSession`] for a batch of operations on this
-    /// queue (inert when the backend doesn't use epoch reclamation).
-    pub fn pin_session(&self) -> PinSession {
-        PinSession::new(S::NEEDS_EPOCH)
-    }
-
     #[inline]
     fn shard_of(&self, item: usize) -> &S {
         &self.shards[queue_of(item, self.shards.len())]
@@ -367,12 +363,6 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     /// for termination detection.
     pub fn push_or_decrease(&self, item: usize, prio: P) -> bool {
         self.push_or_decrease_tok(item, prio, &S::token())
-    }
-
-    /// [`push_or_decrease`](Self::push_or_decrease) borrowing `session`'s
-    /// pin (no epoch entry per operation for lock-free backends).
-    pub fn push_or_decrease_in(&self, item: usize, prio: P, session: &PinSession) -> bool {
-        self.push_or_decrease_tok(item, prio, &S::borrow_token(session))
     }
 
     fn push_or_decrease_tok(&self, item: usize, prio: P, tok: &S::Token) -> bool {
@@ -402,12 +392,6 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     /// executor in `rsched-algos` does).
     pub fn pop<R: Rng>(&self, rng: &mut R) -> Option<(usize, P)> {
         self.pop_tok(rng, &S::token())
-    }
-
-    /// [`pop`](Self::pop) borrowing `session`'s pin (no epoch entry per
-    /// operation for lock-free backends).
-    pub fn pop_in<R: Rng>(&self, rng: &mut R, session: &PinSession) -> Option<(usize, P)> {
-        self.pop_tok(rng, &S::borrow_token(session))
     }
 
     fn pop_tok<R: Rng>(&self, rng: &mut R, tok: &S::Token) -> Option<(usize, P)> {
@@ -488,84 +472,237 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     }
 }
 
-/// A sticky pop session over a [`ConcurrentMultiQueue`].
+/// A worker's session over a [`ConcurrentMultiQueue`] — the MultiQueue
+/// member of the workspace's worker-session layer (see the crate docs).
 ///
-/// The original MultiQueue paper (Rihani, Sanders, Dementiev, SPAA 2015)
-/// proposes **batching/stickiness**: a thread keeps using the same pair of
-/// internal queues for several consecutive delete-mins before re-sampling,
-/// amortizing the random-choice and cache-miss cost at a small extra
-/// relaxation cost. A session holds the sampled pair for `stickiness` pops
-/// (re-sampling early on contention or empty pairs).
+/// Carries the amortized epoch [`PinSession`], the worker's private
+/// RNG stream, the bounded **spawn buffer** (deduplicating repeated
+/// items locally, so a buffered decrease-key costs no shared-memory
+/// traffic at all), and the **sticky peek cache**.
+///
+/// The peek cache descends from the MultiQueue paper's batching idea
+/// (Rihani, Sanders, Dementiev, SPAA 2015) — reuse scheduling state
+/// across consecutive delete-mins — but pins the shard ***minimum***
+/// observed while losing the previous choice-of-two, not a shard
+/// *index*: the next pop compares the cached `(shard, min)` against one
+/// fresh random peek and claims the smaller, halving peek traffic.
+/// Because a claim is still a validated CAS on the shard's current
+/// minimum, a stale cache entry costs only relaxation slack, never a
+/// wrong result. [`SessionConfig::stickiness`] bounds consecutive cache
+/// reuses; `1` disables the cache — the classic two-fresh-peeks
+/// protocol.
 ///
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::ConcurrentMultiQueue;
+/// use rsched_queues::{ConcurrentMultiQueue, SessionConfig};
 ///
 /// let q = ConcurrentMultiQueue::new(8);
+/// let mut session = q.session(&SessionConfig {
+///     stickiness: 4,
+///     ..SessionConfig::default()
+/// });
 /// for i in 0..100usize {
-///     q.push_or_decrease(i, i as u64);
+///     q.push_session(i, i as u64, &mut session);
 /// }
-/// let mut session = q.sticky_session(4, 42);
 /// let mut got = 0;
-/// while session.pop().is_some() {
+/// while q.pop_session(&mut session).is_some() {
 ///     got += 1;
 /// }
 /// assert_eq!(got, 100);
 /// ```
-pub struct StickySession<'q, P, S = SkipShard<P>>
-where
-    P: Ord + Copy,
-{
-    queue: &'q ConcurrentMultiQueue<P, S>,
+pub struct MqSession<P> {
+    pin: PinSession,
     rng: SmallRng,
     stickiness: usize,
+    /// Cache-reuse budget left before a forced full re-sample.
     remaining: usize,
-    pair: (usize, usize),
+    /// The sticky peek cache: shard index plus the `(priority, item)`
+    /// minimum observed there.
+    cached: Option<(usize, (P, usize))>,
+    buf: Vec<(usize, P)>,
+    batch: usize,
 }
 
-impl<P: Ord + Copy + Send, S: SubPriority<P>> StickySession<'_, P, S> {
-    /// Pop via the sticky pair, re-sampling after `stickiness` pops or when
-    /// the pair is contended/empty. Same `None` semantics as
-    /// [`ConcurrentMultiQueue::pop`].
-    pub fn pop(&mut self) -> Option<(usize, P)> {
-        let tok = S::token();
-        let q = self.queue.shards.len();
-        for _ in 0..(4 * q + 8) {
-            if self.remaining == 0 {
-                self.pair = (self.rng.gen_range(0..q), self.rng.gen_range(0..q));
-                self.remaining = self.stickiness;
+impl<P> MqSession<P> {
+    /// Elements parked in the spawn buffer, not yet published.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
+    /// Open a worker session (see [`MqSession`]). Placement stays keyed
+    /// — a MultiQueue has no home shards; its locality levers are the
+    /// sticky peek cache (`cfg.stickiness`) and the spawn buffer
+    /// (`cfg.spawn_batch`).
+    pub fn session(&self, cfg: &SessionConfig) -> MqSession<P> {
+        let batch = cfg.spawn_batch.clamp(1, MAX_SPAWN_BATCH);
+        MqSession {
+            pin: PinSession::new(S::NEEDS_EPOCH),
+            // `cfg.seed` is already the per-worker stream (the config
+            // constructors mix the tid in exactly once).
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            stickiness: cfg.stickiness.max(1),
+            remaining: 0,
+            cached: None,
+            buf: Vec::with_capacity(if batch > 1 { batch } else { 0 }),
+            batch,
+        }
+    }
+
+    /// Session push-or-decrease: immediate when `spawn_batch == 1`;
+    /// otherwise the item parks in the buffer — merging into an already
+    /// buffered entry for the same item *locally* when possible — and a
+    /// full buffer publishes itself.
+    pub fn push_session(&self, item: usize, prio: P, s: &mut MqSession<P>) -> PushOutcome {
+        if s.batch <= 1 {
+            s.pin.tick();
+            let tok = S::borrow_token(&s.pin);
+            let push = if self.push_or_decrease_tok(item, prio, &tok) {
+                SessionPush::Inserted
+            } else {
+                SessionPush::Merged
+            };
+            return PushOutcome::immediate(push);
+        }
+        // Local dedup over the most recent window only: spawn bursts
+        // repeat items close together, and a bounded scan keeps the
+        // push path O(1) at large batch sizes. A duplicate that escapes
+        // the window is not a correctness issue — the flush publishes
+        // both and the shared `push_or_decrease` merges the second,
+        // with the merge reported back through the [`FlushReport`].
+        const DEDUP_WINDOW: usize = 32;
+        let window = s.buf.len().saturating_sub(DEDUP_WINDOW);
+        if let Some(slot) = s.buf[window..].iter_mut().find(|(it, _)| *it == item) {
+            if prio < slot.1 {
+                slot.1 = prio;
             }
-            match self.queue.try_pop_pair(self.pair.0, self.pair.1, &tok) {
-                Some(got) => {
-                    self.remaining -= 1;
-                    return Some(got);
+            return PushOutcome::immediate(SessionPush::Merged);
+        }
+        s.buf.push((item, prio));
+        let flushed = if s.buf.len() >= s.batch {
+            self.flush_session(s)
+        } else {
+            FlushReport::default()
+        };
+        PushOutcome {
+            push: SessionPush::Buffered,
+            flushed,
+        }
+    }
+
+    /// Publish everything parked in the session buffer. The report's
+    /// `merged` count is the number of published elements that hit an
+    /// existing entry — the retraction signal for element-count
+    /// maintainers (each such element was parked as presumed-new).
+    pub fn flush_session(&self, s: &mut MqSession<P>) -> FlushReport {
+        if s.buf.is_empty() {
+            return FlushReport::default();
+        }
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let mut rep = FlushReport::default();
+        for (item, prio) in s.buf.drain(..) {
+            rep.published += 1;
+            if !self.push_or_decrease_tok(item, prio, &tok) {
+                rep.merged += 1;
+            }
+        }
+        rep
+    }
+
+    /// Session pop: the choice-of-two relaxed delete-min, with candidate
+    /// A served from the sticky peek cache while its reuse budget lasts.
+    /// A pop that claims the cached shard reports [`PopSource::Home`]
+    /// (a cache hit); everything else is [`PopSource::Shared`] — keyed
+    /// placement has no steal notion. `None` semantics match
+    /// [`pop`](Self::pop); buffered spawns are **not** popped here —
+    /// flush on a miss (the runtime's worker loop does).
+    pub fn pop_session(&self, s: &mut MqSession<P>) -> Option<((usize, P), PopSource)> {
+        s.pin.tick();
+        let tok = S::borrow_token(&s.pin);
+        let q = self.shards.len();
+        for _ in 0..(4 * q + 8) {
+            // Candidate A: the cached minimum while budget lasts, else a
+            // fresh peek of a random shard.
+            let (a, ka, from_cache) = match s.cached.take() {
+                Some((shard, key)) if s.remaining > 0 => {
+                    s.remaining -= 1;
+                    (shard, Some(key), true)
                 }
-                None => {
-                    // Contended or empty pair: re-sample next round.
-                    self.remaining = 0;
-                    if self.queue.len.load(Ordering::Acquire) == 0 {
+                _ => {
+                    let shard = s.rng.gen_range(0..q);
+                    (shard, self.shards[shard].min_key(&tok), false)
+                }
+            };
+            // Candidate B: always a fresh peek.
+            let b = s.rng.gen_range(0..q);
+            let kb = if b == a {
+                None
+            } else {
+                self.shards[b].min_key(&tok)
+            };
+            let (win, win_hit, loser) = match (ka, kb) {
+                (None, None) => {
+                    s.remaining = 0;
+                    if self.len.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                (Some(_), None) => (a, from_cache, None),
+                (None, Some(k)) => (b, false, Some((b, k))),
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        (a, from_cache, Some((b, y)))
+                    } else {
+                        (b, false, Some((a, x)))
+                    }
+                }
+            };
+            match self.shards[win].try_pop_min(&tok) {
+                TryPopMin::Item((item, prio)) => {
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    // Pin the losing shard's observed minimum for the
+                    // next pop — the "peek cache" form of stickiness.
+                    // Only a *fresh-sample* pop re-arms the reuse
+                    // budget; cache-served pops spend it, so a chain of
+                    // reuses ends after `stickiness − 1` pops and the
+                    // next pop peeks fresh.
+                    if s.stickiness > 1 {
+                        if !from_cache {
+                            s.remaining = s.stickiness - 1;
+                        }
+                        if s.remaining > 0 {
+                            if let Some((shard, key)) = loser {
+                                s.cached = Some((shard, key));
+                            }
+                        }
+                    }
+                    let src = if win_hit {
+                        PopSource::Home
+                    } else {
+                        PopSource::Shared
+                    };
+                    return Some(((item, prio), src));
+                }
+                TryPopMin::Empty | TryPopMin::Contended => {
+                    s.remaining = 0;
+                    if self.len.load(Ordering::Acquire) == 0 {
                         break;
                     }
                 }
             }
         }
-        // Delegate to the fallback sweep.
-        self.queue.pop_tok(&mut self.rng, &tok)
-    }
-}
-
-impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
-    /// Start a sticky pop session (see [`StickySession`]).
-    pub fn sticky_session(&self, stickiness: usize, seed: u64) -> StickySession<'_, P, S> {
-        assert!(stickiness >= 1);
-        StickySession {
-            queue: self,
-            rng: SmallRng::seed_from_u64(seed),
-            stickiness,
-            remaining: 0,
-            pair: (0, 0),
+        // Fallback sweep: visit every shard once, waiting on any locks.
+        for shard in self.shards.iter() {
+            if let Some((item, prio)) = shard.pop_min_wait(&tok) {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(((item, prio), PopSource::Shared));
+            }
         }
+        None
     }
 }
 
@@ -675,30 +812,6 @@ impl<P: Ord + Copy + Send> DuplicateMultiQueue<P> {
             }
         }
         None
-    }
-}
-
-thread_local! {
-    static POP_RNG: Cell<u64> = const { Cell::new(0) };
-}
-
-impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
-    /// `pop` using a cheap thread-local xorshift generator, for callers that
-    /// do not thread an RNG through (e.g. drop-in queue benchmarks).
-    pub fn pop_thread_local(&self) -> Option<(usize, P)> {
-        let mut state = POP_RNG.with(|c| c.get());
-        if state == 0 {
-            // Derive a per-thread seed from the address of a stack local.
-            let x = &state as *const _ as u64;
-            state = x ^ 0x9E37_79B9_7F4A_7C15;
-        }
-        // xorshift64*
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        POP_RNG.with(|c| c.set(state));
-        let mut rng = SmallRng::seed_from_u64(state.wrapping_mul(0x2545_F491_4F6C_DD1D));
-        self.pop(&mut rng)
     }
 }
 
@@ -908,15 +1021,20 @@ mod tests {
     #[test]
     fn session_threaded_ops_match_plain_ones() {
         let mq: SkipListMultiQueue<u64> = ConcurrentMultiQueue::new(8);
-        let session = mq.pin_session();
+        let mut session = mq.session(&SessionConfig::default());
         for i in 0..200usize {
-            assert!(mq.push_or_decrease_in(i, 1000 + i as u64, &session));
-            assert!(!mq.push_or_decrease_in(i, i as u64, &session));
+            assert_eq!(
+                mq.push_session(i, 1000 + i as u64, &mut session).push,
+                SessionPush::Inserted
+            );
+            assert_eq!(
+                mq.push_session(i, i as u64, &mut session).push,
+                SessionPush::Merged
+            );
         }
         assert_eq!(mq.len(), 200);
-        let mut rng = SmallRng::seed_from_u64(4);
         let mut seen = HashSet::new();
-        while let Some((it, p)) = mq.pop_in(&mut rng, &session) {
+        while let Some(((it, p), _)) = mq.pop_session(&mut session) {
             assert_eq!(p, it as u64, "decrease was lost");
             assert!(seen.insert(it));
         }
@@ -924,20 +1042,55 @@ mod tests {
     }
 
     #[test]
-    fn sticky_session_drains_both_backends() {
+    fn sticky_peek_cache_drains_both_backends() {
         fn check<S: SubPriority<u64>>() {
             let q: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(8);
             for i in 0..100usize {
                 q.push_or_decrease(i, i as u64);
             }
-            let mut session = q.sticky_session(4, 42);
+            let mut session = q.session(&SessionConfig {
+                stickiness: 4,
+                seed: 42,
+                ..SessionConfig::default()
+            });
             let mut got = 0;
-            while session.pop().is_some() {
+            let mut cache_hits = 0;
+            while let Some((_, src)) = q.pop_session(&mut session) {
                 got += 1;
+                if src == PopSource::Home {
+                    cache_hits += 1;
+                }
             }
             assert_eq!(got, 100);
+            assert!(
+                cache_hits > 0,
+                "stickiness 4 never claimed through the peek cache"
+            );
         }
         check::<SkipShard<u64>>();
         check::<MutexHeapSub<u64>>();
+    }
+
+    #[test]
+    fn session_buffer_dedups_and_flush_reports_merges() {
+        let q: SkipListMultiQueue<u64> = ConcurrentMultiQueue::new(4);
+        // Pre-existing entry: the later flush of item 0 must merge.
+        q.push_or_decrease(0, 500);
+        let mut s = q.session(&SessionConfig {
+            spawn_batch: 8,
+            ..SessionConfig::default()
+        });
+        assert_eq!(q.push_session(1, 10, &mut s).push, SessionPush::Buffered);
+        // Same item again: merged inside the buffer, no shared traffic.
+        assert_eq!(q.push_session(1, 5, &mut s).push, SessionPush::Merged);
+        assert_eq!(q.push_session(0, 100, &mut s).push, SessionPush::Buffered);
+        assert_eq!(s.buffered(), 2);
+        assert_eq!(q.len(), 1, "parked spawns are invisible");
+        let rep = q.flush_session(&mut s);
+        assert_eq!(rep.published, 2);
+        assert_eq!(rep.merged, 1, "item 0 merged into the live entry");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.priority_of(1), Some(5), "buffer kept the minimum");
+        assert_eq!(q.priority_of(0), Some(100));
     }
 }

@@ -2,116 +2,121 @@
 //!
 //! One runtime, many orders: the relaxed *priority* schedulers drive
 //! label- and distance-ordered work (iterative algorithms, SSSP), the
-//! relaxed *FIFO* drives frontier-ordered work (BFS, k-core peeling).
-//! Every adapter maps the queue's native operations onto the runtime's
-//! push/pop contract, reporting `push → false` when an existing entry was
-//! merged so the termination counter stays exact.
+//! relaxed *FIFOs* drive frontier-ordered work (BFS, label propagation,
+//! k-core peeling). Every adapter maps the queue's native session onto
+//! the runtime's [`Scheduler::Session`] and routes the conservation
+//! signals ([`PushOutcome`], [`FlushReport`]) through unchanged so the
+//! termination counter stays exact.
 //!
 //! The sharded queues are **backend-generic**: the MultiQueue adapter
 //! accepts any [`SubPriority`] priority shard (lock-free skiplist by
-//! default, mutex-heap baseline), the FIFO adapters any
-//! [`SubFifo`] sub-queue. All of them override the session-threaded
-//! trait methods (`push_in`/`pop_from_in`) so the worker's long-lived
-//! [`PinSession`](rsched_queues::PinSession) replaces per-operation
-//! epoch entries.
+//! default, mutex-heap baseline), the FIFO adapters any [`SubFifo`]
+//! sub-queue. Their sessions carry the amortized epoch pin, so the
+//! worker loop performs zero per-operation epoch entries; the simple
+//! schedulers (`DuplicateMultiQueue`, `ConcurrentSprayList`) use a bare
+//! `SmallRng` as their session.
 
 use crate::pool::Scheduler;
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use rsched_queues::{
     ConcurrentMultiQueue, ConcurrentSprayList, DCboQueue, DRaQueue, DuplicateMultiQueue,
-    PinSession, SubFifo, SubPriority,
+    FifoSession, FlushReport, MqSession, PopSource, PushOutcome, SessionConfig, SessionPush,
+    SubFifo, SubPriority,
 };
 
 /// Keyed MultiQueue over any priority-shard backend: pushes merge via
-/// `push_or_decrease`, pops are the classic two-choice relaxed
-/// delete-min (peek-and-claim — mutex-free on the default skiplist
-/// backend).
+/// `push_or_decrease` (locally in the session buffer when batching),
+/// pops are the choice-of-two relaxed delete-min with the session's
+/// sticky peek cache — mutex-free on the default skiplist backend.
 impl<P: Ord + Copy + Send, S: SubPriority<P>> Scheduler<P> for ConcurrentMultiQueue<P, S> {
-    fn push(&self, item: usize, prio: P, _rng: &mut SmallRng) -> bool {
-        self.push_or_decrease(item, prio)
+    type Session = MqSession<P>;
+
+    fn open_session(&self, cfg: &SessionConfig) -> MqSession<P> {
+        self.session(cfg)
     }
 
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
-        ConcurrentMultiQueue::pop(self, rng)
+    fn push(&self, session: &mut MqSession<P>, item: usize, prio: P) -> PushOutcome {
+        self.push_session(item, prio, session)
     }
 
-    fn push_in(&self, item: usize, prio: P, _rng: &mut SmallRng, session: &PinSession) -> bool {
-        self.push_or_decrease_in(item, prio, session)
+    fn pop(&self, session: &mut MqSession<P>) -> Option<((usize, P), PopSource)> {
+        self.pop_session(session)
     }
 
-    fn pop_from_in(
-        &self,
-        _home: usize,
-        rng: &mut SmallRng,
-        session: &PinSession,
-    ) -> Option<((usize, P), bool)> {
-        // Keyed placement has no worker-home shard; steals are not a
-        // meaningful notion here.
-        self.pop_in(rng, session).map(|t| (t, false))
-    }
-
-    fn pin_session(&self) -> PinSession {
-        Self::pin_session(self)
+    fn flush(&self, session: &mut MqSession<P>) -> FlushReport {
+        self.flush_session(session)
     }
 }
 
 /// Duplicate-insertion MultiQueue (the DecreaseKey ablation): every push
-/// inserts a fresh copy, so pushes never merge.
+/// inserts a fresh copy, so pushes never merge or buffer and the session
+/// is just the worker's RNG stream.
 impl<P: Ord + Copy + Send> Scheduler<P> for DuplicateMultiQueue<P> {
-    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
-        DuplicateMultiQueue::push(self, item, prio, rng);
-        true
+    type Session = SmallRng;
+
+    fn open_session(&self, cfg: &SessionConfig) -> SmallRng {
+        SmallRng::seed_from_u64(cfg.seed)
     }
 
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
-        DuplicateMultiQueue::pop(self, rng)
+    fn push(&self, session: &mut SmallRng, item: usize, prio: P) -> PushOutcome {
+        DuplicateMultiQueue::push(self, item, prio, session);
+        PushOutcome {
+            push: SessionPush::Inserted,
+            flushed: FlushReport::default(),
+        }
+    }
+
+    fn pop(&self, session: &mut SmallRng) -> Option<((usize, P), PopSource)> {
+        DuplicateMultiQueue::pop(self, session).map(|t| (t, PopSource::Shared))
     }
 }
 
-/// Sharded SprayList: merge-on-push, spray-walk pops.
+/// Sharded SprayList: merge-on-push, spray-walk pops, RNG-only session.
 impl<P: Ord + Copy + Send> Scheduler<P> for ConcurrentSprayList<P> {
-    fn push(&self, item: usize, prio: P, _rng: &mut SmallRng) -> bool {
-        self.push_or_decrease(item, prio)
+    type Session = SmallRng;
+
+    fn open_session(&self, cfg: &SessionConfig) -> SmallRng {
+        SmallRng::seed_from_u64(cfg.seed)
     }
 
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
-        ConcurrentSprayList::pop(self, rng)
+    fn push(&self, _session: &mut SmallRng, item: usize, prio: P) -> PushOutcome {
+        let push = if self.push_or_decrease(item, prio) {
+            SessionPush::Inserted
+        } else {
+            SessionPush::Merged
+        };
+        PushOutcome {
+            push,
+            flushed: FlushReport::default(),
+        }
+    }
+
+    fn pop(&self, session: &mut SmallRng) -> Option<((usize, P), PopSource)> {
+        ConcurrentSprayList::pop(self, session).map(|t| (t, PopSource::Shared))
     }
 }
 
 /// Relaxed FIFO (d-CBO, any shard backend): the payload rides along as a
-/// carried value (e.g. a BFS depth) rather than an ordering key; pops
-/// prefer the worker's home shard and report choice-of-two steals.
+/// carried value (e.g. a BFS depth) rather than an ordering key; the
+/// session owns home shards, drains them first and batches spawns.
 impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DCboQueue<(usize, P), S> {
-    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
-        self.enqueue((item, prio), rng);
-        true
+    type Session = FifoSession<(usize, P)>;
+
+    fn open_session(&self, cfg: &SessionConfig) -> Self::Session {
+        self.session(cfg)
     }
 
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
-        self.dequeue(rng)
+    fn push(&self, session: &mut Self::Session, item: usize, prio: P) -> PushOutcome {
+        self.push_session((item, prio), session)
     }
 
-    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
-        self.dequeue_from(home, rng)
+    fn pop(&self, session: &mut Self::Session) -> Option<((usize, P), PopSource)> {
+        self.pop_session(session)
     }
 
-    fn push_in(&self, item: usize, prio: P, rng: &mut SmallRng, session: &PinSession) -> bool {
-        self.enqueue_in((item, prio), rng, session);
-        true
-    }
-
-    fn pop_from_in(
-        &self,
-        home: usize,
-        rng: &mut SmallRng,
-        session: &PinSession,
-    ) -> Option<((usize, P), bool)> {
-        self.dequeue_from_in(home, rng, session)
-    }
-
-    fn pin_session(&self) -> PinSession {
-        Self::pin_session(self)
+    fn flush(&self, session: &mut Self::Session) -> FlushReport {
+        self.flush_session(session)
     }
 }
 
@@ -119,34 +124,21 @@ impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DCboQueue<(usize, 
 /// adapter, with oldest-visible-head dequeues instead of balanced
 /// operation counts.
 impl<P: Copy + Send, S: SubFifo<(usize, P)>> Scheduler<P> for DRaQueue<(usize, P), S> {
-    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool {
-        self.enqueue((item, prio), rng);
-        true
+    type Session = FifoSession<(usize, P)>;
+
+    fn open_session(&self, cfg: &SessionConfig) -> Self::Session {
+        self.session(cfg)
     }
 
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)> {
-        self.dequeue(rng)
+    fn push(&self, session: &mut Self::Session, item: usize, prio: P) -> PushOutcome {
+        self.push_session((item, prio), session)
     }
 
-    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
-        self.dequeue_from(home, rng)
+    fn pop(&self, session: &mut Self::Session) -> Option<((usize, P), PopSource)> {
+        self.pop_session(session)
     }
 
-    fn push_in(&self, item: usize, prio: P, rng: &mut SmallRng, session: &PinSession) -> bool {
-        self.enqueue_in((item, prio), rng, session);
-        true
-    }
-
-    fn pop_from_in(
-        &self,
-        home: usize,
-        rng: &mut SmallRng,
-        session: &PinSession,
-    ) -> Option<((usize, P), bool)> {
-        self.dequeue_from_in(home, rng, session)
-    }
-
-    fn pin_session(&self) -> PinSession {
-        Self::pin_session(self)
+    fn flush(&self, session: &mut Self::Session) -> FlushReport {
+        self.flush_session(session)
     }
 }

@@ -11,34 +11,43 @@
 //! ```text
 //!   ┌───────────────────────────── run(queue, cfg, initial, handler) ──┐
 //!   │                                                                  │
-//!   │  worker 0        worker 1        …        worker T-1             │
-//!   │  ┌────────┐      ┌────────┐               ┌────────┐             │
-//!   │  │ rng    │      │ rng    │               │ rng    │  per-worker │
-//!   │  │ stats  │      │ stats  │               │ stats  │  (no locks) │
-//!   │  └───┬────┘      └───┬────┘               └───┬────┘             │
-//!   │      │ pop_from(tid) │                        │                  │
-//!   │  ┌───▼───────────────▼────────────────────────▼───┐              │
-//!   │  │      Scheduler (sharded relaxed queue)         │              │
-//!   │  │  shard₀  shard₁  shard₂  …  — choice-of-two    │              │
-//!   │  └────────────────────────────────────────────────┘              │
-//!   │      ActiveCounter: queued + in-flight  → quiescence             │
+//!   │  worker 0          worker 1          …      worker T-1           │
+//!   │  ┌──────────┐      ┌──────────┐             ┌──────────┐         │
+//!   │  │ rng,stats│      │ rng,stats│             │ rng,stats│  per-   │
+//!   │  │ Session: │      │ Session: │             │ Session: │  worker │
+//!   │  │ pin, rng │      │ pin, rng │             │ pin, rng │  (no    │
+//!   │  │ homes,buf│      │ homes,buf│             │ homes,buf│  locks) │
+//!   │  └───┬──────┘      └───┬──────┘             └───┬──────┘         │
+//!   │      │ pop(&mut session)│                       │                │
+//!   │  ┌───▼─────────────────▼───────────────────────▼───┐             │
+//!   │  │      Scheduler (sharded relaxed queue)          │             │
+//!   │  │  shard₀  shard₁  shard₂  …  — homes ∪ steals    │             │
+//!   │  └─────────────────────────────────────────────────┘             │
+//!   │      ActiveCounter: queued + in-flight (+ buffered) → quiescence │
 //!   └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! * [`Scheduler`] abstracts the queue: relaxed priority schedulers
 //!   (`ConcurrentMultiQueue`, `ConcurrentSprayList`,
-//!   `DuplicateMultiQueue`) and the relaxed FIFO (`DCboQueue`) all
-//!   implement it, so one runtime serves priority-ordered (SSSP),
-//!   label-ordered (greedy iterative algorithms) and FIFO-ordered
-//!   (BFS, k-core) scenarios.
+//!   `DuplicateMultiQueue`) and the relaxed FIFOs (`DCboQueue`,
+//!   `DRaQueue`) all implement it, so one runtime serves
+//!   priority-ordered (SSSP), label-ordered (greedy iterative
+//!   algorithms) and FIFO-ordered (BFS, label propagation, k-core)
+//!   scenarios.
+//! * Every worker owns one [`Scheduler::Session`] — *the* per-worker
+//!   state object (epoch pin, shard-picker RNG, owned home shards,
+//!   sticky peek cache, bounded spawn buffer), configured through
+//!   [`RuntimeConfig::shards_per_worker`] / `spawn_batch` (env:
+//!   `RSCHED_SHARDS_PER_WORKER`, `RSCHED_SPAWN_BATCH`).
 //! * [`run`] drives the pool: pop → handler → ([`TaskOutcome`]) →
 //!   re-queue blocked tasks, with quiescence termination detection
-//!   ([`ActiveCounter`]) over queued-plus-in-flight tasks — the only
+//!   ([`ActiveCounter`]) over queued-plus-in-flight tasks (buffered
+//!   spawns included — sessions flush on every pop miss) — the only
 //!   sound emptiness notion over relaxed queues, whose `pop == None`
 //!   races with concurrent pushes.
 //! * [`WorkerStats`] / [`PoolStats`] account pops, executed/stale/extra
-//!   steps, spawn-vs-merge pushes and choice-of-two steals, per worker,
-//!   without a single shared atomic on the hot path.
+//!   steps, spawn-vs-merge pushes, home-shard hits and choice-of-two
+//!   steals, per worker, without a single shared atomic on the hot path.
 //! * [`map_chunks`] is the fork-join companion for level-synchronous
 //!   phases (Δ-stepping's edge-relaxation passes).
 //!
@@ -56,7 +65,7 @@
 //! let frontier: DCboQueue<(usize, u64)> = DCboQueue::new(8, 42);
 //! let stats = run(
 //!     &frontier,
-//!     RuntimeConfig { threads: 4, seed: 1 },
+//!     RuntimeConfig { threads: 4, seed: 1, ..RuntimeConfig::default() },
 //!     [(0usize, 0u64)],
 //!     |w, v, d| {
 //!         if d > dist[v].load(Ordering::Acquire) {
@@ -83,6 +92,11 @@ pub use pool::{
 };
 pub use termination::{ActiveCounter, ShardedCounter};
 
+// The worker-session vocabulary lives in `rsched-queues` (the sessions
+// are queue state); re-exported here because every `Scheduler`
+// implementor and consumer needs it.
+pub use rsched_queues::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +113,7 @@ mod tests {
             RuntimeConfig {
                 threads: 4,
                 seed: 3,
+                ..RuntimeConfig::default()
             },
             (0..n).map(|i| (i, i as u64)),
             |_, item, _| {
@@ -128,6 +143,7 @@ mod tests {
             RuntimeConfig {
                 threads: 4,
                 seed: 9,
+                ..RuntimeConfig::default()
             },
             (0..n).map(|i| (i, i as u64)),
             |_, item, _| {
@@ -158,6 +174,7 @@ mod tests {
             RuntimeConfig {
                 threads: 4,
                 seed: 2,
+                ..RuntimeConfig::default()
             },
             (0..64usize).map(|i| (i, 8u64)),
             |w, item, budget| {
@@ -183,6 +200,7 @@ mod tests {
             RuntimeConfig {
                 threads: 1,
                 seed: 0,
+                ..RuntimeConfig::default()
             },
             (0..100usize).map(|i| (i, i as u64)),
             |_, item, _| {

@@ -3,29 +3,38 @@
 //! [`run`] is the single thread-pool / termination-detection
 //! implementation in the workspace: every truly concurrent executor
 //! (`run_relaxed_parallel`, the concurrent SSSP family, relaxed-FIFO BFS,
-//! k-core peeling) is a thin handler over it. The runtime owns
+//! label propagation, k-core peeling) is a thin handler over it. The
+//! runtime owns
 //!
 //! * the worker threads (scoped, one RNG stream per worker);
+//! * one **worker session** per thread ([`Scheduler::Session`]) carrying
+//!   every piece of per-worker queue state — the amortized epoch pin,
+//!   the shard-picker RNG, the owned home shards, the sticky peek cache
+//!   and the bounded spawn buffer;
 //! * the pop → handle → re-queue loop with separate backoffs for
-//!   "queue empty" and "popped a blocked task";
+//!   "queue empty" and "popped a blocked task", flushing the session's
+//!   spawn buffer on every pop miss so parked tasks can never stall
+//!   termination;
 //! * quiescence termination detection ([`ActiveCounter`]) over queued
-//!   plus in-flight tasks;
+//!   plus in-flight tasks (buffered spawns count as in flight until
+//!   their flush resolves them);
 //! * per-worker statistics ([`WorkerStats`]) kept in plain worker-local
 //!   memory and aggregated lock-free at join time ([`PoolStats`]).
 //!
 //! The queue behind the runtime is anything implementing [`Scheduler`]:
 //! the relaxed priority schedulers (`ConcurrentMultiQueue`,
 //! `ConcurrentSprayList`, `DuplicateMultiQueue`) for label- or
-//! distance-ordered work, and the relaxed FIFO `DCboQueue` for
-//! frontier-ordered work. Sharded queues expose worker affinity through
-//! [`Scheduler::pop_from`], which reports whether the pop *stole* from a
-//! foreign shard — the choice-of-two stealing statistic.
+//! distance-ordered work, and the relaxed FIFOs (`DCboQueue`,
+//! `DRaQueue`) for frontier-ordered work. Sessions expose worker
+//! locality through [`PopSource`]: home-shard hits and choice-of-two
+//! steals are folded into [`WorkerStats::home_hits`] /
+//! [`WorkerStats::steals`].
 
 use crate::termination::ActiveCounter;
 use crossbeam::utils::Backoff;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rsched_queues::PinSession;
+use rsched_queues::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush};
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
@@ -33,58 +42,46 @@ use std::time::{Duration, Instant};
 ///
 /// `P` is the task's scheduling payload: a priority for relaxed priority
 /// queues, a carried value (e.g. BFS depth) for relaxed FIFOs.
+///
+/// Every operation flows through the scheduler's [`Session`] — the one
+/// worker-owned state object of the workspace (replacing the earlier
+/// `push_in`/`pop_from_in` method pairs, the MultiQueue `StickySession`
+/// and the thread-local picker RNGs). A session may buffer pushes; the
+/// worker loop calls [`flush`](Scheduler::flush) on every pop miss, so
+/// implementations are free to park spawns as long as a flush publishes
+/// them all.
+///
+/// [`Session`]: Scheduler::Session
 pub trait Scheduler<P: Copy>: Sync {
-    /// Enqueue `item` with payload `prio`.
+    /// The worker-owned session state. Created inside each worker
+    /// thread (it is not required to be `Send`), dropped when the
+    /// worker exits — after a final flush.
+    type Session;
+
+    /// Open a session for one worker; `cfg` carries the worker id, the
+    /// pool width, the derived seed and the session tuning knobs.
+    fn open_session(&self, cfg: &SessionConfig) -> Self::Session;
+
+    /// Enqueue `item` with payload `prio` through `session`.
     ///
-    /// Returns `true` if a **new** element entered the queue, `false` if
-    /// an existing entry was merged (decrease-key). The runtime uses the
-    /// return value to keep its termination counter exact.
-    fn push(&self, item: usize, prio: P, rng: &mut SmallRng) -> bool;
+    /// The [`PushOutcome`] is the conservation signal: `Inserted` and
+    /// `Buffered` elements are presumed net-new, `Merged` ones are not,
+    /// and any side-effect flush reports how many presumed-new parked
+    /// elements actually merged. The runtime uses it to keep its
+    /// termination counter exact.
+    fn push(&self, session: &mut Self::Session, item: usize, prio: P) -> PushOutcome;
 
-    /// Relaxed pop. `None` is a hint, not a linearizable emptiness check;
-    /// the runtime owns termination detection.
-    fn pop(&self, rng: &mut SmallRng) -> Option<(usize, P)>;
+    /// Relaxed pop through `session`. `None` is a hint, not a
+    /// linearizable emptiness check; the runtime owns termination
+    /// detection. The [`PopSource`] reports locality (home shard / peek
+    /// cache hit vs steal).
+    fn pop(&self, session: &mut Self::Session) -> Option<((usize, P), PopSource)>;
 
-    /// Pop with worker affinity: implementations with per-worker shards
-    /// may prefer the worker's `home` shard and report `true` when the
-    /// element was stolen from a foreign shard instead. The default
-    /// ignores affinity and never reports a steal.
-    fn pop_from(&self, home: usize, rng: &mut SmallRng) -> Option<((usize, P), bool)> {
-        let _ = home;
-        self.pop(rng).map(|t| (t, false))
-    }
-
-    /// An amortized epoch pin each worker holds across its pop loop
-    /// (ticked once per pop). Inert by default; schedulers backed by
-    /// epoch-reclaimed lock-free shards return a live session so their
-    /// per-operation pins collapse to counter bumps.
-    fn pin_session(&self) -> rsched_queues::PinSession {
-        rsched_queues::PinSession::none()
-    }
-
-    /// [`push`](Self::push) under the worker's held [`PinSession`]:
-    /// epoch-backed schedulers borrow the session's pin instead of
-    /// entering the epoch scheme (a TLS hop plus a counter bump) per
-    /// operation. The default ignores the session.
-    fn push_in(
-        &self,
-        item: usize,
-        prio: P,
-        rng: &mut SmallRng,
-        _session: &rsched_queues::PinSession,
-    ) -> bool {
-        self.push(item, prio, rng)
-    }
-
-    /// [`pop_from`](Self::pop_from) under the worker's held
-    /// [`PinSession`]; same contract, same default.
-    fn pop_from_in(
-        &self,
-        home: usize,
-        rng: &mut SmallRng,
-        _session: &rsched_queues::PinSession,
-    ) -> Option<((usize, P), bool)> {
-        self.pop_from(home, rng)
+    /// Publish everything parked in the session's spawn buffer. The
+    /// default is for schedulers that never buffer.
+    fn flush(&self, session: &mut Self::Session) -> FlushReport {
+        let _ = session;
+        FlushReport::default()
     }
 }
 
@@ -110,6 +107,21 @@ pub struct RuntimeConfig {
     pub threads: usize,
     /// Base RNG seed; per-worker streams derive from it.
     pub seed: u64,
+    /// Home shards owned per worker (FIFO schedulers drain them before
+    /// stealing). Defaults to the `RSCHED_SHARDS_PER_WORKER` environment
+    /// variable, else 1; `0` disables affinity.
+    pub shards_per_worker: usize,
+    /// Spawn-buffer capacity per worker session; spawns park there and
+    /// publish as one batch. Defaults to the `RSCHED_SPAWN_BATCH`
+    /// environment variable, else 1 (publish immediately).
+    pub spawn_batch: usize,
+}
+
+fn env_knob(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
 }
 
 impl Default for RuntimeConfig {
@@ -117,6 +129,8 @@ impl Default for RuntimeConfig {
         Self {
             threads: 4,
             seed: 0,
+            shards_per_worker: env_knob("RSCHED_SHARDS_PER_WORKER", 1),
+            spawn_batch: env_knob("RSCHED_SPAWN_BATCH", 1),
         }
     }
 }
@@ -127,6 +141,18 @@ impl RuntimeConfig {
         Self {
             threads,
             ..Self::default()
+        }
+    }
+
+    /// The session config for worker `tid` under this runtime config.
+    fn session_config(&self, tid: usize) -> SessionConfig {
+        SessionConfig {
+            tid,
+            workers: self.threads.max(1),
+            seed: self.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            shards_per_worker: self.shards_per_worker,
+            spawn_batch: self.spawn_batch,
+            stickiness: 1,
         }
     }
 }
@@ -144,10 +170,15 @@ pub struct WorkerStats {
     /// Pops whose handler returned [`TaskOutcome::Blocked`] (the paper's
     /// extra steps); each one was re-queued.
     pub extra: u64,
-    /// `spawn` calls that inserted a new element.
+    /// `spawn` calls that inserted a net-new element (buffered spawns
+    /// count here until a flush reports them merged).
     pub spawned: u64,
-    /// `spawn` calls merged into an existing entry (decrease-key hits).
+    /// `spawn` calls merged into an existing entry (decrease-key hits,
+    /// in the shared structure or inside the session's spawn buffer).
     pub merged: u64,
+    /// Pops served by one of the worker's own home shards, or by the
+    /// MultiQueue session's sticky peek cache.
+    pub home_hits: u64,
     /// Pops that took an element from a foreign shard of a
     /// worker-affine scheduler.
     pub steals: u64,
@@ -161,6 +192,7 @@ impl WorkerStats {
         self.extra += other.extra;
         self.spawned += other.spawned;
         self.merged += other.merged;
+        self.home_hits += other.home_hits;
         self.steals += other.steals;
     }
 }
@@ -191,7 +223,9 @@ impl PoolStats {
 ///
 /// The handler uses it to [`spawn`](Worker::spawn) child tasks and to draw
 /// worker-local randomness; all bookkeeping for termination detection and
-/// statistics happens inside.
+/// statistics happens inside. The worker owns its scheduler
+/// [`Session`](Scheduler::Session) — the queue itself holds no
+/// per-thread state.
 pub struct Worker<'a, P: Copy, S: Scheduler<P> + ?Sized> {
     /// Worker id in `0..threads`.
     pub tid: usize,
@@ -199,26 +233,37 @@ pub struct Worker<'a, P: Copy, S: Scheduler<P> + ?Sized> {
     queue: &'a S,
     counter: &'a ActiveCounter,
     stats: WorkerStats,
-    /// The worker's amortized epoch pin, threaded through every queue
-    /// operation (`push_in`/`pop_from_in`) so epoch-backed schedulers
-    /// never re-enter the reclamation scheme per op.
-    session: PinSession,
+    session: S::Session,
     _payload: PhantomData<P>,
 }
 
 impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
     /// Enqueue a child task. Safe against the termination race: the
     /// element is announced to the quiescence counter before it becomes
-    /// poppable, and merged pushes (decrease-key hits) retract the
-    /// announcement.
+    /// poppable (buffered spawns stay announced until their flush), and
+    /// merged pushes retract the announcement.
     pub fn spawn(&mut self, item: usize, prio: P) {
         self.counter.task_added();
         let queue = self.queue;
-        if queue.push_in(item, prio, &mut self.rng, &self.session) {
-            self.stats.spawned += 1;
-        } else {
-            self.counter.task_done();
-            self.stats.merged += 1;
+        let out = queue.push(&mut self.session, item, prio);
+        match out.push {
+            SessionPush::Inserted | SessionPush::Buffered => self.stats.spawned += 1,
+            SessionPush::Merged => {
+                self.counter.task_done();
+                self.stats.merged += 1;
+            }
+        }
+        self.absorb_flush(out.flushed);
+    }
+
+    /// Fold a flush report into the stats and the termination counter:
+    /// parked elements were presumed net-new when announced; the ones
+    /// that merged retract their announcement now.
+    fn absorb_flush(&mut self, report: FlushReport) {
+        if report.merged > 0 {
+            self.stats.spawned -= report.merged;
+            self.stats.merged += report.merged;
+            self.counter.tasks_done(report.merged);
         }
     }
 
@@ -230,12 +275,13 @@ impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
 
 /// Drive `queue` to quiescence with `cfg.threads` workers.
 ///
-/// `initial` seeds the queue before workers start. `handler` is called
-/// once per successful pop with the worker context, the item and its
-/// payload, and reports what happened as a [`TaskOutcome`]; children are
-/// spawned from inside the handler via [`Worker::spawn`]. The call
-/// returns when every task is done and no worker can produce more — the
-/// quiescence point of the whole computation.
+/// `initial` seeds the queue before workers start (through a session of
+/// its own, so batching applies there too). `handler` is called once per
+/// successful pop with the worker context, the item and its payload, and
+/// reports what happened as a [`TaskOutcome`]; children are spawned from
+/// inside the handler via [`Worker::spawn`]. The call returns when every
+/// task is done and no worker can produce more — the quiescence point of
+/// the whole computation.
 ///
 /// # Examples
 ///
@@ -249,7 +295,7 @@ impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
 /// let hits = AtomicU64::new(0);
 /// let stats = run(
 ///     &queue,
-///     RuntimeConfig { threads: 4, seed: 7 },
+///     RuntimeConfig { threads: 4, seed: 7, ..RuntimeConfig::default() },
 ///     (0..100usize).map(|i| (i, i as u64)),
 ///     |w, item, prio| {
 ///         hits.fetch_add(1, Ordering::Relaxed);
@@ -275,12 +321,24 @@ where
 {
     assert!(cfg.threads >= 1, "runtime needs at least one worker");
     let counter = ActiveCounter::new();
-    let mut seed_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_1417_C0DE_D00D);
-    for (item, prio) in initial {
-        counter.task_added();
-        if !queue.push(item, prio, &mut seed_rng) {
-            counter.task_done();
+    {
+        // Seed through a session of the seeding thread's own; the final
+        // flush resolves any parked seeds before workers start.
+        let seed_cfg = SessionConfig {
+            seed: cfg.seed ^ 0x5EED_1417_C0DE_D00D,
+            ..cfg.session_config(0)
+        };
+        let mut seeder = queue.open_session(&seed_cfg);
+        for (item, prio) in initial {
+            counter.task_added();
+            let out = queue.push(&mut seeder, item, prio);
+            if out.push == SessionPush::Merged {
+                counter.task_done();
+            }
+            counter.tasks_done(out.flushed.merged);
         }
+        let report = queue.flush(&mut seeder);
+        counter.tasks_done(report.merged);
     }
     let start = Instant::now();
     let per_worker: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -289,6 +347,7 @@ where
                 let counter = &counter;
                 let handler = &handler;
                 scope.spawn(move || {
+                    let session_cfg = cfg.session_config(tid);
                     let mut worker = Worker {
                         tid,
                         rng: SmallRng::seed_from_u64(
@@ -297,7 +356,7 @@ where
                         queue,
                         counter,
                         stats: WorkerStats::default(),
-                        session: queue.pin_session(),
+                        session: queue.open_session(&session_cfg),
                         _payload: PhantomData,
                     };
                     worker_loop(&mut worker, handler);
@@ -337,14 +396,15 @@ where
     // scheduling.
     let blocked = Backoff::new();
     loop {
-        worker.session.tick();
         let queue = worker.queue;
-        match queue.pop_from_in(worker.tid, &mut worker.rng, &worker.session) {
-            Some(((item, prio), stolen)) => {
+        match queue.pop(&mut worker.session) {
+            Some(((item, prio), source)) => {
                 backoff.reset();
                 worker.stats.pops += 1;
-                if stolen {
-                    worker.stats.steals += 1;
+                match source {
+                    PopSource::Home => worker.stats.home_hits += 1,
+                    PopSource::Steal => worker.stats.steals += 1,
+                    PopSource::Shared => {}
                 }
                 match handler(worker, item, prio) {
                     TaskOutcome::Executed => {
@@ -366,6 +426,15 @@ where
                 worker.counter.task_done();
             }
             None => {
+                // Publish any parked spawns before concluding emptiness:
+                // the quiescence counter still carries them, so waiting
+                // with a non-empty buffer could deadlock the pool.
+                let report = queue.flush(&mut worker.session);
+                let had_parked = report.published > 0;
+                worker.absorb_flush(report);
+                if had_parked {
+                    continue;
+                }
                 if worker.counter.wait_or_quiescent(&backoff) {
                     break;
                 }

@@ -63,6 +63,17 @@ impl ActiveCounter {
         debug_assert!(prev > 0, "task_done without matching task_added");
     }
 
+    /// Batch form of [`task_done`](Self::task_done): retract `n`
+    /// announcements at once (how a session flush reports its merged
+    /// elements). A no-op for `n == 0`.
+    #[inline]
+    pub fn tasks_done(&self, n: u64) {
+        if n > 0 {
+            let prev = self.active.fetch_sub(n as usize, Ordering::AcqRel);
+            debug_assert!(prev >= n as usize, "tasks_done without matching adds");
+        }
+    }
+
     /// `true` iff no tasks are queued or in flight.
     #[inline]
     pub fn is_quiescent(&self) -> bool {

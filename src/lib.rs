@@ -34,11 +34,18 @@
 //! the scheduling order — relaxed *priority* (`ConcurrentMultiQueue`,
 //! `ConcurrentSprayList`, `DuplicateMultiQueue`) for SSSP and the
 //! iterative algorithms, relaxed *FIFO* (`DCboQueue`, `DRaQueue`) for
-//! BFS frontiers and k-core peeling. The relaxed-FIFO shards default to
-//! the lock-free segmented ring buffer in `rsched_queues::lockfree`
-//! (Michael–Scott and the PR 1 mutex baseline stay selectable through
-//! the `SubFifo` trait), and workers amortize epoch entry with a
-//! `PinSession` held across their pop loops.
+//! BFS frontiers, label propagation and k-core peeling. The relaxed-FIFO
+//! shards default to the lock-free segmented ring buffer in
+//! `rsched_queues::lockfree` (Michael–Scott and the PR 1 mutex baseline
+//! stay selectable through the `SubFifo` trait).
+//!
+//! Every worker owns a **session** (`Scheduler::Session`, built from the
+//! `rsched_queues` worker-session layer): the amortized epoch pin, the
+//! worker's shard-picker RNG, its owned *home shards* (drained before
+//! choice-of-two stealing; `RSCHED_SHARDS_PER_WORKER`), the MultiQueue's
+//! sticky peek cache, and a bounded spawn buffer that publishes batches
+//! (`RSCHED_SPAWN_BATCH`) — one abstraction where earlier revisions had
+//! `PinSession` threading, `StickySession` and thread-local picker RNGs.
 //!
 //! ## Relaxed-FIFO BFS quickstart
 //!
@@ -90,10 +97,12 @@ pub use rsched_runtime as runtime;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use rsched_algos::{
-        kcore_sequential, parallel_bfs, parallel_delta_stepping, parallel_kcore, parallel_sssp,
-        parallel_sssp_duplicates, parallel_sssp_spraylist, relaxed_sssp_seq, BnbStats, BstSort,
-        ConcurrentBstSort, ConcurrentColoring, ConcurrentMis, DelaunayIncremental, GreedyColoring,
-        GreedyMis, KcoreStats, Knapsack, ParBfsStats, ParSsspConfig, ParSsspStats, SeqSsspStats,
+        kcore_sequential, label_components, parallel_bfs, parallel_delta_stepping, parallel_kcore,
+        parallel_label_propagation, parallel_sssp, parallel_sssp_duplicates,
+        parallel_sssp_spraylist, relaxed_sssp_seq, BnbStats, BstSort, ConcurrentBstSort,
+        ConcurrentColoring, ConcurrentMis, DelaunayIncremental, GreedyColoring, GreedyMis,
+        KcoreStats, Knapsack, LabelPropConfig, LabelPropStats, ParBfsStats, ParSsspConfig,
+        ParSsspStats, SeqSsspStats,
     };
     pub use rsched_core::{
         run_exact, run_relaxed, run_relaxed_parallel, run_relaxed_traced, run_relaxed_with,
@@ -113,10 +122,11 @@ pub mod prelude {
     pub use rsched_queues::{
         ConcurrentMultiQueue, ConcurrentRankEstimator, ConcurrentSprayList, DCboMsQueue,
         DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue, DRaSegQueue,
-        DecreaseKey, DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, IndexedBinaryHeap,
-        KLsmHandle, KLsmQueue, MsQueue, MutexSub, PairingHeap, PinSession, PriorityQueue,
-        RankStats, RankTracker, RelaxedFifo, RelaxedQueue, RotatingKQueue, SegRingQueue,
-        SimMultiQueue, SprayList, StickySession, SubFifo,
+        DecreaseKey, DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, FifoSession,
+        FlushReport, IndexedBinaryHeap, KLsmHandle, KLsmQueue, MqSession, MsQueue, MutexSub,
+        PairingHeap, PinSession, PopSource, PriorityQueue, PushOutcome, RankStats, RankTracker,
+        RelaxedFifo, RelaxedQueue, RotatingKQueue, SegRingQueue, SessionConfig, SessionPush,
+        SimMultiQueue, SprayList, SubFifo,
     };
     pub use rsched_runtime::run as run_pool;
     pub use rsched_runtime::{
