@@ -9,11 +9,20 @@
 //! distance later improves) — which is exactly the correspondence the
 //! Theorem 6.1 proof exploits.
 //!
-//! The implementation is bucket-synchronous: a coordinator advances through
-//! buckets; each light-edge iteration and the final heavy-edge pass fan the
-//! current frontier out over the runtime's fork-join helper
-//! ([`rsched_runtime::map_chunks`]), whose workers relax edges with atomic
-//! fetch-min updates and collect bucket insertions locally.
+//! Two engines live here:
+//!
+//! * [`parallel_delta_stepping`] is bucket-synchronous: a coordinator
+//!   advances through buckets; each light-edge iteration and the final
+//!   heavy-edge pass fan the current frontier out over the runtime's
+//!   fork-join helper ([`rsched_runtime::map_chunks`]), whose workers
+//!   relax edges with atomic fetch-min updates and collect bucket
+//!   insertions locally.
+//! * [`relaxed_delta_stepping`] is barrier-free: it runs on the
+//!   bucketed relaxed-FIFO hybrid
+//!   ([`BucketFifoQueue`](rsched_queues::BucketFifoQueue)), which owns
+//!   the Δ-quantization — a relaxed FIFO of buckets, each bucket a
+//!   relaxed priority shard set — so bucket advance and termination are
+//!   the runtime's ordinary floor-race and quiescence machinery.
 
 use rsched_graph::{CsrGraph, Weight, INF};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,19 +187,29 @@ pub fn parallel_delta_stepping(
     }
 }
 
-/// Δ-stepping on the **relaxed scheduler** instead of the bucket-
-/// synchronous coordinator: vertices are queued in the (lock-free,
-/// skiplist-backed) [`ConcurrentMultiQueue`] with their *bucket index*
-/// `⌊dist/Δ⌋` as priority, so the scheduler's `O(q log q)` rank slack
-/// reorders work only within (and slightly across) Δ-wide bands — the
-/// explicit construction behind the paper's Theorem 6.1 correspondence
-/// between Δ-stepping and relaxed SSSP. With `Δ = 1` this degenerates to
-/// [`parallel_sssp`](crate::parallel_sssp) on quantized distances; with
-/// `Δ ≥ max-path-weight` it is a relaxed Bellman–Ford sweep.
+/// Δ-stepping on the **bucketed relaxed-FIFO hybrid**
+/// ([`BucketFifoQueue`]) instead of the bucket-synchronous coordinator:
+/// vertices are queued at their full tentative distance; the queue
+/// itself quantizes into Δ-wide buckets, drains them oldest-first (a
+/// relaxed FIFO *of buckets*), and relaxes the order only *inside* the
+/// current bucket (a relaxed priority shard set per bucket, with
+/// per-bucket decrease-key merging). This is the paper's Theorem 6.1
+/// correspondence between Δ-stepping and relaxed SSSP built as one
+/// structure: priority displacement per pop is bounded by Δ plus the
+/// outer FIFO slack, instead of the flat MultiQueue's unbounded
+/// priority spread at rank `O(q log q)`. With `Δ = 1` every bucket is a
+/// single distance value (Dijkstra order, FIFO-relaxed); with
+/// `Δ ≥ max-path-weight` it is one big relaxed priority queue.
 ///
 /// Unlike [`parallel_delta_stepping`] there is no barrier between
-/// buckets: workers drain the queue until global quiescence, which is
-/// exactly the paper's asynchronous execution model.
+/// buckets: bucket advance is just the hybrid's floor racing past
+/// drained buckets, and workers drain to global quiescence — exactly
+/// the paper's asynchronous execution model, detected by the runtime's
+/// ordinary termination machinery.
+///
+/// [`RuntimeConfig::delta`] (env `RSCHED_DELTA`) overrides `delta`;
+/// [`RuntimeConfig::bucket_shards`] (env `RSCHED_BUCKET_SHARDS`) sets
+/// the priority shards per bucket (default `2 × threads`).
 ///
 /// # Examples
 ///
@@ -203,7 +222,9 @@ pub fn parallel_delta_stepping(
 /// assert_eq!(r.dist, dijkstra(&g, 0).dist);
 /// ```
 ///
-/// [`ConcurrentMultiQueue`]: rsched_queues::ConcurrentMultiQueue
+/// [`BucketFifoQueue`]: rsched_queues::BucketFifoQueue
+/// [`RuntimeConfig::delta`]: rsched_runtime::RuntimeConfig
+/// [`RuntimeConfig::bucket_shards`]: rsched_runtime::RuntimeConfig
 pub fn relaxed_delta_stepping(
     g: &CsrGraph,
     src: usize,
@@ -211,39 +232,47 @@ pub fn relaxed_delta_stepping(
     threads: usize,
     seed: u64,
 ) -> ParDeltaStats {
-    use rsched_queues::ConcurrentMultiQueue;
+    use rsched_queues::BucketFifoQueue;
     use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 
     assert!(delta >= 1 && threads >= 1);
+    let cfg = RuntimeConfig {
+        threads,
+        seed,
+        ..RuntimeConfig::default()
+    };
+    let delta = if cfg.delta >= 1 { cfg.delta } else { delta };
+    // Default shards per bucket: 2× threads like the MultiQueue, but
+    // capped — every touched bucket owns a full shard set and bucket
+    // memory is not reclaimed mid-run (ROADMAP follow-up), so an
+    // uncapped shards×buckets product can exhaust memory on
+    // many-bucket graphs at high thread counts.
+    let bucket_shards = if cfg.bucket_shards >= 1 {
+        cfg.bucket_shards
+    } else {
+        (2 * threads).clamp(2, 16)
+    };
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Release);
-    let queue = ConcurrentMultiQueue::<Weight>::with_universe(2 * threads, n);
+    let queue = BucketFifoQueue::new(delta, bucket_shards);
     let start = Instant::now();
-    let stats = run(
-        &queue,
-        RuntimeConfig {
-            threads,
-            seed,
-            ..RuntimeConfig::default()
-        },
-        [(src, 0)],
-        |w, v, bucket| {
-            let d = dist[v].load(Ordering::Acquire);
-            if bucket > d / delta {
-                // A lower-bucket entry for `v` was merged in (or already
-                // processed) after this one was queued.
-                return TaskOutcome::Stale;
+    let stats = run(&queue, cfg, [(src, 0u64)], |w, v, queued| {
+        let d = dist[v].load(Ordering::Acquire);
+        if queued > d {
+            // A smaller distance for `v` was queued (in a lower bucket
+            // or merged into this one) after this entry; that copy does
+            // the work.
+            return TaskOutcome::Stale;
+        }
+        for (u, wt) in g.neighbors(v) {
+            let nd = d + wt;
+            if relax_min(&dist[u], nd) {
+                w.spawn(u, nd);
             }
-            for (u, wt) in g.neighbors(v) {
-                let nd = d + wt;
-                if relax_min(&dist[u], nd) {
-                    w.spawn(u, nd / delta);
-                }
-            }
-            TaskOutcome::Executed
-        },
-    );
+        }
+        TaskOutcome::Executed
+    });
     ParDeltaStats {
         dist: dist.into_iter().map(|d| d.into_inner()).collect(),
         pops: stats.total.pops,
@@ -272,6 +301,23 @@ mod tests {
                     let got = relaxed_delta_stepping(g, 0, delta, threads, 13);
                     assert_eq!(got.dist, want, "graph {i}, delta {delta}, {threads}t");
                     assert!(got.pops >= reachable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_sequential_sssp_on_random_graphs() {
+        // The PR 5 equivalence gate: the hybrid engine must produce
+        // exact shortest-path distances on random graphs across bucket
+        // widths, thread counts and graph seeds.
+        for gseed in [1u64, 2, 3] {
+            let g = random_gnm(500, 2_500, 1..=100, gseed);
+            let want = dijkstra(&g, 0).dist;
+            for delta in [5 as Weight, 64, 1_000] {
+                for threads in [1usize, 3, 8] {
+                    let got = relaxed_delta_stepping(&g, 0, delta, threads, gseed ^ 0xABCD);
+                    assert_eq!(got.dist, want, "seed {gseed}, delta {delta}, {threads}t");
                 }
             }
         }

@@ -147,6 +147,7 @@ pub fn parallel_label_propagation(g: &CsrGraph, cfg: LabelPropConfig) -> LabelPr
             seed: cfg.seed,
             shards_per_worker: cfg.shards_per_worker,
             spawn_batch: cfg.spawn_batch,
+            ..RuntimeConfig::default()
         },
         (0..n).map(|v| (v, v as u64)),
         |w, v, l| {

@@ -1,0 +1,390 @@
+//! **BENCH-COMPARE** — the CI perf-regression gate.
+//!
+//! Diffs a fresh contention-benchmark artifact against a committed
+//! baseline snapshot (`ci/baselines/*.json`), in the spirit of the
+//! practical-progress measurement methodology of *Are Lock-Free
+//! Concurrent Algorithms Practically Wait-Free?*: what CI guards is not
+//! an absolute number (runners differ wildly) but that the measured
+//! *shape* of a queue's scaling has not collapsed relative to the
+//! recorded trajectory.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json>
+//! ```
+//!
+//! Both files are JSON arrays of flat records, the framing every
+//! contention sweep writes via `RSCHED_JSON_OUT`. Records pair up on
+//! their identity axes (`queue`, `backend`, `threads`, plus any of
+//! `shards_per_worker`, `spawn_batch`, `stickiness`, `delta` present in
+//! the baseline). The gate fails when:
+//!
+//! * a baseline cell has no matching fresh cell, or a fresh record is
+//!   missing a field its baseline record carries (schema regression);
+//! * a record's **conservation fields** are inconsistent — pops must
+//!   not exceed ops, home/steal counts must not exceed pops, and
+//!   `merge_fraction` must match `merges / (inserts + merges)`;
+//! * throughput (`pops_per_sec`) regressed beyond the tolerance
+//!   (`RSCHED_COMPARE_TOL`, default 0.40 — generous on purpose) in
+//!   **both** views: raw, and normalized by each run's own best cell.
+//!   Requiring both keeps the gate meaningful across heterogeneous
+//!   hosts: raw-only would flag every slower runner, normalized-only
+//!   would miss a uniform collapse.
+//!
+//! Exit code 0 = pass, 1 = regression, 2 = usage/parse error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (the artifacts are arrays of flat objects with
+// string / number / bool values; external JSON crates are not vendored).
+// ---------------------------------------------------------------------
+
+/// A flat JSON value as the artifacts use them.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Val {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+type Record = BTreeMap<String, Val>;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The artifacts never escape anything beyond these.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(self.fail(&format!("unsupported escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b't') => self.literal("true", Val::Bool(true)),
+            Some(b'f') => self.literal("false", Val::Bool(false)),
+            Some(_) => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Val::Num)
+                    .ok_or_else(|| self.fail("malformed number"))
+            }
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, val: Val) -> Result<Val, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(self.fail(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Record, String> {
+        self.expect(b'{')?;
+        let mut rec = Record::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(rec);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            rec.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(rec);
+                }
+                _ => return Err(self.fail("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array_of_objects(&mut self) -> Result<Vec<Record>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.object()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.fail("expected ',' or ']' in array")),
+            }
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut p = Parser::new(&text);
+    let records = p.array_of_objects().map_err(|e| format!("{path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------
+
+/// Identity axes, in match order. A key only participates if the
+/// baseline record carries it, so old baselines keep working when a
+/// sweep grows a new axis.
+const KEY_FIELDS: &[&str] = &[
+    "queue",
+    "backend",
+    "threads",
+    "shards_per_worker",
+    "spawn_batch",
+    "stickiness",
+    "delta",
+    "mix",
+];
+
+fn cell_key(rec: &Record) -> String {
+    KEY_FIELDS
+        .iter()
+        .filter_map(|&k| {
+            rec.get(k).map(|v| match v {
+                Val::Str(s) => format!("{k}={s}"),
+                Val::Num(x) => format!("{k}={x}"),
+                Val::Bool(b) => format!("{k}={b}"),
+            })
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The internal-consistency checks every record must satisfy — the
+/// "conservation fields" of the gate. Returns a violation description.
+fn conservation_violation(rec: &Record) -> Option<String> {
+    let num = |k: &str| rec.get(k).and_then(Val::as_f64);
+    for (k, v) in rec {
+        if let Val::Num(x) = v {
+            if !x.is_finite() || *x < 0.0 {
+                return Some(format!("field {k} is {x}"));
+            }
+        }
+    }
+    if let (Some(pops), Some(ops)) = (num("pops"), num("ops")) {
+        if pops > ops {
+            return Some(format!("pops {pops} exceeds ops {ops}"));
+        }
+    }
+    if let (Some(h), Some(s), Some(pops)) = (num("home_hits"), num("steals"), num("pops")) {
+        if h + s > pops {
+            return Some(format!("home_hits {h} + steals {s} exceed pops {pops}"));
+        }
+    }
+    if let (Some(frac), Some(ins), Some(mrg)) =
+        (num("merge_fraction"), num("inserts"), num("merges"))
+    {
+        let want = if ins + mrg == 0.0 {
+            0.0
+        } else {
+            mrg / (ins + mrg)
+        };
+        if (frac - want).abs() > 0.01 {
+            return Some(format!(
+                "merge_fraction {frac} inconsistent with merges/(inserts+merges) = {want:.4}"
+            ));
+        }
+    }
+    None
+}
+
+/// Best throughput of a run, for the self-normalized comparison view.
+fn run_peak(records: &[Record], metric: &str) -> f64 {
+    records
+        .iter()
+        .filter_map(|r| r.get(metric).and_then(Val::as_f64))
+        .fold(0.0, f64::max)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let tol = std::env::var("RSCHED_COMPARE_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.40)
+        .clamp(0.0, 0.99);
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let metric = "pops_per_sec";
+    let mut fresh_by_key: BTreeMap<String, &Record> = BTreeMap::new();
+    for rec in &fresh {
+        fresh_by_key.insert(cell_key(rec), rec);
+    }
+    let base_peak = run_peak(&baseline, metric);
+    let fresh_peak = run_peak(&fresh, metric);
+    if base_peak <= 0.0 || fresh_peak <= 0.0 {
+        eprintln!("bench_compare: no {metric} found in one of the runs");
+        return ExitCode::from(2);
+    }
+    let mut failures: Vec<String> = Vec::new();
+    println!(
+        "bench_compare: {} baseline cells vs {} fresh cells, tolerance {:.0}%, \
+         peaks {base_peak:.0} -> {fresh_peak:.0} {metric}",
+        baseline.len(),
+        fresh.len(),
+        tol * 100.0,
+    );
+    for rec in &fresh {
+        if let Some(why) = conservation_violation(rec) {
+            failures.push(format!("fresh cell [{}]: {why}", cell_key(rec)));
+        }
+    }
+    for base in &baseline {
+        let key = cell_key(base);
+        let Some(fresh_rec) = fresh_by_key.get(&key) else {
+            failures.push(format!("cell [{key}] missing from the fresh run"));
+            continue;
+        };
+        for field in base.keys() {
+            if !fresh_rec.contains_key(field) {
+                failures.push(format!("cell [{key}]: fresh record lost field {field}"));
+            }
+        }
+        let (Some(b), Some(f)) = (
+            base.get(metric).and_then(Val::as_f64),
+            fresh_rec.get(metric).and_then(Val::as_f64),
+        ) else {
+            failures.push(format!("cell [{key}]: no {metric} to compare"));
+            continue;
+        };
+        let raw_ratio = if b > 0.0 { f / b } else { 1.0 };
+        let norm_ratio = if b > 0.0 {
+            (f / fresh_peak) / (b / base_peak)
+        } else {
+            1.0
+        };
+        let verdict = if raw_ratio < 1.0 - tol && norm_ratio < 1.0 - tol {
+            failures.push(format!(
+                "cell [{key}]: {metric} regressed {b:.0} -> {f:.0} \
+                 (raw x{raw_ratio:.2}, normalized x{norm_ratio:.2})"
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  [{key}] {b:>12.0} -> {f:>12.0}  raw x{raw_ratio:.2} norm x{norm_ratio:.2}  {verdict}");
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_compare: PASS ({} cells within tolerance)",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_compare: FAIL: {f}");
+        }
+        ExitCode::from(1)
+    }
+}

@@ -36,10 +36,13 @@
 //! shards-per-thread ratio (default 2, the paper's Figure 1
 //! configuration), `RSCHED_SHARDS` an absolute shard count,
 //! `RSCHED_PREFILL` / `RSCHED_UNIVERSE` the queue's starting depth and
-//! item-id range, and the session axes ride on `RSCHED_STICKINESS`
-//! (peek-cache reuse), `RSCHED_SPAWN_BATCH` and
-//! `RSCHED_SHARDS_PER_WORKER` (recorded for artifact uniformity; keyed
-//! placement itself has no home shards).
+//! item-id range, and the session axes ride on `RSCHED_STICKINESS` — a
+//! comma-separated *sweep list* (e.g. `1,4,16`): every listed
+//! peek-cache-reuse budget runs as its own cell, so the
+//! stickiness-vs-throughput trade on the SSSP workload lands in the
+//! JSON — plus `RSCHED_SPAWN_BATCH` and `RSCHED_SHARDS_PER_WORKER`
+//! (recorded for artifact uniformity; keyed placement itself has no
+//! home shards).
 //!
 //! ```text
 //! cargo run -p rsched-bench --release --bin mq_contention
@@ -49,7 +52,9 @@
 //!
 //! [`MqSession`]: rsched_queues::MqSession
 
-use rsched_bench::{env_thread_list, env_usize, session_knobs, write_json_artifact, Scale};
+use rsched_bench::{
+    env_thread_list, env_usize, env_usize_list, session_knobs, write_json_artifact, Scale,
+};
 use rsched_queues::{
     ConcurrentMultiQueue, FlushReport, MqSession, MutexHeapSub, PopSource, PushOutcome,
     SessionConfig, SkipShard, SubPriority,
@@ -233,50 +238,66 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<usize>().ok());
     let (shards_per_worker, spawn_batch) = session_knobs();
-    let stickiness = env_usize("RSCHED_STICKINESS", 1).max(1);
-    let session_cfg = SessionConfig {
-        shards_per_worker,
-        spawn_batch,
-        stickiness,
-        ..SessionConfig::default()
-    };
+    // Stickiness is a *sweep* axis (`RSCHED_STICKINESS=1,4,...`): the
+    // peek cache trades rank slack for peek traffic, and the SSSP-pop
+    // workload shows that trade as throughput + merge-fraction shifts
+    // per stickiness value in the JSON, not just as the drain
+    // displacement `ablation_stickiness` measures.
+    let mut stickiness_sweep = env_usize_list("RSCHED_STICKINESS", &[1]);
+    // Sanitize before the sweep is used as a cell identity axis: the
+    // session clamps stickiness to >= 1, so a raw 0 would emit a cell
+    // labelled differently from what actually ran.
+    for s in &mut stickiness_sweep {
+        *s = (*s).max(1);
+    }
+    stickiness_sweep.dedup();
     // Deep oversubscription on purpose: the crossover is the result.
     let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16, 32, 64]);
     println!(
         "== MultiQueue contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
          SSSP-pop workload, universe {universe}, prefill {prefill}, best of {reps}, \
-         threads {threads_sweep:?}, spawn batch {spawn_batch}, stickiness {stickiness}) ==",
+         threads {threads_sweep:?}, spawn batch {spawn_batch}, \
+         stickiness {stickiness_sweep:?}) ==",
     );
     let mut records: Vec<String> = Vec::new();
     for &threads in &threads_sweep {
         // Two shards per thread: the paper's Figure 1 MultiQueue
         // configuration (queue_multiplier = 2).
         let shards = shards_override.unwrap_or((shard_mult * threads).max(2));
-        type Cell<'a> = (&'a str, Box<dyn Fn() -> Trial>);
-        let makes: Vec<Cell<'_>> = vec![
-            (
+        type Cell<'a> = (&'a str, usize, Box<dyn Fn() -> Trial>);
+        let mut makes: Vec<Cell<'_>> = Vec::new();
+        for &stickiness in &stickiness_sweep {
+            let session_cfg = SessionConfig {
+                shards_per_worker,
+                spawn_batch,
+                stickiness: stickiness.max(1),
+                ..SessionConfig::default()
+            };
+            makes.push((
                 "mutexheap",
+                stickiness,
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, MutexHeapSub<u64>> =
                         ConcurrentMultiQueue::with_backend_universe(shards, universe);
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
-            ),
-            (
+            ));
+            makes.push((
                 "skiplist",
+                stickiness,
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, SkipShard<u64>> =
                         ConcurrentMultiQueue::with_backend_universe(shards, universe);
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
-            ),
-        ];
+            ));
+        }
         // Interleave the repetitions round-robin so background-load
         // drift on the host hits every cell equally; keep each cell's
         // best run.
         let mut best: Vec<Option<Trial>> = makes.iter().map(|_| None).collect();
         for _rep in 0..reps {
-            for (slot, (_, make)) in best.iter_mut().zip(&makes) {
+            for (slot, (_, _, make)) in best.iter_mut().zip(&makes) {
                 let t = make();
                 let better = slot
                     .as_ref()
@@ -286,7 +307,7 @@ fn main() {
                 }
             }
         }
-        for ((backend, _), t) in makes.iter().zip(best) {
+        for ((backend, stickiness, _), t) in makes.iter().zip(best) {
             let t = t.expect("reps >= 1");
             let record = format!(
                 "{{\"queue\":\"multiqueue\",\"backend\":\"{backend}\",\"threads\":{threads},\

@@ -83,14 +83,9 @@ pub fn thread_sweep() -> Vec<usize> {
 /// Thread sweep for the contention benchmarks: the `RSCHED_THREADS`
 /// environment variable as a comma-separated list, or `default`.
 pub fn env_thread_list(default: &[usize]) -> Vec<usize> {
-    match std::env::var("RSCHED_THREADS") {
-        Ok(list) => list
-            .split(',')
-            .filter_map(|t| t.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .collect(),
-        Err(_) => default.to_vec(),
-    }
+    let mut list = env_usize_list("RSCHED_THREADS", default);
+    list.retain(|&t| t >= 1);
+    list
 }
 
 /// A `usize` knob from the environment, falling back to `default` when
@@ -100,6 +95,26 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(default)
+}
+
+/// A comma-separated `usize` sweep list from the environment (e.g.
+/// `RSCHED_STICKINESS=1,4,16`), falling back to `default` when unset or
+/// empty — how the contention benchmarks take multi-valued axes.
+pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(key) {
+        Ok(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|v| v.trim().parse::<usize>().ok())
+                .collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
 }
 
 /// The worker-session tuning knobs every contention benchmark sweeps and

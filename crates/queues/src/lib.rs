@@ -42,6 +42,11 @@
 //!   skiplist ([`skipshard::SkipShard`], the default) and the
 //!   mutex-around-a-heap baseline ([`skipshard::MutexHeapSub`]),
 //!   selectable through [`skipshard::SubPriority`].
+//! * **The bucketed hybrid** ([`bucket`]): [`bucket::BucketFifoQueue`],
+//!   a relaxed FIFO *of buckets* (Δ-wide priority bands, popped
+//!   oldest-visible) where each bucket is itself a relaxed priority
+//!   shard set over the same [`skipshard::SubPriority`] backends — the
+//!   Δ-stepping unification of the FIFO and priority engines.
 //! * **Instrumentation**: [`instrument::RankTracker`] wraps any relaxed queue
 //!   and measures the empirical rank of every returned element and the
 //!   inversion count of every element that becomes the global minimum,
@@ -122,6 +127,12 @@
 //!   shard *minimum* observed while losing the previous choice-of-two —
 //!   not the shard index, so going stale only costs relaxation slack,
 //!   never a wrong claim (the claim is still a validated CAS).
+//! * [`bucket::BucketSession`] (from [`BucketFifoQueue::session`])
+//!   carries the pin, the RNG, owned **home shard columns** (the same
+//!   strided shard indices in *every* bucket), and the spawn buffer
+//!   with per-bucket merge dedup: flushes sort by bucket index so each
+//!   touched bucket pays one counter bump, and repeated items merge in
+//!   the buffer before any shared traffic.
 //!
 //! Buffered spawns interact with termination detection through the
 //! flush protocol: [`FlushReport`] tells the caller how many parked
@@ -141,6 +152,7 @@
 //! crossover, now with the session `shards_per_worker × spawn_batch`
 //! axes swept alongside).
 
+pub mod bucket;
 pub mod fifo;
 pub mod heap;
 pub mod instrument;
@@ -152,6 +164,7 @@ pub mod pairing;
 pub mod skipshard;
 pub mod spraylist;
 
+pub use bucket::{BucketFifoQueue, BucketSession};
 pub use fifo::{
     DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue,
     DRaSegQueue, FifoRankStats, FifoRankTracker, FifoSession, MutexSub, PinSession, RelaxedFifo,

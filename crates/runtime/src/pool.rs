@@ -115,6 +115,20 @@ pub struct RuntimeConfig {
     /// publish as one batch. Defaults to the `RSCHED_SPAWN_BATCH`
     /// environment variable, else 1 (publish immediately).
     pub spawn_batch: usize,
+    /// How many consecutive pops may reuse a MultiQueue session's
+    /// sticky peek cache before a forced re-sample; `1` (the default)
+    /// re-samples every pop — the classic two-choice protocol.
+    /// Defaults to the `RSCHED_STICKINESS` environment variable, else 1.
+    pub stickiness: usize,
+    /// Δ (bucket width) override for the bucket-hybrid schedulers built
+    /// by the algorithms layer (`relaxed_delta_stepping`); `0` keeps
+    /// the caller's Δ argument. Defaults to the `RSCHED_DELTA`
+    /// environment variable, else 0.
+    pub delta: u64,
+    /// Priority shards per bucket for the bucket hybrid; `0` lets the
+    /// algorithm pick (2 × threads). Defaults to the
+    /// `RSCHED_BUCKET_SHARDS` environment variable, else 0.
+    pub bucket_shards: usize,
 }
 
 fn env_knob(key: &str, default: usize) -> usize {
@@ -131,6 +145,9 @@ impl Default for RuntimeConfig {
             seed: 0,
             shards_per_worker: env_knob("RSCHED_SHARDS_PER_WORKER", 1),
             spawn_batch: env_knob("RSCHED_SPAWN_BATCH", 1),
+            stickiness: env_knob("RSCHED_STICKINESS", 1).max(1),
+            delta: env_knob("RSCHED_DELTA", 0) as u64,
+            bucket_shards: env_knob("RSCHED_BUCKET_SHARDS", 0),
         }
     }
 }
@@ -152,7 +169,7 @@ impl RuntimeConfig {
             seed: self.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             shards_per_worker: self.shards_per_worker,
             spawn_batch: self.spawn_batch,
-            stickiness: 1,
+            stickiness: self.stickiness.max(1),
         }
     }
 }

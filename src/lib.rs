@@ -34,10 +34,15 @@
 //! the scheduling order — relaxed *priority* (`ConcurrentMultiQueue`,
 //! `ConcurrentSprayList`, `DuplicateMultiQueue`) for SSSP and the
 //! iterative algorithms, relaxed *FIFO* (`DCboQueue`, `DRaQueue`) for
-//! BFS frontiers, label propagation and k-core peeling. The relaxed-FIFO
-//! shards default to the lock-free segmented ring buffer in
+//! BFS frontiers, label propagation and k-core peeling, and the
+//! **bucketed hybrid** (`BucketFifoQueue`: a relaxed FIFO of Δ-wide
+//! buckets, each bucket a relaxed priority shard set) for barrier-free
+//! Δ-stepping (`relaxed_delta_stepping`). The relaxed-FIFO shards
+//! default to the lock-free segmented ring buffer in
 //! `rsched_queues::lockfree` (Michael–Scott and the PR 1 mutex baseline
-//! stay selectable through the `SubFifo` trait).
+//! stay selectable through the `SubFifo` trait); the priority shards —
+//! in the MultiQueue and inside every hybrid bucket — default to the
+//! lock-free skiplist in `rsched_queues::skipshard`.
 //!
 //! Every worker owns a **session** (`Scheduler::Session`, built from the
 //! `rsched_queues` worker-session layer): the amortized epoch pin, the
@@ -99,10 +104,10 @@ pub mod prelude {
     pub use rsched_algos::{
         kcore_sequential, label_components, parallel_bfs, parallel_delta_stepping, parallel_kcore,
         parallel_label_propagation, parallel_sssp, parallel_sssp_duplicates,
-        parallel_sssp_spraylist, relaxed_sssp_seq, BnbStats, BstSort, ConcurrentBstSort,
-        ConcurrentColoring, ConcurrentMis, DelaunayIncremental, GreedyColoring, GreedyMis,
-        KcoreStats, Knapsack, LabelPropConfig, LabelPropStats, ParBfsStats, ParSsspConfig,
-        ParSsspStats, SeqSsspStats,
+        parallel_sssp_spraylist, relaxed_delta_stepping, relaxed_sssp_seq, BnbStats, BstSort,
+        ConcurrentBstSort, ConcurrentColoring, ConcurrentMis, DelaunayIncremental, GreedyColoring,
+        GreedyMis, KcoreStats, Knapsack, LabelPropConfig, LabelPropStats, ParBfsStats,
+        ParSsspConfig, ParSsspStats, SeqSsspStats,
     };
     pub use rsched_core::{
         run_exact, run_relaxed, run_relaxed_parallel, run_relaxed_traced, run_relaxed_with,
@@ -120,13 +125,13 @@ pub mod prelude {
         INF,
     };
     pub use rsched_queues::{
-        ConcurrentMultiQueue, ConcurrentRankEstimator, ConcurrentSprayList, DCboMsQueue,
-        DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue, DRaSegQueue,
-        DecreaseKey, DuplicateMultiQueue, Exact, FifoRankStats, FifoRankTracker, FifoSession,
-        FlushReport, IndexedBinaryHeap, KLsmHandle, KLsmQueue, MqSession, MsQueue, MutexSub,
-        PairingHeap, PinSession, PopSource, PriorityQueue, PushOutcome, RankStats, RankTracker,
-        RelaxedFifo, RelaxedQueue, RotatingKQueue, SegRingQueue, SessionConfig, SessionPush,
-        SimMultiQueue, SprayList, SubFifo,
+        BucketFifoQueue, BucketSession, ConcurrentMultiQueue, ConcurrentRankEstimator,
+        ConcurrentSprayList, DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue,
+        DRaMutexQueue, DRaQueue, DRaSegQueue, DecreaseKey, DuplicateMultiQueue, Exact,
+        FifoRankStats, FifoRankTracker, FifoSession, FlushReport, IndexedBinaryHeap, KLsmHandle,
+        KLsmQueue, MqSession, MsQueue, MutexSub, PairingHeap, PinSession, PopSource, PriorityQueue,
+        PushOutcome, RankStats, RankTracker, RelaxedFifo, RelaxedQueue, RotatingKQueue,
+        SegRingQueue, SessionConfig, SessionPush, SimMultiQueue, SprayList, SubFifo,
     };
     pub use rsched_runtime::run as run_pool;
     pub use rsched_runtime::{
