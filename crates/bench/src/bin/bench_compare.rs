@@ -20,18 +20,33 @@
 //!
 //! * a baseline cell has no matching fresh cell, or a fresh record is
 //!   missing a field its baseline record carries (schema regression);
+//! * a fresh record is missing any of the **required telemetry tails**
+//!   (`retry_p99`, `steal_p99`, `flush_merge_ratio`, `gc_collected`) —
+//!   every contention sweep emits them, so their absence means the
+//!   instrumentation window broke;
 //! * a record's **conservation fields** are inconsistent — pops must
-//!   not exceed ops, home/steal counts must not exceed pops, and
-//!   `merge_fraction` must match `merges / (inserts + merges)`;
+//!   not exceed ops, home/steal counts must not exceed pops,
+//!   `merge_fraction` must match `merges / (inserts + merges)`,
+//!   `flush_merge_ratio` must match `flush_merged / flush_published`,
+//!   and the retry quantiles must be monotone
+//!   (`retry_p50 <= retry_p99 <= retry_p999 <= retry_max`);
 //! * throughput (`pops_per_sec`) regressed beyond the tolerance
 //!   (`RSCHED_COMPARE_TOL`, default 0.40 — generous on purpose) in
 //!   **both** views: raw, and normalized by each run's own best cell.
 //!   Requiring both keeps the gate meaningful across heterogeneous
 //!   hosts: raw-only would flag every slower runner, normalized-only
-//!   would miss a uniform collapse.
+//!   would miss a uniform collapse;
+//! * the per-op CAS-retry tail (`retry_p99`) *grew* beyond
+//!   `(1/(1-tol))²` (≈2.8× at the default tolerance) in both the raw
+//!   and the self-normalized view (+1-smoothed so empty-tail cells
+//!   divide cleanly). The histogram buckets are log₂, so one bucket of
+//!   drift passes and two consecutive buckets fail — the tail gate
+//!   guards progress per operation the same way the throughput gate
+//!   guards operations per second.
 //!
 //! Exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
+use rsched_bench::env_f64;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -250,6 +265,17 @@ fn cell_key(rec: &Record) -> String {
         .join(",")
 }
 
+/// Telemetry tail fields every fresh contention record must carry: one
+/// progress-histogram quantile per instrumented axis plus the flush and
+/// epoch-GC evidence. A sweep that stops emitting any of these has lost
+/// its instrumentation window, which is itself a regression.
+const REQUIRED_TAILS: &[&str] = &[
+    "retry_p99",
+    "steal_p99",
+    "flush_merge_ratio",
+    "gc_collected",
+];
+
 /// The internal-consistency checks every record must satisfy — the
 /// "conservation fields" of the gate. Returns a violation description.
 fn conservation_violation(rec: &Record) -> Option<String> {
@@ -285,6 +311,30 @@ fn conservation_violation(rec: &Record) -> Option<String> {
             ));
         }
     }
+    if let (Some(ratio), Some(pub_), Some(mrg)) = (
+        num("flush_merge_ratio"),
+        num("flush_published"),
+        num("flush_merged"),
+    ) {
+        let want = if pub_ == 0.0 { 0.0 } else { mrg / pub_ };
+        if (ratio - want).abs() > 0.01 {
+            return Some(format!(
+                "flush_merge_ratio {ratio} inconsistent with flush_merged/flush_published = {want:.4}"
+            ));
+        }
+    }
+    if let (Some(p50), Some(p99), Some(p999), Some(max)) = (
+        num("retry_p50"),
+        num("retry_p99"),
+        num("retry_p999"),
+        num("retry_max"),
+    ) {
+        if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+            return Some(format!(
+                "retry quantiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}, max {max}"
+            ));
+        }
+    }
     None
 }
 
@@ -302,11 +352,7 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
         return ExitCode::from(2);
     };
-    let tol = std::env::var("RSCHED_COMPARE_TOL")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.40)
-        .clamp(0.0, 0.99);
+    let tol = env_f64("RSCHED_COMPARE_TOL", 0.40).clamp(0.0, 0.99);
     let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
         (Ok(b), Ok(f)) => (b, f),
         (b, f) => {
@@ -327,6 +373,14 @@ fn main() -> ExitCode {
         eprintln!("bench_compare: no {metric} found in one of the runs");
         return ExitCode::from(2);
     }
+    // The retry-tail gate works in growth ratios (bigger = worse), with
+    // +1 smoothing so empty tails divide cleanly; the limit is the
+    // squared throughput tolerance because the histogram buckets are
+    // log₂ — one bucket of drift passes, two consecutive buckets fail.
+    let tail_metric = "retry_p99";
+    let base_tail_peak = run_peak(&baseline, tail_metric);
+    let fresh_tail_peak = run_peak(&fresh, tail_metric);
+    let tail_limit = (1.0 / (1.0 - tol)).powi(2);
     let mut failures: Vec<String> = Vec::new();
     println!(
         "bench_compare: {} baseline cells vs {} fresh cells, tolerance {:.0}%, \
@@ -338,6 +392,14 @@ fn main() -> ExitCode {
     for rec in &fresh {
         if let Some(why) = conservation_violation(rec) {
             failures.push(format!("fresh cell [{}]: {why}", cell_key(rec)));
+        }
+        for &tail in REQUIRED_TAILS {
+            if !rec.contains_key(tail) {
+                failures.push(format!(
+                    "fresh cell [{}]: missing required telemetry tail {tail}",
+                    cell_key(rec)
+                ));
+            }
         }
     }
     for base in &baseline {
@@ -364,7 +426,7 @@ fn main() -> ExitCode {
         } else {
             1.0
         };
-        let verdict = if raw_ratio < 1.0 - tol && norm_ratio < 1.0 - tol {
+        let mut verdict = if raw_ratio < 1.0 - tol && norm_ratio < 1.0 - tol {
             failures.push(format!(
                 "cell [{key}]: {metric} regressed {b:.0} -> {f:.0} \
                  (raw x{raw_ratio:.2}, normalized x{norm_ratio:.2})"
@@ -373,6 +435,22 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
+        if let (Some(bt), Some(ft)) = (
+            base.get(tail_metric).and_then(Val::as_f64),
+            fresh_rec.get(tail_metric).and_then(Val::as_f64),
+        ) {
+            let raw_growth = (ft + 1.0) / (bt + 1.0);
+            let norm_growth =
+                ((ft + 1.0) / (fresh_tail_peak + 1.0)) / ((bt + 1.0) / (base_tail_peak + 1.0));
+            if raw_growth > tail_limit && norm_growth > tail_limit {
+                failures.push(format!(
+                    "cell [{key}]: {tail_metric} tail inflated {bt:.0} -> {ft:.0} \
+                     (raw x{raw_growth:.2}, normalized x{norm_growth:.2}, \
+                     limit x{tail_limit:.2})"
+                ));
+                verdict = "FAIL(tail)";
+            }
+        }
         println!("  [{key}] {b:>12.0} -> {f:>12.0}  raw x{raw_ratio:.2} norm x{norm_ratio:.2}  {verdict}");
     }
     if failures.is_empty() {

@@ -33,10 +33,13 @@
 //!
 //! [`BucketSession`]: rsched_queues::BucketSession
 
-use rsched_bench::{env_thread_list, env_usize, session_knobs, write_json_artifact, Scale};
+use rsched_bench::{
+    env_opt_usize, env_thread_list, env_usize, session_knobs, telemetry_json_fields,
+    write_json_artifact, Scale,
+};
 use rsched_queues::{
-    BucketFifoQueue, FlushReport, MutexHeapSub, PopSource, PushOutcome, SessionConfig, SkipShard,
-    SubPriority,
+    telemetry, BucketFifoQueue, FlushReport, MutexHeapSub, PopSource, PushOutcome, SessionConfig,
+    SkipShard, SubPriority, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -51,6 +54,7 @@ struct Trial {
     inserts: u64,
     merges: u64,
     buckets: u64,
+    telemetry: TelemetrySnapshot,
 }
 
 /// Per-worker conservation bookkeeping over session outcomes (same
@@ -102,6 +106,9 @@ fn trial<S: SubPriority<u64>>(
         acct.flush(queue.flush_session(&mut session));
         acct.inserts()
     };
+    // Telemetry window = the contended phase only: reset after the
+    // single-threaded prefill, capture before the drain below.
+    telemetry::reset();
     let barrier = Barrier::new(threads);
     let pops = AtomicU64::new(0);
     let home_hits = AtomicU64::new(0);
@@ -159,6 +166,7 @@ fn trial<S: SubPriority<u64>>(
         }
     });
     let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = telemetry::capture();
     let buckets = queue.buckets_allocated() as u64;
     // Drain (outside the timed phase) and check conservation: every
     // insert that reported "net-new" must come out exactly once.
@@ -183,6 +191,7 @@ fn trial<S: SubPriority<u64>>(
         inserts: inserts.load(Ordering::Relaxed),
         merges: merges.load(Ordering::Relaxed),
         buckets,
+        telemetry: snapshot,
     }
 }
 
@@ -198,9 +207,7 @@ fn main() {
     let reps = env_usize("RSCHED_REPS", 8).clamp(1, 16);
     let delta = env_usize("RSCHED_DELTA", 1024).max(1) as u64;
     let shard_mult = env_usize("RSCHED_SHARD_MULT", 2).clamp(1, 8);
-    let shards_override = std::env::var("RSCHED_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok());
+    let shards_override = env_opt_usize("RSCHED_SHARDS");
     let (shards_per_worker, spawn_batch) = session_knobs();
     let session_cfg = SessionConfig {
         shards_per_worker,
@@ -268,7 +275,9 @@ fn main() {
                  \"ops\":{},\"wall_s\":{:.6},\"ops_per_sec\":{:.1},\"pops\":{},\
                  \"pops_per_sec\":{:.1},\"home_hits\":{},\"home_fraction\":{:.4},\
                  \"steals\":{},\"steal_fraction\":{:.4},\"buckets_touched\":{},\
-                 \"inserts\":{},\"merges\":{},\"merge_fraction\":{:.4}}}",
+                 \"inserts\":{},\"merges\":{},\"merge_fraction\":{:.4},{},\
+                 \"floor_p50\":{},\"floor_p99\":{},\"seg_installs\":{},\
+                 \"registry_probes\":{}}}",
                 t.ops,
                 t.wall_s,
                 t.ops as f64 / t.wall_s,
@@ -294,6 +303,11 @@ fn main() {
                 } else {
                     t.merges as f64 / (t.inserts + t.merges) as f64
                 },
+                telemetry_json_fields(&t.telemetry),
+                t.telemetry.floor.p50,
+                t.telemetry.floor.p99,
+                t.telemetry.seg_installs,
+                t.telemetry.registry_probes,
             );
             println!("json,{record}");
             records.push(record);

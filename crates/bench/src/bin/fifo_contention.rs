@@ -36,11 +36,15 @@
 //! [`ConcurrentRankEstimator`]: rsched_queues::instrument::ConcurrentRankEstimator
 //! [`FifoSession`]: rsched_queues::FifoSession
 
-use rsched_bench::{env_thread_list, env_usize, session_knobs, write_json_artifact, Scale};
+use rsched_bench::{
+    env_opt_usize, env_thread_list, env_usize, session_knobs, telemetry_json_fields,
+    write_json_artifact, Scale,
+};
 use rsched_queues::instrument::ConcurrentRankEstimator;
 use rsched_queues::lockfree::{MsQueue, SegRingQueue};
 use rsched_queues::{
-    DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, SessionConfig, SubFifo,
+    telemetry, DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, SessionConfig,
+    SubFifo, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -100,6 +104,7 @@ struct Trial {
     home_hits: u64,
     steals: u64,
     stats: FifoRankStats,
+    telemetry: TelemetrySnapshot,
 }
 
 /// Workload shape: alternating enqueue/dequeue pairs (the classic queue
@@ -147,6 +152,9 @@ fn trial<Q: ContendedFifo>(
         }
         queue.flush(&mut session);
     }
+    // Measured telemetry window: prefill discarded, drain excluded
+    // (capture happens right after the workers join).
+    telemetry::reset();
     let barrier = Barrier::new(threads);
     let pops = AtomicU64::new(0);
     let home_hits = AtomicU64::new(0);
@@ -198,6 +206,7 @@ fn trial<Q: ContendedFifo>(
         }
     });
     let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = telemetry::capture();
     // Drain (unrecorded, outside the timed phase) and account: nothing
     // lost, nothing duplicated.
     let mut drain = queue.open(&SessionConfig::unaffine(0));
@@ -219,6 +228,7 @@ fn trial<Q: ContendedFifo>(
         home_hits: home_hits.load(Ordering::Relaxed),
         steals: steals.load(Ordering::Relaxed),
         stats: est.into_stats(),
+        telemetry: snapshot,
     }
 }
 
@@ -253,9 +263,7 @@ fn main() {
     );
     let mut records: Vec<String> = Vec::new();
     let shard_mult = env_usize("RSCHED_SHARD_MULT", 1).clamp(1, 8);
-    let shards_override = std::env::var("RSCHED_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok());
+    let shards_override = env_opt_usize("RSCHED_SHARDS");
     for &threads in &threads_sweep {
         // One shard per thread by default: d-CBO's balanced-operation
         // choice is designed to keep errors low *without* over-sharding
@@ -353,7 +361,7 @@ fn main() {
                  \"ops_per_sec\":{:.1},\"pops\":{},\"pops_per_sec\":{:.1},\
                  \"home_hits\":{},\"home_fraction\":{:.4},\"steals\":{},\
                  \"steal_fraction\":{:.4},\"dequeues_measured\":{},\"mean_rank_error\":{:.4},\
-                 \"p99_rank_error\":{},\"max_rank_error\":{}}}",
+                 \"p99_rank_error\":{},\"max_rank_error\":{},{}}}",
                 t.ops,
                 t.wall_s,
                 t.ops as f64 / t.wall_s,
@@ -375,6 +383,7 @@ fn main() {
                 t.stats.mean_error(),
                 t.stats.error_quantile(0.99),
                 t.stats.max_error,
+                telemetry_json_fields(&t.telemetry),
             );
             println!("json,{record}");
             records.push(record);

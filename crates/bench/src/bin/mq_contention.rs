@@ -53,11 +53,12 @@
 //! [`MqSession`]: rsched_queues::MqSession
 
 use rsched_bench::{
-    env_thread_list, env_usize, env_usize_list, session_knobs, write_json_artifact, Scale,
+    env_opt_usize, env_thread_list, env_usize, env_usize_list, session_knobs,
+    telemetry_json_fields, write_json_artifact, Scale,
 };
 use rsched_queues::{
-    ConcurrentMultiQueue, FlushReport, MqSession, MutexHeapSub, PopSource, PushOutcome,
-    SessionConfig, SkipShard, SubPriority,
+    telemetry, ConcurrentMultiQueue, FlushReport, MqSession, MutexHeapSub, PopSource, PushOutcome,
+    SessionConfig, SkipShard, SubPriority, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -97,6 +98,7 @@ struct Trial {
     cache_hits: u64,
     inserts: u64,
     merges: u64,
+    telemetry: TelemetrySnapshot,
 }
 
 /// Per-worker conservation bookkeeping over session outcomes, split
@@ -149,6 +151,8 @@ fn trial<Q: ContendedMq>(
         acct.flush(queue.flush(&mut session));
         acct.inserts()
     };
+    // Measured telemetry window: prefill discarded, drain excluded.
+    telemetry::reset();
     let barrier = Barrier::new(threads);
     let pops = AtomicU64::new(0);
     let cache_hits = AtomicU64::new(0);
@@ -199,6 +203,7 @@ fn trial<Q: ContendedMq>(
         }
     });
     let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = telemetry::capture();
     // Drain (outside the timed phase) and check conservation: every
     // insert that reported "net-new" must come out exactly once.
     let mut drain = queue.open(&SessionConfig::unaffine(0));
@@ -220,6 +225,7 @@ fn trial<Q: ContendedMq>(
         cache_hits: cache_hits.load(Ordering::Relaxed),
         inserts: inserts.load(Ordering::Relaxed),
         merges: merges.load(Ordering::Relaxed),
+        telemetry: snapshot,
     }
 }
 
@@ -234,9 +240,7 @@ fn main() {
     let universe = env_usize("RSCHED_UNIVERSE", 1 << 16).max(1);
     let reps = env_usize("RSCHED_REPS", 8).clamp(1, 16);
     let shard_mult = env_usize("RSCHED_SHARD_MULT", 2).clamp(1, 8);
-    let shards_override = std::env::var("RSCHED_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok());
+    let shards_override = env_opt_usize("RSCHED_SHARDS");
     let (shards_per_worker, spawn_batch) = session_knobs();
     // Stickiness is a *sweep* axis (`RSCHED_STICKINESS=1,4,...`): the
     // peek cache trades rank slack for peek traffic, and the SSSP-pop
@@ -316,7 +320,7 @@ fn main() {
                  \"stickiness\":{stickiness},\
                  \"ops\":{},\"wall_s\":{:.6},\"ops_per_sec\":{:.1},\"pops\":{},\
                  \"pops_per_sec\":{:.1},\"cache_hits\":{},\"inserts\":{},\"merges\":{},\
-                 \"merge_fraction\":{:.4}}}",
+                 \"merge_fraction\":{:.4},{},\"registry_probes\":{}}}",
                 t.ops,
                 t.wall_s,
                 t.ops as f64 / t.wall_s,
@@ -330,6 +334,8 @@ fn main() {
                 } else {
                     t.merges as f64 / (t.inserts + t.merges) as f64
                 },
+                telemetry_json_fields(&t.telemetry),
+                t.telemetry.registry_probes,
             );
             println!("json,{record}");
             records.push(record);

@@ -97,15 +97,43 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// A comma-separated `usize` sweep list from the environment (e.g.
-/// `RSCHED_STICKINESS=1,4,16`), falling back to `default` when unset or
-/// empty — how the contention benchmarks take multi-valued axes.
-pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+/// An *optional* `usize` knob: `None` when the variable is unset or
+/// unparsable — for knobs whose absence means "derive it" (e.g.
+/// `RSCHED_SHARDS` falling back to a per-thread multiplier).
+pub fn env_opt_usize(key: &str) -> Option<usize> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+}
+
+/// A `u64` knob from the environment, falling back to `default` when
+/// unset or unparsable.
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// An `f64` knob from the environment, falling back to `default` when
+/// unset or unparsable (e.g. `RSCHED_COMPARE_TOL=0.35`).
+pub fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default)
+}
+
+/// A comma-separated sweep list from the environment, parsed into any
+/// `FromStr` element type; falls back to `default` when the variable is
+/// unset or yields no parsable entries. The one list parser every
+/// contention/ablation bin uses for its multi-valued axes.
+pub fn env_list<T: std::str::FromStr + Clone>(key: &str, default: &[T]) -> Vec<T> {
     match std::env::var(key) {
         Ok(list) => {
-            let parsed: Vec<usize> = list
+            let parsed: Vec<T> = list
                 .split(',')
-                .filter_map(|v| v.trim().parse::<usize>().ok())
+                .filter_map(|v| v.trim().parse::<T>().ok())
                 .collect();
             if parsed.is_empty() {
                 default.to_vec()
@@ -115,6 +143,12 @@ pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
         }
         Err(_) => default.to_vec(),
     }
+}
+
+/// [`env_list`] specialized to `usize` (the common case; e.g.
+/// `RSCHED_STICKINESS=1,4,16`).
+pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    env_list(key, default)
 }
 
 /// The worker-session tuning knobs every contention benchmark sweeps and
@@ -127,6 +161,38 @@ pub fn session_knobs() -> (usize, usize) {
     (
         env_usize("RSCHED_SHARDS_PER_WORKER", 1),
         env_usize("RSCHED_SPAWN_BATCH", 1),
+    )
+}
+
+/// The shared telemetry tail-field fragment of the bench JSON schema
+/// (no surrounding braces, no leading comma): per-op CAS-retry and
+/// steal-round quantiles, fallback-sweep p99, empty-pop and flush
+/// counters, and the epoch-GC progress pair. Every contention bin
+/// appends this to its record so `bench_compare` can gate the tails
+/// uniformly; structure-specific extras (floor scan, registry probes,
+/// segment installs) ride separately.
+pub fn telemetry_json_fields(t: &rsched_queues::TelemetrySnapshot) -> String {
+    format!(
+        "\"retry_p50\":{},\"retry_p99\":{},\"retry_p999\":{},\"retry_max\":{},\
+         \"retry_count\":{},\"steal_p50\":{},\"steal_p99\":{},\"steal_p999\":{},\
+         \"sweep_p99\":{},\"empty_pops\":{},\"flush_published\":{},\
+         \"flush_merged\":{},\"flush_merge_ratio\":{:.6},\
+         \"gc_deferred\":{},\"gc_collected\":{}",
+        t.retry.p50,
+        t.retry.p99,
+        t.retry.p999,
+        t.retry.max,
+        t.retry.count,
+        t.steal.p50,
+        t.steal.p99,
+        t.steal.p999,
+        t.sweep.p99,
+        t.empty_pops,
+        t.flush_published,
+        t.flush_merged,
+        t.flush_merge_ratio(),
+        t.gc_deferred,
+        t.gc_collected,
     )
 }
 

@@ -1,0 +1,118 @@
+//! Integration tests for the `bench_compare` CI gate: drive the real
+//! binary (via `CARGO_BIN_EXE_bench_compare`) against synthetic
+//! baseline/fresh fixture pairs and assert on its exit code — the same
+//! contract the CI perf-smoke job relies on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A synthetic two-cell artifact in the contention-sweep schema. Cell
+/// `t8` carries the run's peak throughput and retry tail; `t1` is the
+/// quiet cell the fixtures perturb. All conservation and telemetry
+/// fields are kept self-consistent so only the perturbation under test
+/// can trip the gate.
+fn artifact(t1_pops_per_sec: f64, t1_retry_p99: u64, t1_has_tails: bool) -> String {
+    let t1_tails = if t1_has_tails {
+        format!(
+            ",\"retry_p50\":0,\"retry_p99\":{t1_retry_p99},\
+             \"retry_p999\":{p999},\"retry_max\":{p999},\
+             \"steal_p50\":0,\"steal_p99\":3,\"steal_p999\":7,\"sweep_p99\":0,\
+             \"empty_pops\":12,\"flush_published\":100,\"flush_merged\":25,\
+             \"flush_merge_ratio\":0.250000,\"gc_deferred\":40,\"gc_collected\":40",
+            p999 = t1_retry_p99.max(7),
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "[\n  {{\"queue\":\"fifo\",\"backend\":\"segring\",\"threads\":1,\
+         \"ops\":100000,\"pops\":50000,\"pops_per_sec\":{t1_pops_per_sec:.1}{t1_tails}}},\n  \
+         {{\"queue\":\"fifo\",\"backend\":\"segring\",\"threads\":8,\
+         \"ops\":800000,\"pops\":400000,\"pops_per_sec\":9000000.0,\
+         \"retry_p50\":1,\"retry_p99\":127,\"retry_p999\":255,\"retry_max\":511,\
+         \"steal_p50\":0,\"steal_p99\":7,\"steal_p999\":15,\"sweep_p99\":3,\
+         \"empty_pops\":90,\"flush_published\":800,\"flush_merged\":200,\
+         \"flush_merge_ratio\":0.250000,\"gc_deferred\":300,\"gc_collected\":280}}\n]\n"
+    )
+}
+
+/// Write `body` to a unique temp file and return its path.
+fn fixture(name: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "rsched_compare_gate_{}_{name}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, body).expect("writing fixture");
+    path
+}
+
+/// Run the gate binary on a (baseline, fresh) pair; return the exit code.
+fn run_gate(baseline: &str, fresh: &str, case: &str) -> i32 {
+    let base_path = fixture(&format!("{case}_base"), baseline);
+    let fresh_path = fixture(&format!("{case}_fresh"), fresh);
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg(&base_path)
+        .arg(&fresh_path)
+        .env("RSCHED_COMPARE_TOL", "0.40")
+        .output()
+        .expect("running bench_compare");
+    let _ = std::fs::remove_file(base_path);
+    let _ = std::fs::remove_file(fresh_path);
+    let code = out.status.code().expect("exit code");
+    assert!(
+        (0..=2).contains(&code),
+        "unexpected exit {code}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    code
+}
+
+#[test]
+fn identical_runs_pass() {
+    let art = artifact(1_000_000.0, 3, true);
+    assert_eq!(run_gate(&art, &art, "identical"), 0);
+}
+
+#[test]
+fn throughput_within_tolerance_passes() {
+    let base = artifact(1_000_000.0, 3, true);
+    // 20% down on one cell: inside the 40% tolerance in the raw view.
+    let fresh = artifact(800_000.0, 3, true);
+    assert_eq!(run_gate(&base, &fresh, "within_tol"), 0);
+}
+
+#[test]
+fn inflated_retry_tail_fails() {
+    let base = artifact(1_000_000.0, 3, true);
+    // Throughput unchanged, but the quiet cell's p99 CAS-retry count
+    // jumps 3 -> 120 (x30 with +1 smoothing) while the peak cell stays
+    // put, so both the raw and the peak-normalized growth blow past the
+    // (1/(1-0.40))² ≈ 2.78 limit.
+    let fresh = artifact(1_000_000.0, 120, true);
+    assert_eq!(run_gate(&base, &fresh, "inflated_tail"), 1);
+}
+
+#[test]
+fn missing_tail_fields_fail() {
+    let base = artifact(1_000_000.0, 3, true);
+    let fresh = artifact(1_000_000.0, 3, false);
+    assert_eq!(run_gate(&base, &fresh, "missing_tails"), 1);
+}
+
+#[test]
+fn inconsistent_flush_ratio_fails() {
+    let base = artifact(1_000_000.0, 3, true);
+    let fresh = artifact(1_000_000.0, 3, true).replace(
+        "\"flush_merge_ratio\":0.250000",
+        "\"flush_merge_ratio\":0.500000",
+    );
+    assert_eq!(run_gate(&base, &fresh, "bad_ratio"), 1);
+}
+
+#[test]
+fn non_monotone_retry_quantiles_fail() {
+    let base = artifact(1_000_000.0, 3, true);
+    // p999 below p99 on the peak cell: impossible for a real histogram.
+    let fresh = artifact(1_000_000.0, 3, true).replace("\"retry_p999\":255", "\"retry_p999\":63");
+    assert_eq!(run_gate(&base, &fresh, "non_monotone"), 1);
+}

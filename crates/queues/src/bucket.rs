@@ -58,6 +58,7 @@
 use crate::fifo::PinSession;
 use crate::multiqueue::queue_of;
 use crate::skipshard::{SkipShard, SubPriority, TryPopMin};
+use crate::telemetry;
 use crate::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush, MAX_SPAWN_BATCH};
 use crossbeam::utils::CachePadded;
 use rand::rngs::SmallRng;
@@ -273,7 +274,10 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => seg_ptr = fresh,
+                Ok(_) => {
+                    telemetry::count(telemetry::OpCount::SegInstall, 1);
+                    seg_ptr = fresh;
+                }
                 Err(winner) => {
                     drop(unsafe { Box::from_raw(fresh) });
                     seg_ptr = winner;
@@ -359,6 +363,9 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
         rng: &mut R,
         tok: &S::Token,
     ) -> Option<(usize, u64, usize)> {
+        // Floor-scan distance: allocated buckets examined before the
+        // pop landed (1 = popped straight from the floor bucket).
+        let mut scanned = 0u64;
         for _attempt in 0..2 {
             let f = self.floor.load(Ordering::Acquire);
             let ceil = self.ceiling.load(Ordering::Acquire);
@@ -367,6 +374,7 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
                 let Some((idx, bucket)) = self.next_allocated(b, ceil) else {
                     break;
                 };
+                scanned += 1;
                 if idx > b {
                     // Unallocated gap at the front: advance past it.
                     self.try_advance_floor(b, idx);
@@ -374,6 +382,7 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
                 if bucket.approx_len() == 0 {
                     self.try_advance_floor(idx, idx + 1);
                 } else if let Some(got) = self.pop_in_bucket(bucket, homes, rotor, rng, tok) {
+                    telemetry::record(telemetry::OpHist::Floor, scanned);
                     return Some(got);
                 }
                 // A live-looking bucket that yielded nothing drained
@@ -381,6 +390,7 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
                 b = idx + 1;
             }
             if self.len.load(Ordering::Acquire) == 0 {
+                telemetry::count(telemetry::OpCount::EmptyPop, 1);
                 return None;
             }
         }
@@ -392,14 +402,17 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
         let ceil = self.ceiling.load(Ordering::Acquire);
         let mut b = 0u64;
         while let Some((idx, bucket)) = self.next_allocated(b, ceil) {
+            scanned += 1;
             if bucket.approx_len() > 0 {
                 if let Some(got) = self.pop_in_bucket(bucket, homes, rotor, rng, tok) {
                     self.floor.fetch_min(idx, Ordering::AcqRel);
+                    telemetry::record(telemetry::OpHist::Floor, scanned);
                     return Some(got);
                 }
             }
             b = idx + 1;
         }
+        telemetry::count(telemetry::OpCount::EmptyPop, 1);
         None
     }
 
@@ -446,11 +459,12 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
             let c = homes[idx];
             if let Some((item, prio)) = claim(c) {
                 *rotor = idx;
+                telemetry::record(telemetry::OpHist::Steal, 0);
                 return Some(finish(item, prio, c));
             }
         }
         // Choice-of-two rounds: racy-safe min peeks, claim the winner.
-        for _ in 0..(2 * q + 4) {
+        for round in 0..(2 * q + 4) {
             let a = rng.gen_range(0..q);
             let b2 = rng.gen_range(0..q);
             let ka = bucket.shards[a].min_key(tok);
@@ -477,12 +491,14 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
                 }
             };
             if let Some((item, prio)) = claim(win) {
+                telemetry::record(telemetry::OpHist::Steal, round as u64);
                 return Some(finish(item, prio, win));
             }
         }
         // Bucket sweep: visit every shard, waiting on any locks.
         for c in 0..q {
             if let Some((item, prio)) = bucket.shards[c].pop_min_wait(tok) {
+                telemetry::record(telemetry::OpHist::Sweep, (c + 1) as u64);
                 return Some(finish(item, prio, c));
             }
         }
@@ -599,6 +615,8 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
         s.buf.clear();
         self.ceiling.fetch_max(hi_bucket, Ordering::AcqRel);
         self.floor.fetch_min(lo_bucket, Ordering::AcqRel);
+        telemetry::count(telemetry::OpCount::FlushPublished, rep.published);
+        telemetry::count(telemetry::OpCount::FlushMerged, rep.merged);
         rep
     }
 

@@ -64,6 +64,7 @@
 //! [`ConcurrentRankEstimator`](crate::instrument::ConcurrentRankEstimator).
 
 use crate::lockfree::SegRingQueue;
+use crate::telemetry;
 use crate::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush, MAX_SPAWN_BATCH};
 use crossbeam::epoch;
 use crossbeam::utils::CachePadded;
@@ -612,6 +613,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
             shard.sub.push(base + i as u64, item, &tok);
         }
         shard.enqueues.fetch_add(n, Ordering::Relaxed);
+        telemetry::count(telemetry::OpCount::FlushPublished, n);
         FlushReport {
             published: n,
             merged: 0,
@@ -672,6 +674,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
                 if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                     *rotor = idx;
                     self.finish_pop(c);
+                    telemetry::record(telemetry::OpHist::Steal, 0);
                     return Some((item, c));
                 }
             }
@@ -679,7 +682,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
         // Steal rounds: `d` random samples, oldest visible head first;
         // shards with no visible head (empty, or a contended mutex
         // backend) are skipped.
-        for _ in 0..(2 * q + 4) {
+        for round in 0..(2 * q + 4) {
             let mut cand = [0usize; MAX_CHOICES];
             fill_candidates(q, d, rng, &mut cand);
             let mut heads = [(u64::MAX, usize::MAX); MAX_CHOICES];
@@ -699,6 +702,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
                 tried = c;
                 if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                     self.finish_pop(c);
+                    telemetry::record(telemetry::OpHist::Steal, round as u64);
                     return Some((item, c));
                 }
             }
@@ -716,6 +720,7 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
             let Some((_, c)) = oldest else { break };
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
+                telemetry::record(telemetry::OpHist::Steal, (2 * q + 4) as u64);
                 return Some((item, c));
             }
         }
@@ -730,9 +735,11 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
             let c = (start + k) % q;
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
+                telemetry::record(telemetry::OpHist::Sweep, (k + 1) as u64);
                 return Some((item, c));
             }
         }
+        telemetry::count(telemetry::OpCount::EmptyPop, 1);
         None
     }
 
@@ -987,6 +994,7 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
             shard.sub.push(0, item, &tok);
         }
         shard.enqueues.fetch_add(n, Ordering::Relaxed);
+        telemetry::count(telemetry::OpCount::FlushPublished, n);
         FlushReport {
             published: n,
             merged: 0,
@@ -1031,11 +1039,12 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
             if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                 *rotor = idx;
                 self.finish_pop(c);
+                telemetry::record(telemetry::OpHist::Steal, 0);
                 return Some((item, c));
             }
         }
         // Steal rounds: choice-of-d on completed dequeues, non-blocking.
-        for _ in 0..(2 * q + 4) {
+        for round in 0..(2 * q + 4) {
             let mut cand = [0usize; MAX_CHOICES];
             fill_candidates(q, d, rng, &mut cand);
             let cand = &mut cand[..d];
@@ -1048,6 +1057,7 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
                 tried = c;
                 if let TryPop::Item((_, item)) = self.shards[c].sub.try_pop(tok) {
                     self.finish_pop(c);
+                    telemetry::record(telemetry::OpHist::Steal, round as u64);
                     return Some((item, c));
                 }
             }
@@ -1067,9 +1077,11 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
             let c = (start + k) % q;
             if let Some((_, item)) = self.shards[c].sub.pop_wait(tok) {
                 self.finish_pop(c);
+                telemetry::record(telemetry::OpHist::Sweep, (k + 1) as u64);
                 return Some((item, c));
             }
         }
+        telemetry::count(telemetry::OpCount::EmptyPop, 1);
         None
     }
 

@@ -151,6 +151,32 @@
 //! and `mq_contention` in `rsched-bench` measure exactly this
 //! crossover, now with the session `shards_per_worker × spawn_batch`
 //! axes swept alongside).
+//!
+//! ### The telemetry layer
+//!
+//! "Practically wait-free" is a claim about the *tail* of per-op
+//! progress distributions, not about means — so every hot path in the
+//! crate feeds [`telemetry`]: a fixed-footprint log₂ histogram
+//! ([`PowHistogram`]) per series plus plain event counters, recorded
+//! into a thread-local buffer (no atomics, no allocation per op) and
+//! folded into process globals on thread exit. What is recorded where:
+//! the lock-free backends ([`SegRingQueue`], [`MsQueue`],
+//! [`SkipShard`]) record CAS/claim **retries per successful pop**; the
+//! pop engines ([`DRaQueue`], [`DCboQueue`], [`ConcurrentMultiQueue`],
+//! [`BucketFifoQueue`]) record **steal/choice rounds** per pop,
+//! fallback **sweep lengths**, and **empty-pop** sweeps;
+//! [`BucketFifoQueue`] additionally records **floor-scan distances**
+//! and directory **segment installs**; [`SkipShard`] counts registry
+//! probes; every `flush_session` counts published vs merged elements;
+//! and the vendored `crossbeam::epoch` exports deferred/collected GC
+//! counts. The whole layer sits behind one process-wide gate
+//! (`RSCHED_TELEMETRY`, [`telemetry::set_enabled`]): when off, each
+//! instrumentation point costs a single relaxed atomic load and a
+//! predictable branch — no thread-local access, no stores. Benches
+//! bracket a measured window with [`telemetry::reset`] /
+//! [`telemetry::capture`] and export the resulting
+//! [`TelemetrySnapshot`] (bucket arrays + p50/p90/p99/p999/max) into
+//! their JSON schema, where `bench_compare` gates p99 retry tails.
 
 pub mod bucket;
 pub mod fifo;
@@ -163,6 +189,7 @@ pub mod multiqueue;
 pub mod pairing;
 pub mod skipshard;
 pub mod spraylist;
+pub mod telemetry;
 
 pub use bucket::{BucketFifoQueue, BucketSession};
 pub use fifo::{
@@ -183,6 +210,7 @@ pub use multiqueue::{
 pub use pairing::PairingHeap;
 pub use skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
 pub use spraylist::{ConcurrentSprayList, SprayList};
+pub use telemetry::{HistSnapshot, PowHistogram, TelemetrySnapshot};
 
 /// Sentinel meaning "item is not currently stored in the queue".
 pub(crate) const NOT_PRESENT: usize = usize::MAX;

@@ -65,6 +65,7 @@
 //!   single-threaded use, where an uncontended lock beats an epoch pin.
 
 use crate::fifo::{SubFifo, TryPop};
+use crate::telemetry;
 use crossbeam::epoch::{self, Atomic, Owned, Pointer, Shared};
 use crossbeam::utils::{Backoff, CachePadded};
 use parking_lot::Mutex;
@@ -212,6 +213,7 @@ impl<T> MsQueue<T> {
 
     /// [`pop_stamped`](Self::pop_stamped) under a caller-held pin.
     pub fn pop_with(&self, guard: &epoch::Guard) -> Option<(u64, T)> {
+        let mut retries = 0u64;
         loop {
             let head = self.head.load(Ordering::Acquire, guard);
             // SAFETY: head is never null and is protected by the guard.
@@ -245,8 +247,10 @@ impl<T> MsQueue<T> {
                 // is uninit (moved out by a previous pop or never set).
                 unsafe { guard.defer_destroy(head) };
                 self.pops.fetch_add(1, Ordering::Release);
+                telemetry::record(telemetry::OpHist::Retry, retries);
                 return Some((seq, value));
             }
+            retries += 1;
         }
     }
 
@@ -696,6 +700,7 @@ impl<T> SegRingQueue<T> {
 
     /// [`pop_stamped`](Self::pop_stamped) under a caller-held pin.
     pub fn pop_with(&self, guard: &epoch::Guard) -> Option<(u64, T)> {
+        let mut retries = 0u64;
         'segment: loop {
             let head = self.head.load(Ordering::Acquire, guard);
             // SAFETY: head is never null and is protected by the guard.
@@ -749,8 +754,10 @@ impl<T> SegRingQueue<T> {
                         // SAFETY: the deq CAS claimed slot `d` exclusively
                         // and the acquire load above saw the publication.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        telemetry::record(telemetry::OpHist::Retry, retries);
                         return Some((published >> 1, value));
                     }
+                    retries += 1;
                     continue;
                 }
                 let e = h.enq.load(Ordering::SeqCst).min(SEGMENT_CAP);
@@ -781,8 +788,10 @@ impl<T> SegRingQueue<T> {
                     // SAFETY: the deq CAS claimed slot `d` exclusively
                     // and the acquire load above saw the publication.
                     let value = unsafe { (*slot.value.get()).assume_init_read() };
+                    telemetry::record(telemetry::OpHist::Retry, retries);
                     return Some((published >> 1, value));
                 }
+                retries += 1;
             }
         }
     }

@@ -34,6 +34,7 @@
 use crate::fifo::PinSession;
 use crate::heap::IndexedBinaryHeap;
 use crate::skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
+use crate::telemetry;
 use crate::{
     DecreaseKey, FlushReport, PopSource, PriorityQueue, PushOutcome, RelaxedQueue, SessionConfig,
     SessionPush, MAX_SPAWN_BATCH, NOT_PRESENT,
@@ -397,10 +398,11 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     fn pop_tok<R: Rng>(&self, rng: &mut R, tok: &S::Token) -> Option<(usize, P)> {
         let q = self.shards.len();
         // Optimistic phase: a bounded number of two-choice samples.
-        for _ in 0..(4 * q + 8) {
+        for round in 0..(4 * q + 8) {
             let a = rng.gen_range(0..q);
             let b = rng.gen_range(0..q);
             if let Some(got) = self.try_pop_pair(a, b, tok) {
+                telemetry::record(telemetry::OpHist::Steal, round as u64);
                 return Some(got);
             }
             if self.len.load(Ordering::Acquire) == 0 {
@@ -408,12 +410,14 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
             }
         }
         // Fallback sweep: visit every shard once, waiting on any locks.
-        for shard in self.shards.iter() {
+        for (k, shard) in self.shards.iter().enumerate() {
             if let Some((item, prio)) = shard.pop_min_wait(tok) {
                 self.len.fetch_sub(1, Ordering::AcqRel);
+                telemetry::record(telemetry::OpHist::Sweep, (k + 1) as u64);
                 return Some((item, prio));
             }
         }
+        telemetry::count(telemetry::OpCount::EmptyPop, 1);
         None
     }
 
@@ -609,6 +613,8 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
                 rep.merged += 1;
             }
         }
+        telemetry::count(telemetry::OpCount::FlushPublished, rep.published);
+        telemetry::count(telemetry::OpCount::FlushMerged, rep.merged);
         rep
     }
 
@@ -623,7 +629,7 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
         s.pin.tick();
         let tok = S::borrow_token(&s.pin);
         let q = self.shards.len();
-        for _ in 0..(4 * q + 8) {
+        for round in 0..(4 * q + 8) {
             // Candidate A: the cached minimum while budget lasts, else a
             // fresh peek of a random shard.
             let (a, ka, from_cache) = match s.cached.take() {
@@ -685,6 +691,7 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
                     } else {
                         PopSource::Shared
                     };
+                    telemetry::record(telemetry::OpHist::Steal, round as u64);
                     return Some(((item, prio), src));
                 }
                 TryPopMin::Empty | TryPopMin::Contended => {
@@ -696,12 +703,14 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
             }
         }
         // Fallback sweep: visit every shard once, waiting on any locks.
-        for shard in self.shards.iter() {
+        for (k, shard) in self.shards.iter().enumerate() {
             if let Some((item, prio)) = shard.pop_min_wait(&tok) {
                 self.len.fetch_sub(1, Ordering::AcqRel);
+                telemetry::record(telemetry::OpHist::Sweep, (k + 1) as u64);
                 return Some(((item, prio), PopSource::Shared));
             }
         }
+        telemetry::count(telemetry::OpCount::EmptyPop, 1);
         None
     }
 }

@@ -63,6 +63,7 @@
 
 use crate::fifo::{PinSession, TokRef};
 use crate::heap::IndexedBinaryHeap;
+use crate::telemetry;
 use crate::{DecreaseKey, PriorityQueue};
 use crossbeam::epoch::{self, Atomic, Owned, Pointer, Shared};
 use parking_lot::Mutex;
@@ -992,6 +993,7 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
     fn try_pop_min(&self, tok: &epoch::Guard) -> TryPopMin<P> {
         // The walk never advances past an *unmarked* node (it claims
         // it instead), so the predecessor is always the head.
+        let mut retries = 0u64;
         loop {
             let cur = self.head[0].load(Ordering::Acquire, tok);
             // SAFETY: loaded under `tok` from a live link.
@@ -1017,14 +1019,17 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
                     // period.
                     unsafe { tok.defer_with_raw(cur.as_raw() as *mut u8, recycle_node::<P>) };
                 }
+                retries += 1;
                 continue;
             }
             if self.claim(c, tok) {
                 let got = (c.item, c.prio);
                 self.retire(c, cur, c.height, tok);
+                telemetry::record(telemetry::OpHist::Retry, retries);
                 return TryPopMin::Item(got);
             }
             // Lost the claim; re-read and let the help path advance.
+            retries += 1;
         }
     }
 
@@ -1037,6 +1042,9 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
 
     fn push_or_decrease(&self, item: usize, prio: P, tok: &epoch::Guard) -> bool {
         let slot = self.reg.ensure(item, tok);
+        // One probe for the registry walk itself, plus one per slot
+        // re-examination when the CAS loop goes around.
+        let mut probes = 1u64;
         loop {
             let old = slot.load(Ordering::Acquire, tok);
             // SAFETY: registry entries are cleared before their node can
@@ -1045,6 +1053,7 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
                 .filter(|o| o.next[0].load(Ordering::Acquire, tok).tag() != MARK);
             if let Some(o) = live {
                 if o.prio <= prio {
+                    telemetry::count(telemetry::OpCount::RegistryProbe, probes);
                     return false;
                 }
             }
@@ -1063,6 +1072,7 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
                         _ => true,
                     };
                     self.deregister_if_claimed(slot, node, tok);
+                    telemetry::count(telemetry::OpCount::RegistryProbe, probes);
                     return verdict;
                 }
                 Err(_) => {
@@ -1070,8 +1080,10 @@ impl<P: Ord + Copy + Send + Sync> SubPriority<P> for SkipShard<P> {
                     // pop): withdraw our node and re-evaluate, unless a
                     // popper already consumed it — then it counted.
                     if self.unpublish(node, tok) {
+                        telemetry::count(telemetry::OpCount::RegistryProbe, probes);
                         return true;
                     }
+                    probes += 1;
                 }
             }
         }

@@ -48,8 +48,19 @@
 //!   sound emptiness notion over relaxed queues, whose `pop == None`
 //!   races with concurrent pushes.
 //! * [`WorkerStats`] / [`PoolStats`] account pops, executed/stale/extra
-//!   steps, spawn-vs-merge pushes, home-shard hits and choice-of-two
-//!   steals, per worker, without a single shared atomic on the hot path.
+//!   steps, spawn-vs-merge pushes, home-shard hits, choice-of-two
+//!   steals, pop misses and publishing flushes, per worker, without a
+//!   single shared atomic on the hot path; [`PoolStats`] carries both
+//!   the worker-phase wall clock and the whole-call wall clock.
+//! * When [`RuntimeConfig::telemetry`] is on (env `RSCHED_TELEMETRY`,
+//!   default on), [`run`] brackets the computation with a
+//!   `rsched_queues::telemetry` window and returns the captured
+//!   per-op progress snapshot (CAS-retry / steal-round / sweep-length
+//!   histograms, flush merge ratios, epoch-GC counters) in
+//!   [`PoolStats::telemetry`] — the "practically wait-free" tail
+//!   evidence for whatever queue the run drove. Disabled, every
+//!   instrumentation point in the queues collapses to one relaxed
+//!   atomic load and a predictable branch.
 //! * [`map_chunks`] is the fork-join companion for level-synchronous
 //!   phases (Δ-stepping's edge-relaxation passes).
 //!

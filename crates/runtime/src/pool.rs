@@ -34,6 +34,7 @@ use crate::termination::ActiveCounter;
 use crossbeam::utils::Backoff;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rsched_queues::telemetry::{self, TelemetrySnapshot};
 use rsched_queues::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush};
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
@@ -129,6 +130,12 @@ pub struct RuntimeConfig {
     /// algorithm pick (2 × threads). Defaults to the
     /// `RSCHED_BUCKET_SHARDS` environment variable, else 0.
     pub bucket_shards: usize,
+    /// Per-op progress telemetry (retry/steal/sweep histograms, event
+    /// counters — see `rsched_queues::telemetry`). When off, every
+    /// instrumentation point is one relaxed load and a branch. Defaults
+    /// to the `RSCHED_TELEMETRY` environment variable (`0` disables),
+    /// else on.
+    pub telemetry: bool,
 }
 
 fn env_knob(key: &str, default: usize) -> usize {
@@ -148,6 +155,7 @@ impl Default for RuntimeConfig {
             stickiness: env_knob("RSCHED_STICKINESS", 1).max(1),
             delta: env_knob("RSCHED_DELTA", 0) as u64,
             bucket_shards: env_knob("RSCHED_BUCKET_SHARDS", 0),
+            telemetry: env_knob("RSCHED_TELEMETRY", 1) != 0,
         }
     }
 }
@@ -199,6 +207,11 @@ pub struct WorkerStats {
     /// Pops that took an element from a foreign shard of a
     /// worker-affine scheduler.
     pub steals: u64,
+    /// Pops that came back empty (each one triggers a session flush
+    /// before the worker considers waiting).
+    pub pop_misses: u64,
+    /// Pop-miss flushes that actually published parked spawns.
+    pub flushes: u64,
 }
 
 impl WorkerStats {
@@ -211,6 +224,8 @@ impl WorkerStats {
         self.merged += other.merged;
         self.home_hits += other.home_hits;
         self.steals += other.steals;
+        self.pop_misses += other.pop_misses;
+        self.flushes += other.flushes;
     }
 }
 
@@ -223,6 +238,13 @@ pub struct PoolStats {
     pub per_worker: Vec<WorkerStats>,
     /// Wall-clock time of the worker phase (excludes initial seeding).
     pub wall: Duration,
+    /// Wall-clock time of the whole [`run`] call, seeding included —
+    /// benches no longer re-derive elapsed time around the call.
+    pub total_wall: Duration,
+    /// Per-op progress telemetry captured over this run, when
+    /// [`RuntimeConfig::telemetry`] was on. The underlying state is
+    /// process-global: concurrent `run` calls fold into one snapshot.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl PoolStats {
@@ -337,6 +359,13 @@ where
     F: Fn(&mut Worker<'_, P, S>, usize, P) -> TaskOutcome + Sync,
 {
     assert!(cfg.threads >= 1, "runtime needs at least one worker");
+    let t0 = Instant::now();
+    telemetry::set_enabled(cfg.telemetry);
+    if cfg.telemetry {
+        // Start a fresh measurement window covering seeding + workers.
+        // The state is process-global; overlapping runs share a window.
+        telemetry::reset();
+    }
     let counter = ActiveCounter::new();
     {
         // Seed through a session of the seeding thread's own; the final
@@ -392,10 +421,15 @@ where
     for w in &per_worker {
         total.merge(w);
     }
+    // Scoped workers have exited (their recorders auto-flushed); the
+    // seeding happened on this thread, so capture() folds it in too.
+    let snapshot = cfg.telemetry.then(telemetry::capture);
     PoolStats {
         total,
         per_worker,
         wall,
+        total_wall: t0.elapsed(),
+        telemetry: snapshot,
     }
 }
 
@@ -423,6 +457,9 @@ where
                     PopSource::Steal => worker.stats.steals += 1,
                     PopSource::Shared => {}
                 }
+                // Per-op duration ticks: only pay for the clock reads
+                // when the telemetry window is actually recording.
+                let op_start = telemetry::enabled().then(Instant::now);
                 match handler(worker, item, prio) {
                     TaskOutcome::Executed => {
                         worker.stats.executed += 1;
@@ -440,14 +477,24 @@ where
                         blocked.snooze();
                     }
                 }
+                if let Some(t) = op_start {
+                    telemetry::record(
+                        telemetry::OpHist::Tick,
+                        t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                }
                 worker.counter.task_done();
             }
             None => {
                 // Publish any parked spawns before concluding emptiness:
                 // the quiescence counter still carries them, so waiting
                 // with a non-empty buffer could deadlock the pool.
+                worker.stats.pop_misses += 1;
                 let report = queue.flush(&mut worker.session);
                 let had_parked = report.published > 0;
+                if had_parked {
+                    worker.stats.flushes += 1;
+                }
                 worker.absorb_flush(report);
                 if had_parked {
                     continue;

@@ -55,6 +55,24 @@ static ORPHANS: Mutex<Vec<Garbage>> = Mutex::new(Vec::new());
 /// skip the orphan lock entirely until something could be freed.
 static ORPHAN_OLDEST: AtomicU64 = AtomicU64::new(u64::MAX);
 
+/// Process-lifetime count of deferrals ([`Guard::defer_destroy`] and
+/// friends) — telemetry only, never read by the reclamation logic.
+static GC_DEFERRED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime count of garbage records actually freed/recycled by
+/// collections (local-bag prefixes plus orphans).
+static GC_COLLECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone `(deferred, collected)` reclamation counters, for progress
+/// telemetry. `collected ≤ deferred` at all times, and the gap is the
+/// garbage still awaiting a grace period.
+pub fn gc_counters() -> (u64, u64) {
+    (
+        GC_DEFERRED.load(Ordering::Relaxed),
+        GC_COLLECTED.load(Ordering::Relaxed),
+    )
+}
+
 /// One thread's published pin state: `0` when not pinned, otherwise
 /// `(epoch << 1) | 1`.
 struct Participant {
@@ -196,6 +214,7 @@ fn collect(local: &Local) {
                 ready.push(bag.pop_front().expect("checked front"));
             }
         }
+        GC_COLLECTED.fetch_add(ready.len() as u64, Ordering::Relaxed);
         for g in ready {
             free(g);
         }
@@ -219,6 +238,7 @@ fn collect(local: &Local) {
         *orphans = keep;
         ORPHAN_OLDEST.store(oldest, Ordering::Release);
         drop(orphans);
+        GC_COLLECTED.fetch_add(take.len() as u64, Ordering::Relaxed);
         for g in take {
             free(g);
         }
@@ -350,6 +370,7 @@ impl Guard {
     fn defer_garbage(&self, garbage: Garbage) {
         // SAFETY: guard is pinned to its creating thread (!Send).
         let l = unsafe { &*self.local };
+        GC_DEFERRED.fetch_add(1, Ordering::Relaxed);
         l.bag.borrow_mut().push_back(garbage);
         let n = l.deferred.get() + 1;
         l.deferred.set(n);
