@@ -44,6 +44,17 @@
 //!   guards progress per operation the same way the throughput gate
 //!   guards operations per second.
 //!
+//! **Serving artifacts** (`serve_latency`; recognised by the
+//! `arrival_process` axis) ride the same machinery with their own
+//! metrics: identity adds `arrival_process` / `offered_rate` /
+//! `clients` / `work_ns`; throughput is `accepted_per_sec`; the
+//! required fields are the sojourn quantiles (`lat_p50/p99/p999`);
+//! conservation demands `accepted + rejected == submitted`,
+//! `completed == accepted` and monotone latency quantiles; and the
+//! tail gate runs on the end-to-end `lat_p999` with the *cubed*
+//! tolerance limit (≈4.6× default) — more than two log₂ buckets of
+//! p999 sojourn inflation fails the merge.
+//!
 //! Exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
 use rsched_bench::env_f64;
@@ -249,6 +260,10 @@ const KEY_FIELDS: &[&str] = &[
     "stickiness",
     "delta",
     "mix",
+    "arrival_process",
+    "offered_rate",
+    "clients",
+    "work_ns",
 ];
 
 fn cell_key(rec: &Record) -> String {
@@ -275,6 +290,46 @@ const REQUIRED_TAILS: &[&str] = &[
     "flush_merge_ratio",
     "gc_collected",
 ];
+
+/// The fields every open-system serving record must carry: the sojourn
+/// latency quantiles and the accepted-throughput metric. A serving
+/// sweep that stops emitting them has lost exactly the tail evidence
+/// the open-system methodology exists to capture.
+const REQUIRED_SERVE: &[&str] = &[
+    "lat_p50",
+    "lat_p99",
+    "lat_p999",
+    "accepted_per_sec",
+    "offered_rate",
+];
+
+/// Serving records (from `serve_latency`) carry the arrival-process
+/// axis; contention records never do. The two kinds gate on different
+/// metrics, so they are peak-normalized separately.
+fn is_serve(rec: &Record) -> bool {
+    rec.contains_key("arrival_process")
+}
+
+/// Throughput metric of a record's kind: operations per second for the
+/// closed-loop sweeps, *accepted* requests per second for the open
+/// system (offered rate is a knob, accepted rate is the achievement).
+fn metric_of(serve: bool) -> &'static str {
+    if serve {
+        "accepted_per_sec"
+    } else {
+        "pops_per_sec"
+    }
+}
+
+/// Tail metric of a record's kind: per-op CAS retries for contention
+/// sweeps, p999 end-to-end sojourn for serving sweeps.
+fn tail_metric_of(serve: bool) -> &'static str {
+    if serve {
+        "lat_p999"
+    } else {
+        "retry_p99"
+    }
+}
 
 /// The internal-consistency checks every record must satisfy — the
 /// "conservation fields" of the gate. Returns a violation description.
@@ -335,15 +390,63 @@ fn conservation_violation(rec: &Record) -> Option<String> {
             ));
         }
     }
+    // Serving-record conservation: every submit is answered exactly
+    // once, every accepted request completes exactly once.
+    if let (Some(sub), Some(acc), Some(rej)) = (num("submitted"), num("accepted"), num("rejected"))
+    {
+        if (acc + rej - sub).abs() > 0.5 {
+            return Some(format!(
+                "accepted {acc} + rejected {rej} does not conserve submitted {sub}"
+            ));
+        }
+    }
+    if let (Some(acc), Some(comp)) = (num("accepted"), num("completed")) {
+        if (comp - acc).abs() > 0.5 {
+            return Some(format!("completed {comp} does not match accepted {acc}"));
+        }
+    }
+    if let (Some(p50), Some(p99), Some(p999), Some(max)) = (
+        num("lat_p50"),
+        num("lat_p99"),
+        num("lat_p999"),
+        num("lat_max"),
+    ) {
+        if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+            return Some(format!(
+                "latency quantiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}, max {max}"
+            ));
+        }
+    }
     None
 }
 
-/// Best throughput of a run, for the self-normalized comparison view.
-fn run_peak(records: &[Record], metric: &str) -> f64 {
+/// Best value of `metric` among a run's records of one kind, for the
+/// self-normalized comparison view. Kinds are normalized separately —
+/// a serving artifact's accepted/s and a contention artifact's pops/s
+/// live on unrelated scales.
+fn run_peak(records: &[Record], serve: bool, metric: &str) -> f64 {
     records
         .iter()
+        .filter(|r| is_serve(r) == serve)
         .filter_map(|r| r.get(metric).and_then(Val::as_f64))
         .fold(0.0, f64::max)
+}
+
+/// Per-kind peak set: throughput and tail peaks of both runs.
+struct KindPeaks {
+    base: f64,
+    fresh: f64,
+    base_tail: f64,
+    fresh_tail: f64,
+}
+
+fn kind_peaks(baseline: &[Record], fresh: &[Record], serve: bool) -> KindPeaks {
+    KindPeaks {
+        base: run_peak(baseline, serve, metric_of(serve)),
+        fresh: run_peak(fresh, serve, metric_of(serve)),
+        base_tail: run_peak(baseline, serve, tail_metric_of(serve)),
+        fresh_tail: run_peak(fresh, serve, tail_metric_of(serve)),
+    }
 }
 
 fn main() -> ExitCode {
@@ -362,29 +465,35 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let metric = "pops_per_sec";
     let mut fresh_by_key: BTreeMap<String, &Record> = BTreeMap::new();
     for rec in &fresh {
         fresh_by_key.insert(cell_key(rec), rec);
     }
-    let base_peak = run_peak(&baseline, metric);
-    let fresh_peak = run_peak(&fresh, metric);
-    if base_peak <= 0.0 || fresh_peak <= 0.0 {
-        eprintln!("bench_compare: no {metric} found in one of the runs");
-        return ExitCode::from(2);
-    }
-    // The retry-tail gate works in growth ratios (bigger = worse), with
-    // +1 smoothing so empty tails divide cleanly; the limit is the
-    // squared throughput tolerance because the histogram buckets are
-    // log₂ — one bucket of drift passes, two consecutive buckets fail.
-    let tail_metric = "retry_p99";
-    let base_tail_peak = run_peak(&baseline, tail_metric);
-    let fresh_tail_peak = run_peak(&fresh, tail_metric);
-    let tail_limit = (1.0 / (1.0 - tol)).powi(2);
+    let peaks = [
+        kind_peaks(&baseline, &fresh, false),
+        kind_peaks(&baseline, &fresh, true),
+    ];
     let mut failures: Vec<String> = Vec::new();
+    for serve in [false, true] {
+        let p = &peaks[serve as usize];
+        if baseline.iter().any(|r| is_serve(r) == serve) {
+            if p.base <= 0.0 {
+                eprintln!(
+                    "bench_compare: baseline has no positive {}",
+                    metric_of(serve)
+                );
+                return ExitCode::from(2);
+            }
+            if p.fresh <= 0.0 {
+                failures.push(format!(
+                    "fresh run has no positive {} at all",
+                    metric_of(serve)
+                ));
+            }
+        }
+    }
     println!(
-        "bench_compare: {} baseline cells vs {} fresh cells, tolerance {:.0}%, \
-         peaks {base_peak:.0} -> {fresh_peak:.0} {metric}",
+        "bench_compare: {} baseline cells vs {} fresh cells, tolerance {:.0}%",
         baseline.len(),
         fresh.len(),
         tol * 100.0,
@@ -393,10 +502,17 @@ fn main() -> ExitCode {
         if let Some(why) = conservation_violation(rec) {
             failures.push(format!("fresh cell [{}]: {why}", cell_key(rec)));
         }
-        for &tail in REQUIRED_TAILS {
-            if !rec.contains_key(tail) {
+        // Contention sweeps must keep their telemetry tails, serving
+        // sweeps their sojourn quantiles.
+        let required = if is_serve(rec) {
+            REQUIRED_SERVE
+        } else {
+            REQUIRED_TAILS
+        };
+        for &field in required {
+            if !rec.contains_key(field) {
                 failures.push(format!(
-                    "fresh cell [{}]: missing required telemetry tail {tail}",
+                    "fresh cell [{}]: missing required field {field}",
                     cell_key(rec)
                 ));
             }
@@ -404,6 +520,9 @@ fn main() -> ExitCode {
     }
     for base in &baseline {
         let key = cell_key(base);
+        let serve = is_serve(base);
+        let metric = metric_of(serve);
+        let p = &peaks[serve as usize];
         let Some(fresh_rec) = fresh_by_key.get(&key) else {
             failures.push(format!("cell [{key}] missing from the fresh run"));
             continue;
@@ -421,8 +540,8 @@ fn main() -> ExitCode {
             continue;
         };
         let raw_ratio = if b > 0.0 { f / b } else { 1.0 };
-        let norm_ratio = if b > 0.0 {
-            (f / fresh_peak) / (b / base_peak)
+        let norm_ratio = if b > 0.0 && p.fresh > 0.0 {
+            (f / p.fresh) / (b / p.base)
         } else {
             1.0
         };
@@ -435,13 +554,25 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
+        // The tail gate works in growth ratios (bigger = worse), with
+        // +1 smoothing so empty tails divide cleanly; the limits stem
+        // from the throughput tolerance because the histogram buckets
+        // are log₂. Per-op CAS retries (contention) get the squared
+        // limit: one bucket of drift passes, two fail. The end-to-end
+        // p999 sojourn (serving) gets the cubed limit — ≈4.6× at the
+        // default tolerance, so two log₂ buckets of drift pass and
+        // anything beyond (>2 buckets of inflation) fails: sojourn
+        // compounds scheduler, socket and generator jitter, and only a
+        // shape-level collapse should stop the merge.
+        let tail_metric = tail_metric_of(serve);
+        let tail_limit = (1.0 / (1.0 - tol)).powi(if serve { 3 } else { 2 });
         if let (Some(bt), Some(ft)) = (
             base.get(tail_metric).and_then(Val::as_f64),
             fresh_rec.get(tail_metric).and_then(Val::as_f64),
         ) {
             let raw_growth = (ft + 1.0) / (bt + 1.0);
             let norm_growth =
-                ((ft + 1.0) / (fresh_tail_peak + 1.0)) / ((bt + 1.0) / (base_tail_peak + 1.0));
+                ((ft + 1.0) / (p.fresh_tail + 1.0)) / ((bt + 1.0) / (p.base_tail + 1.0));
             if raw_growth > tail_limit && norm_growth > tail_limit {
                 failures.push(format!(
                     "cell [{key}]: {tail_metric} tail inflated {bt:.0} -> {ft:.0} \

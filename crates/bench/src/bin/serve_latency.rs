@@ -1,0 +1,444 @@
+//! Open-loop serving benchmark: offered load vs sojourn-latency tails.
+//!
+//! Closed-loop benchmarks (every other bin in this crate) measure
+//! *capacity*: N workers hammer the queue as fast as it admits work, so
+//! latency is meaningless — each request waits exactly as long as the
+//! benchmark makes it. This bin is the **open-system** complement, the
+//! "Practically Wait-Free?" methodology applied end-to-end: requests
+//! arrive on a schedule *independent of completions* (an overloaded
+//! server falls behind instead of slowing the generator), and the
+//! figure of merit is the sojourn-latency distribution — p50/p99/p999
+//! from scheduled arrival to completion — as a function of offered
+//! rate, arrival burstiness, worker count and scheduler backend.
+//!
+//! ## Arrival processes
+//!
+//! * `poisson` — exponential interarrivals at the per-connection rate;
+//!   the memoryless baseline.
+//! * `burst` — a Markov-modulated on/off process (MMPP-2): exponential
+//!   ~50 ms ON and OFF phases, arrivals at 2× the nominal rate while
+//!   ON, none while OFF. Same long-run average rate as `poisson`, but
+//!   the ON phases probe how the scheduler absorbs transient overload —
+//!   burstiness is where relaxed-queue tails actually differ.
+//!
+//! Latency is measured from the request's *scheduled* arrival time, not
+//! from when the sender managed to write it: if the sender falls behind
+//! the schedule, that lag is queueing delay the open system must own.
+//!
+//! ## Modes
+//!
+//! Self-hosted (default): each grid cell boots an in-process
+//! [`Server`] on an ephemeral port, so one run sweeps
+//! `backends × threads × arrivals × rates` hermetically. With
+//! `RSCHED_SERVE_ADDR` set the bin instead drives an already-running
+//! external server (the CI smoke job's shape) and sweeps only
+//! `arrivals × rates`, recording `RSCHED_SERVE_BACKEND` /
+//! `RSCHED_SERVE_THREADS` / `RSCHED_SERVE_CAP` as the cell identity.
+//!
+//! ## Knobs
+//!
+//! | env | default | axis |
+//! |---|---|---|
+//! | `RSCHED_RATES` | `1000,4000` | offered req/s, total across clients |
+//! | `RSCHED_ARRIVALS` | `poisson,burst` | arrival processes |
+//! | `RSCHED_THREADS` | `2` | worker threads (self-host) |
+//! | `RSCHED_BACKENDS` | `mq,dcbo` | backends (self-host) |
+//! | `RSCHED_CLIENTS` | `2` | concurrent connections |
+//! | `RSCHED_WORK_NS` | `20000` | synthetic service time per request |
+//! | `RSCHED_DURATION_S` | `1.0` | offered-load window per cell |
+//! | `RSCHED_SERVE_CAP` | `4096` | admission bound (self-host) |
+//! | `RSCHED_SEED` | `42` | generator RNG seed |
+//!
+//! Every cell prints a `json,{...}` line and the set is written to
+//! `RSCHED_JSON_OUT`; `bench_compare` gates `lat_p999` against the
+//! committed baseline (see `ci/baselines/serve_latency.json`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsched_bench::{env_f64, env_list, env_u64, env_usize, write_json_artifact, Table};
+use rsched_queues::telemetry::PowHistogram;
+use rsched_serve::{
+    Backend, Endpoint, Request, Response, ServeClient, ServeConfig, Server, StatsReply,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Mean ON / OFF phase length of the bursty (MMPP-2) arrival process.
+const BURST_PHASE_MEAN_S: f64 = 0.05;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arrival {
+    Poisson,
+    Burst,
+}
+
+impl Arrival {
+    fn name(self) -> &'static str {
+        match self {
+            Arrival::Poisson => "poisson",
+            Arrival::Burst => "burst",
+        }
+    }
+}
+
+impl std::str::FromStr for Arrival {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "poisson" => Ok(Arrival::Poisson),
+            "burst" => Ok(Arrival::Burst),
+            other => Err(format!("unknown arrival process {other:?}")),
+        }
+    }
+}
+
+/// Exponential sample with mean `1/rate` seconds.
+fn exp_s(rng: &mut SmallRng, rate: f64) -> f64 {
+    // 1 - u in (0, 1]: ln never sees 0.
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+/// One connection's wire totals after its drain.
+#[derive(Default)]
+struct ConnTotals {
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    /// The server's final per-run stats snapshot (last Stats reply).
+    server_stats: Option<StatsReply>,
+}
+
+/// Drive one connection open-loop: schedule arrivals for `duration`,
+/// send Submits on schedule, record sojourn (scheduled arrival →
+/// Completed) into `lat`, then Stats + Drain and verify conservation.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    endpoint: &Endpoint,
+    arrival: Arrival,
+    rate_per_conn: f64,
+    duration: Duration,
+    work_ns: u64,
+    base_id: u64,
+    seed: u64,
+    lat: &PowHistogram,
+) -> ConnTotals {
+    let client = ServeClient::connect(endpoint).expect("connect");
+    let (mut tx, mut rx) = client.split();
+    // req_id → scheduled arrival instant; sender inserts *before* the
+    // frame is written so the receiver can never miss it.
+    let in_flight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::default();
+
+    let sender_map = Arc::clone(&in_flight);
+    let sender = std::thread::spawn(move || {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let phase_rate = 1.0 / BURST_PHASE_MEAN_S;
+        let start = Instant::now();
+        let mut next_s = 0.0f64; // scheduled offset of the next arrival
+        let mut burst_on = true;
+        let mut phase_end_s = exp_s(&mut rng, phase_rate);
+        let mut submitted = 0u64;
+        loop {
+            match arrival {
+                Arrival::Poisson => next_s += exp_s(&mut rng, rate_per_conn),
+                Arrival::Burst => {
+                    // MMPP-2: Poisson at 2× nominal while ON, silent
+                    // while OFF, exponential phase lengths. Discarding
+                    // the residual interarrival at a phase switch is
+                    // exact — the ON process is memoryless.
+                    loop {
+                        if !burst_on {
+                            next_s = phase_end_s;
+                            burst_on = true;
+                            phase_end_s = next_s + exp_s(&mut rng, phase_rate);
+                        }
+                        let candidate = next_s + exp_s(&mut rng, 2.0 * rate_per_conn);
+                        if candidate <= phase_end_s {
+                            next_s = candidate;
+                            break;
+                        }
+                        next_s = phase_end_s;
+                        burst_on = false;
+                        phase_end_s = next_s + exp_s(&mut rng, phase_rate);
+                    }
+                }
+            }
+            if next_s >= duration.as_secs_f64() {
+                break;
+            }
+            let scheduled = start + Duration::from_secs_f64(next_s);
+            // Open loop: wait for the schedule, never for the server.
+            let now = Instant::now();
+            if scheduled > now {
+                std::thread::sleep(scheduled - now);
+            }
+            let req_id = base_id + submitted;
+            sender_map
+                .lock()
+                .expect("latency map poisoned")
+                .insert(req_id, scheduled);
+            tx.send(&Request::Submit {
+                req_id,
+                prio: submitted,
+                work_ns,
+            })
+            .expect("send submit");
+            submitted += 1;
+        }
+        tx.send(&Request::Stats).expect("send stats");
+        tx.send(&Request::Drain).expect("send drain");
+        submitted
+    });
+
+    let mut totals = ConnTotals::default();
+    loop {
+        let resp = rx
+            .recv()
+            .expect("recv")
+            .expect("server closed before Drained");
+        match resp {
+            Response::Accepted { .. } => totals.accepted += 1,
+            Response::Rejected { req_id, .. } => {
+                totals.rejected += 1;
+                // A rejected request has no sojourn.
+                in_flight
+                    .lock()
+                    .expect("latency map poisoned")
+                    .remove(&req_id);
+            }
+            Response::Completed { req_id, .. } => {
+                totals.completed += 1;
+                let scheduled = in_flight
+                    .lock()
+                    .expect("latency map poisoned")
+                    .remove(&req_id)
+                    .expect("Completed for unknown req_id");
+                lat.record(scheduled.elapsed().as_nanos() as u64);
+            }
+            Response::Stats(s) => totals.server_stats = Some(s),
+            Response::Drained { completed } => {
+                assert_eq!(
+                    completed, totals.completed,
+                    "server and client disagree on completions"
+                );
+                break;
+            }
+            Response::Pong { .. } => {}
+        }
+    }
+    totals.submitted = sender.join().expect("sender panicked");
+    assert_eq!(
+        totals.accepted + totals.rejected,
+        totals.submitted,
+        "conservation: every submit must be answered"
+    );
+    assert!(
+        in_flight.lock().expect("latency map poisoned").is_empty(),
+        "requests left unanswered after drain"
+    );
+    totals
+}
+
+struct Cell {
+    backend_name: String,
+    threads: usize,
+    queue_cap: usize,
+    arrival: Arrival,
+    offered_rate: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    endpoint: &Endpoint,
+    cell: &Cell,
+    clients: usize,
+    work_ns: u64,
+    duration: Duration,
+    seed: u64,
+) -> String {
+    let lat = PowHistogram::new();
+    let rate_per_conn = cell.offered_rate / clients as f64;
+    let started = Instant::now();
+    let totals: Vec<ConnTotals> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..clients)
+            .map(|c| {
+                let lat = &lat;
+                scope.spawn(move || {
+                    drive_connection(
+                        endpoint,
+                        cell.arrival,
+                        rate_per_conn,
+                        duration,
+                        work_ns,
+                        (c as u64) << 40,
+                        seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        lat,
+                    )
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let submitted: u64 = totals.iter().map(|t| t.submitted).sum();
+    let accepted: u64 = totals.iter().map(|t| t.accepted).sum();
+    let rejected: u64 = totals.iter().map(|t| t.rejected).sum();
+    let completed: u64 = totals.iter().map(|t| t.completed).sum();
+    let srv = totals
+        .iter()
+        .rev()
+        .find_map(|t| t.server_stats)
+        .unwrap_or_default();
+    format!(
+        "{{\"bench\":\"serve_latency\",\"backend\":\"{}\",\"threads\":{},\
+         \"arrival_process\":\"{}\",\"offered_rate\":{:.1},\"clients\":{},\
+         \"work_ns\":{},\"queue_cap\":{},\"duration_s\":{:.3},\
+         \"submitted\":{},\"accepted\":{},\"rejected\":{},\"completed\":{},\
+         \"achieved_rate\":{:.1},\"accepted_per_sec\":{:.1},\
+         \"lat_p50\":{},\"lat_p99\":{},\"lat_p999\":{},\"lat_max\":{},\
+         \"lat_count\":{},\"srv_sojourn_p50\":{},\"srv_sojourn_p99\":{},\
+         \"srv_sojourn_p999\":{},\"srv_inject_p99\":{}}}",
+        cell.backend_name,
+        cell.threads,
+        cell.arrival.name(),
+        cell.offered_rate,
+        clients,
+        work_ns,
+        cell.queue_cap,
+        elapsed,
+        submitted,
+        accepted,
+        rejected,
+        completed,
+        submitted as f64 / elapsed,
+        accepted as f64 / elapsed,
+        lat.quantile(0.50),
+        lat.quantile(0.99),
+        lat.quantile(0.999),
+        lat.max_observed(),
+        lat.count(),
+        srv.sojourn_p50,
+        srv.sojourn_p99,
+        srv.sojourn_p999,
+        srv.inject_p99,
+    )
+}
+
+fn main() {
+    let rates = env_list::<f64>("RSCHED_RATES", &[1_000.0, 4_000.0]);
+    let arrivals = env_list::<Arrival>("RSCHED_ARRIVALS", &[Arrival::Poisson, Arrival::Burst]);
+    let clients = env_usize("RSCHED_CLIENTS", 2).max(1);
+    let work_ns = env_u64("RSCHED_WORK_NS", 20_000);
+    let duration = Duration::from_secs_f64(env_f64("RSCHED_DURATION_S", 1.0).max(0.05));
+    let seed = env_u64("RSCHED_SEED", 42);
+    let queue_cap = env_usize("RSCHED_SERVE_CAP", 4096);
+
+    let table = Table::new(
+        "serve_latency",
+        &[
+            "backend", "threads", "arrival", "rate/s", "accept/s", "rej", "p50_us", "p99_us",
+            "p999_us",
+        ],
+    );
+    let mut records = Vec::new();
+
+    let mut run_and_log = |endpoint: &Endpoint, cell: &Cell| {
+        let record = run_cell(endpoint, cell, clients, work_ns, duration, seed);
+        println!("json,{record}");
+        let get = |k: &str| -> String {
+            let pat = format!("\"{k}\":");
+            let rest = &record[record.find(&pat).expect("field") + pat.len()..];
+            rest[..rest.find([',', '}']).expect("terminator")]
+                .trim_matches('"')
+                .to_string()
+        };
+        let us = |k: &str| -> String {
+            let ns: f64 = get(k).parse().unwrap_or(0.0);
+            format!("{:.0}", ns / 1_000.0)
+        };
+        table.row(&[
+            cell.backend_name.clone(),
+            cell.threads.to_string(),
+            cell.arrival.name().to_string(),
+            format!("{:.0}", cell.offered_rate),
+            get("accepted_per_sec"),
+            get("rejected"),
+            us("lat_p50"),
+            us("lat_p99"),
+            us("lat_p999"),
+        ]);
+        records.push(record);
+    };
+
+    if let Ok(addr) = std::env::var("RSCHED_SERVE_ADDR") {
+        // External mode: the server's identity axes come from env.
+        let endpoint = Endpoint::parse(&addr).expect("RSCHED_SERVE_ADDR");
+        let backend_name = std::env::var("RSCHED_SERVE_BACKEND").unwrap_or_else(|_| "mq".into());
+        let threads = env_usize("RSCHED_SERVE_THREADS", 2);
+        for &arrival in &arrivals {
+            for &offered_rate in &rates {
+                run_and_log(
+                    &endpoint,
+                    &Cell {
+                        backend_name: backend_name.clone(),
+                        threads,
+                        queue_cap,
+                        arrival,
+                        offered_rate,
+                    },
+                );
+            }
+        }
+    } else {
+        // Self-hosted: a fresh in-process server per cell, so cells are
+        // hermetic (histograms and counters start from zero).
+        let backends =
+            env_list::<String>("RSCHED_BACKENDS", &["mq".to_string(), "dcbo".to_string()]);
+        let threads_list = rsched_bench::env_usize_list("RSCHED_THREADS", &[2]);
+        for backend_name in &backends {
+            let backend: Backend = backend_name.parse().expect("RSCHED_BACKENDS");
+            for &threads in &threads_list {
+                for &arrival in &arrivals {
+                    for &offered_rate in &rates {
+                        let server = Server::start(ServeConfig {
+                            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+                            backend,
+                            threads,
+                            queue_cap,
+                            seed,
+                        })
+                        .expect("server start");
+                        let endpoint = server.endpoint().clone();
+                        run_and_log(
+                            &endpoint,
+                            &Cell {
+                                backend_name: backend_name.clone(),
+                                threads,
+                                queue_cap,
+                                arrival,
+                                offered_rate,
+                            },
+                        );
+                        let report = server.shutdown();
+                        assert_eq!(
+                            report.submitted,
+                            report.accepted + report.rejected,
+                            "server-side conservation"
+                        );
+                        assert_eq!(
+                            report.completed, report.accepted,
+                            "accepted tasks were dropped"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    write_json_artifact(&records);
+}

@@ -88,68 +88,13 @@ pub fn env_thread_list(default: &[usize]) -> Vec<usize> {
     list
 }
 
-/// A `usize` knob from the environment, falling back to `default` when
-/// unset or unparsable.
-pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(default)
-}
-
-/// An *optional* `usize` knob: `None` when the variable is unset or
-/// unparsable — for knobs whose absence means "derive it" (e.g.
-/// `RSCHED_SHARDS` falling back to a per-thread multiplier).
-pub fn env_opt_usize(key: &str) -> Option<usize> {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-}
-
-/// A `u64` knob from the environment, falling back to `default` when
-/// unset or unparsable.
-pub fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(default)
-}
-
-/// An `f64` knob from the environment, falling back to `default` when
-/// unset or unparsable (e.g. `RSCHED_COMPARE_TOL=0.35`).
-pub fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(default)
-}
-
-/// A comma-separated sweep list from the environment, parsed into any
-/// `FromStr` element type; falls back to `default` when the variable is
-/// unset or yields no parsable entries. The one list parser every
-/// contention/ablation bin uses for its multi-valued axes.
-pub fn env_list<T: std::str::FromStr + Clone>(key: &str, default: &[T]) -> Vec<T> {
-    match std::env::var(key) {
-        Ok(list) => {
-            let parsed: Vec<T> = list
-                .split(',')
-                .filter_map(|v| v.trim().parse::<T>().ok())
-                .collect();
-            if parsed.is_empty() {
-                default.to_vec()
-            } else {
-                parsed
-            }
-        }
-        Err(_) => default.to_vec(),
-    }
-}
-
-/// [`env_list`] specialized to `usize` (the common case; e.g.
-/// `RSCHED_STICKINESS=1,4,16`).
-pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
-    env_list(key, default)
-}
+// The env-knob parsers live in `rsched_runtime::env` (the lowest crate
+// with env-tunable configuration — `RuntimeConfig::default` and the
+// serve binary read knobs too); re-exported here so every bench bin
+// keeps its historical `rsched_bench::env_*` call sites.
+pub use rsched_runtime::env::{
+    env_f64, env_list, env_opt_usize, env_u64, env_usize, env_usize_list,
+};
 
 /// The worker-session tuning knobs every contention benchmark sweeps and
 /// records: `RSCHED_SHARDS_PER_WORKER` (home shards per worker, default

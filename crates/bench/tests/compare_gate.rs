@@ -116,3 +116,101 @@ fn non_monotone_retry_quantiles_fail() {
     let fresh = artifact(1_000_000.0, 3, true).replace("\"retry_p999\":255", "\"retry_p999\":63");
     assert_eq!(run_gate(&base, &fresh, "non_monotone"), 1);
 }
+
+// ---------------------------------------------------------------------
+// Serving artifacts (serve_latency schema): identity adds the arrival
+// axes, throughput is accepted_per_sec, the tail gate runs on lat_p999
+// with the cubed limit, and conservation ties the wire counters.
+// ---------------------------------------------------------------------
+
+/// A synthetic two-cell serving artifact: a quiet poisson cell (the one
+/// fixtures perturb) and a loaded burst cell carrying the peaks. All
+/// counters conserve (`accepted + rejected == submitted`,
+/// `completed == accepted`) unless a fixture breaks them on purpose.
+fn serve_artifact(p_accepted_per_sec: f64, p_lat_p999: u64, p_has_lat: bool) -> String {
+    let lat = if p_has_lat {
+        format!(
+            ",\"lat_p50\":262143,\"lat_p99\":1048575,\"lat_p999\":{p_lat_p999},\
+             \"lat_max\":{max},\"lat_count\":500",
+            max = p_lat_p999.max(1 << 22),
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "[\n  {{\"bench\":\"serve_latency\",\"backend\":\"mq\",\"threads\":2,\
+         \"arrival_process\":\"poisson\",\"offered_rate\":500.0,\"clients\":2,\
+         \"work_ns\":20000,\"queue_cap\":512,\"duration_s\":1.0,\
+         \"submitted\":500,\"accepted\":500,\"rejected\":0,\"completed\":500,\
+         \"achieved_rate\":500.0,\"accepted_per_sec\":{p_accepted_per_sec:.1}{lat},\
+         \"srv_sojourn_p50\":131071,\"srv_sojourn_p99\":524287,\
+         \"srv_sojourn_p999\":1048575,\"srv_inject_p99\":8191}},\n  \
+         {{\"bench\":\"serve_latency\",\"backend\":\"mq\",\"threads\":2,\
+         \"arrival_process\":\"burst\",\"offered_rate\":2000.0,\"clients\":2,\
+         \"work_ns\":20000,\"queue_cap\":512,\"duration_s\":1.0,\
+         \"submitted\":2000,\"accepted\":1900,\"rejected\":100,\"completed\":1900,\
+         \"achieved_rate\":2000.0,\"accepted_per_sec\":1900.0,\
+         \"lat_p50\":524287,\"lat_p99\":4194303,\"lat_p999\":134217727,\
+         \"lat_max\":268435455,\"lat_count\":1900,\
+         \"srv_sojourn_p50\":262143,\"srv_sojourn_p99\":2097151,\
+         \"srv_sojourn_p999\":4194303,\"srv_inject_p99\":16383}}\n]\n"
+    )
+}
+
+#[test]
+fn serve_identical_runs_pass() {
+    let art = serve_artifact(500.0, 1 << 21, true);
+    assert_eq!(run_gate(&art, &art, "serve_identical"), 0);
+}
+
+#[test]
+fn serve_latency_within_two_buckets_passes() {
+    let base = serve_artifact(500.0, 1 << 21, true);
+    // p999 sojourn doubles twice (2 log₂ buckets): inside the cubed
+    // limit (1/(1-0.40))³ ≈ 4.63.
+    let fresh = serve_artifact(500.0, 1 << 23, true);
+    assert_eq!(run_gate(&base, &fresh, "serve_two_buckets"), 0);
+}
+
+#[test]
+fn serve_p999_inflation_fails() {
+    let base = serve_artifact(500.0, 1 << 21, true);
+    // 8× = 3 log₂ buckets of p999 sojourn inflation on the quiet cell
+    // while the burst cell holds the peak: past the ≈4.63 limit in both
+    // the raw and the normalized view.
+    let fresh = serve_artifact(500.0, 1 << 24, true);
+    assert_eq!(run_gate(&base, &fresh, "serve_inflated"), 1);
+}
+
+#[test]
+fn serve_missing_latency_fields_fail() {
+    let base = serve_artifact(500.0, 1 << 21, true);
+    let fresh = serve_artifact(500.0, 1 << 21, false);
+    assert_eq!(run_gate(&base, &fresh, "serve_missing_lat"), 1);
+}
+
+#[test]
+fn serve_conservation_violation_fails() {
+    let base = serve_artifact(500.0, 1 << 21, true);
+    // accepted + rejected != submitted on the burst cell.
+    let fresh = serve_artifact(500.0, 1 << 21, true).replace(
+        "\"submitted\":2000,\"accepted\":1900,\"rejected\":100",
+        "\"submitted\":2000,\"accepted\":1900,\"rejected\":50",
+    );
+    assert_eq!(run_gate(&base, &fresh, "serve_conservation"), 1);
+    // completed != accepted (a dropped task) on the poisson cell.
+    let fresh = serve_artifact(500.0, 1 << 21, true).replace(
+        "\"rejected\":0,\"completed\":500",
+        "\"rejected\":0,\"completed\":499",
+    );
+    assert_eq!(run_gate(&base, &fresh, "serve_dropped"), 1);
+}
+
+#[test]
+fn serve_accepted_rate_collapse_fails() {
+    let base = serve_artifact(500.0, 1 << 21, true);
+    // The quiet cell's accepted rate collapses far past the 40%
+    // tolerance in both views (the burst cell pins the peak).
+    let fresh = serve_artifact(100.0, 1 << 21, true);
+    assert_eq!(run_gate(&base, &fresh, "serve_collapse"), 1);
+}

@@ -97,12 +97,15 @@
 //! ```
 
 mod adapters;
+pub mod env;
 pub mod pool;
+pub mod service;
 pub mod termination;
 
 pub use pool::{
     map_chunks, run, PoolStats, RuntimeConfig, Scheduler, TaskOutcome, Worker, WorkerStats,
 };
+pub use service::{service, Injector, ServiceHandle};
 pub use termination::{ActiveCounter, ShardedCounter};
 
 // The worker-session vocabulary lives in `rsched-queues` (the sessions

@@ -138,24 +138,18 @@ pub struct RuntimeConfig {
     pub telemetry: bool,
 }
 
-fn env_knob(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(default)
-}
-
 impl Default for RuntimeConfig {
     fn default() -> Self {
+        use crate::env::{env_u64, env_usize};
         Self {
             threads: 4,
             seed: 0,
-            shards_per_worker: env_knob("RSCHED_SHARDS_PER_WORKER", 1),
-            spawn_batch: env_knob("RSCHED_SPAWN_BATCH", 1),
-            stickiness: env_knob("RSCHED_STICKINESS", 1).max(1),
-            delta: env_knob("RSCHED_DELTA", 0) as u64,
-            bucket_shards: env_knob("RSCHED_BUCKET_SHARDS", 0),
-            telemetry: env_knob("RSCHED_TELEMETRY", 1) != 0,
+            shards_per_worker: env_usize("RSCHED_SHARDS_PER_WORKER", 1),
+            spawn_batch: env_usize("RSCHED_SPAWN_BATCH", 1),
+            stickiness: env_usize("RSCHED_STICKINESS", 1).max(1),
+            delta: env_u64("RSCHED_DELTA", 0),
+            bucket_shards: env_usize("RSCHED_BUCKET_SHARDS", 0),
+            telemetry: env_usize("RSCHED_TELEMETRY", 1) != 0,
         }
     }
 }
@@ -170,7 +164,7 @@ impl RuntimeConfig {
     }
 
     /// The session config for worker `tid` under this runtime config.
-    fn session_config(&self, tid: usize) -> SessionConfig {
+    pub(crate) fn session_config(&self, tid: usize) -> SessionConfig {
         SessionConfig {
             tid,
             workers: self.threads.max(1),
@@ -215,7 +209,7 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
-    fn merge(&mut self, other: &WorkerStats) {
+    pub(crate) fn merge(&mut self, other: &WorkerStats) {
         self.pops += other.pops;
         self.executed += other.executed;
         self.stale += other.stale;
@@ -271,12 +265,12 @@ pub struct Worker<'a, P: Copy, S: Scheduler<P> + ?Sized> {
     rng: SmallRng,
     queue: &'a S,
     counter: &'a ActiveCounter,
-    stats: WorkerStats,
+    pub(crate) stats: WorkerStats,
     session: S::Session,
     _payload: PhantomData<P>,
 }
 
-impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
+impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
     /// Enqueue a child task. Safe against the termination race: the
     /// element is announced to the quiescence counter before it becomes
     /// poppable (buffered spawns stay announced until their flush), and
@@ -309,6 +303,103 @@ impl<P: Copy, S: Scheduler<P> + ?Sized> Worker<'_, P, S> {
     /// The worker's private RNG stream.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
+    }
+
+    /// Build the worker context for `tid`, opening its scheduler session
+    /// (shared between [`run`]'s scoped workers and the long-lived
+    /// service pool in [`crate::service`]).
+    pub(crate) fn open(
+        tid: usize,
+        cfg: &RuntimeConfig,
+        queue: &'a S,
+        counter: &'a ActiveCounter,
+    ) -> Self {
+        let session_cfg = cfg.session_config(tid);
+        Worker {
+            tid,
+            rng: SmallRng::seed_from_u64(session_cfg.seed),
+            queue,
+            counter,
+            stats: WorkerStats::default(),
+            session: queue.open_session(&session_cfg),
+            _payload: PhantomData,
+        }
+    }
+
+    /// One pop's worth of work: account the pop source, run the handler,
+    /// fold the outcome into the stats/termination counter (re-queueing
+    /// blocked tasks with the caller's blocked-backoff). The body of the
+    /// `Some` arm of every worker loop.
+    pub(crate) fn execute_popped<F>(
+        &mut self,
+        handler: &F,
+        item: usize,
+        prio: P,
+        source: PopSource,
+        blocked: &Backoff,
+    ) where
+        F: Fn(&mut Worker<'_, P, S>, usize, P) -> TaskOutcome,
+    {
+        self.stats.pops += 1;
+        match source {
+            PopSource::Home => self.stats.home_hits += 1,
+            PopSource::Steal => self.stats.steals += 1,
+            PopSource::Shared => {}
+        }
+        // Per-op duration ticks: only pay for the clock reads
+        // when the telemetry window is actually recording.
+        let op_start = telemetry::enabled().then(Instant::now);
+        match handler(self, item, prio) {
+            TaskOutcome::Executed => {
+                self.stats.executed += 1;
+                blocked.reset();
+            }
+            TaskOutcome::Stale => {
+                self.stats.stale += 1;
+            }
+            TaskOutcome::Blocked => {
+                self.stats.extra += 1;
+                // Re-queue at the original payload. spawn announces
+                // the element before inserting, so the quiescence
+                // check cannot fire in between.
+                self.spawn(item, prio);
+                blocked.snooze();
+            }
+        }
+        if let Some(t) = op_start {
+            telemetry::record(
+                telemetry::OpHist::Tick,
+                t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        self.counter.task_done();
+    }
+
+    /// One relaxed pop through the worker's own session.
+    pub(crate) fn try_pop(&mut self) -> Option<((usize, P), PopSource)> {
+        self.queue.pop(&mut self.session)
+    }
+
+    /// The pool's termination counter (the service loop checks
+    /// quiescence against it directly).
+    pub(crate) fn counter(&self) -> &ActiveCounter {
+        self.counter
+    }
+
+    /// The pop-miss protocol: publish any parked spawns before the
+    /// caller may conclude emptiness (the quiescence counter still
+    /// carries them, so waiting with a non-empty buffer could deadlock
+    /// the pool). Returns `true` if the flush published parked elements
+    /// — the caller should retry popping instead of waiting.
+    pub(crate) fn flush_on_miss(&mut self) -> bool {
+        self.stats.pop_misses += 1;
+        let report = self.queue.flush(&mut self.session);
+        let had_parked = report.published > 0;
+        if had_parked {
+            self.stats.flushes += 1;
+        }
+        self.absorb_flush(report);
+        had_parked
     }
 }
 
@@ -393,18 +484,7 @@ where
                 let counter = &counter;
                 let handler = &handler;
                 scope.spawn(move || {
-                    let session_cfg = cfg.session_config(tid);
-                    let mut worker = Worker {
-                        tid,
-                        rng: SmallRng::seed_from_u64(
-                            cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        ),
-                        queue,
-                        counter,
-                        stats: WorkerStats::default(),
-                        session: queue.open_session(&session_cfg),
-                        _payload: PhantomData,
-                    };
+                    let mut worker = Worker::open(tid, &cfg, queue, counter);
                     worker_loop(&mut worker, handler);
                     worker.stats
                 })
@@ -451,52 +531,10 @@ where
         match queue.pop(&mut worker.session) {
             Some(((item, prio), source)) => {
                 backoff.reset();
-                worker.stats.pops += 1;
-                match source {
-                    PopSource::Home => worker.stats.home_hits += 1,
-                    PopSource::Steal => worker.stats.steals += 1,
-                    PopSource::Shared => {}
-                }
-                // Per-op duration ticks: only pay for the clock reads
-                // when the telemetry window is actually recording.
-                let op_start = telemetry::enabled().then(Instant::now);
-                match handler(worker, item, prio) {
-                    TaskOutcome::Executed => {
-                        worker.stats.executed += 1;
-                        blocked.reset();
-                    }
-                    TaskOutcome::Stale => {
-                        worker.stats.stale += 1;
-                    }
-                    TaskOutcome::Blocked => {
-                        worker.stats.extra += 1;
-                        // Re-queue at the original payload. spawn announces
-                        // the element before inserting, so the quiescence
-                        // check cannot fire in between.
-                        worker.spawn(item, prio);
-                        blocked.snooze();
-                    }
-                }
-                if let Some(t) = op_start {
-                    telemetry::record(
-                        telemetry::OpHist::Tick,
-                        t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                    );
-                }
-                worker.counter.task_done();
+                worker.execute_popped(handler, item, prio, source, &blocked);
             }
             None => {
-                // Publish any parked spawns before concluding emptiness:
-                // the quiescence counter still carries them, so waiting
-                // with a non-empty buffer could deadlock the pool.
-                worker.stats.pop_misses += 1;
-                let report = queue.flush(&mut worker.session);
-                let had_parked = report.published > 0;
-                if had_parked {
-                    worker.stats.flushes += 1;
-                }
-                worker.absorb_flush(report);
-                if had_parked {
+                if worker.flush_on_miss() {
                     continue;
                 }
                 if worker.counter.wait_or_quiescent(&backoff) {

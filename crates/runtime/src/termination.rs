@@ -80,6 +80,14 @@ impl ActiveCounter {
         self.active.load(Ordering::Acquire) == 0
     }
 
+    /// Tasks queued or in flight right now — a racy observability
+    /// reading (exact only at quiescence), what a serving layer's
+    /// admission logic and stats endpoints report.
+    #[inline]
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
     /// Back off briefly; returns `true` if the pool is quiescent (caller
     /// should terminate), `false` to retry popping.
     #[inline]

@@ -1,0 +1,621 @@
+//! The wire protocol: a minimal length-prefixed binary codec.
+//!
+//! Every frame is `[u32 LE payload length][payload]`, where the payload
+//! is one opcode byte followed by fixed-width little-endian fields —
+//! no varints, no self-describing envelope, so a frame can be decoded
+//! with zero allocation and encoding is a handful of `extend_from_slice`
+//! calls. Payloads are bounded by [`MAX_FRAME`]; a header announcing
+//! more than that is rejected *before* any buffer grows, so a corrupt
+//! or hostile peer cannot make the server allocate.
+//!
+//! Decoding is total: truncated frames, oversized frames, unknown
+//! opcodes and wrong-length payloads all come back as [`CodecError`]
+//! values — never a panic — because a serving front-end's parser is
+//! exactly the code an arbitrary peer gets to exercise.
+//!
+//! | opcode | frame | payload after the opcode byte |
+//! |---|---|---|
+//! | `0x01` | [`Request::Submit`] | `req_id u64, prio u64, work_ns u64` |
+//! | `0x02` | [`Request::Ping`] | `token u64` |
+//! | `0x03` | [`Request::Stats`] | — |
+//! | `0x04` | [`Request::Drain`] | — |
+//! | `0x81` | [`Response::Accepted`] | `req_id u64` |
+//! | `0x82` | [`Response::Rejected`] | `req_id u64, code u8` |
+//! | `0x83` | [`Response::Completed`] | `req_id u64, sojourn_ns u64, inject_ns u64` |
+//! | `0x84` | [`Response::Pong`] | `token u64` |
+//! | `0x85` | [`Response::Drained`] | `completed u64` |
+//! | `0x86` | [`Response::Stats`] | [`StatsReply`], ten `u64`s |
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame payload. The largest legitimate frame
+/// ([`Response::Stats`]) is 81 bytes; the slack leaves room for
+/// protocol growth while still rejecting nonsense headers instantly.
+pub const MAX_FRAME: usize = 1024;
+
+/// Why a frame failed to decode. Every variant is an expected condition
+/// of talking to an arbitrary peer — the connection loop reports it and
+/// closes, nothing panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended mid-frame (header or payload).
+    Truncated {
+        /// Bytes the frame still needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The header announced a payload larger than [`MAX_FRAME`].
+    Oversized(usize),
+    /// Empty payload (a frame must carry at least its opcode byte).
+    Empty,
+    /// The opcode byte is not part of the protocol.
+    UnknownOpcode(u8),
+    /// Known opcode, wrong payload length.
+    BadPayload {
+        /// The opcode whose payload was malformed.
+        opcode: u8,
+        /// The malformed payload's length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            CodecError::Oversized(len) => {
+                write!(f, "oversized frame: {len} bytes (max {MAX_FRAME})")
+            }
+            CodecError::Empty => write!(f, "empty frame payload"),
+            CodecError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            CodecError::BadPayload { opcode, len } => {
+                write!(f, "bad payload length {len} for opcode {opcode:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Why the server refused a submission — carried in
+/// [`Response::Rejected`] so clients can distinguish backpressure from
+/// lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The bounded admission queue is full: back off and retry.
+    QueueFull = 1,
+    /// The connection is draining; no new work on this socket.
+    Draining = 2,
+    /// The server is shutting down.
+    Shutdown = 3,
+}
+
+impl RejectCode {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(RejectCode::QueueFull),
+            2 => Some(RejectCode::Draining),
+            3 => Some(RejectCode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Client → server frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit one task. `req_id` is client-chosen and echoed back on
+    /// every response about this request; `prio` is the scheduling
+    /// payload handed to the queue; `work_ns` is the synthetic service
+    /// time the worker spends on the task.
+    Submit {
+        req_id: u64,
+        prio: u64,
+        work_ns: u64,
+    },
+    /// Liveness probe; the server echoes the token in a [`Response::Pong`].
+    Ping { token: u64 },
+    /// Ask for a [`StatsReply`] snapshot.
+    Stats,
+    /// Graceful per-connection drain: the server stops reading this
+    /// socket, finishes every task it accepted from it, then sends
+    /// [`Response::Drained`] and closes.
+    Drain,
+}
+
+/// Server → client frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The submission passed admission and was injected into the pool.
+    Accepted { req_id: u64 },
+    /// The submission was refused; no task was created.
+    Rejected { req_id: u64, code: RejectCode },
+    /// The task finished. `sojourn_ns` is submit→complete as measured
+    /// by the server, `inject_ns` the submit→inject prefix of it.
+    Completed {
+        req_id: u64,
+        sojourn_ns: u64,
+        inject_ns: u64,
+    },
+    /// [`Request::Ping`] echo.
+    Pong { token: u64 },
+    /// Drain finished: every task accepted on this connection has
+    /// completed (`completed` counts them, over the connection's life).
+    Drained { completed: u64 },
+    /// [`Request::Stats`] answer.
+    Stats(StatsReply),
+}
+
+/// Server-side counters and sojourn quantiles, as reported over the
+/// wire. Quantiles come from the server's log₂ `PowHistogram`s, so they
+/// are conservative bucket upper bounds in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Submissions seen (accepted + rejected).
+    pub submitted: u64,
+    /// Submissions that passed admission.
+    pub accepted: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Tasks currently queued or running (`accepted - completed`).
+    pub in_flight: u64,
+    /// Median submit→complete sojourn, ns.
+    pub sojourn_p50: u64,
+    /// 99th-percentile sojourn, ns.
+    pub sojourn_p99: u64,
+    /// 99.9th-percentile sojourn, ns.
+    pub sojourn_p999: u64,
+    /// Largest observed sojourn bucket, ns.
+    pub sojourn_max: u64,
+    /// 99th-percentile submit→inject prefix, ns.
+    pub inject_p99: u64,
+}
+
+const OP_SUBMIT: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_DRAIN: u8 = 0x04;
+const OP_ACCEPTED: u8 = 0x81;
+const OP_REJECTED: u8 = 0x82;
+const OP_COMPLETED: u8 = 0x83;
+const OP_PONG: u8 = 0x84;
+const OP_DRAINED: u8 = 0x85;
+const OP_STATS_REPLY: u8 = 0x86;
+
+fn u64_at(payload: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&payload[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn frame(out: &mut Vec<u8>, payload_len: usize) {
+    debug_assert!(payload_len <= MAX_FRAME);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Append the full frame (header + payload) for `req` to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Submit {
+            req_id,
+            prio,
+            work_ns,
+        } => {
+            frame(out, 25);
+            out.push(OP_SUBMIT);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&prio.to_le_bytes());
+            out.extend_from_slice(&work_ns.to_le_bytes());
+        }
+        Request::Ping { token } => {
+            frame(out, 9);
+            out.push(OP_PING);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+        Request::Stats => {
+            frame(out, 1);
+            out.push(OP_STATS);
+        }
+        Request::Drain => {
+            frame(out, 1);
+            out.push(OP_DRAIN);
+        }
+    }
+}
+
+/// Append the full frame (header + payload) for `resp` to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Accepted { req_id } => {
+            frame(out, 9);
+            out.push(OP_ACCEPTED);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Response::Rejected { req_id, code } => {
+            frame(out, 10);
+            out.push(OP_REJECTED);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(*code as u8);
+        }
+        Response::Completed {
+            req_id,
+            sojourn_ns,
+            inject_ns,
+        } => {
+            frame(out, 25);
+            out.push(OP_COMPLETED);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&sojourn_ns.to_le_bytes());
+            out.extend_from_slice(&inject_ns.to_le_bytes());
+        }
+        Response::Pong { token } => {
+            frame(out, 9);
+            out.push(OP_PONG);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+        Response::Drained { completed } => {
+            frame(out, 9);
+            out.push(OP_DRAINED);
+            out.extend_from_slice(&completed.to_le_bytes());
+        }
+        Response::Stats(s) => {
+            frame(out, 81);
+            out.push(OP_STATS_REPLY);
+            for v in [
+                s.submitted,
+                s.accepted,
+                s.rejected,
+                s.completed,
+                s.in_flight,
+                s.sojourn_p50,
+                s.sojourn_p99,
+                s.sojourn_p999,
+                s.sojourn_max,
+                s.inject_p99,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn expect_len(opcode: u8, payload: &[u8], want: usize) -> Result<(), CodecError> {
+    if payload.len() == want {
+        Ok(())
+    } else {
+        Err(CodecError::BadPayload {
+            opcode,
+            len: payload.len(),
+        })
+    }
+}
+
+/// Decode one request payload (the bytes after the length header).
+pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+    let (&opcode, body) = payload.split_first().ok_or(CodecError::Empty)?;
+    match opcode {
+        OP_SUBMIT => {
+            expect_len(opcode, body, 24)?;
+            Ok(Request::Submit {
+                req_id: u64_at(body, 0),
+                prio: u64_at(body, 8),
+                work_ns: u64_at(body, 16),
+            })
+        }
+        OP_PING => {
+            expect_len(opcode, body, 8)?;
+            Ok(Request::Ping {
+                token: u64_at(body, 0),
+            })
+        }
+        OP_STATS => {
+            expect_len(opcode, body, 0)?;
+            Ok(Request::Stats)
+        }
+        OP_DRAIN => {
+            expect_len(opcode, body, 0)?;
+            Ok(Request::Drain)
+        }
+        other => Err(CodecError::UnknownOpcode(other)),
+    }
+}
+
+/// Decode one response payload (the bytes after the length header).
+pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
+    let (&opcode, body) = payload.split_first().ok_or(CodecError::Empty)?;
+    match opcode {
+        OP_ACCEPTED => {
+            expect_len(opcode, body, 8)?;
+            Ok(Response::Accepted {
+                req_id: u64_at(body, 0),
+            })
+        }
+        OP_REJECTED => {
+            expect_len(opcode, body, 9)?;
+            let code = RejectCode::from_u8(body[8]).ok_or(CodecError::BadPayload {
+                opcode,
+                len: body.len(),
+            })?;
+            Ok(Response::Rejected {
+                req_id: u64_at(body, 0),
+                code,
+            })
+        }
+        OP_COMPLETED => {
+            expect_len(opcode, body, 24)?;
+            Ok(Response::Completed {
+                req_id: u64_at(body, 0),
+                sojourn_ns: u64_at(body, 8),
+                inject_ns: u64_at(body, 16),
+            })
+        }
+        OP_PONG => {
+            expect_len(opcode, body, 8)?;
+            Ok(Response::Pong {
+                token: u64_at(body, 0),
+            })
+        }
+        OP_DRAINED => {
+            expect_len(opcode, body, 8)?;
+            Ok(Response::Drained {
+                completed: u64_at(body, 0),
+            })
+        }
+        OP_STATS_REPLY => {
+            expect_len(opcode, body, 80)?;
+            let f = |i: usize| u64_at(body, i * 8);
+            Ok(Response::Stats(StatsReply {
+                submitted: f(0),
+                accepted: f(1),
+                rejected: f(2),
+                completed: f(3),
+                in_flight: f(4),
+                sojourn_p50: f(5),
+                sojourn_p99: f(6),
+                sojourn_p999: f(7),
+                sojourn_max: f(8),
+                inject_p99: f(9),
+            }))
+        }
+        other => Err(CodecError::UnknownOpcode(other)),
+    }
+}
+
+/// Read exactly `buf.len()` bytes; `Ok(false)` if the stream ended
+/// *cleanly* before the first byte, `Err(Truncated)` if it ended
+/// mid-read.
+///
+/// A read timeout *between* frames is how connection loops poll their
+/// shutdown flag — it propagates when `mid_frame` is false and no byte
+/// has arrived yet. Once inside a frame the remaining bytes are already
+/// in flight: timeouts retry, or the partial header/payload we consumed
+/// would desync the stream. A peer that stalls forever mid-frame is
+/// unblocked by the server shutting the socket down (read returns 0 →
+/// `Truncated`).
+fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8], mid_frame: bool) -> io::Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && !mid_frame {
+                    return Ok(false);
+                }
+                return Err(CodecError::Truncated {
+                    needed: buf.len(),
+                    got,
+                }
+                .into());
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (got > 0 || mid_frame)
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame into `buf` (replacing its contents with the payload).
+///
+/// Returns `Ok(false)` on a clean end of stream at a frame boundary.
+/// Truncation inside a frame, an oversized header and I/O failures all
+/// surface as `Err`; the caller must not interpret the buffer then.
+/// Timeout errors (`WouldBlock`/`TimedOut`) pass through untouched so
+/// connection loops can poll a shutdown flag — but only when they occur
+/// before the first header byte; a timeout mid-frame is truncation.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    if !read_full(r, &mut header, false)? {
+        return Ok(false);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversized(len).into());
+    }
+    if len == 0 {
+        return Err(CodecError::Empty.into());
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    read_full(r, buf, true)?;
+    Ok(true)
+}
+
+/// Encode `resp` and write the frame (no flush).
+pub fn write_response<W: Write + ?Sized>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(32);
+    encode_response(resp, &mut buf);
+    w.write_all(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        assert!(read_frame(&mut cursor, &mut payload).unwrap());
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        // Nothing after the frame: the next read is a clean EOF.
+        assert!(!read_frame(&mut cursor, &mut payload).unwrap());
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut wire = Vec::new();
+        encode_response(&resp, &mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        assert!(read_frame(&mut cursor, &mut payload).unwrap());
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip_request(Request::Submit {
+            req_id: u64::MAX,
+            prio: 17,
+            work_ns: 1_000_000,
+        });
+        roundtrip_request(Request::Ping { token: 0xDEAD_BEEF });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Drain);
+        roundtrip_response(Response::Accepted { req_id: 1 });
+        for code in [
+            RejectCode::QueueFull,
+            RejectCode::Draining,
+            RejectCode::Shutdown,
+        ] {
+            roundtrip_response(Response::Rejected { req_id: 2, code });
+        }
+        roundtrip_response(Response::Completed {
+            req_id: 3,
+            sojourn_ns: 123_456,
+            inject_ns: 789,
+        });
+        roundtrip_response(Response::Pong { token: 9 });
+        roundtrip_response(Response::Drained { completed: 1_000 });
+        roundtrip_response(Response::Stats(StatsReply {
+            submitted: 10,
+            accepted: 8,
+            rejected: 2,
+            completed: 7,
+            in_flight: 1,
+            sojourn_p50: 1023,
+            sojourn_p99: 4095,
+            sojourn_p999: 8191,
+            sojourn_max: 16383,
+            inject_p99: 255,
+        }));
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Ping { token: 1 }, &mut wire);
+        encode_request(&Request::Drain, &mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        assert!(read_frame(&mut cursor, &mut payload).unwrap());
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::Ping { token: 1 }
+        );
+        assert!(read_frame(&mut cursor, &mut payload).unwrap());
+        assert_eq!(decode_request(&payload).unwrap(), Request::Drain);
+        assert!(!read_frame(&mut cursor, &mut payload).unwrap());
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        // Header promises 25 bytes; stream ends after 10.
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::Submit {
+                req_id: 1,
+                prio: 2,
+                work_ns: 3,
+            },
+            &mut wire,
+        );
+        wire.truncate(4 + 10);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Truncated mid-header too.
+        let mut cursor = io::Cursor::new(vec![9u8, 0]);
+        let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+        assert!(err.to_string().contains("oversized"), "{err}");
+        assert!(
+            payload.capacity() <= MAX_FRAME,
+            "allocated for a bogus header"
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_and_bad_lengths_are_errors() {
+        assert_eq!(
+            decode_request(&[0x7F]),
+            Err(CodecError::UnknownOpcode(0x7F))
+        );
+        assert_eq!(
+            decode_response(&[0x01]),
+            Err(CodecError::UnknownOpcode(0x01))
+        );
+        assert_eq!(decode_request(&[]), Err(CodecError::Empty));
+        // Submit with a short body.
+        assert_eq!(
+            decode_request(&[OP_SUBMIT, 1, 2, 3]),
+            Err(CodecError::BadPayload {
+                opcode: OP_SUBMIT,
+                len: 3
+            })
+        );
+        // Rejected with an out-of-range code byte.
+        let mut body = vec![OP_REJECTED];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.push(99);
+        assert!(matches!(
+            decode_response(&body),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // Zero-length frame on the wire.
+        let mut cursor = io::Cursor::new(vec![0u8, 0, 0, 0]);
+        let mut payload = Vec::new();
+        let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+}

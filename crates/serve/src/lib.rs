@@ -1,0 +1,50 @@
+//! rsched-serve — the open-system serving front-end over the relaxed
+//! schedulers.
+//!
+//! Everything else in this repository measures the schedulers
+//! *closed-loop*: seed a queue, drain it to quiescence, divide work by
+//! wall-clock. A serving system is the opposite, *open* shape — tasks
+//! arrive from outside at their own rate, the pool outlives any one of
+//! them, and the quantity that matters is not throughput at saturation
+//! but the **sojourn time** each request experiences at a given offered
+//! load (the "Practically Wait-Free?" methodology: tails, not means).
+//! This crate is that front-end, made of three layers:
+//!
+//! * [`codec`] — the wire protocol: length-prefixed binary frames
+//!   (`u32` LE length, opcode byte, fixed-width LE fields), total
+//!   decoding (truncated/oversized/unknown frames are errors, never
+//!   panics), `MAX_FRAME`-bounded before any allocation.
+//! * [`server`] — the connection machinery: a TCP or Unix-socket
+//!   acceptor, a reader+writer thread pair per connection, bounded
+//!   admission (`queue_cap` in-flight tasks, beyond which Submits get
+//!   an explicit [`RejectCode::QueueFull`] instead of queueing), and
+//!   per-request stamping at *submit*, *inject* and *complete* into
+//!   lock-free `PowHistogram`s so sojourn quantiles are always one
+//!   `Stats` frame away. Accepted tasks flow into the runtime through
+//!   [`rsched_runtime::service()`] — the long-lived worker pool whose
+//!   [`Injector`](rsched_runtime::Injector) handles let connection
+//!   threads push into a running pool without being workers.
+//! * [`client`] — a small synchronous client whose split halves
+//!   ([`ClientSender`] / [`ClientReceiver`]) let an open-loop load
+//!   generator submit and drain on separate threads.
+//!
+//! The request lifecycle is conservation-checked end to end: every
+//! Submit is answered Accepted or Rejected, every Accepted eventually
+//! produces exactly one Completed, and a Drain closes the connection
+//! only after the two balance. [`Server::shutdown`] extends the same
+//! guarantee server-wide by joining connections and gracefully
+//! draining the pool before reporting final counters.
+//!
+//! The `rsched-serve` binary wraps [`Server`] with env-knob
+//! configuration (`RSCHED_SERVE_ADDR`, `RSCHED_SERVE_BACKEND`,
+//! `RSCHED_SERVE_THREADS`, `RSCHED_SERVE_CAP`); the `serve_latency`
+//! bench in rsched-bench drives either an in-process server or an
+//! external one through this crate's client.
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::{ClientReceiver, ClientSender, ServeClient};
+pub use codec::{CodecError, RejectCode, Request, Response, StatsReply, MAX_FRAME};
+pub use server::{spin_work, Backend, Endpoint, ServeConfig, Server, ServerReport};

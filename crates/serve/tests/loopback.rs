@@ -1,0 +1,248 @@
+//! End-to-end loopback tests: a real server on an ephemeral socket,
+//! real clients over the wire, exact conservation of every request.
+
+use rsched_serve::{
+    Backend, Endpoint, RejectCode, Request, Response, ServeClient, ServeConfig, Server,
+};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Iteration multiplier for the heavy tests; `RSCHED_STRESS=1` (or a
+/// number) raises it in the CI stress job.
+fn stress_mult() -> usize {
+    match std::env::var("RSCHED_STRESS").as_deref() {
+        Ok("0") | Err(_) => 1,
+        Ok(v) => v.parse::<usize>().unwrap_or(1).clamp(1, 64) * 4,
+    }
+}
+
+fn ephemeral(backend: Backend, threads: usize, cap: usize) -> Server {
+    Server::start(ServeConfig {
+        endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+        backend,
+        threads,
+        queue_cap: cap,
+        seed: 0x00C0_FFEE,
+    })
+    .expect("server start")
+}
+
+/// Pipeline `n` submits, then drain; assert exactly-once completion
+/// per request id and Accepted-before-Completed ordering. Returns
+/// (accepted, rejected) as observed on the wire.
+fn drive_client(endpoint: &Endpoint, base_id: u64, n: u64, work_ns: u64) -> (u64, u64) {
+    let client = ServeClient::connect(endpoint).expect("connect");
+    let (mut tx, mut rx) = client.split();
+    let sender = std::thread::spawn(move || {
+        for i in 0..n {
+            tx.send(&Request::Submit {
+                req_id: base_id + i,
+                prio: i,
+                work_ns,
+            })
+            .expect("send submit");
+        }
+        tx.send(&Request::Drain).expect("send drain");
+    });
+    let mut accepted = HashSet::new();
+    let mut rejected = HashSet::new();
+    let mut completed = HashSet::new();
+    let mut drained = None;
+    while let Some(resp) = rx.recv().expect("recv") {
+        match resp {
+            Response::Accepted { req_id } => {
+                assert!(accepted.insert(req_id), "double Accepted for {req_id}");
+            }
+            Response::Rejected { req_id, code } => {
+                assert_eq!(code, RejectCode::QueueFull);
+                assert!(rejected.insert(req_id), "double Rejected for {req_id}");
+            }
+            Response::Completed {
+                req_id,
+                sojourn_ns,
+                inject_ns,
+            } => {
+                assert!(
+                    accepted.contains(&req_id),
+                    "Completed before Accepted for {req_id}"
+                );
+                assert!(completed.insert(req_id), "double Completed for {req_id}");
+                assert!(sojourn_ns >= inject_ns, "sojourn shorter than its prefix");
+            }
+            Response::Drained { completed: c } => {
+                drained = Some(c);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    sender.join().unwrap();
+    // Exact conservation on this connection: every submit was answered,
+    // every accept completed, and the server's drain count agrees.
+    assert_eq!(accepted.len() as u64 + rejected.len() as u64, n);
+    assert_eq!(completed, accepted);
+    assert_eq!(drained, Some(accepted.len() as u64));
+    (accepted.len() as u64, rejected.len() as u64)
+}
+
+#[test]
+fn loopback_conservation_under_concurrent_clients() {
+    for backend in Backend::ALL {
+        let per_client = (400 * stress_mult()) as u64;
+        let clients = 3u64;
+        let server = ephemeral(backend, 2, 100_000);
+        let endpoint = server.endpoint().clone();
+        let accepted_total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let endpoint = &endpoint;
+                let accepted_total = &accepted_total;
+                scope.spawn(move || {
+                    let (acc, rej) = drive_client(endpoint, c * 1_000_000, per_client, 1_000);
+                    // Capacity is far above the offered load: nothing
+                    // should have been rejected.
+                    assert_eq!(rej, 0, "spurious rejection (backend {backend:?})");
+                    accepted_total.fetch_add(acc, Ordering::Relaxed);
+                });
+            }
+        });
+        let report = server.shutdown();
+        let expect = clients * per_client;
+        assert_eq!(report.submitted, expect, "backend {backend:?}");
+        assert_eq!(report.accepted, expect, "backend {backend:?}");
+        assert_eq!(report.rejected, 0, "backend {backend:?}");
+        assert_eq!(report.completed, expect, "backend {backend:?}");
+        assert_eq!(accepted_total.load(Ordering::Relaxed), expect);
+        // Quantiles are monotone by construction; spot-check the report.
+        assert!(report.sojourn_p50 <= report.sojourn_p99);
+        assert!(report.sojourn_p99 <= report.sojourn_p999);
+        assert!(report.sojourn_p999 <= report.sojourn_max);
+    }
+}
+
+#[test]
+fn admission_rejects_when_full_and_never_hangs() {
+    // One slow worker (1 ms tasks), capacity 4: a fast burst of 200
+    // submits must see QueueFull rejections, every frame must still be
+    // answered, and the drain must terminate with exact conservation.
+    let server = ephemeral(Backend::MqSkiplist, 1, 4);
+    let endpoint = server.endpoint().clone();
+    let n = 200u64;
+    let (accepted, rejected) = drive_client(&endpoint, 0, n, 1_000_000);
+    assert!(
+        rejected > 0,
+        "burst of {n} into cap 4 never tripped admission"
+    );
+    assert!(accepted >= 4, "admission rejected even with room");
+    let report = server.shutdown();
+    assert_eq!(report.submitted, n);
+    assert_eq!(report.accepted, accepted);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.completed, accepted, "accepted tasks were dropped");
+}
+
+#[test]
+fn unix_socket_roundtrip() {
+    let path = std::env::temp_dir().join(format!("rsched-serve-test-{}.sock", std::process::id()));
+    let server = Server::start(ServeConfig {
+        endpoint: Endpoint::Unix(path.clone()),
+        backend: Backend::DcboSegring,
+        threads: 2,
+        queue_cap: 1024,
+        seed: 7,
+    })
+    .expect("unix server start");
+    let endpoint = server.endpoint().clone();
+    let (accepted, rejected) = drive_client(&endpoint, 0, 300, 10_000);
+    assert_eq!((accepted, rejected), (300, 0));
+    let report = server.shutdown();
+    assert_eq!(report.completed, 300);
+    assert!(!path.exists(), "socket file survived shutdown");
+}
+
+#[test]
+fn ping_and_stats_roundtrip() {
+    let server = ephemeral(Backend::MqMutexHeap, 2, 1024);
+    let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+    client.send(&Request::Ping { token: 42 }).unwrap();
+    assert_eq!(client.recv().unwrap(), Some(Response::Pong { token: 42 }));
+    client
+        .send(&Request::Submit {
+            req_id: 1,
+            prio: 0,
+            work_ns: 0,
+        })
+        .unwrap();
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Response::Accepted { req_id: 1 })
+    );
+    match client.recv().unwrap() {
+        Some(Response::Completed { req_id: 1, .. }) => {}
+        other => panic!("expected Completed, got {other:?}"),
+    }
+    // Stats after one completion: counters consistent, quantiles set.
+    client.send(&Request::Stats).unwrap();
+    match client.recv().unwrap() {
+        Some(Response::Stats(s)) => {
+            assert_eq!(s.submitted, 1);
+            assert_eq!(s.accepted, 1);
+            assert_eq!(s.rejected, 0);
+            assert_eq!(s.completed, 1);
+            assert_eq!(s.in_flight, 0);
+            assert!(s.sojourn_p50 > 0);
+            assert!(s.sojourn_p50 <= s.sojourn_p999);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    client.send(&Request::Drain).unwrap();
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Response::Drained { completed: 1 })
+    );
+    assert_eq!(
+        client.recv().unwrap(),
+        None,
+        "connection open after Drained"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_still_accounts_accepted_work() {
+    // A client that vanishes mid-stream must not wedge the server or
+    // leak in-flight accounting: its accepted tasks complete and the
+    // server-side counters balance.
+    let server = ephemeral(Backend::MqSkiplist, 2, 1024);
+    let n = 100u64;
+    {
+        let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+        for i in 0..n {
+            client
+                .send(&Request::Submit {
+                    req_id: i,
+                    prio: i,
+                    work_ns: 50_000,
+                })
+                .unwrap();
+        }
+        // Drop without draining: both halves close.
+    }
+    // Give the pool a moment to finish the orphaned work.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut probe = ServeClient::connect(server.endpoint()).expect("probe connect");
+        probe.send(&Request::Stats).unwrap();
+        match probe.recv().unwrap() {
+            Some(Response::Stats(s)) if s.completed == s.accepted && s.submitted == n => break,
+            Some(Response::Stats(_)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("orphaned work never drained: {other:?}"),
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.submitted, n);
+    assert_eq!(report.completed, report.accepted);
+}

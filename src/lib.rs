@@ -24,6 +24,7 @@
 //! | [`graph`] | CSR graphs, random/road/social generators, DIMACS & SNAP loaders, BFS / Dijkstra / Δ-stepping / Bellman–Ford baselines |
 //! | [`geometry`] | exact integer predicates, triangle mesh, Bowyer–Watson with conflict lists |
 //! | [`algos`] | BST-insertion sorting, Delaunay, relaxed SSSP (sequential-model + concurrent), relaxed-FIFO BFS, k-core peeling, greedy MIS & coloring |
+//! | [`serve`] | the open-system serving front-end: length-prefixed binary wire protocol, TCP/Unix-socket connection loop, bounded-queue admission control, graceful drain, per-request sojourn histograms (`rsched-serve` binary) |
 //!
 //! ## Architecture: one runtime, many orders
 //!
@@ -51,6 +52,15 @@
 //! sticky peek cache, and a bounded spawn buffer that publishes batches
 //! (`RSCHED_SPAWN_BATCH`) — one abstraction where earlier revisions had
 //! `PinSession` threading, `StickySession` and thread-local picker RNGs.
+//!
+//! On top of the pool, [`runtime::service()`] keeps the workers resident
+//! between submissions (external injectors + idle parking instead of the
+//! run-to-quiescence loop), and the [`serve`] crate exposes that as a
+//! long-lived network service: an open system where requests *arrive*
+//! over a wire protocol at some rate, wait in the relaxed queue, execute,
+//! and report their end-to-end sojourn time — the measurement regime
+//! (open-loop arrivals, tail quantiles, admission control) that
+//! closed-loop throughput benchmarks cannot express.
 //!
 //! ## Relaxed-FIFO BFS quickstart
 //!
@@ -98,6 +108,7 @@ pub use rsched_geometry as geometry;
 pub use rsched_graph as graph;
 pub use rsched_queues as queues;
 pub use rsched_runtime as runtime;
+pub use rsched_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
