@@ -260,6 +260,7 @@ const KEY_FIELDS: &[&str] = &[
     "stickiness",
     "delta",
     "mix",
+    "trace",
     "arrival_process",
     "offered_rate",
     "clients",
@@ -269,12 +270,17 @@ const KEY_FIELDS: &[&str] = &[
 fn cell_key(rec: &Record) -> String {
     KEY_FIELDS
         .iter()
-        .filter_map(|&k| {
-            rec.get(k).map(|v| match v {
-                Val::Str(s) => format!("{k}={s}"),
-                Val::Num(x) => format!("{k}={x}"),
-                Val::Bool(b) => format!("{k}={b}"),
-            })
+        .filter_map(|&k| match rec.get(k) {
+            Some(Val::Str(s)) => Some(format!("{k}={s}")),
+            Some(Val::Num(x)) => Some(format!("{k}={x}")),
+            Some(Val::Bool(b)) => Some(format!("{k}={b}")),
+            // `trace` grew after the committed baselines were
+            // snapshotted: absent means untraced, so default it to 0
+            // instead of dropping the axis — old baselines keep pairing
+            // with fresh untraced records, while traced records
+            // (`trace=1`) still never pair with an untraced baseline.
+            None if k == "trace" => Some(format!("{k}=0")),
+            None => None,
         })
         .collect::<Vec<_>>()
         .join(",")

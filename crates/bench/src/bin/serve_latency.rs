@@ -51,14 +51,22 @@
 //!
 //! Every cell prints a `json,{...}` line and the set is written to
 //! `RSCHED_JSON_OUT`; `bench_compare` gates `lat_p999` against the
-//! committed baseline (see `ci/baselines/serve_latency.json`).
+//! committed baseline (see `ci/baselines/serve_latency.json`). Each
+//! record also carries the shared `telemetry_json_fields` tail
+//! (`retry_*`, `steal_*`, `flush_*`, …), pulled from the server over
+//! the wire via a [`Request::Metrics`] poll just before the drain — so
+//! the compare gate can bound retry/steal tails on serving cells with
+//! the same keys the closed-loop contention benches use.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rsched_bench::{env_f64, env_list, env_u64, env_usize, write_json_artifact, Table};
+use rsched_bench::{
+    env_f64, env_list, env_u64, env_usize, telemetry_json_fields, write_json_artifact, Table,
+};
 use rsched_queues::telemetry::PowHistogram;
 use rsched_serve::{
-    Backend, Endpoint, Request, Response, ServeClient, ServeConfig, Server, StatsReply,
+    Backend, Endpoint, MetricsReply, Request, Response, ServeClient, ServeConfig, Server,
+    StatsReply,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -109,6 +117,8 @@ struct ConnTotals {
     completed: u64,
     /// The server's final per-run stats snapshot (last Stats reply).
     server_stats: Option<StatsReply>,
+    /// The server's live telemetry + gauges (last Metrics reply).
+    server_metrics: Option<MetricsReply>,
 }
 
 /// Drive one connection open-loop: schedule arrivals for `duration`,
@@ -187,6 +197,7 @@ fn drive_connection(
             .expect("send submit");
             submitted += 1;
         }
+        tx.send(&Request::Metrics).expect("send metrics");
         tx.send(&Request::Stats).expect("send stats");
         tx.send(&Request::Drain).expect("send drain");
         submitted
@@ -218,6 +229,7 @@ fn drive_connection(
                 lat.record(scheduled.elapsed().as_nanos() as u64);
             }
             Response::Stats(s) => totals.server_stats = Some(s),
+            Response::Metrics(m) => totals.server_metrics = Some(*m),
             Response::Drained { completed } => {
                 assert_eq!(
                     completed, totals.completed,
@@ -294,6 +306,13 @@ fn run_cell(
         .rev()
         .find_map(|t| t.server_stats)
         .unwrap_or_default();
+    // The wire-polled server telemetry: same keys the closed-loop
+    // benches emit, so serving cells gate on retry/steal tails too.
+    let metrics = totals
+        .iter()
+        .rev()
+        .find_map(|t| t.server_metrics.clone())
+        .unwrap_or_default();
     format!(
         "{{\"bench\":\"serve_latency\",\"backend\":\"{}\",\"threads\":{},\
          \"arrival_process\":\"{}\",\"offered_rate\":{:.1},\"clients\":{},\
@@ -302,7 +321,7 @@ fn run_cell(
          \"achieved_rate\":{:.1},\"accepted_per_sec\":{:.1},\
          \"lat_p50\":{},\"lat_p99\":{},\"lat_p999\":{},\"lat_max\":{},\
          \"lat_count\":{},\"srv_sojourn_p50\":{},\"srv_sojourn_p99\":{},\
-         \"srv_sojourn_p999\":{},\"srv_inject_p99\":{}}}",
+         \"srv_sojourn_p999\":{},\"srv_inject_p99\":{},\"srv_in_flight\":{},{}}}",
         cell.backend_name,
         cell.threads,
         cell.arrival.name(),
@@ -326,6 +345,8 @@ fn run_cell(
         srv.sojourn_p99,
         srv.sojourn_p999,
         srv.inject_p99,
+        metrics.in_flight,
+        telemetry_json_fields(&metrics.telemetry),
     )
 }
 

@@ -1,0 +1,151 @@
+//! **TRACE-EXPORT** — produce and self-validate a flight-recorder
+//! Chrome trace from a real scheduler run.
+//!
+//! The bin forces the flight recorder on (`RuntimeConfig { trace: true }`
+//! — no env needed), drives a small recursive workload through
+//! [`rsched_runtime::run`] on a `ConcurrentMultiQueue`, snapshots every
+//! worker lane, writes the Chrome trace-event JSON to `RSCHED_TRACE_OUT`
+//! (default `trace_export.json`) and then **structurally validates its
+//! own artifact**:
+//!
+//! * at least two lanes produced events (concurrency is visible; a
+//!   loaded or single-core host may legitimately park some workers
+//!   before they ever pop, so all-`threads` participation is reported
+//!   but not asserted);
+//! * per-lane timestamps are non-decreasing (ring order is time order);
+//! * the export's `"B"`/`"E"` duration events balance exactly — the
+//!   exporter only emits a span for a matched pop→complete pair, so an
+//!   unbalanced file means the pairing logic regressed.
+//!
+//! The same checks run (in python, against the file) in CI's perf-smoke
+//! job; this bin is the in-repo, no-python version so `cargo run -p
+//! rsched-bench --bin trace_export` is a one-command Perfetto artifact.
+//!
+//! | env | default | meaning |
+//! |---|---|---|
+//! | `RSCHED_THREADS` | `4` | worker threads |
+//! | `RSCHED_TASKS` | `2000` | seed tasks (each counts down its payload) |
+//! | `RSCHED_WORK_NS` | `5000` | busy-spin per task, ns (keeps the run alive until every worker joins in) |
+//! | `RSCHED_TRACE_OUT` | `trace_export.json` | artifact path |
+//! | `RSCHED_TRACE_EVENTS` | `4096` | ring capacity per lane |
+
+use rsched_bench::{env_u64, env_usize, write_json_artifact};
+use rsched_queues::trace::{self, EventKind};
+use rsched_queues::ConcurrentMultiQueue;
+use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
+
+fn main() {
+    let threads = env_usize("RSCHED_THREADS", 4).max(1);
+    let tasks = env_usize("RSCHED_TASKS", 2000).max(1);
+    let depth = env_u64("RSCHED_DEPTH", 3);
+    let work_ns = env_u64("RSCHED_WORK_NS", 5000);
+    let out = std::env::var("RSCHED_TRACE_OUT").unwrap_or_else(|_| "trace_export.json".into());
+
+    // Start from empty rings so the artifact describes exactly this run.
+    trace::set_enabled(true);
+    trace::clear();
+
+    let queue = ConcurrentMultiQueue::<u64>::new((2 * threads).max(4));
+    let stats = run(
+        &queue,
+        RuntimeConfig {
+            threads,
+            seed: 0x7AC3,
+            trace: true,
+            ..RuntimeConfig::default()
+        },
+        (0..tasks).map(|i| (i, depth)),
+        |w, item, prio| {
+            // Recursive countdown: every seed spawns `depth` children,
+            // so the trace shows inject/pop/complete interleaving and
+            // (under contention) steal rounds. The busy-spin keeps the
+            // run alive past worker spawn-up — without it a fast first
+            // worker can drain everything before the others ever pop.
+            if work_ns > 0 {
+                let start = std::time::Instant::now();
+                while (start.elapsed().as_nanos() as u64) < work_ns {
+                    std::hint::spin_loop();
+                }
+            }
+            if prio > 0 {
+                w.spawn(item, prio - 1);
+            }
+            TaskOutcome::Executed
+        },
+    );
+
+    let lanes = trace::snapshot();
+    let json = trace::chrome_trace_json(&lanes);
+    std::fs::write(&out, &json).expect("writing trace artifact");
+
+    // --- structural self-validation -----------------------------------
+    let active_lanes = lanes.iter().filter(|l| !l.events.is_empty()).count();
+    // ≥2 is the hard floor (concurrency must be visible in the trace);
+    // full `threads` participation is typical but scheduling-dependent
+    // on loaded or single-core hosts, so it is reported, not asserted.
+    assert!(
+        active_lanes >= 2.min(threads),
+        "expected ≥2 lanes with events, got {active_lanes}"
+    );
+    if active_lanes < threads {
+        eprintln!(
+            "trace_export: note: {active_lanes}/{threads} worker lanes \
+             recorded events (host scheduling kept the rest idle)"
+        );
+    }
+    let mut events_total = 0usize;
+    for lane in &lanes {
+        let mut prev = 0u64;
+        for ev in &lane.events {
+            assert!(
+                ev.ts_ns >= prev,
+                "lane {} ({}) time went backwards: {} after {}",
+                lane.lane,
+                lane.label,
+                ev.ts_ns,
+                prev
+            );
+            prev = ev.ts_ns;
+            events_total += 1;
+        }
+    }
+    let count = |needle: &str| json.matches(needle).count();
+    let begins = count("\"ph\":\"B\"");
+    let ends = count("\"ph\":\"E\"");
+    assert_eq!(begins, ends, "unpaired duration events in export");
+    let instants = count("\"ph\":\"i\"");
+    assert!(
+        begins + instants > 0,
+        "export carries no spans and no instants"
+    );
+    // Worker pops fed the spans: a run this size must pair plenty.
+    assert!(begins > 0, "no pop→complete span survived in any ring");
+    let pops: usize = lanes
+        .iter()
+        .flat_map(|l| &l.events)
+        .filter(|e| e.kind == EventKind::TaskPop)
+        .count();
+    assert!(
+        begins <= pops,
+        "more spans than recorded pops ({begins} > {pops})"
+    );
+
+    let record = format!(
+        "{{\"bench\":\"trace_export\",\"threads\":{threads},\"tasks\":{tasks},\
+         \"executed\":{},\"lanes\":{},\"events\":{},\"spans\":{},\
+         \"instants\":{},\"out\":\"{}\"}}",
+        stats.total.executed,
+        active_lanes,
+        events_total,
+        begins,
+        instants,
+        out.replace('\\', "/"),
+    );
+    println!("json,{record}");
+    println!(
+        "trace_export: {} events across {} lanes -> {} ({} spans, {} instants); \
+         open in https://ui.perfetto.dev",
+        events_total, active_lanes, out, begins, instants
+    );
+    write_json_artifact(&[record]);
+}

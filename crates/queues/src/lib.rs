@@ -177,6 +177,24 @@
 //! [`telemetry::capture`] and export the resulting
 //! [`TelemetrySnapshot`] (bucket arrays + p50/p90/p99/p999/max) into
 //! their JSON schema, where `bench_compare` gates p99 retry tails.
+//!
+//! ### The trace layer
+//!
+//! Histograms say *how bad*; the flight recorder in [`trace`] says
+//! *when and why*. Every scheduling thread owns a fixed-capacity
+//! single-producer ring of packed 16-byte events — nanosecond
+//! timestamp, [`EventKind`] byte, 56-bit payload — with wrap-around
+//! overwrite, so a crash or stall always leaves the last N events per
+//! worker inspectable. The event vocabulary covers the scheduler
+//! lifecycle: task inject/pop/complete, steal rounds, flush
+//! publish/merge, park/unpark, drain, admission reject. The layer is
+//! always compiled and gated by `RSCHED_TRACE` (default **off**; ring
+//! capacity via `RSCHED_TRACE_EVENTS`): disabled, every [`trace::emit`]
+//! is one relaxed load and a branch — the same discipline as the
+//! telemetry gate. [`TraceSink`] snapshots all lanes at `run()`/drain
+//! boundaries and exports Chrome trace-event JSON (`RSCHED_TRACE_OUT`)
+//! with one `tid` per lane and `B`/`E` spans for pop→complete, so any
+//! run opens directly in Perfetto or `chrome://tracing`.
 
 pub mod bucket;
 pub mod fifo;
@@ -190,6 +208,7 @@ pub mod pairing;
 pub mod skipshard;
 pub mod spraylist;
 pub mod telemetry;
+pub mod trace;
 
 pub use bucket::{BucketFifoQueue, BucketSession};
 pub use fifo::{
@@ -211,6 +230,7 @@ pub use pairing::PairingHeap;
 pub use skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
 pub use spraylist::{ConcurrentSprayList, SprayList};
 pub use telemetry::{HistSnapshot, PowHistogram, TelemetrySnapshot};
+pub use trace::{EventKind, LaneSnapshot, TraceEvent, TraceSink};
 
 /// Sentinel meaning "item is not currently stored in the queue".
 pub(crate) const NOT_PRESENT: usize = usize::MAX;

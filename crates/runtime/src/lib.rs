@@ -61,6 +61,17 @@
 //!   evidence for whatever queue the run drove. Disabled, every
 //!   instrumentation point in the queues collapses to one relaxed
 //!   atomic load and a predictable branch.
+//! * When [`RuntimeConfig::trace`] is on (env `RSCHED_TRACE`, default
+//!   off), the pool additionally feeds the **flight recorder**
+//!   (`rsched_queues::trace`): per-worker lock-free event rings record
+//!   task inject/pop/complete, steal rounds, flush publish/merge,
+//!   park/unpark and drain with nanosecond timestamps, wrapping so a
+//!   crash or stall always leaves each worker's last events
+//!   inspectable. [`run`] and `ServiceHandle::join` are snapshot
+//!   points: with `RSCHED_TRACE_OUT` set they export Chrome trace-event
+//!   JSON that opens directly in Perfetto (`RSCHED_TRACE_EVENTS` sizes
+//!   the rings). Disabled, each probe is the same one-relaxed-load-and-
+//!   branch discipline as telemetry.
 //! * [`map_chunks`] is the fork-join companion for level-synchronous
 //!   phases (Δ-stepping's edge-relaxation passes).
 //!

@@ -35,6 +35,7 @@ use crossbeam::utils::Backoff;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rsched_queues::telemetry::{self, TelemetrySnapshot};
+use rsched_queues::trace::{self, EventKind};
 use rsched_queues::{FlushReport, PopSource, PushOutcome, SessionConfig, SessionPush};
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
@@ -136,6 +137,11 @@ pub struct RuntimeConfig {
     /// to the `RSCHED_TELEMETRY` environment variable (`0` disables),
     /// else on.
     pub telemetry: bool,
+    /// Flight-recorder tracing (per-worker event rings + Chrome-trace
+    /// export — see `rsched_queues::trace`). When off (the default),
+    /// every instrumentation point is one relaxed load and a branch.
+    /// Defaults to the `RSCHED_TRACE` environment variable, else off.
+    pub trace: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -150,6 +156,7 @@ impl Default for RuntimeConfig {
             delta: env_u64("RSCHED_DELTA", 0),
             bucket_shards: env_usize("RSCHED_BUCKET_SHARDS", 0),
             telemetry: env_usize("RSCHED_TELEMETRY", 1) != 0,
+            trace: env_usize("RSCHED_TRACE", 0) != 0,
         }
     }
 }
@@ -277,6 +284,7 @@ impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
     /// merged pushes retract the announcement.
     pub fn spawn(&mut self, item: usize, prio: P) {
         self.counter.task_added();
+        trace::emit(EventKind::TaskInject, item as u64);
         let queue = self.queue;
         let out = queue.push(&mut self.session, item, prio);
         match out.push {
@@ -293,6 +301,12 @@ impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
     /// parked elements were presumed net-new when announced; the ones
     /// that merged retract their announcement now.
     fn absorb_flush(&mut self, report: FlushReport) {
+        if report.published > 0 {
+            trace::emit(EventKind::FlushPublish, report.published);
+            if report.merged > 0 {
+                trace::emit(EventKind::FlushMerge, report.merged);
+            }
+        }
         if report.merged > 0 {
             self.stats.spawned -= report.merged;
             self.stats.merged += report.merged;
@@ -343,9 +357,13 @@ impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
         self.stats.pops += 1;
         match source {
             PopSource::Home => self.stats.home_hits += 1,
-            PopSource::Steal => self.stats.steals += 1,
+            PopSource::Steal => {
+                self.stats.steals += 1;
+                trace::emit(EventKind::StealRound, item as u64);
+            }
             PopSource::Shared => {}
         }
+        trace::emit(EventKind::TaskPop, item as u64);
         // Per-op duration ticks: only pay for the clock reads
         // when the telemetry window is actually recording.
         let op_start = telemetry::enabled().then(Instant::now);
@@ -372,6 +390,7 @@ impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
                 t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             );
         }
+        trace::emit(EventKind::TaskComplete, item as u64);
         self.counter.task_done();
     }
 
@@ -452,6 +471,7 @@ where
     assert!(cfg.threads >= 1, "runtime needs at least one worker");
     let t0 = Instant::now();
     telemetry::set_enabled(cfg.telemetry);
+    trace::set_enabled(cfg.trace);
     if cfg.telemetry {
         // Start a fresh measurement window covering seeding + workers.
         // The state is process-global; overlapping runs share a window.
@@ -504,6 +524,11 @@ where
     // Scoped workers have exited (their recorders auto-flushed); the
     // seeding happened on this thread, so capture() folds it in too.
     let snapshot = cfg.telemetry.then(telemetry::capture);
+    // A run() boundary is a flight-recorder snapshot point: workers are
+    // quiescent, so the export sees consistent rings. Repeated runs
+    // overwrite the file — it always holds the latest window, matching
+    // the rings' own wrap-around semantics.
+    trace::export_if_configured();
     PoolStats {
         total,
         per_worker,
@@ -538,6 +563,7 @@ where
                     continue;
                 }
                 if worker.counter.wait_or_quiescent(&backoff) {
+                    trace::emit(EventKind::Drain, worker.tid as u64);
                     break;
                 }
             }

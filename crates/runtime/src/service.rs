@@ -39,6 +39,7 @@ use crate::pool::{PoolStats, RuntimeConfig, Scheduler, TaskOutcome, Worker, Work
 use crate::termination::ActiveCounter;
 use crossbeam::utils::Backoff;
 use rsched_queues::telemetry;
+use rsched_queues::trace::{self, EventKind};
 use rsched_queues::{SessionConfig, SessionPush};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -134,6 +135,7 @@ impl<P: Copy, S: Scheduler<P> + ?Sized> Injector<P, S> {
         // Announce before pushing — same protocol as `Worker::spawn` —
         // so a concurrent drain sees the task before it is poppable.
         self.core.counter.task_added();
+        trace::emit(EventKind::TaskInject, item as u64);
         let out = self.core.queue.push(&mut self.session, item, prio);
         match out.push {
             SessionPush::Inserted | SessionPush::Buffered => {}
@@ -217,6 +219,9 @@ where
             total.merge(w);
         }
         let wall = self.started.elapsed();
+        // Drained and joined: a consistent flight-recorder boundary,
+        // same as the end of a closed-loop `run`.
+        trace::export_if_configured();
         PoolStats {
             total,
             per_worker,
@@ -266,6 +271,7 @@ where
 {
     assert!(cfg.threads >= 1, "service needs at least one worker");
     telemetry::set_enabled(cfg.telemetry);
+    trace::set_enabled(cfg.trace);
     let core = Arc::new(ServiceCore {
         counter: ActiveCounter::new(),
         idle: IdleGate::default(),
@@ -314,14 +320,23 @@ where
                 }
                 let quiescent = worker.counter().is_quiescent();
                 if quiescent && core.shutdown.load(Ordering::Acquire) {
+                    trace::emit(EventKind::Drain, tid as u64);
                     break;
                 }
                 if quiescent {
+                    // About to go idle: fold this worker's buffered
+                    // telemetry into the globals so a live `Metrics`
+                    // poll (the serving plane's exposition path) sees
+                    // it — long-lived workers never exit, so the TLS
+                    // Drop-flush alone would hide everything.
+                    telemetry::flush_local();
+                    trace::emit(EventKind::Park, tid as u64);
                     // Idle open system: park until an injection (or the
                     // timeout backstop) instead of burning a core.
                     core.idle.park(|| {
                         core.shutdown.load(Ordering::Acquire) || !core.counter.is_quiescent()
                     });
+                    trace::emit(EventKind::Unpark, !core.counter.is_quiescent() as u64);
                     backoff.reset();
                 } else {
                     // Work is in flight somewhere — same spin/yield as

@@ -19,19 +19,24 @@
 //! | `0x02` | [`Request::Ping`] | `token u64` |
 //! | `0x03` | [`Request::Stats`] | — |
 //! | `0x04` | [`Request::Drain`] | — |
+//! | `0x05` | [`Request::Metrics`] | — |
 //! | `0x81` | [`Response::Accepted`] | `req_id u64` |
 //! | `0x82` | [`Response::Rejected`] | `req_id u64, code u8` |
 //! | `0x83` | [`Response::Completed`] | `req_id u64, sojourn_ns u64, inject_ns u64` |
 //! | `0x84` | [`Response::Pong`] | `token u64` |
 //! | `0x85` | [`Response::Drained`] | `completed u64` |
 //! | `0x86` | [`Response::Stats`] | [`StatsReply`], ten `u64`s |
+//! | `0x87` | [`Response::Metrics`] | [`MetricsReply`]: five histogram blocks, counters, gauges |
 
+use rsched_queues::telemetry::{HistSnapshot, TelemetrySnapshot, HIST_BUCKETS};
 use std::io::{self, Read, Write};
 
 /// Hard ceiling on a frame payload. The largest legitimate frame
-/// ([`Response::Stats`]) is 81 bytes; the slack leaves room for
-/// protocol growth while still rejecting nonsense headers instantly.
-pub const MAX_FRAME: usize = 1024;
+/// ([`Response::Metrics`], whose five histogram blocks carry full
+/// 64-bucket arrays) is 2873 bytes plus 8 per worker gauge; the slack
+/// leaves room for protocol growth while still rejecting nonsense
+/// headers instantly.
+pub const MAX_FRAME: usize = 4096;
 
 /// Why a frame failed to decode. Every variant is an expected condition
 /// of talking to an arbitrary peer — the connection loop reports it and
@@ -132,10 +137,13 @@ pub enum Request {
     /// socket, finishes every task it accepted from it, then sends
     /// [`Response::Drained`] and closes.
     Drain,
+    /// Ask for a [`MetricsReply`] — the live telemetry exposition: the
+    /// full process telemetry snapshot plus gauge samples.
+    Metrics,
 }
 
 /// Server → client frames.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// The submission passed admission and was injected into the pool.
     Accepted { req_id: u64 },
@@ -155,6 +163,10 @@ pub enum Response {
     Drained { completed: u64 },
     /// [`Request::Stats`] answer.
     Stats(StatsReply),
+    /// [`Request::Metrics`] answer. Boxed: the reply is ~3.5 KB of
+    /// histogram blocks, and the enum rides writer channels whose
+    /// common traffic is 24-byte `Completed`s.
+    Metrics(Box<MetricsReply>),
 }
 
 /// Server-side counters and sojourn quantiles, as reported over the
@@ -184,16 +196,130 @@ pub struct StatsReply {
     pub inject_p99: u64,
 }
 
+impl StatsReply {
+    /// The wire field order, by name. [`encode_response`] and
+    /// [`decode_response`] both derive their layout from
+    /// [`to_wire`](Self::to_wire) / [`from_wire`](Self::from_wire),
+    /// whose indices this list documents — and the codec tests assert
+    /// name-by-name that byte offset `i * 8` really carries
+    /// `WIRE_FIELDS[i]`, so a silent reorder cannot ship.
+    pub const WIRE_FIELDS: [&'static str; 10] = [
+        "submitted",
+        "accepted",
+        "rejected",
+        "completed",
+        "in_flight",
+        "sojourn_p50",
+        "sojourn_p99",
+        "sojourn_p999",
+        "sojourn_max",
+        "inject_p99",
+    ];
+
+    /// The wire words, in [`WIRE_FIELDS`](Self::WIRE_FIELDS) order.
+    pub fn to_wire(&self) -> [u64; 10] {
+        [
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.in_flight,
+            self.sojourn_p50,
+            self.sojourn_p99,
+            self.sojourn_p999,
+            self.sojourn_max,
+            self.inject_p99,
+        ]
+    }
+
+    /// Rebuild from wire words in [`WIRE_FIELDS`](Self::WIRE_FIELDS)
+    /// order.
+    pub fn from_wire(w: [u64; 10]) -> Self {
+        let [submitted, accepted, rejected, completed, in_flight, sojourn_p50, sojourn_p99, sojourn_p999, sojourn_max, inject_p99] =
+            w;
+        Self {
+            submitted,
+            accepted,
+            rejected,
+            completed,
+            in_flight,
+            sojourn_p50,
+            sojourn_p99,
+            sojourn_p999,
+            sojourn_max,
+            inject_p99,
+        }
+    }
+
+    /// Field value by wire name (`None` for unknown names) — lets tests
+    /// and exporters walk [`WIRE_FIELDS`](Self::WIRE_FIELDS) without a
+    /// parallel positional list.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "submitted" => self.submitted,
+            "accepted" => self.accepted,
+            "rejected" => self.rejected,
+            "completed" => self.completed,
+            "in_flight" => self.in_flight,
+            "sojourn_p50" => self.sojourn_p50,
+            "sojourn_p99" => self.sojourn_p99,
+            "sojourn_p999" => self.sojourn_p999,
+            "sojourn_max" => self.sojourn_max,
+            "inject_p99" => self.inject_p99,
+            _ => return None,
+        })
+    }
+}
+
+/// The live telemetry exposition carried by [`Response::Metrics`]: the
+/// **full** process [`TelemetrySnapshot`] — all five per-op histogram
+/// series with their complete 64-bucket arrays and derived quantiles,
+/// the event counters, the epoch-GC deltas — plus gauge samples from
+/// the serving layer's lightweight sampler.
+///
+/// Wire layout after the opcode byte (all `u64` LE):
+///
+/// | block | words |
+/// |---|---|
+/// | histograms ×5, in order retry/steal/sweep/floor/tick | each `count, p50, p90, p99, p999, max` + 64 buckets |
+/// | counters | `empty_pops, registry_probes, seg_installs, flush_published, flush_merged, gc_deferred, gc_collected` |
+/// | gauges | `in_flight`, `n_workers`, then `n_workers` per-worker busy-permille samples |
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// Everything recorded since the server's telemetry window opened
+    /// (server start, or an explicit reset).
+    pub telemetry: TelemetrySnapshot,
+    /// Tasks admitted but not yet completed, at reply time.
+    pub in_flight: u64,
+    /// Per-worker busy time since the previous `Metrics` poll, in
+    /// permille of the elapsed wall interval (0 = idle, 1000 = fully
+    /// busy), indexed by worker id.
+    pub utilization_permille: Vec<u64>,
+}
+
+/// Wire size of one histogram block: the six derived words plus the
+/// full bucket array.
+const HIST_WIRE_WORDS: usize = 6 + HIST_BUCKETS;
+/// [`MetricsReply`] payload length before the variable per-worker gauge
+/// words (opcode byte included).
+const METRICS_FIXED: usize = 1 + (5 * HIST_WIRE_WORDS + 7 + 2) * 8;
+/// Per-worker gauge entries are capped so the frame stays under
+/// [`MAX_FRAME`] whatever the pool width; pools wider than this report
+/// their first 128 workers.
+pub const METRICS_MAX_WORKERS: usize = 128;
+
 const OP_SUBMIT: u8 = 0x01;
 const OP_PING: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_DRAIN: u8 = 0x04;
+const OP_METRICS: u8 = 0x05;
 const OP_ACCEPTED: u8 = 0x81;
 const OP_REJECTED: u8 = 0x82;
 const OP_COMPLETED: u8 = 0x83;
 const OP_PONG: u8 = 0x84;
 const OP_DRAINED: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
+const OP_METRICS_REPLY: u8 = 0x87;
 
 fn u64_at(payload: &[u8], off: usize) -> u64 {
     let mut b = [0u8; 8];
@@ -233,6 +359,35 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             frame(out, 1);
             out.push(OP_DRAIN);
         }
+        Request::Metrics => {
+            frame(out, 1);
+            out.push(OP_METRICS);
+        }
+    }
+}
+
+fn encode_hist(h: &HistSnapshot, out: &mut Vec<u8>) {
+    for v in [h.count, h.p50, h.p90, h.p99, h.p999, h.max] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    // Always exactly HIST_BUCKETS words: a default-constructed snapshot
+    // has an empty bucket vec and encodes as zeros.
+    for i in 0..HIST_BUCKETS {
+        let b = h.buckets.get(i).copied().unwrap_or(0);
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+fn decode_hist(body: &[u8], off: usize) -> HistSnapshot {
+    let f = |i: usize| u64_at(body, off + i * 8);
+    HistSnapshot {
+        count: f(0),
+        p50: f(1),
+        p90: f(2),
+        p99: f(3),
+        p999: f(4),
+        max: f(5),
+        buckets: (0..HIST_BUCKETS).map(|i| f(6 + i)).collect(),
     }
 }
 
@@ -274,19 +429,36 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Stats(s) => {
             frame(out, 81);
             out.push(OP_STATS_REPLY);
+            // One canonical field order: `to_wire` (named fields, same
+            // list `from_wire` destructures) is the only place the
+            // layout lives.
+            for v in s.to_wire() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Metrics(m) => {
+            let workers = m.utilization_permille.len().min(METRICS_MAX_WORKERS);
+            frame(out, METRICS_FIXED + workers * 8);
+            out.push(OP_METRICS_REPLY);
+            let t = &m.telemetry;
+            for h in [&t.retry, &t.steal, &t.sweep, &t.floor, &t.tick] {
+                encode_hist(h, out);
+            }
             for v in [
-                s.submitted,
-                s.accepted,
-                s.rejected,
-                s.completed,
-                s.in_flight,
-                s.sojourn_p50,
-                s.sojourn_p99,
-                s.sojourn_p999,
-                s.sojourn_max,
-                s.inject_p99,
+                t.empty_pops,
+                t.registry_probes,
+                t.seg_installs,
+                t.flush_published,
+                t.flush_merged,
+                t.gc_deferred,
+                t.gc_collected,
             ] {
                 out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&m.in_flight.to_le_bytes());
+            out.extend_from_slice(&(workers as u64).to_le_bytes());
+            for u in m.utilization_permille.iter().take(workers) {
+                out.extend_from_slice(&u.to_le_bytes());
             }
         }
     }
@@ -328,6 +500,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         OP_DRAIN => {
             expect_len(opcode, body, 0)?;
             Ok(Request::Drain)
+        }
+        OP_METRICS => {
+            expect_len(opcode, body, 0)?;
+            Ok(Request::Metrics)
         }
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -376,19 +552,63 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
         }
         OP_STATS_REPLY => {
             expect_len(opcode, body, 80)?;
-            let f = |i: usize| u64_at(body, i * 8);
-            Ok(Response::Stats(StatsReply {
-                submitted: f(0),
-                accepted: f(1),
-                rejected: f(2),
-                completed: f(3),
-                in_flight: f(4),
-                sojourn_p50: f(5),
-                sojourn_p99: f(6),
-                sojourn_p999: f(7),
-                sojourn_max: f(8),
-                inject_p99: f(9),
-            }))
+            Ok(Response::Stats(StatsReply::from_wire(std::array::from_fn(
+                |i| u64_at(body, i * 8),
+            ))))
+        }
+        OP_METRICS_REPLY => {
+            // Fixed blocks plus a self-describing per-worker gauge tail:
+            // the declared worker count must match the frame exactly.
+            let fixed = METRICS_FIXED - 1;
+            if body.len() < fixed {
+                return Err(CodecError::BadPayload {
+                    opcode,
+                    len: body.len(),
+                });
+            }
+            let hists: Vec<HistSnapshot> = (0..5)
+                .map(|h| decode_hist(body, h * HIST_WIRE_WORDS * 8))
+                .collect();
+            let counters_off = 5 * HIST_WIRE_WORDS * 8;
+            let c = |i: usize| u64_at(body, counters_off + i * 8);
+            let in_flight = c(7);
+            let workers = c(8) as usize;
+            if workers > METRICS_MAX_WORKERS || body.len() != fixed + workers * 8 {
+                return Err(CodecError::BadPayload {
+                    opcode,
+                    len: body.len(),
+                });
+            }
+            let gauges_off = counters_off + 9 * 8;
+            let utilization_permille = (0..workers)
+                .map(|i| u64_at(body, gauges_off + i * 8))
+                .collect();
+            let mut it = hists.into_iter();
+            let (retry, steal, sweep, floor, tick) = (
+                it.next().unwrap(),
+                it.next().unwrap(),
+                it.next().unwrap(),
+                it.next().unwrap(),
+                it.next().unwrap(),
+            );
+            Ok(Response::Metrics(Box::new(MetricsReply {
+                telemetry: TelemetrySnapshot {
+                    retry,
+                    steal,
+                    sweep,
+                    floor,
+                    tick,
+                    empty_pops: c(0),
+                    registry_probes: c(1),
+                    seg_installs: c(2),
+                    flush_published: c(3),
+                    flush_merged: c(4),
+                    gc_deferred: c(5),
+                    gc_collected: c(6),
+                },
+                in_flight,
+                utilization_permille,
+            })))
         }
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -490,6 +710,42 @@ mod tests {
         assert_eq!(decode_response(&payload).unwrap(), resp);
     }
 
+    /// A fully-populated histogram snapshot (64-element bucket array,
+    /// like every snapshot `telemetry::capture` produces — the wire
+    /// always carries the full array).
+    fn hist(seed: u64) -> HistSnapshot {
+        HistSnapshot {
+            buckets: (0..HIST_BUCKETS as u64).map(|i| seed + i).collect(),
+            count: seed * 100,
+            p50: seed,
+            p90: seed * 2,
+            p99: seed * 4,
+            p999: seed * 8,
+            max: seed * 16,
+        }
+    }
+
+    fn metrics_reply() -> MetricsReply {
+        MetricsReply {
+            telemetry: TelemetrySnapshot {
+                retry: hist(1),
+                steal: hist(2),
+                sweep: hist(3),
+                floor: hist(4),
+                tick: hist(5),
+                empty_pops: 11,
+                registry_probes: 22,
+                seg_installs: 33,
+                flush_published: 44,
+                flush_merged: 55,
+                gc_deferred: 66,
+                gc_collected: 77,
+            },
+            in_flight: 9,
+            utilization_permille: vec![1000, 517, 0, 250],
+        }
+    }
+
     #[test]
     fn all_frames_roundtrip() {
         roundtrip_request(Request::Submit {
@@ -500,6 +756,7 @@ mod tests {
         roundtrip_request(Request::Ping { token: 0xDEAD_BEEF });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Drain);
+        roundtrip_request(Request::Metrics);
         roundtrip_response(Response::Accepted { req_id: 1 });
         for code in [
             RejectCode::QueueFull,
@@ -527,6 +784,92 @@ mod tests {
             sojourn_max: 16383,
             inject_p99: 255,
         }));
+        roundtrip_response(Response::Metrics(Box::new(metrics_reply())));
+        // The gauge tail is genuinely variable-length: empty works too.
+        roundtrip_response(Response::Metrics(Box::new(MetricsReply {
+            utilization_permille: vec![],
+            ..metrics_reply()
+        })));
+    }
+
+    /// Satellite guard: every [`StatsReply`] field rides the wire at the
+    /// offset its name holds in [`StatsReply::WIRE_FIELDS`]. Distinct
+    /// sentinels per field mean a reorder of `to_wire`/`from_wire` (or
+    /// of the struct itself) fails here by name instead of silently
+    /// swapping two counters.
+    #[test]
+    fn stats_reply_field_order_is_named_end_to_end() {
+        let reply = StatsReply {
+            submitted: 0xA1,
+            accepted: 0xA2,
+            rejected: 0xA3,
+            completed: 0xA4,
+            in_flight: 0xA5,
+            sojourn_p50: 0xA6,
+            sojourn_p99: 0xA7,
+            sojourn_p999: 0xA8,
+            sojourn_max: 0xA9,
+            inject_p99: 0xAA,
+        };
+        let mut wire = Vec::new();
+        encode_response(&Response::Stats(reply), &mut wire);
+        let body = &wire[5..]; // length header + opcode byte
+        assert_eq!(body.len(), 80);
+        for (i, name) in StatsReply::WIRE_FIELDS.iter().enumerate() {
+            assert_eq!(
+                u64_at(body, i * 8),
+                reply.field(name).unwrap(),
+                "wire offset {i} must carry field `{name}`"
+            );
+            // Sentinels are distinct, so a swapped pair cannot pass.
+            assert_eq!(reply.field(name).unwrap(), 0xA1 + i as u64);
+        }
+        // And the decode side rebuilds by the same names.
+        let decoded = decode_response(&wire[4..]).unwrap();
+        assert_eq!(decoded, Response::Stats(reply));
+    }
+
+    #[test]
+    fn metrics_reply_bad_payloads_are_errors() {
+        let mut wire = Vec::new();
+        encode_response(&Response::Metrics(Box::new(metrics_reply())), &mut wire);
+        let payload = wire[4..].to_vec();
+        // Truncating below the fixed blocks is a BadPayload.
+        assert!(matches!(
+            decode_response(&payload[..METRICS_FIXED - 9]),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // A worker count that disagrees with the frame length is too.
+        let mut lying = payload.clone();
+        let n_off = METRICS_FIXED - 8; // n_workers word (opcode included)
+        lying[n_off..n_off + 8].copy_from_slice(&999u64.to_le_bytes());
+        assert!(matches!(
+            decode_response(&lying),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // The largest legitimate frame still fits MAX_FRAME.
+        let mut big = Vec::new();
+        encode_response(
+            &Response::Metrics(Box::new(MetricsReply {
+                utilization_permille: vec![1000; METRICS_MAX_WORKERS + 50],
+                ..metrics_reply()
+            })),
+            &mut big,
+        );
+        assert!(
+            big.len() - 4 <= MAX_FRAME,
+            "metrics frame exceeds MAX_FRAME"
+        );
+        match decode_response(&big[4..]).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(
+                    m.utilization_permille.len(),
+                    METRICS_MAX_WORKERS,
+                    "gauge tail is capped, not rejected"
+                );
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
     }
 
     #[test]

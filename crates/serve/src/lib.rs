@@ -35,6 +35,17 @@
 //! guarantee server-wide by joining connections and gracefully
 //! draining the pool before reporting final counters.
 //!
+//! Beyond per-request stamping, the wire carries **live exposition**:
+//! a [`Request::Metrics`] frame is answered with the server's full
+//! telemetry snapshot (every per-op histogram with its 64 log₂ buckets,
+//! the event counters and GC deltas) plus gauges sampled at the poll —
+//! in-flight tasks and per-worker busy permille since the previous
+//! poll — so an operator or a bench harness can watch a running server
+//! without touching its filesystem or perturbing its counters (the
+//! capture is non-resetting). When `RSCHED_TRACE=1` the server's
+//! workers also feed the flight recorder in `rsched_queues::trace`,
+//! and a graceful shutdown exports the Chrome-trace JSON.
+//!
 //! The `rsched-serve` binary wraps [`Server`] with env-knob
 //! configuration (`RSCHED_SERVE_ADDR`, `RSCHED_SERVE_BACKEND`,
 //! `RSCHED_SERVE_THREADS`, `RSCHED_SERVE_CAP`); the `serve_latency`
@@ -46,5 +57,8 @@ pub mod codec;
 pub mod server;
 
 pub use client::{ClientReceiver, ClientSender, ServeClient};
-pub use codec::{CodecError, RejectCode, Request, Response, StatsReply, MAX_FRAME};
+pub use codec::{
+    CodecError, MetricsReply, RejectCode, Request, Response, StatsReply, MAX_FRAME,
+    METRICS_MAX_WORKERS,
+};
 pub use server::{spin_work, Backend, Endpoint, ServeConfig, Server, ServerReport};

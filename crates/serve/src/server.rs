@@ -50,9 +50,11 @@
 //! report final conservation counters.
 
 use crate::codec::{
-    decode_request, read_frame, write_response, RejectCode, Request, Response, StatsReply,
+    decode_request, read_frame, write_response, MetricsReply, RejectCode, Request, Response,
+    StatsReply,
 };
-use rsched_queues::telemetry::PowHistogram;
+use rsched_queues::telemetry::{self, PowHistogram};
+use rsched_queues::trace::{self, EventKind};
 use rsched_queues::{ConcurrentMultiQueue, DCboQueue, MutexHeapSub, SkipShard};
 use rsched_runtime::pool::Scheduler;
 use rsched_runtime::{service, PoolStats, RuntimeConfig, ServiceHandle, TaskOutcome};
@@ -247,10 +249,19 @@ struct Shared {
     /// submit→inject, ns.
     inject: PowHistogram,
     pending: Mutex<Slab>,
+    /// Cumulative handler busy time per worker tid, ns — the raw feed
+    /// for the utilization gauges in [`Response::Metrics`]. One relaxed
+    /// `fetch_add` per completed task.
+    busy_ns: Vec<AtomicU64>,
+    /// Last Metrics poll: wall instant + the `busy_ns` values it saw.
+    /// Utilization is the busy delta over the wall delta *since the
+    /// previous poll*, so repeated polls behave like `top`, not like a
+    /// lifetime average.
+    last_poll: Mutex<(Instant, Vec<u64>)>,
 }
 
 impl Shared {
-    fn new(queue_cap: usize) -> Self {
+    fn new(queue_cap: usize, threads: usize) -> Self {
         Self {
             stop: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
@@ -263,6 +274,8 @@ impl Shared {
             sojourn: PowHistogram::new(),
             inject: PowHistogram::new(),
             pending: Mutex::new(Slab::with_capacity(queue_cap)),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            last_poll: Mutex::new((Instant::now(), vec![0; threads])),
         }
     }
 
@@ -278,6 +291,41 @@ impl Shared {
             sojourn_p999: self.sojourn.quantile(0.999),
             sojourn_max: self.sojourn.max_observed(),
             inject_p99: self.inject.quantile(0.99),
+        }
+    }
+
+    /// Build a [`Response::Metrics`] payload: the process-cumulative
+    /// telemetry snapshot (non-resetting [`telemetry::capture`], so a
+    /// live poll never perturbs what a later drain reports) plus gauges
+    /// sampled here — in-flight now, and per-worker busy permille since
+    /// the previous poll.
+    fn metrics(&self) -> MetricsReply {
+        let now = Instant::now();
+        let busy: Vec<u64> = self
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut last = self.last_poll.lock().expect("metrics poll state poisoned");
+        let wall_ns = now.duration_since(last.0).as_nanos() as u64;
+        let utilization_permille = busy
+            .iter()
+            .zip(last.1.iter())
+            .map(|(cur, prev)| {
+                // Saturate at 1000: spin timing can overshoot the
+                // wall window by scheduling jitter.
+                cur.saturating_sub(*prev)
+                    .saturating_mul(1000)
+                    .checked_div(wall_ns)
+                    .map_or(0, |v| v.min(1000))
+            })
+            .collect();
+        *last = (now, busy);
+        drop(last);
+        MetricsReply {
+            telemetry: telemetry::capture(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            utilization_permille,
         }
     }
 }
@@ -313,6 +361,12 @@ fn complete_task(shared: &Shared, slot: usize, run_work: bool) {
     shared.sojourn.record(sojourn_ns);
     shared.inject.record(p.inject_ns);
     shared.completed.fetch_add(1, Ordering::Relaxed);
+    // Release the admission unit after the slab slot is freed (that
+    // ordering is what bounds the slab, see [`Slab`]) but *before* the
+    // completion is sent: a client that has received its Completed must
+    // never observe the request still in flight on a subsequent
+    // Stats/Metrics poll.
+    shared.in_flight.fetch_sub(1, Ordering::Release);
     // The writer may already be gone (client vanished); the task is
     // still accounted, only the notification is lost.
     let _ = p.reply.send(WriterMsg::Resp(Response::Completed {
@@ -320,9 +374,6 @@ fn complete_task(shared: &Shared, slot: usize, run_work: bool) {
         sojourn_ns,
         inject_ns: p.inject_ns,
     }));
-    // Release the admission unit last: alloc-after-increment plus
-    // free-before-decrement is what bounds the slab (see [`Slab`]).
-    shared.in_flight.fetch_sub(1, Ordering::Release);
 }
 
 /// Messages into a connection's writer thread.
@@ -519,7 +570,7 @@ impl Server {
             Endpoint::Unix(p) => Some(p.clone()),
             Endpoint::Tcp(_) => None,
         };
-        let shared = Arc::new(Shared::new(cfg.queue_cap));
+        let shared = Arc::new(Shared::new(cfg.queue_cap, cfg.threads));
         let handle = {
             let shared = Arc::clone(&shared);
             Arc::new(service(
@@ -529,8 +580,11 @@ impl Server {
                     seed: cfg.seed,
                     ..RuntimeConfig::default()
                 },
-                move |_, slot, _| {
+                move |w, slot, _| {
+                    let started = Instant::now();
                     complete_task(&shared, slot, true);
+                    shared.busy_ns[w.tid]
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     TaskOutcome::Executed
                 },
             ))
@@ -716,6 +770,11 @@ fn reader_loop<S>(
             Request::Stats => {
                 let _ = writer.send(WriterMsg::Resp(Response::Stats(shared.stats())));
             }
+            Request::Metrics => {
+                let _ = writer.send(WriterMsg::Resp(Response::Metrics(Box::new(
+                    shared.metrics(),
+                ))));
+            }
             Request::Drain => {
                 let _ = writer.send(WriterMsg::DrainRequested);
                 return;
@@ -729,6 +788,7 @@ fn reader_loop<S>(
                 shared.submitted.fetch_add(1, Ordering::Relaxed);
                 if shared.stop.load(Ordering::Acquire) {
                     shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    trace::emit(EventKind::AdmissionReject, req_id);
                     let _ = writer.send(WriterMsg::Resp(Response::Rejected {
                         req_id,
                         code: RejectCode::Shutdown,
@@ -744,6 +804,7 @@ fn reader_loop<S>(
                 if prev >= shared.queue_cap as u64 {
                     shared.in_flight.fetch_sub(1, Ordering::Release);
                     shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    trace::emit(EventKind::AdmissionReject, req_id);
                     let _ = writer.send(WriterMsg::Resp(Response::Rejected {
                         req_id,
                         code: RejectCode::QueueFull,

@@ -210,10 +210,100 @@ fn ping_and_stats_roundtrip() {
 }
 
 #[test]
+fn metrics_roundtrips_full_telemetry_snapshot_over_the_wire() {
+    let threads = 2;
+    let server = ephemeral(Backend::MqSkiplist, threads, 1024);
+    let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+    // Render some real service so the snapshot has something to say.
+    let n = 64u64;
+    for i in 0..n {
+        client
+            .send(&Request::Submit {
+                req_id: i,
+                prio: i,
+                work_ns: 20_000,
+            })
+            .unwrap();
+    }
+    let mut completed = 0u64;
+    while completed < n {
+        match client.recv().unwrap() {
+            Some(Response::Accepted { .. }) => {}
+            Some(Response::Completed { .. }) => completed += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Workers flush thread-local telemetry when they park; poll until
+    // the tick histogram has visibly absorbed our work. Telemetry is
+    // process-global, so assertions are ≥, never ==.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let m = loop {
+        client.send(&Request::Metrics).unwrap();
+        let m = match client.recv().unwrap() {
+            Some(Response::Metrics(m)) => m,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        if m.telemetry.tick.count >= n {
+            break m;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tick count stuck at {} (< {n})",
+            m.telemetry.tick.count
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // The full snapshot really crossed the wire: every histogram block
+    // carries its complete bucket array and internally-consistent
+    // quantiles.
+    for hist in [
+        &m.telemetry.retry,
+        &m.telemetry.steal,
+        &m.telemetry.sweep,
+        &m.telemetry.floor,
+        &m.telemetry.tick,
+    ] {
+        assert_eq!(hist.buckets.len(), 64, "bucket array truncated in flight");
+        assert_eq!(
+            hist.buckets.iter().sum::<u64>(),
+            hist.count,
+            "bucket sum disagrees with count"
+        );
+        assert!(hist.p50 <= hist.p99 && hist.p99 <= hist.p999);
+    }
+    assert_eq!(
+        m.utilization_permille.len(),
+        threads,
+        "one gauge per worker"
+    );
+    assert!(m.utilization_permille.iter().all(|&u| u <= 1000));
+    assert_eq!(m.in_flight, 0, "all work completed before the poll");
+    // A second poll still decodes: the sampler window reset is not a
+    // one-shot.
+    client.send(&Request::Metrics).unwrap();
+    match client.recv().unwrap() {
+        Some(Response::Metrics(m2)) => {
+            assert!(m2.telemetry.tick.count >= m.telemetry.tick.count);
+        }
+        other => panic!("expected second Metrics, got {other:?}"),
+    }
+    client.send(&Request::Drain).unwrap();
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Response::Drained { completed: n })
+    );
+    server.shutdown();
+}
+
+#[test]
 fn abrupt_disconnect_still_accounts_accepted_work() {
     // A client that vanishes mid-stream must not wedge the server or
-    // leak in-flight accounting: its accepted tasks complete and the
-    // server-side counters balance.
+    // leak in-flight accounting: every submit the server *decoded* is
+    // accepted, completed and balanced. The count decoded may be below
+    // what the client wrote — the server's replies to the closed peer
+    // draw an RST, and an RST discards frames still queued in the
+    // server's receive buffer; TCP offers no delivery guarantee to a
+    // vanished client, and neither does the server.
     let server = ephemeral(Backend::MqSkiplist, 2, 1024);
     let n = 100u64;
     {
@@ -235,7 +325,14 @@ fn abrupt_disconnect_still_accounts_accepted_work() {
         let mut probe = ServeClient::connect(server.endpoint()).expect("probe connect");
         probe.send(&Request::Stats).unwrap();
         match probe.recv().unwrap() {
-            Some(Response::Stats(s)) if s.completed == s.accepted && s.submitted == n => break,
+            Some(Response::Stats(s))
+                if s.submitted > 0
+                    && s.submitted <= n
+                    && s.completed == s.accepted
+                    && s.in_flight == 0 =>
+            {
+                break
+            }
             Some(Response::Stats(_)) if std::time::Instant::now() < deadline => {
                 std::thread::sleep(Duration::from_millis(20));
             }
@@ -243,6 +340,7 @@ fn abrupt_disconnect_still_accounts_accepted_work() {
         }
     }
     let report = server.shutdown();
-    assert_eq!(report.submitted, n);
+    assert!(report.submitted > 0 && report.submitted <= n);
+    assert_eq!(report.submitted, report.accepted + report.rejected);
     assert_eq!(report.completed, report.accepted);
 }
