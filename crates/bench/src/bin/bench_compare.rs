@@ -21,9 +21,10 @@
 //! * a baseline cell has no matching fresh cell, or a fresh record is
 //!   missing a field its baseline record carries (schema regression);
 //! * a fresh record is missing any of the **required telemetry tails**
-//!   (`retry_p99`, `steal_p99`, `flush_merge_ratio`, `gc_collected`) —
-//!   every contention sweep emits them, so their absence means the
-//!   instrumentation window broke;
+//!   (`retry_p99`, `retry_p999`, `steal_p99`, `steal_p999`,
+//!   `flush_merge_ratio`, `gc_collected`) — every contention sweep
+//!   emits them, so their absence means the instrumentation window
+//!   broke;
 //! * a record's **conservation fields** are inconsistent — pops must
 //!   not exceed ops, home/steal counts must not exceed pops,
 //!   `merge_fraction` must match `merges / (inserts + merges)`,
@@ -42,7 +43,14 @@
 //!   divide cleanly). The histogram buckets are log₂, so one bucket of
 //!   drift passes and two consecutive buckets fail — the tail gate
 //!   guards progress per operation the same way the throughput gate
-//!   guards operations per second.
+//!   guards operations per second;
+//! * the **extreme tails** (`retry_p999`, `steal_p999`) inflated
+//!   beyond the *cubed* tolerance limit (≈4.6× default) in both views,
+//!   whenever the baseline cell carries them. This is the
+//!   practically-wait-free invariant of the paper as a CI gate: in the
+//!   steady states we snapshot, p999 per-op retries sit at 0–1, so a
+//!   cell whose extreme tail grows by three log₂ buckets has left the
+//!   practically-wait-free regime even if its mean throughput held.
 //!
 //! **Serving artifacts** (`serve_latency`; recognised by the
 //! `arrival_process` axis) ride the same machinery with their own
@@ -292,10 +300,17 @@ fn cell_key(rec: &Record) -> String {
 /// its instrumentation window, which is itself a regression.
 const REQUIRED_TAILS: &[&str] = &[
     "retry_p99",
+    "retry_p999",
     "steal_p99",
+    "steal_p999",
     "flush_merge_ratio",
     "gc_collected",
 ];
+
+/// The extreme-tail fields gated with the cubed tolerance limit — the
+/// practically-wait-free invariant. Only gated when the *baseline*
+/// record carries the field, so pre-p999 baselines keep passing.
+const EXTREME_TAILS: &[&str] = &["retry_p999", "steal_p999"];
 
 /// The fields every open-system serving record must carry: the sojourn
 /// latency quantiles and the accepted-throughput metric. A serving
@@ -586,6 +601,34 @@ fn main() -> ExitCode {
                      limit x{tail_limit:.2})"
                 ));
                 verdict = "FAIL(tail)";
+            }
+        }
+        // The extreme-tail gates (contention cells only): p999 per-op
+        // retries and steal rounds, cubed limit. Peak-normalized per
+        // metric so a host whose whole run shifted a bucket still
+        // passes; a single cell leaving the practically-wait-free
+        // regime does not.
+        if !serve {
+            let limit = (1.0 / (1.0 - tol)).powi(3);
+            for &extreme in EXTREME_TAILS {
+                let (Some(bt), Some(ft)) = (
+                    base.get(extreme).and_then(Val::as_f64),
+                    fresh_rec.get(extreme).and_then(Val::as_f64),
+                ) else {
+                    continue;
+                };
+                let bp = run_peak(&baseline, false, extreme);
+                let fp = run_peak(&fresh, false, extreme);
+                let raw_growth = (ft + 1.0) / (bt + 1.0);
+                let norm_growth = ((ft + 1.0) / (fp + 1.0)) / ((bt + 1.0) / (bp + 1.0));
+                if raw_growth > limit && norm_growth > limit {
+                    failures.push(format!(
+                        "cell [{key}]: {extreme} tail inflated {bt:.0} -> {ft:.0} \
+                         (raw x{raw_growth:.2}, normalized x{norm_growth:.2}, \
+                         limit x{limit:.2})"
+                    ));
+                    verdict = "FAIL(tail)";
+                }
             }
         }
         println!("  [{key}] {b:>12.0} -> {f:>12.0}  raw x{raw_ratio:.2} norm x{norm_ratio:.2}  {verdict}");

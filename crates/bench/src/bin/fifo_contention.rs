@@ -1,8 +1,8 @@
 //! **FIFO-CONTENTION** — multithreaded throughput and concurrent
 //! rank-error sweep of the relaxed FIFO family across shard backends.
 //!
-//! For every `(queue ∈ {d-RA, d-CBO}) × (backend ∈ {mutex, ms, segring})
-//! × threads` cell, `threads` workers hammer one shared queue with a
+//! For every `(queue ∈ {d-RA, d-CBO}) × (backend ∈ {mutex, ms, segring,
+//! faa}) × threads` cell, `threads` workers hammer one shared queue with a
 //! 50/50 enqueue/dequeue mix while the
 //! [`ConcurrentRankEstimator`] stamps every enqueue and logs every
 //! dequeue. Each worker drives the queue through its **worker session**
@@ -25,7 +25,9 @@
 //! faithful d-CBO configuration), and the session axes ride on
 //! `RSCHED_SHARDS_PER_WORKER` (home shards per worker, 0 = no affinity)
 //! and `RSCHED_SPAWN_BATCH` (enqueue batching) — both recorded in every
-//! JSON line. `RSCHED_TRACE=1` additionally feeds the flight recorder
+//! JSON line, plus `RSCHED_SPAWN_BATCH_ADAPTIVE` (grow/shrink the live
+//! batch with the home-pop signal; recorded as a non-identity field).
+//! `RSCHED_TRACE=1` additionally feeds the flight recorder
 //! (`rsched_queues::trace`) from the measured loop — inject/pop/steal/
 //! complete events per worker lane — and exports Chrome-trace JSON to
 //! `RSCHED_TRACE_OUT` at exit; every record carries a `trace` flag so
@@ -41,11 +43,11 @@
 //! [`FifoSession`]: rsched_queues::FifoSession
 
 use rsched_bench::{
-    env_opt_usize, env_thread_list, env_usize, session_knobs, telemetry_json_fields,
-    write_json_artifact, Scale,
+    env_opt_usize, env_thread_list, env_usize, session_knobs, spawn_batch_adaptive,
+    telemetry_json_fields, write_json_artifact, Scale,
 };
 use rsched_queues::instrument::ConcurrentRankEstimator;
-use rsched_queues::lockfree::{MsQueue, SegRingQueue};
+use rsched_queues::lockfree::{FaaRingQueue, MsQueue, SegRingQueue};
 use rsched_queues::trace::{self, EventKind};
 use rsched_queues::{
     telemetry, DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, SessionConfig,
@@ -135,6 +137,7 @@ impl Mix {
 struct Tuning {
     shards_per_worker: usize,
     spawn_batch: usize,
+    adaptive: bool,
 }
 
 /// Run one contention cell: `threads` workers, each `ops_per_thread`
@@ -175,6 +178,7 @@ fn trial<Q: ContendedFifo>(
                 let mut session = queue.open(&SessionConfig {
                     shards_per_worker: tuning.shards_per_worker,
                     spawn_batch: tuning.spawn_batch,
+                    adaptive_spawn: tuning.adaptive,
                     ..SessionConfig::for_worker(tid, threads)
                 });
                 // A private coin for the random mix (the session owns the
@@ -268,14 +272,16 @@ fn main() {
     let threads_sweep = env_thread_list(&[1, 2, 4, 8, 16]);
     let mix = Mix::from_env();
     let (shards_per_worker, spawn_batch) = session_knobs();
+    let adaptive = spawn_batch_adaptive();
     let tuning = Tuning {
         shards_per_worker,
         spawn_batch,
+        adaptive,
     };
     println!(
         "== relaxed-FIFO contention sweep (scale {scale:?}, {ops_per_thread} ops/thread, \
          {} workload, best of {reps}, threads {threads_sweep:?}, \
-         shards/worker {shards_per_worker}, spawn batch {spawn_batch}) ==",
+         shards/worker {shards_per_worker}, spawn batch {spawn_batch}, adaptive {adaptive}) ==",
         if mix == Mix::Pairs {
             "pairs"
         } else {
@@ -326,7 +332,7 @@ fn main() {
             ]
         }
         let mut makes: Vec<Cell<'_>> = Vec::new();
-        for backend in ["mutex", "ms", "segring"] {
+        for backend in ["mutex", "ms", "segring", "faa"] {
             makes.extend(match backend {
                 "mutex" => backend_cells::<MutexSub<u64>>(
                     backend,
@@ -346,7 +352,16 @@ fn main() {
                     mix,
                     tuning,
                 ),
-                _ => backend_cells::<SegRingQueue<u64>>(
+                "segring" => backend_cells::<SegRingQueue<u64>>(
+                    backend,
+                    shards,
+                    threads,
+                    ops_per_thread,
+                    prefill,
+                    mix,
+                    tuning,
+                ),
+                _ => backend_cells::<FaaRingQueue<u64>>(
                     backend,
                     shards,
                     threads,
@@ -382,12 +397,14 @@ fn main() {
                 "{{\"queue\":\"{queue}\",\"backend\":\"{backend}\",\"threads\":{threads},\
                  \"shards\":{shards},\"prefill\":{prefill},\"trace\":{},\
                  \"shards_per_worker\":{shards_per_worker},\"spawn_batch\":{spawn_batch},\
+                 \"spawn_batch_adaptive\":{},\
                  \"ops\":{},\"wall_s\":{:.6},\
                  \"ops_per_sec\":{:.1},\"pops\":{},\"pops_per_sec\":{:.1},\
                  \"home_hits\":{},\"home_fraction\":{:.4},\"steals\":{},\
                  \"steal_fraction\":{:.4},\"dequeues_measured\":{},\"mean_rank_error\":{:.4},\
                  \"p99_rank_error\":{},\"max_rank_error\":{},{}}}",
                 trace_on as u8,
+                adaptive as u8,
                 t.ops,
                 t.wall_s,
                 t.ops as f64 / t.wall_s,

@@ -109,20 +109,35 @@ pub fn session_knobs() -> (usize, usize) {
     )
 }
 
+/// The adaptive-spawn-batch knob (`RSCHED_SPAWN_BATCH_ADAPTIVE`,
+/// non-zero enables; default off): sessions start unbatched and grow
+/// the live spawn buffer toward `RSCHED_SPAWN_BATCH` on home-shard pop
+/// hits, shrinking toward 1 on misses. Emitted in every contention
+/// JSON record as a *non-identity* field (`spawn_batch_adaptive`), so
+/// runs with the flag flipped still compare against the same baseline
+/// cell.
+pub fn spawn_batch_adaptive() -> bool {
+    env_usize("RSCHED_SPAWN_BATCH_ADAPTIVE", 0) != 0
+}
+
 /// The shared telemetry tail-field fragment of the bench JSON schema
 /// (no surrounding braces, no leading comma): per-op CAS-retry and
 /// steal-round quantiles, fallback-sweep p99, empty-pop and flush
 /// counters, and the epoch-GC progress pair. Every contention bin
 /// appends this to its record so `bench_compare` can gate the tails
 /// uniformly; structure-specific extras (floor scan, registry probes,
-/// segment installs) ride separately.
+/// segment installs) ride separately. The flat-combining trio
+/// (`batch_p50`/`batch_p99`/`combined_ops`/`claim_fanout`) is all-zero
+/// for backends without a combiner.
 pub fn telemetry_json_fields(t: &rsched_queues::TelemetrySnapshot) -> String {
     format!(
         "\"retry_p50\":{},\"retry_p99\":{},\"retry_p999\":{},\"retry_max\":{},\
          \"retry_count\":{},\"steal_p50\":{},\"steal_p99\":{},\"steal_p999\":{},\
          \"sweep_p99\":{},\"empty_pops\":{},\"flush_published\":{},\
          \"flush_merged\":{},\"flush_merge_ratio\":{:.6},\
-         \"gc_deferred\":{},\"gc_collected\":{}",
+         \"gc_deferred\":{},\"gc_collected\":{},\
+         \"batch_p50\":{},\"batch_p99\":{},\"batch_max\":{},\
+         \"combined_ops\":{},\"claim_fanout\":{}",
         t.retry.p50,
         t.retry.p99,
         t.retry.p999,
@@ -138,6 +153,11 @@ pub fn telemetry_json_fields(t: &rsched_queues::TelemetrySnapshot) -> String {
         t.flush_merge_ratio(),
         t.gc_deferred,
         t.gc_collected,
+        t.batch.p50,
+        t.batch.p99,
+        t.batch.max,
+        t.combined_ops,
+        t.claim_fanout,
     )
 }
 

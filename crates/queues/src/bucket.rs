@@ -788,6 +788,7 @@ mod tests {
         }
         check::<SkipShard<u64>>();
         check::<MutexHeapSub<u64>>();
+        check::<crate::flatcomb::FcHeapSub<u64>>();
     }
 
     #[test]
@@ -903,6 +904,47 @@ mod tests {
             net -= 1;
         }
         assert_eq!(net, 0, "storm lost or duplicated elements");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_storm_conserves_counts_flatcomb() {
+        // Same conservation storm over flat-combining bucket shards —
+        // the convoy-case backend the bucket bench sweeps.
+        let q: Arc<BucketFifoQueue<crate::flatcomb::FcHeapSub<u64>>> =
+            Arc::new(BucketFifoQueue::with_backend(32, 4));
+        let threads = 8;
+        let per = 2_000usize;
+        let results: Vec<i64> = std::thread::scope(|s| {
+            (0..threads)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                        let mut net = 0i64;
+                        for i in 0..per {
+                            let item = t * per + i;
+                            if q.push_or_decrease(item, rng.gen_range(0..10_000)) {
+                                net += 1;
+                            }
+                            if i % 2 == 0 && q.pop(&mut rng).is_some() {
+                                net -= 1;
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut net: i64 = results.iter().sum();
+        let mut rng = SmallRng::seed_from_u64(0);
+        while q.pop(&mut rng).is_some() {
+            net -= 1;
+        }
+        assert_eq!(net, 0, "flat-combining storm lost or duplicated elements");
         assert!(q.is_empty());
     }
 

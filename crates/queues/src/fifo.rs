@@ -361,7 +361,15 @@ pub struct FifoSession<T> {
     /// resumes there so a hot home shard keeps serving until it misses.
     rotor: usize,
     buf: Vec<T>,
+    /// Live spawn-buffer threshold. Fixed at the configured
+    /// `spawn_batch` unless `adaptive` is set, in which case it starts
+    /// at 1 and moves between 1 and `batch_cap` with the pop signal.
     batch: usize,
+    /// Ceiling for the live threshold (the configured `spawn_batch`).
+    batch_cap: usize,
+    /// Adaptive batching on: double `batch` on a home-shard pop hit,
+    /// halve it on a pop miss (the quiescence signal).
+    adaptive: bool,
 }
 
 impl<T> FifoSession<T> {
@@ -373,6 +381,30 @@ impl<T> FifoSession<T> {
     /// Elements parked in the spawn buffer, not yet published.
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The live spawn-buffer threshold: the configured `spawn_batch`
+    /// when fixed, the current adapted value when
+    /// [`SessionConfig::adaptive_spawn`] is set.
+    pub fn spawn_batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Fold one pop outcome into the adaptive batch size: a home-shard
+    /// hit means this session's shards hold plenty of local work, so
+    /// batching pushes is cheap latency-wise — double the threshold
+    /// (up to the configured ceiling). A miss means the structure is
+    /// near quiescence and every buffered spawn is invisible progress —
+    /// halve toward 1 so pushes publish (almost) immediately.
+    fn adapt(&mut self, outcome: Option<PopSource>) {
+        if !self.adaptive {
+            return;
+        }
+        match outcome {
+            Some(PopSource::Home) => self.batch = (self.batch * 2).min(self.batch_cap),
+            None => self.batch = (self.batch / 2).max(1),
+            Some(PopSource::Steal) | Some(PopSource::Shared) => {}
+        }
     }
 
     fn is_home(&self, shard: usize) -> bool {
@@ -402,7 +434,8 @@ fn new_fifo_session<T>(q: usize, cfg: &SessionConfig) -> FifoSession<T> {
             homes.push(shard);
         }
     }
-    let batch = cfg.spawn_batch.clamp(1, MAX_SPAWN_BATCH);
+    let batch_cap = cfg.spawn_batch.clamp(1, MAX_SPAWN_BATCH);
+    let adaptive = cfg.adaptive_spawn && batch_cap > 1;
     FifoSession {
         pin: PinSession::none(),
         // `cfg.seed` is already the per-worker stream (the config
@@ -412,8 +445,13 @@ fn new_fifo_session<T>(q: usize, cfg: &SessionConfig) -> FifoSession<T> {
         rng: SmallRng::seed_from_u64(cfg.seed),
         homes,
         rotor: 0,
-        buf: Vec::with_capacity(if batch > 1 { batch } else { 0 }),
-        batch,
+        buf: Vec::with_capacity(if batch_cap > 1 { batch_cap } else { 0 }),
+        // Adaptive sessions start unbatched and earn their buffer from
+        // home-shard pop hits; fixed sessions get the whole cap up
+        // front, exactly as before.
+        batch: if adaptive { 1 } else { batch_cap },
+        batch_cap,
+        adaptive,
     }
 }
 
@@ -633,10 +671,12 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
         let mut rotor = s.rotor;
         let out = self.pop_with_homes(&s.homes, &mut rotor, &mut s.rng, &tok);
         s.rotor = rotor;
-        out.map(|(item, shard)| {
+        let out = out.map(|(item, shard)| {
             let src = s.classify(shard);
             (item, src)
-        })
+        });
+        s.adapt(out.as_ref().map(|&(_, src)| src));
+        out
     }
 
     /// The shared pop engine: locality phase over `homes`, then steal
@@ -1012,10 +1052,12 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
         let mut rotor = s.rotor;
         let out = self.pop_with_homes(&s.homes, &mut rotor, &mut s.rng, &tok);
         s.rotor = rotor;
-        out.map(|(item, shard)| {
+        let out = out.map(|(item, shard)| {
             let src = s.classify(shard);
             (item, src)
-        })
+        });
+        s.adapt(out.as_ref().map(|&(_, src)| src));
+        out
     }
 
     /// The shared pop engine: locality phase over `homes` (round-robin
@@ -1150,12 +1192,16 @@ pub type DRaMutexQueue<T> = DRaQueue<T, MutexSub<T>>;
 pub type DRaMsQueue<T> = DRaQueue<T, crate::lockfree::MsQueue<T>>;
 /// d-RA over lock-free segmented-ring shards (the default).
 pub type DRaSegQueue<T> = DRaQueue<T, SegRingQueue<T>>;
+/// d-RA over fetch-add claimed ring shards (CRQ-style).
+pub type DRaFaaQueue<T> = DRaQueue<T, crate::lockfree::FaaRingQueue<T>>;
 /// d-CBO over mutex-guarded shards (the PR 1 baseline).
 pub type DCboMutexQueue<T> = DCboQueue<T, MutexSub<T>>;
 /// d-CBO over lock-free Michael–Scott shards.
 pub type DCboMsQueue<T> = DCboQueue<T, crate::lockfree::MsQueue<T>>;
 /// d-CBO over lock-free segmented-ring shards (the default).
 pub type DCboSegQueue<T> = DCboQueue<T, SegRingQueue<T>>;
+/// d-CBO over fetch-add claimed ring shards (CRQ-style).
+pub type DCboFaaQueue<T> = DCboQueue<T, crate::lockfree::FaaRingQueue<T>>;
 
 // ---------------------------------------------------------------------
 // Rank-error instrumentation (sequential)
@@ -1349,6 +1395,7 @@ mod tests {
         check::<MutexSub<i32>>();
         check::<MsQueue<i32>>();
         check::<SegRingQueue<i32>>();
+        check::<crate::lockfree::FaaRingQueue<i32>>();
     }
 
     #[test]
@@ -1404,6 +1451,7 @@ mod tests {
         check::<MutexSub<u64>>("mutex");
         check::<MsQueue<u64>>("ms");
         check::<SegRingQueue<u64>>("segring");
+        check::<crate::lockfree::FaaRingQueue<u64>>("faa");
     }
 
     #[test]
@@ -1592,6 +1640,51 @@ mod tests {
         assert_eq!(q.len(), 16);
         // An explicit flush of an empty buffer is a no-op.
         assert_eq!(q.flush_session(&mut s), FlushReport::default());
+    }
+
+    #[test]
+    fn adaptive_session_grows_on_home_hits_and_shrinks_on_misses() {
+        // Worker 0 of 1 owning all 4 shards: every successful pop is a
+        // Home hit, so the adaptive ladder is fully deterministic.
+        let q: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let mut s = q.session(&SessionConfig {
+            spawn_batch: 8,
+            adaptive_spawn: true,
+            shards_per_worker: 4,
+            ..SessionConfig::for_worker(0, 1)
+        });
+        assert_eq!(s.spawn_batch(), 1, "adaptive sessions start unbatched");
+        // Unbatched pushes publish immediately, as spawn_batch=1 does.
+        assert_eq!(q.push_session(0, &mut s).push, SessionPush::Inserted);
+        let (_, src) = q.pop_session(&mut s).unwrap();
+        assert_eq!(src, PopSource::Home);
+        assert_eq!(s.spawn_batch(), 2, "a home hit doubles the threshold");
+        // Three more hits climb 2 → 4 → 8 and saturate at the ceiling.
+        for _ in 0..3 {
+            q.push_session(1, &mut s);
+            q.flush_session(&mut s);
+            let (_, src) = q.pop_session(&mut s).unwrap();
+            assert_eq!(src, PopSource::Home);
+        }
+        assert_eq!(s.spawn_batch(), 8, "growth is capped at spawn_batch");
+        // Pop misses halve toward 1: near quiescence the session must
+        // not park spawns invisibly.
+        assert!(q.pop_session(&mut s).is_none());
+        assert_eq!(s.spawn_batch(), 4, "a miss halves the threshold");
+        for _ in 0..3 {
+            assert!(q.pop_session(&mut s).is_none());
+        }
+        assert_eq!(s.spawn_batch(), 1, "misses shrink back to unbatched");
+        // Without the flag the threshold never moves off the config.
+        let fixed: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let mut f = fixed.session(&SessionConfig {
+            spawn_batch: 8,
+            shards_per_worker: 4,
+            ..SessionConfig::for_worker(0, 1)
+        });
+        assert_eq!(f.spawn_batch(), 8);
+        assert!(fixed.pop_session(&mut f).is_none());
+        assert_eq!(f.spawn_batch(), 8, "fixed sessions ignore the signal");
     }
 
     #[test]

@@ -33,15 +33,18 @@
 //!   workloads (BFS frontiers, k-core peeling).
 //! * **Lock-free sub-queues** ([`lockfree`]): the shard backends of the
 //!   FIFO family — a Michael–Scott linked queue
-//!   ([`lockfree::MsQueue`]) and a segmented ring buffer
-//!   ([`lockfree::SegRingQueue`], the default), reclaimed through the
-//!   epoch scheme in `crossbeam::epoch`, selectable per queue through
-//!   [`fifo::SubFifo`] (with [`fifo::MutexSub`] as the locked baseline).
+//!   ([`lockfree::MsQueue`]), a CAS-claimed segmented ring buffer
+//!   ([`lockfree::SegRingQueue`], the default) and its fetch-add
+//!   claimed CRQ-style variant ([`lockfree::FaaRingQueue`]), reclaimed
+//!   through the epoch scheme in `crossbeam::epoch`, selectable per
+//!   queue through [`fifo::SubFifo`] (with [`fifo::MutexSub`] as the
+//!   locked baseline).
 //! * **Lock-free priority shards** ([`skipshard`]): the shard backends
 //!   of the concurrent MultiQueue — an epoch-reclaimed Harris-style
-//!   skiplist ([`skipshard::SkipShard`], the default) and the
-//!   mutex-around-a-heap baseline ([`skipshard::MutexHeapSub`]),
-//!   selectable through [`skipshard::SubPriority`].
+//!   skiplist ([`skipshard::SkipShard`], the default), the
+//!   mutex-around-a-heap baseline ([`skipshard::MutexHeapSub`]) and the
+//!   flat-combining heap ([`flatcomb::FcHeapSub`]), selectable through
+//!   [`skipshard::SubPriority`].
 //! * **The bucketed hybrid** ([`bucket`]): [`bucket::BucketFifoQueue`],
 //!   a relaxed FIFO *of buckets* (Δ-wide priority bands, popped
 //!   oldest-visible) where each bucket is itself a relaxed priority
@@ -81,14 +84,40 @@
 //! behind one of two parallel traits:
 //!
 //! * [`fifo::SubFifo`] — FIFO shards: `push`/`try_pop`/`pop_wait` plus
-//!   the racy-safe [`head_seq`](fifo::SubFifo::head_seq) peek. Backends:
-//!   [`MutexSub`] (locked `VecDeque`), [`MsQueue`], [`SegRingQueue`]
-//!   (default). Composed by [`DRaQueue`] and [`DCboQueue`].
+//!   the racy-safe [`head_seq`](fifo::SubFifo::head_seq) peek.
+//!   Composed by [`DRaQueue`] and [`DCboQueue`].
 //! * [`skipshard::SubPriority`] — priority shards: `push_or_decrease` /
 //!   `try_pop_min` / `remove` / `decrease_key` plus the racy-safe
-//!   [`min_key`](skipshard::SubPriority::min_key) peek. Backends:
-//!   [`MutexHeapSub`] (locked indexed heap), [`SkipShard`] (default).
-//!   Composed by [`ConcurrentMultiQueue`].
+//!   [`min_key`](skipshard::SubPriority::min_key) peek.
+//!   Composed by [`ConcurrentMultiQueue`] and [`BucketFifoQueue`].
+//!
+//! The backend table — how each shard wins its regime:
+//!
+//! | backend | trait | synchronization | claim cost | regime |
+//! |---|---|---|---|---|
+//! | [`MutexSub`] | `SubFifo` | mutex over `VecDeque` | lock | uncontended / few threads |
+//! | [`MsQueue`] | `SubFifo` | Michael–Scott CAS list | head CAS retry loop | unbounded size, moderate contention |
+//! | [`SegRingQueue`] (default) | `SubFifo` | segmented ring, CAS-claimed slots | slot CAS retry loop | steady churn, allocation-free |
+//! | [`FaaRingQueue`] | `SubFifo` | segmented ring, fetch-add-claimed slots | **one `fetch_add`** (publish-or-skip arbitration) | popper/popper contention — the CAS convoy case |
+//! | [`MutexHeapSub`] | `SubPriority` | mutex over indexed heap | lock | uncontended / few threads |
+//! | [`SkipShard`] (default) | `SubPriority` | Harris skiplist + registry | mark-bit CAS | multicore contention, oversubscription |
+//! | [`FcHeapSub`] | `SubPriority` | **flat combining** over indexed heap | publish + one combining round | lock-convoy thread counts |
+//!
+//! ### The flat-combining layer
+//!
+//! [`flatcomb::FcHeapSub`] is the odd one out: neither a lock-free
+//! structure nor a plain locked one, it keeps the *sequential* heap and
+//! changes who executes the ops. Threads publish operations into
+//! per-thread cache-padded publication records; whichever thread holds
+//! the heap lock — the **combiner** — batch-applies every pending
+//! record before releasing, so under a convoy the shared structure is
+//! touched by one cache-warm thread while everyone else does a local
+//! spin. Its progress telemetry is dual to the CAS backends': instead
+//! of retry histograms it records combining **batch sizes**
+//! ([`telemetry::OpHist::Batch`]) and combined-op/pass counters — the
+//! practically-wait-free tail question becomes "how many combining
+//! rounds can an op wait?", bounded by the apply-all-pending pass
+//! discipline (and pinned by a fairness test).
 //!
 //! Both traits thread a per-operation **token** through every sub-call —
 //! an epoch [`Guard`](crossbeam::epoch::Guard) for lock-free backends,
@@ -198,6 +227,7 @@
 
 pub mod bucket;
 pub mod fifo;
+pub mod flatcomb;
 pub mod heap;
 pub mod instrument;
 pub mod kbounded;
@@ -212,19 +242,20 @@ pub mod trace;
 
 pub use bucket::{BucketFifoQueue, BucketSession};
 pub use fifo::{
-    DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaMsQueue, DRaMutexQueue, DRaQueue,
-    DRaSegQueue, FifoRankStats, FifoRankTracker, FifoSession, MutexSub, PinSession, RelaxedFifo,
-    SubFifo, TryPop,
+    DCboFaaQueue, DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaFaaQueue, DRaMsQueue,
+    DRaMutexQueue, DRaQueue, DRaSegQueue, FifoRankStats, FifoRankTracker, FifoSession, MutexSub,
+    PinSession, RelaxedFifo, SubFifo, TryPop,
 };
+pub use flatcomb::FcHeapSub;
 pub use heap::IndexedBinaryHeap;
 pub use instrument::{ConcurrentRankEstimator, RankRecorder, RankStats, RankTracker};
 pub use kbounded::RotatingKQueue;
 pub use klsm::{KLsmHandle, KLsmQueue};
-pub use lockfree::{MsQueue, SegRingQueue};
+pub use lockfree::{FaaRingQueue, MsQueue, SegRingQueue};
 pub use multiqueue::Placement;
 pub use multiqueue::{
-    ConcurrentMultiQueue, DuplicateMultiQueue, MqSession, MutexHeapMultiQueue, SimMultiQueue,
-    SkipListMultiQueue,
+    ConcurrentMultiQueue, DuplicateMultiQueue, FcHeapMultiQueue, MqSession, MutexHeapMultiQueue,
+    SimMultiQueue, SkipListMultiQueue,
 };
 pub use pairing::PairingHeap;
 pub use skipshard::{MutexHeapSub, SkipShard, SubPriority, TryPopMin};
@@ -267,6 +298,13 @@ pub struct SessionConfig {
     /// Spawn-buffer capacity (clamped to [`MAX_SPAWN_BATCH`]); `1`
     /// publishes every push immediately.
     pub spawn_batch: usize,
+    /// Adapt the live spawn-buffer size at runtime (FIFO sessions):
+    /// start at 1, double toward `spawn_batch` while home-shard pops
+    /// hit, and halve toward 1 on every pop miss, so batching tracks
+    /// how much locally-produced work the session is actually seeing.
+    /// `spawn_batch` stays the hard ceiling. Off by default — the
+    /// buffer is then a fixed `spawn_batch` slots, as before.
+    pub adaptive_spawn: bool,
     /// How many consecutive pops may reuse the session's sticky peek
     /// cache before a forced re-sample (MultiQueue); `1` re-samples
     /// every pop — the classic two-choice protocol.
@@ -281,6 +319,7 @@ impl Default for SessionConfig {
             seed: 0,
             shards_per_worker: 1,
             spawn_batch: 1,
+            adaptive_spawn: false,
             stickiness: 1,
         }
     }

@@ -38,6 +38,33 @@
 //! cache-resident slots; within a segment's lifetime cursors only grow,
 //! so there is no ABA.
 //!
+//! # [`FaaRingQueue`] — fetch-add claimed ring (CRQ-style)
+//!
+//! The same segment chain and reuse pool as [`SegRingQueue`], but the
+//! *popper* side claims with one `fetch_add` on the dequeue cursor
+//! instead of a CAS loop — the LCRQ/CRQ idea (Morrison & Afek, PPoPP
+//! 2013) applied to this workspace's segments. Under popper/popper
+//! contention the CAS-claimed ring degrades to a retry loop on the hot
+//! cursor; the fetch-add ring completes every claim in one wait-free
+//! RMW, and a per-slot `seq|state` word arbitrates what the claimed
+//! index holds:
+//!
+//! * **published** (odd word): the value is there — take it;
+//! * **empty** (zero word): the matching pusher has not published yet —
+//!   after a short bounded spin the popper CASes the word to a dead
+//!   [`SKIP`](Slot::SKIP) state and fetch-adds again. The CAS is the
+//!   publish-or-skip arbitration: exactly one of {pusher publish,
+//!   popper skip} wins, so no value is ever lost or seen twice.
+//!
+//! A pusher whose publish CAS keeps losing to skippers (poppers
+//! outrunning it) sets the segment's **closed bit** — the high bit of
+//! the enqueue cursor — and appends a fresh segment through the shared
+//! epoch-recycled pool, which ends the push/pop livelock the
+//! publish-or-skip dance could otherwise sustain. Closed or full
+//! segments drain and retire exactly like [`SegRingQueue`] segments.
+//! Empty pops pre-check the cursors and consume no claim, so an idle
+//! queue does not burn slots.
+//!
 //! # Memory reclamation
 //!
 //! Both queues reclaim through the epoch scheme in [`crossbeam::epoch`]
@@ -53,15 +80,20 @@
 //! # Choosing a backend
 //!
 //! * **[`SegRingQueue`]** (the family default): best throughput under
-//!   contention — slot claims are a single RMW on a cursor shared only
-//!   by one side of the queue, and allocation is amortized. Use it
-//!   whenever elements are `Send` and throughput matters.
+//!   moderate contention — slot claims are a single RMW on a cursor
+//!   shared only by one side of the queue, and allocation is amortized.
+//!   Use it whenever elements are `Send` and throughput matters.
+//! * **[`FaaRingQueue`]**: the same ring with wait-free pop *claims*
+//!   (one `fetch_add`, no CAS retry loop). Its retry tail — the
+//!   practically-wait-free evidence `bench_compare` gates — stays
+//!   flatter than the CAS ring's as popper counts grow, at the price of
+//!   occasionally skipping a slot when it races a slow pusher.
 //! * **[`MsQueue`]**: simplest possible lock-free baseline, useful to
 //!   isolate how much of the win is "no locks" versus "fewer, batched
 //!   allocations"; also the better citizen when elements are huge (a
 //!   segment pre-reserves `SEGMENT_CAP` slots of `T` up front).
 //! * **[`MutexSub`](crate::fifo::MutexSub)**: the PR 1 baseline, kept
-//!   for comparison (`fifo_contention` sweeps all three) and for
+//!   for comparison (`fifo_contention` sweeps all four) and for
 //!   single-threaded use, where an uncontended lock beats an epoch pin.
 
 use crate::fifo::{SubFifo, TryPop};
@@ -353,12 +385,34 @@ struct Slot<T> {
 
 impl<T> Slot<T> {
     const EMPTY: u64 = 0;
+    /// Dead-slot sentinel for the fetch-add ring: a popper that claimed
+    /// this index before the pusher published writes `SKIP` (even, so
+    /// [`is_published`](Self::is_published) stays a one-bit test) and
+    /// the slot never carries a value. Only [`FaaRingQueue`] writes it.
+    const SKIP: u64 = 2;
 
     fn pack(seq: u64) -> u64 {
         debug_assert!(seq < u64::MAX / 2, "arrival stamp overflows the packing");
         (seq << 1) | 1
     }
+
+    /// `true` iff `word` is a published `pack(seq)` value (odd). `EMPTY`
+    /// and `SKIP` are both even, so this is the single liveness test for
+    /// both ring variants.
+    #[inline]
+    fn is_published(word: u64) -> bool {
+        word & 1 == 1
+    }
 }
+
+/// Closed bit of a fetch-add ring segment's enqueue cursor: once set, no
+/// pusher writes another slot in this segment — the closer appends a
+/// successor instead. [`SegRingQueue`] never sets it (its cursors stay
+/// far below the bit), so the shared [`Segment`] machinery masks it
+/// unconditionally.
+const SEG_CLOSED: usize = 1 << (usize::BITS - 1);
+/// Index bits of an enqueue cursor (everything below [`SEG_CLOSED`]).
+const SEG_IDX: usize = !SEG_CLOSED;
 
 struct Segment<T> {
     /// Global position of slot 0 (successor segments get
@@ -403,7 +457,7 @@ impl<T> Segment<T> {
     fn reset(&mut self, base: u64, pool: *const SegPool<T>) {
         debug_assert!(
             self.deq.load(Ordering::Relaxed) >= SEGMENT_CAP
-                || self.enq.load(Ordering::Relaxed) == 0,
+                || self.enq.load(Ordering::Relaxed) & SEG_IDX == 0,
             "resetting a segment that still holds live elements"
         );
         self.base = base;
@@ -429,11 +483,15 @@ impl<T> Drop for Segment<T> {
     fn drop(&mut self) {
         // Exclusive access: slots in [deq, min(enq, CAP)) that were
         // published still hold live elements (a fully drained segment has
-        // deq == CAP and drops nothing).
+        // deq == CAP and drops nothing). The liveness test is the odd
+        // publication bit, not merely non-zero: a fetch-add ring leaves
+        // dead SKIP words (even) behind, and a closed segment leaves
+        // EMPTY slots below its claimed enqueue index — neither holds a
+        // value.
         let deq = self.deq.load(Ordering::Relaxed).min(SEGMENT_CAP);
-        let enq = self.enq.load(Ordering::Relaxed).min(SEGMENT_CAP);
+        let enq = (self.enq.load(Ordering::Relaxed) & SEG_IDX).min(SEGMENT_CAP);
         for slot in &self.slots[deq.min(enq)..enq] {
-            if slot.seq_state.load(Ordering::Relaxed) != Slot::<T>::EMPTY {
+            if Slot::<T>::is_published(slot.seq_state.load(Ordering::Relaxed)) {
                 // SAFETY: published and never claimed by a popper.
                 unsafe { (*slot.value.get()).assume_init_drop() };
             }
@@ -499,6 +557,48 @@ unsafe fn recycle_segment<T>(ptr: *mut u8) {
         pool.recycled.fetch_add(1, Ordering::Relaxed);
     }
     // else: drop `seg` (it is fully drained; only memory is released).
+}
+
+/// A segment positioned at `base`: reused from `pool` when one is
+/// available and the pool lock is free, freshly allocated otherwise
+/// (`try_lock`, so the push path never blocks on the pool). Shared by
+/// both ring variants.
+fn alloc_pooled_segment<T>(pool: &Arc<SegPool<T>>, base: u64) -> Owned<Segment<T>> {
+    let pooled = pool.stack.try_lock().and_then(|mut s| s.pop());
+    let raw = match pooled {
+        Some(mut seg) => {
+            pool.reused.fetch_add(1, Ordering::Relaxed);
+            seg.reset(base, Arc::into_raw(Arc::clone(pool)));
+            Box::into_raw(seg)
+        }
+        None => {
+            let mut seg = Box::new(Segment::new(base));
+            seg.pool = Arc::into_raw(Arc::clone(pool));
+            Box::into_raw(seg)
+        }
+    };
+    // SAFETY: `raw` came from `Box::into_raw` and ownership moves into
+    // the returned `Owned`.
+    unsafe { Owned::from_raw(raw) }
+}
+
+/// Give back a segment that was allocated (possibly from the pool) but
+/// never published — the loser of a tail-link race. An unpublished
+/// segment was never reachable, so it needs no grace period to be
+/// pooled again.
+fn return_unpublished_segment<T>(pool: &SegPool<T>, seg: Owned<Segment<T>>) {
+    // SAFETY: an `Owned` is exclusively ours; recover the `Box`.
+    let mut boxed = unsafe { Box::from_raw(seg.into_raw()) };
+    drop(boxed.take_pool());
+    // `try_lock`, like the allocation path: blocking here would
+    // reintroduce the preempted-holder convoy on `push`. On contention
+    // the unpublished segment simply drops.
+    if let Some(mut stack) = pool.stack.try_lock() {
+        if stack.len() < POOL_CAP {
+            stack.push(boxed);
+            pool.recycled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Lock-free segmented ring-buffer FIFO with arrival stamps.
@@ -567,41 +667,13 @@ impl<T> SegRingQueue<T> {
     /// available and the pool lock is free, freshly allocated otherwise
     /// (`try_lock`, so the push path never blocks on the pool).
     fn alloc_segment(&self, base: u64) -> Owned<Segment<T>> {
-        let pooled = self.pool.stack.try_lock().and_then(|mut s| s.pop());
-        let raw = match pooled {
-            Some(mut seg) => {
-                self.pool.reused.fetch_add(1, Ordering::Relaxed);
-                seg.reset(base, Arc::into_raw(Arc::clone(&self.pool)));
-                Box::into_raw(seg)
-            }
-            None => {
-                let mut seg = Box::new(Segment::new(base));
-                seg.pool = Arc::into_raw(Arc::clone(&self.pool));
-                Box::into_raw(seg)
-            }
-        };
-        // SAFETY: `raw` came from `Box::into_raw` and ownership moves
-        // into the returned `Owned`.
-        unsafe { Owned::from_raw(raw) }
+        alloc_pooled_segment(&self.pool, base)
     }
 
     /// Give back a segment that was allocated (possibly from the pool)
-    /// but never published — the loser of the tail-link race. An
-    /// unpublished segment was never reachable, so it needs no grace
-    /// period to be pooled again.
+    /// but never published — the loser of the tail-link race.
     fn pool_return(&self, seg: Owned<Segment<T>>) {
-        // SAFETY: an `Owned` is exclusively ours; recover the `Box`.
-        let mut boxed = unsafe { Box::from_raw(seg.into_raw()) };
-        drop(boxed.take_pool());
-        // `try_lock`, like the allocation path: blocking here would
-        // reintroduce the preempted-holder convoy on `push`. On
-        // contention the unpublished segment simply drops.
-        if let Some(mut stack) = self.pool.stack.try_lock() {
-            if stack.len() < POOL_CAP {
-                stack.push(boxed);
-                self.pool.recycled.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        return_unpublished_segment(&self.pool, seg);
     }
 
     /// Tail push position minus head pop position, derived from the end
@@ -743,7 +815,7 @@ impl<T> SegRingQueue<T> {
                 }
                 let slot = &h.slots[d];
                 let published = slot.seq_state.load(Ordering::Acquire);
-                if published != Slot::<T>::EMPTY {
+                if Slot::<T>::is_published(published) {
                     // Fast path: the head slot is already published, so a
                     // successful claim needs no cursor comparison and no
                     // publication wait.
@@ -778,12 +850,26 @@ impl<T> SegRingQueue<T> {
                 {
                     // The claiming pusher has not published yet; yield to
                     // it briefly (never on a *full* segment — full
-                    // segments are left behind, not waited on).
+                    // segments are left behind, not waited on). The claim
+                    // is already consumed, so the wait cannot abandon —
+                    // but it is *bounded* per round (backoff saturates to
+                    // plain yields) and every round is counted under the
+                    // Sweep series so the tail gate sees a pop that paid
+                    // for losing the publish race.
                     let backoff = Backoff::new();
+                    let mut rounds = 0u64;
                     let mut published = slot.seq_state.load(Ordering::Acquire);
                     while published == Slot::<T>::EMPTY {
-                        backoff.snooze();
+                        if backoff.is_completed() {
+                            std::thread::yield_now();
+                        } else {
+                            backoff.snooze();
+                        }
+                        rounds += 1;
                         published = slot.seq_state.load(Ordering::Acquire);
+                    }
+                    if rounds > 0 {
+                        telemetry::record(telemetry::OpHist::Sweep, rounds);
                     }
                     // SAFETY: the deq CAS claimed slot `d` exclusively
                     // and the acquire load above saw the publication.
@@ -811,9 +897,10 @@ impl<T> SegRingQueue<T> {
             let d = h.deq.load(Ordering::SeqCst);
             if d < SEGMENT_CAP {
                 // The packed word is written once before publication and
-                // never mutated; racing the value move-out is fine.
+                // never mutated; racing the value move-out is fine (a
+                // dead SKIP word reads as not-published).
                 let published = h.slots[d].seq_state.load(Ordering::Acquire);
-                if published != Slot::<T>::EMPTY {
+                if Slot::<T>::is_published(published) {
                     return Some(published >> 1);
                 }
                 return None;
@@ -863,6 +950,402 @@ impl<T: Send> SubFifo<T> for SegRingQueue<T> {
 
     fn new() -> Self {
         SegRingQueue::new()
+    }
+
+    fn push(&self, seq: u64, item: T, tok: &epoch::Guard) {
+        self.push_with(seq, item, tok);
+    }
+
+    fn try_pop(&self, tok: &epoch::Guard) -> TryPop<T> {
+        match self.pop_with(tok) {
+            Some(pair) => TryPop::Item(pair),
+            None => TryPop::Empty,
+        }
+    }
+
+    fn pop_wait(&self, tok: &epoch::Guard) -> Option<(u64, T)> {
+        self.pop_with(tok)
+    }
+
+    fn head_seq(&self, tok: &epoch::Guard) -> Option<u64> {
+        self.head_seq_with(tok)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch-add claimed ring queue (CRQ-style)
+// ---------------------------------------------------------------------
+
+/// How many brief spins a fetch-add popper grants a claimed-but-silent
+/// slot's pusher before killing the slot with [`Slot::SKIP`]. Small: the
+/// pop path must stay bounded — a slow pusher re-routes its value, it is
+/// never waited out.
+const SKIP_PATIENCE: u32 = 16;
+
+/// How many consecutive publish-CAS losses a pusher tolerates before it
+/// closes the segment and appends a fresh one — the livelock breaker for
+/// the publish-or-skip dance.
+const CLOSE_AFTER: u32 = 3;
+
+/// Lock-free segmented ring FIFO with **fetch-add claimed pops**
+/// (CRQ-style; see the [module docs](self)).
+///
+/// Shares [`SegRingQueue`]'s segment layout and epoch-recycled segment
+/// pool; differs only in the claim protocol — a popper claims its slot
+/// index with one `fetch_add` (wait-free), then arbitrates the slot's
+/// `seq|state` word: take the published value, or kill the empty slot
+/// with a `SKIP` CAS and fetch-add again. Pushers publish with a CAS
+/// instead of a blind store so the arbitration has exactly one winner,
+/// and a pusher that keeps losing closes the segment (high bit of the
+/// enqueue cursor) and appends a successor.
+///
+/// # Examples
+///
+/// ```
+/// use rsched_queues::lockfree::{FaaRingQueue, SEGMENT_CAP};
+///
+/// let q = FaaRingQueue::new();
+/// for i in 0..(3 * SEGMENT_CAP as u64) {
+///     q.push_stamped(i, i);
+/// }
+/// for i in 0..(3 * SEGMENT_CAP as u64) {
+///     assert_eq!(q.pop_stamped(), Some((i, i)));
+/// }
+/// assert_eq!(q.pop_stamped(), None);
+/// ```
+pub struct FaaRingQueue<T> {
+    head: CachePadded<Atomic<Segment<T>>>,
+    tail: CachePadded<Atomic<Segment<T>>>,
+    pool: Arc<SegPool<T>>,
+}
+
+// SAFETY: slot values are accessed by at most one thread at a time — the
+// claiming pusher before its publish CAS succeeds (and again after it
+// *fails*, to take the value back), the unique claiming popper after the
+// publish CAS it observed or lost to; the publish-or-skip CAS arbitrates
+// the one racy case. Cursors and states are atomics.
+unsafe impl<T: Send> Send for FaaRingQueue<T> {}
+unsafe impl<T: Send> Sync for FaaRingQueue<T> {}
+
+impl<T> Default for FaaRingQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FaaRingQueue<T> {
+    /// An empty queue (allocates the first segment and its reuse pool).
+    pub fn new() -> Self {
+        let pool = SegPool::new();
+        let mut seg = Box::new(Segment::new(0));
+        seg.pool = Arc::into_raw(Arc::clone(&pool));
+        let first = Box::into_raw(seg);
+        FaaRingQueue {
+            head: CachePadded::new(Atomic::from_raw(first)),
+            tail: CachePadded::new(Atomic::from_raw(first)),
+            pool,
+        }
+    }
+
+    /// `(recycled, reused)` segment counts of the per-queue free list.
+    pub fn segment_reuse_stats(&self) -> (u64, u64) {
+        (
+            self.pool.recycled.load(Ordering::Relaxed),
+            self.pool.reused.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Tail push position minus head pop position — exact when quiescent
+    /// with no closed segment awaiting retirement, an approximation
+    /// otherwise (a closed segment's skipped tail counts until it
+    /// retires; the dequeue cursor may overshoot on skips).
+    pub fn len(&self) -> usize {
+        let guard = epoch::pin();
+        let tail = self.tail.load(Ordering::Acquire, &guard);
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: both ends are never null and protected by the guard.
+        let (t, h) = unsafe { (tail.deref(), head.deref()) };
+        let push_pos = t.base + (t.enq.load(Ordering::Acquire) & SEG_IDX).min(SEGMENT_CAP) as u64;
+        let pop_pos = h.base + h.deq.load(Ordering::Acquire).min(SEGMENT_CAP) as u64;
+        push_pos.saturating_sub(pop_pos) as usize
+    }
+
+    /// `true` if [`len`](Self::len) is zero (a hint under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `value` stamped with `seq`.
+    pub fn push_stamped(&self, seq: u64, value: T) {
+        self.push_with(seq, value, &epoch::pin());
+    }
+
+    /// [`push_stamped`](Self::push_stamped) under a caller-held pin.
+    pub fn push_with(&self, seq: u64, mut value: T, guard: &epoch::Guard) {
+        let mut fails = 0u32;
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            // SAFETY: tail is never null and is protected by the guard.
+            let t = unsafe { tail.deref() };
+            let e = t.enq.fetch_add(1, Ordering::SeqCst);
+            if e & SEG_CLOSED == 0 && e < SEGMENT_CAP {
+                let slot = &t.slots[e];
+                // SAFETY: the fetch_add claimed index `e` exclusively for
+                // this pusher; the only other writer of this slot is the
+                // popper's SKIP CAS on `seq_state`, which never touches
+                // the value cell.
+                unsafe {
+                    (*slot.value.get()).write(value);
+                }
+                match slot.seq_state.compare_exchange(
+                    Slot::<T>::EMPTY,
+                    Slot::<T>::pack(seq),
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(_) => {
+                        // A popper skipped this slot first; the slot is
+                        // dead and nothing will ever read its value cell.
+                        // SAFETY: exclusive access as above — take the
+                        // value back and re-route it to a later slot.
+                        value = unsafe { (*slot.value.get()).assume_init_read() };
+                        fails += 1;
+                        if fails >= CLOSE_AFTER {
+                            // Poppers are outrunning us in this segment;
+                            // close it so every side moves to a fresh
+                            // one instead of livelocking on skips.
+                            t.enq.fetch_or(SEG_CLOSED, Ordering::SeqCst);
+                            fails = 0;
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Closed or full: link a successor (or help whoever did),
+            // swing the tail, and retry there.
+            let next = t.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                continue;
+            }
+            match t.next.compare_exchange(
+                Shared::null(),
+                alloc_pooled_segment(&self.pool, t.base + SEGMENT_CAP as u64),
+                Ordering::Release,
+                Ordering::Relaxed,
+                guard,
+            ) {
+                Ok(linked) => {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        linked,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        guard,
+                    );
+                }
+                Err(lost) => {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        lost.current,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        guard,
+                    );
+                    return_unpublished_segment(&self.pool, lost.new);
+                }
+            }
+        }
+    }
+
+    /// Remove the head element, returning its stamp and value.
+    pub fn pop_stamped(&self) -> Option<(u64, T)> {
+        self.pop_with(&epoch::pin())
+    }
+
+    /// [`pop_stamped`](Self::pop_stamped) under a caller-held pin.
+    ///
+    /// The claim is one `fetch_add`; `retries` (recorded under the Retry
+    /// telemetry series) counts slots the claim had to skip, which is
+    /// this queue's analogue of the CAS ring's claim retries.
+    pub fn pop_with(&self, guard: &epoch::Guard) -> Option<(u64, T)> {
+        let mut retries = 0u64;
+        'segment: loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: head is never null and is protected by the guard.
+            let h = unsafe { head.deref() };
+            loop {
+                let d = h.deq.load(Ordering::SeqCst);
+                if d >= SEGMENT_CAP {
+                    // Segment fully claimed: retire it and move on.
+                    let next = h.next.load(Ordering::Acquire, guard);
+                    if next.is_null() {
+                        return None;
+                    }
+                    // Push the tail past the dying segment first so no
+                    // future pusher can load a reclaimed pointer from it.
+                    let tail = self.tail.load(Ordering::Acquire, guard);
+                    if tail.as_raw() == head.as_raw() {
+                        let _ = self.tail.compare_exchange(
+                            tail,
+                            next,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                            guard,
+                        );
+                    }
+                    if self
+                        .head
+                        .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, guard)
+                        .is_ok()
+                    {
+                        // SAFETY: the segment is unlinked and all its
+                        // slots were claimed; in-flight claimants hold
+                        // epoch guards, so the recycling callback runs
+                        // only after the grace period.
+                        unsafe {
+                            guard.defer_with_raw(head.as_raw() as *mut u8, recycle_segment::<T>)
+                        };
+                    }
+                    continue 'segment;
+                }
+                let e_raw = h.enq.load(Ordering::SeqCst);
+                let closed = e_raw & SEG_CLOSED != 0;
+                let e = (e_raw & SEG_IDX).min(SEGMENT_CAP);
+                if d >= e {
+                    // Nothing claimable below the enqueue index. Pre-
+                    // checking here keeps empty pops from burning slot
+                    // claims — the FAA only runs when a value is (or was
+                    // about to be) there.
+                    let next = h.next.load(Ordering::Acquire, guard);
+                    if closed || !next.is_null() {
+                        // No pusher will ever publish the rest of this
+                        // segment; declare it fully claimed so the
+                        // retire path above can recycle it. fetch_max
+                        // races cleanly with concurrent claims.
+                        h.deq.fetch_max(SEGMENT_CAP, Ordering::SeqCst);
+                        continue;
+                    }
+                    return None;
+                }
+                // Claim the slot index with one wait-free fetch_add.
+                let d = h.deq.fetch_add(1, Ordering::SeqCst);
+                if d >= SEGMENT_CAP {
+                    continue;
+                }
+                let slot = &h.slots[d];
+                let mut published = slot.seq_state.load(Ordering::Acquire);
+                let backoff = Backoff::new();
+                for _ in 0..SKIP_PATIENCE {
+                    if Slot::<T>::is_published(published) {
+                        break;
+                    }
+                    backoff.spin();
+                    published = slot.seq_state.load(Ordering::Acquire);
+                }
+                if !Slot::<T>::is_published(published) {
+                    // Publish-or-skip arbitration: kill the slot, or
+                    // lose to the pusher's publish and take the value.
+                    match slot.seq_state.compare_exchange(
+                        Slot::<T>::EMPTY,
+                        Slot::<T>::SKIP,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            retries += 1;
+                            continue;
+                        }
+                        Err(now) => published = now,
+                    }
+                }
+                // SAFETY: the fetch_add claimed slot `d` exclusively for
+                // this popper and the acquire load/CAS-failure above saw
+                // the pusher's Release publication.
+                let value = unsafe { (*slot.value.get()).assume_init_read() };
+                telemetry::record(telemetry::OpHist::Retry, retries);
+                return Some((published >> 1, value));
+            }
+        }
+    }
+
+    /// The arrival stamp of the current head element, if one is visible.
+    pub fn head_seq(&self) -> Option<u64> {
+        self.head_seq_with(&epoch::pin())
+    }
+
+    /// [`head_seq`](Self::head_seq) under a caller-held pin.
+    pub fn head_seq_with(&self, guard: &epoch::Guard) -> Option<u64> {
+        let mut current = self.head.load(Ordering::Acquire, guard);
+        loop {
+            // SAFETY: segment pointers walked here are protected by the
+            // guard (reached from head, destruction deferred).
+            let h = unsafe { current.as_ref() }?;
+            let d = h.deq.load(Ordering::SeqCst);
+            if d < SEGMENT_CAP {
+                // Slots at or above the dequeue cursor are never SKIP
+                // (skips happen strictly below a moved cursor), but the
+                // cursor may move under us — the odd-bit test keeps a
+                // stale read safe.
+                let published = h.slots[d].seq_state.load(Ordering::Acquire);
+                if Slot::<T>::is_published(published) {
+                    return Some(published >> 1);
+                }
+                return None;
+            }
+            current = h.next.load(Ordering::Acquire, guard);
+        }
+    }
+}
+
+impl<T> Drop for FaaRingQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the raw segment chain; each segment's
+        // own Drop releases its unconsumed elements (published slots
+        // only — SKIP words are dead by construction).
+        let mut seg = self.head.load_raw();
+        while !seg.is_null() {
+            // SAFETY: segments reachable from head at drop time are owned
+            // by the queue; each is freed exactly once.
+            let boxed = unsafe { Box::from_raw(seg) };
+            seg = boxed.next.load_raw();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FaaRingQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaaRingQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Send> SubFifo<T> for FaaRingQueue<T> {
+    const NEEDS_EPOCH: bool = true;
+
+    type Token = epoch::Guard;
+
+    fn token() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    fn borrow_token(session: &crate::fifo::PinSession) -> crate::fifo::TokRef<'_, epoch::Guard> {
+        match session.guard() {
+            Some(g) => crate::fifo::TokRef::Borrowed(g),
+            None => crate::fifo::TokRef::Owned(epoch::pin()),
+        }
+    }
+
+    fn new() -> Self {
+        FaaRingQueue::new()
     }
 
     fn push(&self, seq: u64, item: T, tok: &epoch::Guard) {
@@ -967,13 +1450,17 @@ mod tests {
     fn empty_pop_then_push_recovers() {
         let ms = MsQueue::new();
         let sr = SegRingQueue::new();
+        let fa = FaaRingQueue::new();
         for round in 0..(3 * SEGMENT_CAP as u64) {
             assert_eq!(ms.pop_stamped(), None);
             assert_eq!(sr.pop_stamped(), None);
+            assert_eq!(fa.pop_stamped(), None);
             ms.push_stamped(round, round);
             sr.push_stamped(round, round);
+            fa.push_stamped(round, round);
             assert_eq!(ms.pop_stamped(), Some((round, round)));
             assert_eq!(sr.pop_stamped(), Some((round, round)));
+            assert_eq!(fa.pop_stamped(), Some((round, round)));
         }
     }
 
@@ -1071,7 +1558,7 @@ mod tests {
         let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let n = 2 * SEGMENT_CAP + 7;
         let popped = 10;
-        for which in 0..2 {
+        for which in 0..3 {
             drops.store(0, Ordering::SeqCst);
             match which {
                 0 => {
@@ -1084,8 +1571,18 @@ mod tests {
                     }
                     drop(q);
                 }
-                _ => {
+                1 => {
                     let q = SegRingQueue::new();
+                    for i in 0..n {
+                        q.push_stamped(i as u64, Counted(Arc::clone(&drops)));
+                    }
+                    for _ in 0..popped {
+                        drop(q.pop_stamped());
+                    }
+                    drop(q);
+                }
+                _ => {
+                    let q = FaaRingQueue::new();
                     for i in 0..n {
                         q.push_stamped(i as u64, Counted(Arc::clone(&drops)));
                     }
@@ -1140,6 +1637,201 @@ mod tests {
         // run the peeker mid-drain); the test's assertions are the bounds
         // checks inside the peeker loop.
         let _peeks = peeker.join().unwrap();
+        assert_eq!(q.pop_stamped(), None);
+    }
+
+    #[test]
+    fn faa_exact_fifo_across_segment_boundaries() {
+        // Single-threaded the publish CAS can never lose, so no slot is
+        // ever skipped or closed: exact FIFO and exact len must hold.
+        let q = FaaRingQueue::new();
+        let n = (5 * SEGMENT_CAP + 3) as u64;
+        for i in 0..n {
+            q.push_stamped(i, i);
+        }
+        assert_eq!(q.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(q.head_seq(), Some(i));
+            assert_eq!(q.pop_stamped(), Some((i, i)));
+        }
+        assert_eq!(q.pop_stamped(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn faa_wraparound_mixed_ops_at_boundaries() {
+        let q = FaaRingQueue::new();
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for delta in [
+            SEGMENT_CAP,
+            SEGMENT_CAP - 1,
+            SEGMENT_CAP + 1,
+            2 * SEGMENT_CAP,
+            1,
+            3,
+        ] {
+            for _ in 0..delta {
+                q.push_stamped(next, next);
+                next += 1;
+            }
+            for _ in 0..delta {
+                assert_eq!(q.pop_stamped(), Some((expect, expect)));
+                expect += 1;
+            }
+            // An empty pop at a segment boundary must not consume a slot
+            // claim that would orphan the next push.
+            assert_eq!(q.pop_stamped(), None);
+        }
+        assert_eq!(next, expect);
+        q.push_stamped(next, next);
+        assert_eq!(q.pop_stamped(), Some((next, next)));
+    }
+
+    #[test]
+    fn faa_closed_segment_hands_off_to_successor() {
+        // White-box: close the tail segment by hand (as a pusher losing
+        // CLOSE_AFTER publish races would) and verify pushes re-route to
+        // a fresh segment while every prior element still drains.
+        let q: FaaRingQueue<u64> = FaaRingQueue::new();
+        let guard = epoch::pin();
+        let half = (SEGMENT_CAP / 2) as u64;
+        for i in 0..half {
+            q.push_stamped(i, i);
+        }
+        {
+            let tail = q.tail.load(Ordering::Acquire, &guard);
+            let t = unsafe { tail.deref() };
+            t.enq.fetch_or(SEG_CLOSED, Ordering::SeqCst);
+        }
+        // These pushes must skip the closed segment and land in a linked
+        // successor.
+        for i in half..(half + SEGMENT_CAP as u64) {
+            q.push_stamped(i, i);
+        }
+        {
+            let tail = q.tail.load(Ordering::Acquire, &guard);
+            let head = q.head.load(Ordering::Acquire, &guard);
+            assert_ne!(
+                tail.as_raw(),
+                head.as_raw(),
+                "push into a closed segment did not append a successor"
+            );
+        }
+        drop(guard);
+        // FIFO across the closed-segment handoff stays exact: elements
+        // below the closed segment's enqueue index were all published.
+        for i in 0..(half + SEGMENT_CAP as u64) {
+            assert_eq!(q.pop_stamped(), Some((i, i)));
+        }
+        assert_eq!(q.pop_stamped(), None);
+        // The closed segment retired cleanly; the queue keeps working.
+        for i in 0..(2 * SEGMENT_CAP as u64) {
+            q.push_stamped(i, i * 11);
+            assert_eq!(q.pop_stamped(), Some((i, i * 11)));
+        }
+    }
+
+    #[test]
+    fn faa_multithread_conservation() {
+        conservation_storm(Arc::new(FaaRingQueue::new()), 8, 5_000 * stress_mult());
+    }
+
+    #[test]
+    fn faa_pool_conserves_elements_under_contention() {
+        let q: Arc<FaaRingQueue<usize>> = Arc::new(FaaRingQueue::new());
+        conservation_storm(Arc::clone(&q), 8, 3 * SEGMENT_CAP * stress_mult());
+        let (recycled, reused) = q.segment_reuse_stats();
+        assert!(reused <= recycled + POOL_CAP as u64);
+    }
+
+    #[test]
+    fn faa_recycles_retired_segments() {
+        let q: FaaRingQueue<u64> = FaaRingQueue::new();
+        let segments = 300u64;
+        for i in 0..segments * SEGMENT_CAP as u64 {
+            q.push_stamped(i, i);
+            assert_eq!(q.pop_stamped(), Some((i, i)));
+        }
+        let (recycled, reused) = q.segment_reuse_stats();
+        assert!(recycled > 0, "no retired segment ever reached the pool");
+        assert!(reused > 0, "the pool absorbed no allocation");
+    }
+
+    #[test]
+    fn faa_concurrent_drop_accounting_with_skips() {
+        // Pop-heavy storm over owned values: empty pops force skip/close
+        // traffic while pushes race in. Every value must be dropped
+        // exactly once — popped values by the poppers, survivors by the
+        // queue's Drop — or the skip arbitration double-frees/leaks.
+        struct Counted(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let per = SEGMENT_CAP * stress_mult();
+        let threads = 8;
+        {
+            let q: Arc<FaaRingQueue<Counted>> = Arc::new(FaaRingQueue::new());
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    let drops = Arc::clone(&drops);
+                    std::thread::spawn(move || {
+                        for i in 0..per {
+                            if t % 2 == 0 {
+                                q.push_stamped(i as u64, Counted(Arc::clone(&drops)));
+                            } else {
+                                // Poppers outnumber available items early
+                                // on, exercising the skip path.
+                                drop(q.pop_stamped());
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            (threads / 2) * per,
+            "skip arbitration lost or double-dropped values"
+        );
+    }
+
+    #[test]
+    fn faa_head_seq_is_racy_but_memory_safe() {
+        let q: Arc<FaaRingQueue<u64>> = Arc::new(FaaRingQueue::new());
+        let n = 20_000 * stress_mult() as u64;
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            for i in 0..n {
+                q2.push_stamped(i, i);
+            }
+        });
+        let q3 = Arc::clone(&q);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let peeker = std::thread::spawn(move || {
+            while !done2.load(Ordering::Acquire) {
+                if let Some(s) = q3.head_seq() {
+                    assert!(s < n, "peeked stamp {s} never pushed");
+                }
+            }
+        });
+        let mut got = 0u64;
+        while got < n {
+            if q.pop_stamped().is_some() {
+                got += 1;
+            }
+        }
+        done.store(true, Ordering::Release);
+        pusher.join().unwrap();
+        peeker.join().unwrap();
         assert_eq!(q.pop_stamped(), None);
     }
 }

@@ -289,6 +289,8 @@ where
 pub type SkipListMultiQueue<P = u64> = ConcurrentMultiQueue<P, SkipShard<P>>;
 /// The mutex-per-shard baseline MultiQueue (pre-PR 3 behaviour).
 pub type MutexHeapMultiQueue<P = u64> = ConcurrentMultiQueue<P, MutexHeapSub<P>>;
+/// The flat-combining-heap MultiQueue (batched ops under convoys).
+pub type FcHeapMultiQueue<P = u64> = ConcurrentMultiQueue<P, crate::flatcomb::FcHeapSub<P>>;
 
 impl<P: Ord + Copy + Send + Sync> ConcurrentMultiQueue<P> {
     /// Create a MultiQueue with `nqueues` internal shards on the default
@@ -827,6 +829,7 @@ impl<P: Ord + Copy + Send> DuplicateMultiQueue<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flatcomb::FcHeapSub;
     use std::collections::HashSet;
     use std::sync::Arc;
 
@@ -935,6 +938,7 @@ mod tests {
     fn concurrent_push_pop_exhaustive_both_backends() {
         check_push_pop_exhaustive::<SkipShard<u64>>();
         check_push_pop_exhaustive::<MutexHeapSub<u64>>();
+        check_push_pop_exhaustive::<FcHeapSub<u64>>();
     }
 
     fn check_decrease_key_path<S: SubPriority<u64>>() {
@@ -952,6 +956,7 @@ mod tests {
     fn concurrent_decrease_key_path_both_backends() {
         check_decrease_key_path::<SkipShard<u64>>();
         check_decrease_key_path::<MutexHeapSub<u64>>();
+        check_decrease_key_path::<FcHeapSub<u64>>();
     }
 
     fn check_multithreaded_no_loss_no_dup<S: SubPriority<u64> + 'static>() {
@@ -1002,6 +1007,11 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_multithreaded_no_loss_no_dup_flatcomb() {
+        check_multithreaded_no_loss_no_dup::<FcHeapSub<u64>>();
+    }
+
+    #[test]
     fn keyed_placement_is_stable() {
         // The same item must always map to the same shard index.
         for &q in &[1usize, 2, 3, 8, 17, 64] {
@@ -1025,6 +1035,7 @@ mod tests {
         }
         check::<SkipShard<u64>>();
         check::<MutexHeapSub<u64>>();
+        check::<FcHeapSub<u64>>();
     }
 
     #[test]
@@ -1078,6 +1089,7 @@ mod tests {
         }
         check::<SkipShard<u64>>();
         check::<MutexHeapSub<u64>>();
+        check::<FcHeapSub<u64>>();
     }
 
     #[test]
