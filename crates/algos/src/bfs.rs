@@ -16,7 +16,7 @@
 
 use crate::sssp::ParSsspConfig;
 use rsched_graph::{CsrGraph, Weight, INF};
-use rsched_queues::DCboQueue;
+use rsched_queues::{DCboQueue, QueueBuilder};
 use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -74,7 +74,9 @@ pub fn parallel_bfs(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParBfsStats
     assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
     let n = g.num_vertices();
     let frontier: DCboQueue<(usize, Weight)> =
-        DCboQueue::new(cfg.threads * cfg.queue_multiplier, cfg.seed);
+        QueueBuilder::new(cfg.threads * cfg.queue_multiplier)
+            .seed(cfg.seed)
+            .d_cbo();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Release);
     let stats = run(

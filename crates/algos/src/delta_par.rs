@@ -232,7 +232,7 @@ pub fn relaxed_delta_stepping(
     threads: usize,
     seed: u64,
 ) -> ParDeltaStats {
-    use rsched_queues::BucketFifoQueue;
+    use rsched_queues::QueueBuilder;
     use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 
     assert!(delta >= 1 && threads >= 1);
@@ -255,7 +255,7 @@ pub fn relaxed_delta_stepping(
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Release);
-    let queue = BucketFifoQueue::new(delta, bucket_shards);
+    let queue = QueueBuilder::new(bucket_shards).delta(delta).bucket_fifo();
     let start = Instant::now();
     let stats = run(&queue, cfg, [(src, 0u64)], |w, v, queued| {
         let d = dist[v].load(Ordering::Acquire);

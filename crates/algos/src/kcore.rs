@@ -21,7 +21,7 @@
 
 use crate::sssp::ParSsspConfig;
 use rsched_graph::CsrGraph;
-use rsched_queues::DCboQueue;
+use rsched_queues::{DCboQueue, QueueBuilder};
 use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -98,8 +98,9 @@ pub fn parallel_kcore(g: &CsrGraph, k: u64, cfg: ParSsspConfig) -> KcoreStats {
     let deg: Vec<AtomicU64> = (0..n)
         .map(|v| AtomicU64::new(g.neighbors(v).count() as u64))
         .collect();
-    let queue: DCboQueue<(usize, u64)> =
-        DCboQueue::new(cfg.threads * cfg.queue_multiplier, cfg.seed);
+    let queue: DCboQueue<(usize, u64)> = QueueBuilder::new(cfg.threads * cfg.queue_multiplier)
+        .seed(cfg.seed)
+        .d_cbo();
     let seeds: Vec<(usize, u64)> = (0..n)
         .filter(|&v| deg[v].load(Ordering::Relaxed) < k)
         .map(|v| (v, 0))

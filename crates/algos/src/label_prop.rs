@@ -18,7 +18,7 @@
 //! real batch, unlike the exactness-sensitive SSSP executors.
 
 use rsched_graph::CsrGraph;
-use rsched_queues::DCboQueue;
+use rsched_queues::{DCboQueue, QueueBuilder};
 use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -138,8 +138,9 @@ pub fn parallel_label_propagation(g: &CsrGraph, cfg: LabelPropConfig) -> LabelPr
     assert!(cfg.threads >= 1 && cfg.queue_multiplier >= 1);
     let n = g.num_vertices();
     let labels: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
-    let frontier: DCboQueue<(usize, u64)> =
-        DCboQueue::new(cfg.threads * cfg.queue_multiplier, cfg.seed);
+    let frontier: DCboQueue<(usize, u64)> = QueueBuilder::new(cfg.threads * cfg.queue_multiplier)
+        .seed(cfg.seed)
+        .d_cbo();
     let stats = run(
         &frontier,
         RuntimeConfig {

@@ -28,8 +28,7 @@
 
 use rsched_graph::{CsrGraph, Weight, INF};
 use rsched_queues::{
-    ConcurrentMultiQueue, ConcurrentSprayList, DuplicateMultiQueue, MutexHeapMultiQueue,
-    RelaxedQueue,
+    ConcurrentSprayList, DuplicateMultiQueue, MutexHeapMultiQueue, QueueBuilder, RelaxedQueue,
 };
 use rsched_runtime::{run, RuntimeConfig, Scheduler, TaskOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -245,10 +244,9 @@ fn parallel_sssp_on<S: Scheduler<Weight>>(
 /// assert_eq!(stats.dist, dijkstra(&g, 0).dist);
 /// ```
 pub fn parallel_sssp(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
-    let queue = ConcurrentMultiQueue::<Weight>::with_universe(
-        cfg.threads * cfg.queue_multiplier,
-        g.num_vertices(),
-    );
+    let queue = QueueBuilder::new(cfg.threads * cfg.queue_multiplier)
+        .universe(g.num_vertices())
+        .multiqueue::<Weight>();
     parallel_sssp_on(g, src, cfg, &queue)
 }
 
@@ -256,10 +254,9 @@ pub fn parallel_sssp(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspSta
 /// pre-PR 3 scheduler, kept callable so the lock-free/locked comparison
 /// is one engine swap rather than two codebases.
 pub fn parallel_sssp_mutexheap(g: &CsrGraph, src: usize, cfg: ParSsspConfig) -> ParSsspStats {
-    let queue = MutexHeapMultiQueue::<Weight>::with_backend_universe(
-        cfg.threads * cfg.queue_multiplier,
-        g.num_vertices(),
-    );
+    let queue: MutexHeapMultiQueue<Weight> = QueueBuilder::new(cfg.threads * cfg.queue_multiplier)
+        .universe(g.num_vertices())
+        .multiqueue_on();
     parallel_sssp_on(g, src, cfg, &queue)
 }
 

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rsched_queues::{
-    ConcurrentMultiQueue, Exact, IndexedBinaryHeap, PairingHeap, PriorityQueue, RelaxedQueue,
-    RotatingKQueue, SimMultiQueue, SprayList,
+    ConcurrentMultiQueue, Exact, IndexedBinaryHeap, PairingHeap, PriorityQueue, QueueBuilder,
+    RelaxedQueue, RotatingKQueue, SimMultiQueue, SprayList,
 };
 use std::sync::Arc;
 
@@ -126,7 +126,7 @@ fn bench_concurrent_multiqueue(c: &mut Criterion) {
     for mult in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("queue_mult", mult), &mult, |b, &mult| {
             b.iter(|| {
-                let q = Arc::new(ConcurrentMultiQueue::<u64>::new(threads * mult));
+                let q = Arc::new(QueueBuilder::new(threads * mult).multiqueue::<u64>());
                 std::thread::scope(|s| {
                     for t in 0..threads {
                         let q = Arc::clone(&q);
@@ -168,7 +168,7 @@ fn bench_multiqueue_backends(c: &mut Criterion) {
     fn cell<S: SubPriority<u64> + 'static>(threads: usize, per_thread: usize) {
         use rsched_queues::SessionConfig;
         let q: Arc<ConcurrentMultiQueue<u64, S>> =
-            Arc::new(ConcurrentMultiQueue::with_backend(2 * threads));
+            Arc::new(QueueBuilder::new(2 * threads).multiqueue_on());
         std::thread::scope(|s| {
             for t in 0..threads {
                 let q = Arc::clone(&q);

@@ -17,7 +17,7 @@
 //! [`MqSession`]: rsched_queues::MqSession
 
 use rsched_bench::{Scale, Table};
-use rsched_queues::{ConcurrentMultiQueue, SessionConfig};
+use rsched_queues::{ConcurrentMultiQueue, QueueBuilder, SessionConfig};
 use std::time::Instant;
 
 fn main() {
@@ -45,7 +45,7 @@ fn main() {
     );
     for stickiness in [1usize, 2, 4, 8, 16, 64] {
         for spawn_batch in [1usize, 16] {
-            let q: ConcurrentMultiQueue<u64> = ConcurrentMultiQueue::new(nqueues);
+            let q: ConcurrentMultiQueue<u64> = QueueBuilder::new(nqueues).multiqueue();
             let mut session = q.session(&SessionConfig {
                 stickiness,
                 spawn_batch,

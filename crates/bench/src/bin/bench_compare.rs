@@ -55,197 +55,34 @@
 //! **Serving artifacts** (`serve_latency`; recognised by the
 //! `arrival_process` axis) ride the same machinery with their own
 //! metrics: identity adds `arrival_process` / `offered_rate` /
-//! `clients` / `work_ns`; throughput is `accepted_per_sec`; the
-//! required fields are the sojourn quantiles (`lat_p50/p99/p999`);
-//! conservation demands `accepted + rejected == submitted`,
-//! `completed == accepted` and monotone latency quantiles; and the
-//! tail gate runs on the end-to-end `lat_p999` with the *cubed*
-//! tolerance limit (≈4.6× default) — more than two log₂ buckets of
-//! p999 sojourn inflation fails the merge.
+//! `clients` / `work_ns` / `mode` / `deadline_budget`; throughput is
+//! `accepted_per_sec`; the required fields are the sojourn quantiles
+//! (`lat_p50/p99/p999`) and the deadline `miss_rate`; conservation
+//! demands `accepted + rejected == submitted`, `completed == accepted`,
+//! `deadline_met + deadline_misses == completed`, a `miss_rate`
+//! consistent with `deadline_misses / completed`, and monotone latency
+//! and tardiness quantiles; and the tail gate runs on the end-to-end
+//! `lat_p999` with the *cubed* tolerance limit (≈4.6× default) — more
+//! than two log₂ buckets of p999 sojourn inflation fails the merge.
+//!
+//! The **miss-rate gate**: when a baseline serving cell carries
+//! `miss_rate`, the fresh cell's rate may not inflate beyond the cubed
+//! limit in both the raw and the run-peak-normalized view, each
+//! +0.02-smoothed so all-met baselines (rate 0) divide cleanly and
+//! noise near zero doesn't trip the gate. A scheduling change that
+//! makes deadline traffic miss materially more often fails the merge
+//! even if throughput and sojourn tails held.
 //!
 //! Exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
 use rsched_bench::env_f64;
+use rsched_bench::json::{self, Record, Value as Val};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-// ---------------------------------------------------------------------
-// Minimal JSON parsing (the artifacts are arrays of flat objects with
-// string / number / bool values; external JSON crates are not vendored).
-// ---------------------------------------------------------------------
-
-/// A flat JSON value as the artifacts use them.
-#[derive(Clone, Debug, PartialEq)]
-enum Val {
-    Num(f64),
-    Str(String),
-    Bool(bool),
-}
-
-impl Val {
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Val::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-}
-
-type Record = BTreeMap<String, Val>;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn fail(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.fail(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.fail("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // The artifacts never escape anything beyond these.
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        other => {
-                            return Err(self.fail(&format!("unsupported escape {other:?}")));
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn value(&mut self) -> Result<Val, String> {
-        match self.peek() {
-            Some(b'"') => Ok(Val::Str(self.string()?)),
-            Some(b't') => self.literal("true", Val::Bool(true)),
-            Some(b'f') => self.literal("false", Val::Bool(false)),
-            Some(_) => {
-                let start = self.pos;
-                while self.bytes.get(self.pos).is_some_and(|b| {
-                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-                }) {
-                    self.pos += 1;
-                }
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .ok()
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .map(Val::Num)
-                    .ok_or_else(|| self.fail("malformed number"))
-            }
-            None => Err(self.fail("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, val: Val) -> Result<Val, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(val)
-        } else {
-            Err(self.fail(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn object(&mut self) -> Result<Record, String> {
-        self.expect(b'{')?;
-        let mut rec = Record::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(rec);
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            rec.insert(key, self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(rec);
-                }
-                _ => return Err(self.fail("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array_of_objects(&mut self) -> Result<Vec<Record>, String> {
-        self.expect(b'[')?;
-        let mut out = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(out);
-        }
-        loop {
-            out.push(self.object()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                _ => return Err(self.fail("expected ',' or ']' in array")),
-            }
-        }
-    }
-}
-
 fn load(path: &str) -> Result<Vec<Record>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut p = Parser::new(&text);
-    let records = p.array_of_objects().map_err(|e| format!("{path}: {e}"))?;
+    let records = json::parse_records(&text).map_err(|e| format!("{path}: {e}"))?;
     if records.is_empty() {
         return Err(format!("{path}: no records"));
     }
@@ -273,6 +110,8 @@ const KEY_FIELDS: &[&str] = &[
     "offered_rate",
     "clients",
     "work_ns",
+    "mode",
+    "deadline_budget",
 ];
 
 fn cell_key(rec: &Record) -> String {
@@ -282,6 +121,7 @@ fn cell_key(rec: &Record) -> String {
             Some(Val::Str(s)) => Some(format!("{k}={s}")),
             Some(Val::Num(x)) => Some(format!("{k}={x}")),
             Some(Val::Bool(b)) => Some(format!("{k}={b}")),
+            Some(_) => None,
             // `trace` grew after the committed baselines were
             // snapshotted: absent means untraced, so default it to 0
             // instead of dropping the axis — old baselines keep pairing
@@ -322,7 +162,12 @@ const REQUIRED_SERVE: &[&str] = &[
     "lat_p999",
     "accepted_per_sec",
     "offered_rate",
+    "miss_rate",
 ];
+
+/// +0.02 smoothing for miss-rate ratios: an all-met cell (rate 0)
+/// divides cleanly, and sub-2% noise can't produce scary ratios.
+const MISS_SMOOTH: f64 = 0.02;
 
 /// Serving records (from `serve_latency`) carry the arrival-process
 /// axis; contention records never do. The two kinds gate on different
@@ -435,6 +280,40 @@ fn conservation_violation(rec: &Record) -> Option<String> {
         if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
             return Some(format!(
                 "latency quantiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}, max {max}"
+            ));
+        }
+    }
+    // Deadline conservation: every deadline-carrying completion got
+    // exactly one verdict, and the reported rate matches the counts.
+    if let (Some(met), Some(miss), Some(comp)) = (
+        num("deadline_met"),
+        num("deadline_misses"),
+        num("completed"),
+    ) {
+        if (met + miss - comp).abs() > 0.5 {
+            return Some(format!(
+                "deadline_met {met} + deadline_misses {miss} does not conserve completed {comp}"
+            ));
+        }
+    }
+    if let (Some(rate), Some(miss), Some(comp)) =
+        (num("miss_rate"), num("deadline_misses"), num("completed"))
+    {
+        let want = if comp == 0.0 { 0.0 } else { miss / comp };
+        if (rate - want).abs() > 0.01 {
+            return Some(format!(
+                "miss_rate {rate} inconsistent with deadline_misses/completed = {want:.4}"
+            ));
+        }
+    }
+    if let (Some(p99), Some(p999), Some(max)) = (
+        num("tardiness_p99"),
+        num("tardiness_p999"),
+        num("tardiness_max"),
+    ) {
+        if !(p99 <= p999 && p999 <= max) {
+            return Some(format!(
+                "tardiness quantiles not monotone: p99 {p99}, p999 {p999}, max {max}"
             ));
         }
     }
@@ -601,6 +480,32 @@ fn main() -> ExitCode {
                      limit x{tail_limit:.2})"
                 ));
                 verdict = "FAIL(tail)";
+            }
+        }
+        // The miss-rate gate (serving cells whose baseline carries
+        // one): smoothed growth in both the raw and the
+        // peak-normalized view beyond the cubed limit fails — a
+        // scheduling change may not inflate deadline misses even if
+        // throughput and sojourn held.
+        if serve {
+            if let (Some(bm), Some(fm)) = (
+                base.get("miss_rate").and_then(Val::as_f64),
+                fresh_rec.get("miss_rate").and_then(Val::as_f64),
+            ) {
+                let limit = (1.0 / (1.0 - tol)).powi(3);
+                let bp = run_peak(&baseline, true, "miss_rate");
+                let fp = run_peak(&fresh, true, "miss_rate");
+                let raw_growth = (fm + MISS_SMOOTH) / (bm + MISS_SMOOTH);
+                let norm_growth = ((fm + MISS_SMOOTH) / (fp + MISS_SMOOTH))
+                    / ((bm + MISS_SMOOTH) / (bp + MISS_SMOOTH));
+                if raw_growth > limit && norm_growth > limit {
+                    failures.push(format!(
+                        "cell [{key}]: miss_rate inflated {bm:.4} -> {fm:.4} \
+                         (raw x{raw_growth:.2}, normalized x{norm_growth:.2}, \
+                         limit x{limit:.2})"
+                    ));
+                    verdict = "FAIL(miss)";
+                }
             }
         }
         // The extreme-tail gates (contention cells only): p999 per-op

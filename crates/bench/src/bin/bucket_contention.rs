@@ -39,7 +39,7 @@ use rsched_bench::{
 };
 use rsched_queues::{
     telemetry, BucketFifoQueue, FcHeapSub, FlushReport, MutexHeapSub, PopSource, PushOutcome,
-    SessionConfig, SkipShard, SubPriority, TelemetrySnapshot,
+    QueueBuilder, SessionConfig, SkipShard, SubPriority, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -236,7 +236,7 @@ fn main() {
                 "mutexheap",
                 Box::new(move || {
                     let q: BucketFifoQueue<MutexHeapSub<u64>> =
-                        BucketFifoQueue::with_backend(delta, shards);
+                        QueueBuilder::new(shards).delta(delta).bucket_fifo_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ),
@@ -244,7 +244,7 @@ fn main() {
                 "skiplist",
                 Box::new(move || {
                     let q: BucketFifoQueue<SkipShard<u64>> =
-                        BucketFifoQueue::with_backend(delta, shards);
+                        QueueBuilder::new(shards).delta(delta).bucket_fifo_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ),
@@ -252,7 +252,7 @@ fn main() {
                 "fc",
                 Box::new(move || {
                     let q: BucketFifoQueue<FcHeapSub<u64>> =
-                        BucketFifoQueue::with_backend(delta, shards);
+                        QueueBuilder::new(shards).delta(delta).bucket_fifo_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ),

@@ -50,8 +50,8 @@ use rsched_queues::instrument::ConcurrentRankEstimator;
 use rsched_queues::lockfree::{FaaRingQueue, MsQueue, SegRingQueue};
 use rsched_queues::trace::{self, EventKind};
 use rsched_queues::{
-    telemetry, DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, SessionConfig,
-    SubFifo, TelemetrySnapshot,
+    telemetry, DCboQueue, DRaQueue, FifoRankStats, FifoSession, MutexSub, PopSource, QueueBuilder,
+    SessionConfig, SubFifo, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -317,7 +317,7 @@ fn main() {
                     "d-ra",
                     backend,
                     Box::new(move || {
-                        let q = DRaQueue::<u64, S>::with_backend(shards, 2, 7);
+                        let q = QueueBuilder::new(shards).seed(7).d_ra_on::<u64, S>();
                         trial(&q, threads, ops_per_thread, prefill, mix, tuning)
                     }),
                 ),
@@ -325,7 +325,7 @@ fn main() {
                     "d-cbo",
                     backend,
                     Box::new(move || {
-                        let q = DCboQueue::<u64, S>::with_backend(shards, 2, 7);
+                        let q = QueueBuilder::new(shards).seed(7).d_cbo_on::<u64, S>();
                         trial(&q, threads, ops_per_thread, prefill, mix, tuning)
                     }),
                 ),

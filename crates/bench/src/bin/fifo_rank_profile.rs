@@ -14,7 +14,8 @@
 //! ```
 
 use rsched_bench::Scale;
-use rsched_queues::fifo::{DCboQueue, DRaQueue, FifoRankStats, FifoRankTracker, RelaxedFifo};
+use rsched_queues::fifo::{FifoRankStats, FifoRankTracker, RelaxedFifo};
+use rsched_queues::QueueBuilder;
 use std::time::Instant;
 
 /// Prefill, then run `ops` alternating enqueue/dequeue operations.
@@ -53,8 +54,8 @@ fn main() {
     for &q in &subqueues {
         for &prefill in prefill_list {
             for &ops in ops_list {
-                let (dra, dra_wall) = sweep(DRaQueue::choice_of_two(q, 7), prefill, ops);
-                let (dcbo, dcbo_wall) = sweep(DCboQueue::new(q, 7), prefill, ops);
+                let (dra, dra_wall) = sweep(QueueBuilder::new(q).seed(7).d_ra(), prefill, ops);
+                let (dcbo, dcbo_wall) = sweep(QueueBuilder::new(q).seed(7).d_cbo(), prefill, ops);
                 for (name, s, wall) in [("d-ra", &dra, dra_wall), ("d-cbo", &dcbo, dcbo_wall)] {
                     println!(
                         "json,{{\"queue\":\"{name}\",\"subqueues\":{q},\"prefill\":{prefill},\

@@ -62,7 +62,7 @@ use rsched_bench::{
 };
 use rsched_queues::{
     telemetry, ConcurrentMultiQueue, FcHeapSub, FlushReport, MqSession, MutexHeapSub, PopSource,
-    PushOutcome, SessionConfig, SkipShard, SubPriority, TelemetrySnapshot,
+    PushOutcome, QueueBuilder, SessionConfig, SkipShard, SubPriority, TelemetrySnapshot,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -286,7 +286,7 @@ fn main() {
                 stickiness,
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, MutexHeapSub<u64>> =
-                        ConcurrentMultiQueue::with_backend_universe(shards, universe);
+                        QueueBuilder::new(shards).universe(universe).multiqueue_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ));
@@ -295,7 +295,7 @@ fn main() {
                 stickiness,
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, SkipShard<u64>> =
-                        ConcurrentMultiQueue::with_backend_universe(shards, universe);
+                        QueueBuilder::new(shards).universe(universe).multiqueue_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ));
@@ -304,7 +304,7 @@ fn main() {
                 stickiness,
                 Box::new(move || {
                     let q: ConcurrentMultiQueue<u64, FcHeapSub<u64>> =
-                        ConcurrentMultiQueue::with_backend_universe(shards, universe);
+                        QueueBuilder::new(shards).universe(universe).multiqueue_on();
                     trial(&q, threads, ops_per_thread, prefill, universe, session_cfg)
                 }),
             ));

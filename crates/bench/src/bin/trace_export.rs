@@ -31,7 +31,7 @@
 
 use rsched_bench::{env_u64, env_usize, write_json_artifact};
 use rsched_queues::trace::{self, EventKind};
-use rsched_queues::ConcurrentMultiQueue;
+use rsched_queues::QueueBuilder;
 use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 
 fn main() {
@@ -45,7 +45,7 @@ fn main() {
     trace::set_enabled(true);
     trace::clear();
 
-    let queue = ConcurrentMultiQueue::<u64>::new((2 * threads).max(4));
+    let queue = QueueBuilder::new((2 * threads).max(4)).multiqueue::<u64>();
     let stats = run(
         &queue,
         RuntimeConfig {

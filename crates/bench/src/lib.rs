@@ -96,6 +96,10 @@ pub use rsched_runtime::env::{
     env_f64, env_list, env_opt_usize, env_u64, env_usize, env_usize_list,
 };
 
+// Minimal JSON (values + artifact records), shared by the compare gate
+// and the diurnal-trace loader.
+pub mod json;
+
 /// The worker-session tuning knobs every contention benchmark sweeps and
 /// records: `RSCHED_SHARDS_PER_WORKER` (home shards per worker, default
 /// 1; 0 disables affinity) and `RSCHED_SPAWN_BATCH` (spawn-buffer

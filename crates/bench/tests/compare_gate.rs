@@ -124,10 +124,19 @@ fn non_monotone_retry_quantiles_fail() {
 // ---------------------------------------------------------------------
 
 /// A synthetic two-cell serving artifact: a quiet poisson cell (the one
-/// fixtures perturb) and a loaded burst cell carrying the peaks. All
-/// counters conserve (`accepted + rejected == submitted`,
-/// `completed == accepted`) unless a fixture breaks them on purpose.
-fn serve_artifact(p_accepted_per_sec: f64, p_lat_p999: u64, p_has_lat: bool) -> String {
+/// fixtures perturb, with `p_misses` of its 500 completions missing
+/// their deadlines) and a loaded burst cell carrying the peaks (miss
+/// rate pinned at 0.10). All counters conserve (`accepted + rejected ==
+/// submitted`, `completed == accepted`,
+/// `deadline_met + deadline_misses == completed`,
+/// `miss_rate == deadline_misses / completed`) unless a fixture breaks
+/// them on purpose.
+fn serve_artifact(
+    p_accepted_per_sec: f64,
+    p_lat_p999: u64,
+    p_has_lat: bool,
+    p_misses: u64,
+) -> String {
     let lat = if p_has_lat {
         format!(
             ",\"lat_p50\":262143,\"lat_p99\":1048575,\"lat_p999\":{p_lat_p999},\
@@ -139,67 +148,75 @@ fn serve_artifact(p_accepted_per_sec: f64, p_lat_p999: u64, p_has_lat: bool) -> 
     };
     format!(
         "[\n  {{\"bench\":\"serve_latency\",\"backend\":\"mq\",\"threads\":2,\
-         \"arrival_process\":\"poisson\",\"offered_rate\":500.0,\"clients\":2,\
+         \"arrival_process\":\"poisson\",\"mode\":\"edf\",\"deadline_budget\":\"mixed\",\
+         \"offered_rate\":500.0,\"clients\":2,\
          \"work_ns\":20000,\"queue_cap\":512,\"duration_s\":1.0,\
          \"submitted\":500,\"accepted\":500,\"rejected\":0,\"completed\":500,\
+         \"deadline_met\":{met},\"deadline_misses\":{p_misses},\"miss_rate\":{miss_rate:.4},\
+         \"tardiness_p99\":131071,\"tardiness_p999\":262143,\"tardiness_max\":524287,\
          \"achieved_rate\":500.0,\"accepted_per_sec\":{p_accepted_per_sec:.1}{lat},\
          \"srv_sojourn_p50\":131071,\"srv_sojourn_p99\":524287,\
          \"srv_sojourn_p999\":1048575,\"srv_inject_p99\":8191}},\n  \
          {{\"bench\":\"serve_latency\",\"backend\":\"mq\",\"threads\":2,\
-         \"arrival_process\":\"burst\",\"offered_rate\":2000.0,\"clients\":2,\
+         \"arrival_process\":\"burst\",\"mode\":\"edf\",\"deadline_budget\":\"mixed\",\
+         \"offered_rate\":2000.0,\"clients\":2,\
          \"work_ns\":20000,\"queue_cap\":512,\"duration_s\":1.0,\
          \"submitted\":2000,\"accepted\":1900,\"rejected\":100,\"completed\":1900,\
+         \"deadline_met\":1710,\"deadline_misses\":190,\"miss_rate\":0.1000,\
+         \"tardiness_p99\":2097151,\"tardiness_p999\":4194303,\"tardiness_max\":8388607,\
          \"achieved_rate\":2000.0,\"accepted_per_sec\":1900.0,\
          \"lat_p50\":524287,\"lat_p99\":4194303,\"lat_p999\":134217727,\
          \"lat_max\":268435455,\"lat_count\":1900,\
          \"srv_sojourn_p50\":262143,\"srv_sojourn_p99\":2097151,\
-         \"srv_sojourn_p999\":4194303,\"srv_inject_p99\":16383}}\n]\n"
+         \"srv_sojourn_p999\":4194303,\"srv_inject_p99\":16383}}\n]\n",
+        met = 500 - p_misses,
+        miss_rate = p_misses as f64 / 500.0,
     )
 }
 
 #[test]
 fn serve_identical_runs_pass() {
-    let art = serve_artifact(500.0, 1 << 21, true);
+    let art = serve_artifact(500.0, 1 << 21, true, 0);
     assert_eq!(run_gate(&art, &art, "serve_identical"), 0);
 }
 
 #[test]
 fn serve_latency_within_two_buckets_passes() {
-    let base = serve_artifact(500.0, 1 << 21, true);
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
     // p999 sojourn doubles twice (2 log₂ buckets): inside the cubed
     // limit (1/(1-0.40))³ ≈ 4.63.
-    let fresh = serve_artifact(500.0, 1 << 23, true);
+    let fresh = serve_artifact(500.0, 1 << 23, true, 0);
     assert_eq!(run_gate(&base, &fresh, "serve_two_buckets"), 0);
 }
 
 #[test]
 fn serve_p999_inflation_fails() {
-    let base = serve_artifact(500.0, 1 << 21, true);
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
     // 8× = 3 log₂ buckets of p999 sojourn inflation on the quiet cell
     // while the burst cell holds the peak: past the ≈4.63 limit in both
     // the raw and the normalized view.
-    let fresh = serve_artifact(500.0, 1 << 24, true);
+    let fresh = serve_artifact(500.0, 1 << 24, true, 0);
     assert_eq!(run_gate(&base, &fresh, "serve_inflated"), 1);
 }
 
 #[test]
 fn serve_missing_latency_fields_fail() {
-    let base = serve_artifact(500.0, 1 << 21, true);
-    let fresh = serve_artifact(500.0, 1 << 21, false);
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
+    let fresh = serve_artifact(500.0, 1 << 21, false, 0);
     assert_eq!(run_gate(&base, &fresh, "serve_missing_lat"), 1);
 }
 
 #[test]
 fn serve_conservation_violation_fails() {
-    let base = serve_artifact(500.0, 1 << 21, true);
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
     // accepted + rejected != submitted on the burst cell.
-    let fresh = serve_artifact(500.0, 1 << 21, true).replace(
+    let fresh = serve_artifact(500.0, 1 << 21, true, 0).replace(
         "\"submitted\":2000,\"accepted\":1900,\"rejected\":100",
         "\"submitted\":2000,\"accepted\":1900,\"rejected\":50",
     );
     assert_eq!(run_gate(&base, &fresh, "serve_conservation"), 1);
     // completed != accepted (a dropped task) on the poisson cell.
-    let fresh = serve_artifact(500.0, 1 << 21, true).replace(
+    let fresh = serve_artifact(500.0, 1 << 21, true, 0).replace(
         "\"rejected\":0,\"completed\":500",
         "\"rejected\":0,\"completed\":499",
     );
@@ -207,10 +224,39 @@ fn serve_conservation_violation_fails() {
 }
 
 #[test]
+fn serve_miss_rate_inflation_fails() {
+    // An all-met quiet cell (miss rate 0) starts missing 8% of its
+    // deadlines while the burst cell holds the run peak at 10%. With
+    // +0.02 smoothing: raw (0.08+0.02)/(0+0.02) = 5 and peak-normalized
+    // (0.8+0.02)/(0+0.02) = 41, both past the cubed ≈4.63 limit.
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
+    let fresh = serve_artifact(500.0, 1 << 21, true, 40);
+    assert_eq!(run_gate(&base, &fresh, "serve_miss_inflation"), 1);
+}
+
+#[test]
+fn serve_deadline_ledger_violation_fails() {
+    // deadline_met + deadline_misses != completed on the quiet cell: a
+    // completion without a verdict.
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
+    let fresh = serve_artifact(500.0, 1 << 21, true, 0)
+        .replace("\"deadline_met\":500", "\"deadline_met\":450");
+    assert_eq!(run_gate(&base, &fresh, "serve_lost_verdict"), 1);
+    // miss_rate disagreeing with deadline_misses / completed.
+    let fresh = serve_artifact(500.0, 1 << 21, true, 0)
+        .replace("\"miss_rate\":0.0000", "\"miss_rate\":0.0500");
+    assert_eq!(run_gate(&base, &fresh, "serve_bad_miss_rate"), 1);
+    // Non-monotone tardiness quantiles on the burst cell.
+    let fresh = serve_artifact(500.0, 1 << 21, true, 0)
+        .replace("\"tardiness_p999\":4194303", "\"tardiness_p999\":1048575");
+    assert_eq!(run_gate(&base, &fresh, "serve_bad_tardiness"), 1);
+}
+
+#[test]
 fn serve_accepted_rate_collapse_fails() {
-    let base = serve_artifact(500.0, 1 << 21, true);
+    let base = serve_artifact(500.0, 1 << 21, true, 0);
     // The quiet cell's accepted rate collapses far past the 40%
     // tolerance in both views (the burst cell pins the peak).
-    let fresh = serve_artifact(100.0, 1 << 21, true);
+    let fresh = serve_artifact(100.0, 1 << 21, true, 0);
     assert_eq!(run_gate(&base, &fresh, "serve_collapse"), 1);
 }

@@ -12,7 +12,7 @@
 
 pub use rsched_runtime::{ActiveCounter, ShardedCounter};
 
-use rsched_queues::ConcurrentMultiQueue;
+use rsched_queues::QueueBuilder;
 use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 use std::time::Duration;
 
@@ -107,7 +107,9 @@ pub fn run_relaxed_parallel<A: ConcurrentIncremental>(
 ) -> ParExecStats {
     assert!(threads >= 1 && queue_multiplier >= 1);
     let n = alg.num_tasks();
-    let queue = ConcurrentMultiQueue::<u64>::with_universe(threads * queue_multiplier, n);
+    let queue = QueueBuilder::new(threads * queue_multiplier)
+        .universe(n)
+        .multiqueue::<u64>();
     let stats = run(
         &queue,
         RuntimeConfig {

@@ -131,11 +131,11 @@ fn locate(b: u64) -> (usize, usize) {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::BucketFifoQueue;
+/// use rsched_queues::QueueBuilder;
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
 ///
-/// let q = BucketFifoQueue::new(10, 4); // Δ = 10, 4 shards per bucket
+/// let q = QueueBuilder::new(4).delta(10).bucket_fifo(); // Δ = 10, 4 shards per bucket
 /// for i in 0..100u64 {
 ///     q.push_or_decrease(i as usize, i);
 /// }
@@ -165,7 +165,14 @@ pub struct BucketFifoQueue<S = SkipShard<u64>> {
 impl<S: SubPriority<u64>> BucketFifoQueue<S> {
     /// A hybrid with bucket width `delta` and `shards_per_bucket`
     /// priority shards in every bucket, on backend `S`.
+    #[deprecated(note = "use QueueBuilder::new(shards_per_bucket).delta(d).bucket_fifo_on::<S>()")]
     pub fn with_backend(delta: u64, shards_per_bucket: usize) -> Self {
+        Self::construct(delta, shards_per_bucket)
+    }
+
+    /// The one real constructor, reached through
+    /// [`QueueBuilder`](crate::QueueBuilder).
+    pub(crate) fn construct(delta: u64, shards_per_bucket: usize) -> Self {
         assert!(delta >= 1, "bucket width must be at least 1");
         assert!(shards_per_bucket >= 1, "a bucket needs at least one shard");
         Self {
@@ -671,8 +678,9 @@ impl<S: SubPriority<u64>> BucketFifoQueue<S> {
 impl BucketFifoQueue<SkipShard<u64>> {
     /// A hybrid with bucket width `delta` and `shards_per_bucket`
     /// shards per bucket, on the default lock-free skiplist backend.
+    #[deprecated(note = "use QueueBuilder::new(shards_per_bucket).delta(d).bucket_fifo()")]
     pub fn new(delta: u64, shards_per_bucket: usize) -> Self {
-        Self::with_backend(delta, shards_per_bucket)
+        Self::construct(delta, shards_per_bucket)
     }
 }
 
@@ -743,6 +751,7 @@ impl BucketSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::QueueBuilder;
     use crate::skipshard::MutexHeapSub;
     use std::collections::HashSet;
     use std::sync::Arc;
@@ -764,7 +773,7 @@ mod tests {
     #[test]
     fn sequential_pops_drain_buckets_in_order() {
         fn check<S: SubPriority<u64>>() {
-            let q: BucketFifoQueue<S> = BucketFifoQueue::with_backend(10, 4);
+            let q: BucketFifoQueue<S> = QueueBuilder::new(4).delta(10).bucket_fifo_on();
             // Insert in shuffled priority order across 20 buckets.
             let mut rng = SmallRng::seed_from_u64(3);
             let mut prios: Vec<u64> = (0..400).collect();
@@ -796,7 +805,7 @@ mod tests {
         // The hybrid's composed relaxation: a sequential pop comes from
         // the oldest live bucket, so its priority exceeds the current
         // global minimum by less than Δ.
-        let q = BucketFifoQueue::new(100, 8);
+        let q = QueueBuilder::new(8).delta(100).bucket_fifo();
         for item in 0..1000usize {
             q.push_or_decrease(item, (item as u64 * 7919) % 5000);
         }
@@ -814,7 +823,7 @@ mod tests {
 
     #[test]
     fn push_or_decrease_merges_within_a_bucket_only() {
-        let q = BucketFifoQueue::new(10, 4);
+        let q = QueueBuilder::new(4).delta(10).bucket_fifo();
         assert!(q.push_or_decrease(5, 25)); // bucket 2
         assert!(!q.push_or_decrease(5, 22), "same bucket: merged");
         assert_eq!(q.len(), 1);
@@ -832,7 +841,7 @@ mod tests {
 
     #[test]
     fn huge_priorities_clamp_into_the_last_bucket() {
-        let q = BucketFifoQueue::new(1, 2);
+        let q = QueueBuilder::new(2).delta(1).bucket_fifo();
         q.push_or_decrease(0, u64::MAX - 1);
         q.push_or_decrease(1, 3);
         let mut rng = SmallRng::seed_from_u64(0);
@@ -843,7 +852,7 @@ mod tests {
 
     #[test]
     fn conservation_under_mixed_ops() {
-        let q = BucketFifoQueue::new(16, 4);
+        let q = QueueBuilder::new(4).delta(16).bucket_fifo();
         let mut rng = SmallRng::seed_from_u64(21);
         let mut net = 0i64;
         let mut popped = 0u64;
@@ -870,7 +879,7 @@ mod tests {
 
     #[test]
     fn concurrent_storm_conserves_counts() {
-        let q: Arc<BucketFifoQueue> = Arc::new(BucketFifoQueue::new(32, 8));
+        let q: Arc<BucketFifoQueue> = Arc::new(QueueBuilder::new(8).delta(32).bucket_fifo());
         let threads = 8;
         let per = 4_000usize;
         let results: Vec<(i64, u64)> = std::thread::scope(|s| {
@@ -912,7 +921,7 @@ mod tests {
         // Same conservation storm over flat-combining bucket shards —
         // the convoy-case backend the bucket bench sweeps.
         let q: Arc<BucketFifoQueue<crate::flatcomb::FcHeapSub<u64>>> =
-            Arc::new(BucketFifoQueue::with_backend(32, 4));
+            Arc::new(QueueBuilder::new(4).delta(32).bucket_fifo_on());
         let threads = 8;
         let per = 2_000usize;
         let results: Vec<i64> = std::thread::scope(|s| {
@@ -950,7 +959,7 @@ mod tests {
 
     #[test]
     fn session_batched_pushes_group_by_bucket_and_dedup() {
-        let q = BucketFifoQueue::new(10, 4);
+        let q = QueueBuilder::new(4).delta(10).bucket_fifo();
         // Pre-existing entry in bucket 3: the flush of item 9 merges.
         q.push_or_decrease(9, 35);
         let mut s = q.session(&SessionConfig {
@@ -976,7 +985,7 @@ mod tests {
 
     #[test]
     fn session_home_columns_classify_pops() {
-        let q = BucketFifoQueue::new(50, 4);
+        let q = QueueBuilder::new(4).delta(50).bucket_fifo();
         let cfg = SessionConfig {
             shards_per_worker: 2,
             ..SessionConfig::for_worker(1, 2)
@@ -1001,7 +1010,7 @@ mod tests {
 
     #[test]
     fn session_conservation_across_threads() {
-        let q: Arc<BucketFifoQueue> = Arc::new(BucketFifoQueue::new(20, 4));
+        let q: Arc<BucketFifoQueue> = Arc::new(QueueBuilder::new(4).delta(20).bucket_fifo());
         let threads = 4;
         let per = 2_000usize;
         std::thread::scope(|scope| {
@@ -1030,7 +1039,7 @@ mod tests {
 
     #[test]
     fn drain_empties_everything() {
-        let mut q = BucketFifoQueue::new(7, 3);
+        let mut q = QueueBuilder::new(3).delta(7).bucket_fifo();
         for i in 0..500usize {
             q.push_or_decrease(i, (i as u64) % 400);
         }

@@ -475,11 +475,11 @@ fn new_fifo_session<T>(q: usize, cfg: &SessionConfig) -> FifoSession<T> {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::fifo::DRaQueue;
+/// use rsched_queues::QueueBuilder;
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
 ///
-/// let q = DRaQueue::choice_of_two(8, 42);
+/// let q = QueueBuilder::new(8).seed(42).d_ra();
 /// let mut rng = SmallRng::seed_from_u64(1);
 /// for i in 0..100 {
 ///     q.enqueue(i, &mut rng);
@@ -503,7 +503,14 @@ pub struct DRaQueue<T, S = SegRingQueue<T>> {
 impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
     /// `subqueues` shards of backend `S` with `d` choices per operation
     /// (`1 ..= MAX_CHOICES`).
+    #[deprecated(note = "use QueueBuilder::new(subqueues).choices(d).seed(s).d_ra_on::<T, S>()")]
     pub fn with_backend(subqueues: usize, d: usize, seed: u64) -> Self {
+        Self::construct(subqueues, d, seed)
+    }
+
+    /// The one real constructor, reached through
+    /// [`QueueBuilder`](crate::QueueBuilder).
+    pub(crate) fn construct(subqueues: usize, d: usize, seed: u64) -> Self {
         assert!(subqueues > 0, "d-RA needs at least one sub-queue");
         assert!(
             (1..=MAX_CHOICES).contains(&d),
@@ -791,13 +798,15 @@ impl<T: Send, S: SubFifo<T>> DRaQueue<T, S> {
 impl<T: Send> DRaQueue<T> {
     /// `subqueues` sub-FIFOs with `d` choices per operation, on the
     /// default lock-free segmented-ring backend.
+    #[deprecated(note = "use QueueBuilder::new(subqueues).choices(d).seed(s).d_ra()")]
     pub fn new(subqueues: usize, d: usize, seed: u64) -> Self {
-        Self::with_backend(subqueues, d, seed)
+        Self::construct(subqueues, d, seed)
     }
 
     /// The classic two-choice configuration.
+    #[deprecated(note = "use QueueBuilder::new(subqueues).seed(s).d_ra()")]
     pub fn choice_of_two(subqueues: usize, seed: u64) -> Self {
-        Self::new(subqueues, 2, seed)
+        Self::construct(subqueues, 2, seed)
     }
 }
 
@@ -861,11 +870,11 @@ impl<T: Send, S: SubFifo<T>> RelaxedFifo<T> for DRaQueue<T, S> {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::fifo::DCboQueue;
+/// use rsched_queues::QueueBuilder;
 /// use rand::rngs::SmallRng;
 /// use rand::SeedableRng;
 ///
-/// let q = DCboQueue::new(8, 1);
+/// let q = QueueBuilder::new(8).seed(1).d_cbo();
 /// let mut rng = SmallRng::seed_from_u64(9);
 /// for i in 0..100u64 {
 ///     q.enqueue(i, &mut rng);
@@ -894,7 +903,14 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
 
     /// `shards` sub-FIFOs of backend `S` with `d` choices per operation
     /// (`1 ..= MAX_CHOICES`).
+    #[deprecated(note = "use QueueBuilder::new(shards).choices(d).seed(s).d_cbo_on::<T, S>()")]
     pub fn with_backend(shards: usize, d: usize, seed: u64) -> Self {
+        Self::construct(shards, d, seed)
+    }
+
+    /// The one real constructor, reached through
+    /// [`QueueBuilder`](crate::QueueBuilder).
+    pub(crate) fn construct(shards: usize, d: usize, seed: u64) -> Self {
         assert!(shards > 0, "d-CBO needs at least one shard");
         assert!(
             (1..=Self::MAX_CHOICES).contains(&d),
@@ -1135,14 +1151,16 @@ impl<T: Send, S: SubFifo<T>> DCboQueue<T, S> {
 impl<T: Send> DCboQueue<T> {
     /// `shards` sub-FIFOs with the classic two choices per operation, on
     /// the default lock-free segmented-ring backend.
+    #[deprecated(note = "use QueueBuilder::new(shards).seed(s).d_cbo()")]
     pub fn new(shards: usize, seed: u64) -> Self {
-        Self::with_backend(shards, 2, seed)
+        Self::construct(shards, 2, seed)
     }
 
     /// `shards` sub-FIFOs with `d` choices per operation
     /// (`1 ..= MAX_CHOICES`), on the default backend.
+    #[deprecated(note = "use QueueBuilder::new(shards).choices(d).seed(s).d_cbo()")]
     pub fn with_choice(shards: usize, d: usize, seed: u64) -> Self {
-        Self::with_backend(shards, d, seed)
+        Self::construct(shards, d, seed)
     }
 }
 
@@ -1278,9 +1296,10 @@ impl FifoRankStats {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::fifo::{DRaQueue, FifoRankTracker, RelaxedFifo};
+/// use rsched_queues::fifo::{FifoRankTracker, RelaxedFifo};
+/// use rsched_queues::QueueBuilder;
 ///
-/// let mut q = FifoRankTracker::new(DRaQueue::choice_of_two(4, 7));
+/// let mut q = FifoRankTracker::new(QueueBuilder::new(4).seed(7).d_ra());
 /// for i in 0..1000 {
 ///     q.enqueue(i);
 /// }
@@ -1351,6 +1370,7 @@ impl<T, Q: RelaxedFifo<(u64, T)>> RelaxedFifo<T> for FifoRankTracker<T, Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::QueueBuilder;
     use crate::lockfree::MsQueue;
 
     fn drain<T, Q: RelaxedFifo<T>>(q: &mut Q) -> Vec<T> {
@@ -1363,13 +1383,13 @@ mod tests {
 
     #[test]
     fn single_subqueue_is_exact_fifo() {
-        let mut q = DRaQueue::choice_of_two(1, 3);
+        let mut q = QueueBuilder::new(1).seed(3).d_ra();
         for i in 0..500 {
             RelaxedFifo::enqueue(&mut q, i);
         }
         assert_eq!(drain(&mut q), (0..500).collect::<Vec<_>>());
 
-        let mut q = FifoRankTracker::new(DRaQueue::choice_of_two(1, 3));
+        let mut q = FifoRankTracker::new(QueueBuilder::new(1).seed(3).d_ra());
         for i in 0..500 {
             q.enqueue(i);
         }
@@ -1381,12 +1401,12 @@ mod tests {
     #[test]
     fn single_subqueue_exact_on_every_backend() {
         fn check<S: SubFifo<i32>>() {
-            let mut q: DRaQueue<i32, S> = DRaQueue::with_backend(1, 2, 3);
+            let mut q: DRaQueue<i32, S> = QueueBuilder::new(1).seed(3).d_ra_on();
             for i in 0..200 {
                 RelaxedFifo::enqueue(&mut q, i);
             }
             assert_eq!(drain(&mut q), (0..200).collect::<Vec<_>>());
-            let mut q: DCboQueue<i32, S> = DCboQueue::with_backend(1, 2, 3);
+            let mut q: DCboQueue<i32, S> = QueueBuilder::new(1).seed(3).d_cbo_on();
             for i in 0..200 {
                 RelaxedFifo::enqueue(&mut q, i);
             }
@@ -1400,7 +1420,7 @@ mod tests {
 
     #[test]
     fn dra_conserves_items_under_mixed_ops() {
-        let mut q = DRaQueue::new(8, 2, 11);
+        let mut q = QueueBuilder::new(8).seed(11).d_ra();
         let mut rng = SmallRng::seed_from_u64(5);
         let mut pushed = 0u64;
         let mut got = Vec::new();
@@ -1420,8 +1440,8 @@ mod tests {
     #[test]
     fn backend_matrix_conserves_items_under_mixed_ops() {
         fn check<S: SubFifo<u64>>(name: &str) {
-            let mut dra: DRaQueue<u64, S> = DRaQueue::with_backend(6, 2, 11);
-            let mut dcbo: DCboQueue<u64, S> = DCboQueue::with_backend(6, 2, 11);
+            let mut dra: DRaQueue<u64, S> = QueueBuilder::new(6).seed(11).d_ra_on();
+            let mut dcbo: DCboQueue<u64, S> = QueueBuilder::new(6).seed(11).d_cbo_on();
             let mut rng = SmallRng::seed_from_u64(5);
             let mut pushed = 0u64;
             let mut got_dra = Vec::new();
@@ -1459,7 +1479,7 @@ mod tests {
         // d = 2 should give a substantially smaller mean rank error than
         // d = 1 (pure random) on the same workload shape.
         let mean_for = |d: usize| {
-            let mut q = FifoRankTracker::new(DRaQueue::new(16, d, 77));
+            let mut q = FifoRankTracker::new(QueueBuilder::new(16).choices(d).seed(77).d_ra());
             for i in 0..20_000 {
                 q.enqueue(i);
             }
@@ -1476,7 +1496,7 @@ mod tests {
 
     #[test]
     fn dcbo_sequential_interface_tracks_errors() {
-        let mut q = FifoRankTracker::new(DCboQueue::new(8, 21));
+        let mut q = FifoRankTracker::new(QueueBuilder::new(8).seed(21).d_cbo());
         for i in 0..5_000 {
             q.enqueue(i);
         }
@@ -1494,7 +1514,7 @@ mod tests {
     #[test]
     fn dcbo_concurrent_no_loss_no_duplication() {
         use std::sync::Arc;
-        let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(6, 3));
+        let q: Arc<DCboQueue<usize>> = Arc::new(QueueBuilder::new(6).seed(3).d_cbo());
         let threads = 8;
         let per = 5_000usize;
         let handles: Vec<_> = (0..threads)
@@ -1531,7 +1551,7 @@ mod tests {
     #[test]
     fn dra_concurrent_no_loss_no_duplication() {
         use std::sync::Arc;
-        let q: Arc<DRaQueue<usize>> = Arc::new(DRaQueue::new(6, 2, 3));
+        let q: Arc<DRaQueue<usize>> = Arc::new(QueueBuilder::new(6).seed(3).d_ra());
         let threads = 8;
         let per = 5_000usize;
         let handles: Vec<_> = (0..threads)
@@ -1569,7 +1589,7 @@ mod tests {
     fn dcbo_home_shard_pops_are_not_steals() {
         // A single worker draining with affinity takes mostly from its
         // home shard at first; the flag distinguishes home from foreign.
-        let q: DCboQueue<u64> = DCboQueue::new(4, 9);
+        let q: DCboQueue<u64> = QueueBuilder::new(4).seed(9).d_cbo();
         let mut rng = SmallRng::seed_from_u64(2);
         for i in 0..100 {
             q.enqueue(i, &mut rng);
@@ -1591,7 +1611,7 @@ mod tests {
     #[test]
     fn session_ops_conserve_items_across_threads() {
         use std::sync::Arc;
-        let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(4, 17));
+        let q: Arc<DCboQueue<usize>> = Arc::new(QueueBuilder::new(4).seed(17).d_cbo());
         let threads = 4;
         let per = 2_000usize;
         std::thread::scope(|s| {
@@ -1621,7 +1641,7 @@ mod tests {
 
     #[test]
     fn session_batched_pushes_publish_on_flush() {
-        let q: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let q: DCboQueue<u64> = QueueBuilder::new(4).seed(5).d_cbo();
         let mut s = q.session(&SessionConfig {
             spawn_batch: 16,
             ..SessionConfig::for_worker(0, 1)
@@ -1646,7 +1666,7 @@ mod tests {
     fn adaptive_session_grows_on_home_hits_and_shrinks_on_misses() {
         // Worker 0 of 1 owning all 4 shards: every successful pop is a
         // Home hit, so the adaptive ladder is fully deterministic.
-        let q: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let q: DCboQueue<u64> = QueueBuilder::new(4).seed(5).d_cbo();
         let mut s = q.session(&SessionConfig {
             spawn_batch: 8,
             adaptive_spawn: true,
@@ -1676,7 +1696,7 @@ mod tests {
         }
         assert_eq!(s.spawn_batch(), 1, "misses shrink back to unbatched");
         // Without the flag the threshold never moves off the config.
-        let fixed: DCboQueue<u64> = DCboQueue::new(4, 5);
+        let fixed: DCboQueue<u64> = QueueBuilder::new(4).seed(5).d_cbo();
         let mut f = fixed.session(&SessionConfig {
             spawn_batch: 8,
             shards_per_worker: 4,
@@ -1692,7 +1712,7 @@ mod tests {
         // One worker owning 2 of 4 shards: everything it pushed through
         // immediate (unbatched) publication is spread over shards, so
         // draining must report both Home and Steal pops, never Shared.
-        let q: DCboQueue<u64> = DCboQueue::new(4, 9);
+        let q: DCboQueue<u64> = QueueBuilder::new(4).seed(9).d_cbo();
         let cfg = SessionConfig {
             shards_per_worker: 2,
             ..SessionConfig::for_worker(1, 2)
@@ -1719,7 +1739,7 @@ mod tests {
     fn dra_session_batch_keeps_fifo_exact_on_one_shard() {
         // A single shard is an exact FIFO even through batched flushes:
         // batches preserve buffer order and stamp order.
-        let q: DRaQueue<u64> = DRaQueue::new(1, 2, 3);
+        let q: DRaQueue<u64> = QueueBuilder::new(1).seed(3).d_ra();
         let mut s = q.session(&SessionConfig {
             spawn_batch: 7,
             ..SessionConfig::for_worker(0, 1)

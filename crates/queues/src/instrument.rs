@@ -587,11 +587,12 @@ mod tests {
 
     #[test]
     fn estimator_measures_dcbo_under_load() {
+        use crate::builder::QueueBuilder;
         use crate::fifo::DCboQueue;
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
         let shards = 8;
-        let q: DCboQueue<u64> = DCboQueue::new(shards, 3);
+        let q: DCboQueue<u64> = QueueBuilder::new(shards).seed(3).d_cbo();
         let est = ConcurrentRankEstimator::new();
         {
             let mut rec = est.recorder();

@@ -226,6 +226,7 @@
 //! run opens directly in Perfetto or `chrome://tracing`.
 
 pub mod bucket;
+pub mod builder;
 pub mod fifo;
 pub mod flatcomb;
 pub mod heap;
@@ -241,6 +242,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use bucket::{BucketFifoQueue, BucketSession};
+pub use builder::QueueBuilder;
 pub use fifo::{
     DCboFaaQueue, DCboMsQueue, DCboMutexQueue, DCboQueue, DCboSegQueue, DRaFaaQueue, DRaMsQueue,
     DRaMutexQueue, DRaQueue, DRaSegQueue, FifoRankStats, FifoRankTracker, FifoSession, MutexSub,

@@ -250,10 +250,10 @@ impl<P: Ord + Copy> RelaxedQueue<P> for SimMultiQueue<P> {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::ConcurrentMultiQueue;
+/// use rsched_queues::QueueBuilder;
 /// use std::sync::Arc;
 ///
-/// let mq = Arc::new(ConcurrentMultiQueue::new(8));
+/// let mq = Arc::new(QueueBuilder::new(8).multiqueue());
 /// let handles: Vec<_> = (0..4)
 ///     .map(|t| {
 ///         let mq = Arc::clone(&mq);
@@ -295,35 +295,47 @@ pub type FcHeapMultiQueue<P = u64> = ConcurrentMultiQueue<P, crate::flatcomb::Fc
 impl<P: Ord + Copy + Send + Sync> ConcurrentMultiQueue<P> {
     /// Create a MultiQueue with `nqueues` internal shards on the default
     /// lock-free skiplist backend.
+    #[deprecated(note = "use QueueBuilder::new(nqueues).multiqueue()")]
     pub fn new(nqueues: usize) -> Self {
-        Self::with_backend(nqueues)
+        Self::construct(nqueues, None)
     }
 
     /// Create a default-backend MultiQueue whose shards pre-allocate
     /// their item tables for items `0..universe`.
+    #[deprecated(note = "use QueueBuilder::new(nqueues).universe(n).multiqueue()")]
     pub fn with_universe(nqueues: usize, universe: usize) -> Self {
-        Self::with_backend_universe(nqueues, universe)
+        Self::construct(nqueues, Some(universe))
     }
 }
 
 impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
     /// Create a MultiQueue with `nqueues` internal shards of backend `S`.
+    #[deprecated(note = "use QueueBuilder::new(nqueues).multiqueue_on::<P, S>()")]
     pub fn with_backend(nqueues: usize) -> Self {
-        assert!(nqueues > 0, "a MultiQueue needs at least one queue");
-        Self {
-            shards: (0..nqueues).map(|_| CachePadded::new(S::new())).collect(),
-            len: AtomicUsize::new(0),
-            _prio: std::marker::PhantomData,
-        }
+        Self::construct(nqueues, None)
     }
 
     /// Create a backend-`S` MultiQueue whose shards pre-allocate their
     /// item tables for items `0..universe`.
+    #[deprecated(note = "use QueueBuilder::new(nqueues).universe(n).multiqueue_on::<P, S>()")]
     pub fn with_backend_universe(nqueues: usize, universe: usize) -> Self {
+        Self::construct(nqueues, Some(universe))
+    }
+
+    /// The one real constructor, reached through
+    /// [`QueueBuilder`](crate::QueueBuilder) (the deprecated public
+    /// aliases above all funnel here). `universe` pre-sizes each
+    /// shard's item table.
+    pub(crate) fn construct(nqueues: usize, universe: Option<usize>) -> Self {
         assert!(nqueues > 0, "a MultiQueue needs at least one queue");
         Self {
             shards: (0..nqueues)
-                .map(|_| CachePadded::new(S::with_universe(universe)))
+                .map(|_| {
+                    CachePadded::new(match universe {
+                        Some(u) => S::with_universe(u),
+                        None => S::new(),
+                    })
+                })
                 .collect(),
             len: AtomicUsize::new(0),
             _prio: std::marker::PhantomData,
@@ -501,9 +513,9 @@ impl<P: Ord + Copy + Send, S: SubPriority<P>> ConcurrentMultiQueue<P, S> {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::{ConcurrentMultiQueue, SessionConfig};
+/// use rsched_queues::{QueueBuilder, SessionConfig};
 ///
-/// let q = ConcurrentMultiQueue::new(8);
+/// let q = QueueBuilder::new(8).multiqueue::<u64>();
 /// let mut session = q.session(&SessionConfig {
 ///     stickiness: 4,
 ///     ..SessionConfig::default()
@@ -829,6 +841,7 @@ impl<P: Ord + Copy + Send> DuplicateMultiQueue<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::QueueBuilder;
     use crate::flatcomb::FcHeapSub;
     use std::collections::HashSet;
     use std::sync::Arc;
@@ -920,7 +933,7 @@ mod tests {
     }
 
     fn check_push_pop_exhaustive<S: SubPriority<u64>>() {
-        let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(4);
+        let mq: ConcurrentMultiQueue<u64, S> = QueueBuilder::new(4).multiqueue_on();
         for i in 0..500usize {
             mq.push_or_decrease(i, 500 - i as u64);
         }
@@ -942,7 +955,7 @@ mod tests {
     }
 
     fn check_decrease_key_path<S: SubPriority<u64>>() {
-        let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(4);
+        let mq: ConcurrentMultiQueue<u64, S> = QueueBuilder::new(4).multiqueue_on();
         assert!(mq.push_or_decrease(7, 100));
         assert!(!mq.push_or_decrease(7, 50), "decrease, not insert");
         assert!(!mq.push_or_decrease(7, 80), "no-op update");
@@ -963,7 +976,7 @@ mod tests {
         let threads = 8;
         let per_thread = 2000usize;
         let mq: Arc<ConcurrentMultiQueue<u64, S>> =
-            Arc::new(ConcurrentMultiQueue::with_backend(2 * threads));
+            Arc::new(QueueBuilder::new(2 * threads).multiqueue_on());
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let mq = Arc::clone(&mq);
@@ -1027,7 +1040,7 @@ mod tests {
         // Element hidden in one of many queues: the fallback sweep must
         // find it even if sampling repeatedly misses.
         fn check<S: SubPriority<u64>>() {
-            let mq: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(64);
+            let mq: ConcurrentMultiQueue<u64, S> = QueueBuilder::new(64).multiqueue_on();
             mq.push_or_decrease(42, 7);
             let mut rng = SmallRng::seed_from_u64(0);
             assert_eq!(mq.pop(&mut rng), Some((42, 7)));
@@ -1040,7 +1053,7 @@ mod tests {
 
     #[test]
     fn session_threaded_ops_match_plain_ones() {
-        let mq: SkipListMultiQueue<u64> = ConcurrentMultiQueue::new(8);
+        let mq: SkipListMultiQueue<u64> = QueueBuilder::new(8).multiqueue();
         let mut session = mq.session(&SessionConfig::default());
         for i in 0..200usize {
             assert_eq!(
@@ -1064,7 +1077,7 @@ mod tests {
     #[test]
     fn sticky_peek_cache_drains_both_backends() {
         fn check<S: SubPriority<u64>>() {
-            let q: ConcurrentMultiQueue<u64, S> = ConcurrentMultiQueue::with_backend(8);
+            let q: ConcurrentMultiQueue<u64, S> = QueueBuilder::new(8).multiqueue_on();
             for i in 0..100usize {
                 q.push_or_decrease(i, i as u64);
             }
@@ -1094,7 +1107,7 @@ mod tests {
 
     #[test]
     fn session_buffer_dedups_and_flush_reports_merges() {
-        let q: SkipListMultiQueue<u64> = ConcurrentMultiQueue::new(4);
+        let q: SkipListMultiQueue<u64> = QueueBuilder::new(4).multiqueue();
         // Pre-existing entry: the later flush of item 0 must merge.
         q.push_or_decrease(0, 500);
         let mut s = q.session(&SessionConfig {

@@ -468,7 +468,9 @@ pub struct HistSnapshot {
 }
 
 impl HistSnapshot {
-    fn of(h: &PowHistogram) -> Self {
+    /// Snapshot a live histogram: bucket counts plus the derived
+    /// quantiles. Non-resetting, like everything else here.
+    pub fn of(h: &PowHistogram) -> Self {
         let buckets = h.buckets();
         Self {
             count: buckets.iter().sum(),

@@ -78,7 +78,7 @@
 //! ## Quickstart: relaxed-FIFO BFS shape
 //!
 //! ```
-//! use rsched_queues::DCboQueue;
+//! use rsched_queues::{DCboQueue, QueueBuilder};
 //! use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //!
@@ -86,7 +86,7 @@
 //! let adj: Vec<Vec<usize>> = vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![2, 0]];
 //! let dist: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(u64::MAX)).collect();
 //! dist[0].store(0, Ordering::Release);
-//! let frontier: DCboQueue<(usize, u64)> = DCboQueue::new(8, 42);
+//! let frontier: DCboQueue<(usize, u64)> = QueueBuilder::new(8).seed(42).d_cbo();
 //! let stats = run(
 //!     &frontier,
 //!     RuntimeConfig { threads: 4, seed: 1, ..RuntimeConfig::default() },
@@ -127,14 +127,14 @@ pub use rsched_queues::{FlushReport, PopSource, PushOutcome, SessionConfig, Sess
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsched_queues::{ConcurrentMultiQueue, DCboQueue};
+    use rsched_queues::{DCboQueue, QueueBuilder};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     #[test]
     fn independent_tasks_execute_exactly_once() {
         let n = 2_000usize;
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let queue = ConcurrentMultiQueue::<u64>::with_universe(8, n);
+        let queue = QueueBuilder::new(8).universe(n).multiqueue::<u64>();
         let stats = run(
             &queue,
             RuntimeConfig {
@@ -164,7 +164,7 @@ mod tests {
         // completion.
         let n = 300usize;
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let queue = ConcurrentMultiQueue::<u64>::with_universe(8, n);
+        let queue = QueueBuilder::new(8).universe(n).multiqueue::<u64>();
         let stats = run(
             &queue,
             RuntimeConfig {
@@ -194,7 +194,7 @@ mod tests {
     fn dynamic_spawning_counts_add_up() {
         // Each seed task spawns a child chain through the FIFO scheduler;
         // total executed = sum of chain lengths; steal accounting sane.
-        let frontier: DCboQueue<(usize, u64)> = DCboQueue::new(8, 5);
+        let frontier: DCboQueue<(usize, u64)> = QueueBuilder::new(8).seed(5).d_cbo();
         let executed = AtomicU64::new(0);
         let stats = run(
             &frontier,
@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn single_worker_runs_inline_order() {
-        let queue = ConcurrentMultiQueue::<u64>::with_universe(1, 100);
+        let queue = QueueBuilder::new(1).universe(100).multiqueue::<u64>();
         let order = std::sync::Mutex::new(Vec::new());
         run(
             &queue,

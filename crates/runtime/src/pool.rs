@@ -443,12 +443,12 @@ impl<'a, P: Copy, S: Scheduler<P> + ?Sized> Worker<'a, P, S> {
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::ConcurrentMultiQueue;
+/// use rsched_queues::QueueBuilder;
 /// use rsched_runtime::{run, RuntimeConfig, TaskOutcome};
 /// use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// // Count down from each seed task, spawning task-1 until zero.
-/// let queue = ConcurrentMultiQueue::<u64>::new(8);
+/// let queue = QueueBuilder::new(8).multiqueue::<u64>();
 /// let hits = AtomicU64::new(0);
 /// let stats = run(
 ///     &queue,

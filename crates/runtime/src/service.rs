@@ -240,12 +240,12 @@ where
 /// # Examples
 ///
 /// ```
-/// use rsched_queues::ConcurrentMultiQueue;
+/// use rsched_queues::QueueBuilder;
 /// use rsched_runtime::{service, RuntimeConfig, TaskOutcome};
 /// use std::sync::atomic::{AtomicU64, Ordering};
 /// use std::sync::Arc;
 ///
-/// let queue = Arc::new(ConcurrentMultiQueue::<u64>::with_universe(4, 1024));
+/// let queue = Arc::new(QueueBuilder::new(4).universe(1024).multiqueue::<u64>());
 /// let done = Arc::new(AtomicU64::new(0));
 /// let handle = {
 ///     let done = Arc::clone(&done);
@@ -352,7 +352,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsched_queues::{ConcurrentMultiQueue, DCboQueue};
+    use rsched_queues::{DCboQueue, QueueBuilder};
     use std::sync::atomic::{AtomicBool as ABool, AtomicU64, Ordering};
     use std::sync::Barrier;
 
@@ -361,7 +361,7 @@ mod tests {
         let n = 4_000usize;
         let injectors = 3usize;
         let done: Arc<Vec<ABool>> = Arc::new((0..n).map(|_| ABool::new(false)).collect());
-        let queue = Arc::new(ConcurrentMultiQueue::<u64>::with_universe(8, n));
+        let queue = Arc::new(QueueBuilder::new(8).universe(n).multiqueue::<u64>());
         let handle = {
             let done = Arc::clone(&done);
             service(
@@ -403,7 +403,7 @@ mod tests {
     #[test]
     fn shutdown_drains_backlog_and_refuses_late_injections() {
         let executed = Arc::new(AtomicU64::new(0));
-        let queue: Arc<DCboQueue<(usize, u64)>> = Arc::new(DCboQueue::new(8, 3));
+        let queue: Arc<DCboQueue<(usize, u64)>> = Arc::new(QueueBuilder::new(8).seed(3).d_cbo());
         let handle = {
             let executed = Arc::clone(&executed);
             service(
@@ -438,7 +438,7 @@ mod tests {
         // timeout: every burst must still complete (wakeup path works),
         // and handler-side spawns must too (worker spawn inside service).
         let executed = Arc::new(AtomicU64::new(0));
-        let queue = Arc::new(ConcurrentMultiQueue::<u64>::with_universe(4, 1 << 16));
+        let queue = Arc::new(QueueBuilder::new(4).universe(1 << 16).multiqueue::<u64>());
         let handle = {
             let executed = Arc::clone(&executed);
             service(

@@ -6,8 +6,19 @@
 //! receive half ([`ServeClient::split`]) so an open-loop generator can
 //! submit from one thread while another drains responses — the wire
 //! protocol is fully pipelined; nothing waits for a reply.
+//!
+//! A freshly connected client is a v1 peer. [`ServeClient::handshake`]
+//! (or the [`ServeClient::connect_v2`] shorthand) upgrades the
+//! connection: it sends [`Request::Hello`] and blocks for the
+//! [`Response::HelloAck`], returning the negotiated version and
+//! granted feature bits. The handshake must run before the halves are
+//! split and before any pipelined traffic, since it consumes exactly
+//! one response frame.
 
-use crate::codec::{decode_response, encode_request, read_frame, Request, Response};
+use crate::codec::{
+    decode_response, encode_request, read_frame, Hello, HelloAck, Request, Response, FEAT_EDF,
+    PROTO_V2,
+};
 use crate::server::Endpoint;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -117,6 +128,40 @@ impl ServeClient {
                 buf: Vec::with_capacity(128),
             },
         })
+    }
+
+    /// Connect and negotiate v2 with the EDF feature — the common
+    /// deadline-client spelling. Returns the client and the ack; check
+    /// `ack.features & FEAT_EDF` to learn whether deadlines will
+    /// actually steer scheduling (an un-granted v2 connection still
+    /// submits deadlines and gets verdicts, it just runs arrival-order).
+    pub fn connect_v2(endpoint: &Endpoint) -> io::Result<(ServeClient, HelloAck)> {
+        let mut client = ServeClient::connect(endpoint)?;
+        let ack = client.handshake(PROTO_V2, FEAT_EDF)?;
+        Ok((client, ack))
+    }
+
+    /// Negotiate: send [`Request::Hello`] and block for the ack. The
+    /// server may answer with a *lower* version than requested (it
+    /// never answers higher); a [`Response::Rejected`] here (bad
+    /// version) or a close surfaces as `InvalidData`.
+    pub fn handshake(&mut self, version: u64, features: u64) -> io::Result<HelloAck> {
+        self.send(&Request::Hello(Hello { version, features }))?;
+        match self.recv()? {
+            Some(Response::HelloAck(ack)) => Ok(ack),
+            Some(Response::Rejected { code, .. }) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake rejected: {code:?}"),
+            )),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake got unexpected response: {other:?}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during handshake",
+            )),
+        }
     }
 
     /// Encode and write one request.

@@ -13,30 +13,71 @@
 //! values — never a panic — because a serving front-end's parser is
 //! exactly the code an arbitrary peer gets to exercise.
 //!
+//! ## Versioning
+//!
+//! The protocol has two negotiated versions. A connection starts at
+//! [`PROTO_V1`]; a client that opens with [`Request::Hello`] negotiates
+//! up to [`PROTO_V2`] (the server answers [`Response::HelloAck`] with
+//! the granted version and feature bits). v1 framing is a strict subset
+//! — a v1 client that never sends `Hello` sees exactly the PR 7/8 wire
+//! format, including the 80-byte `StatsReply` — and the v2 additions
+//! are either new opcodes or length-distinguished extensions of
+//! existing replies, so both generations decode with the same
+//! [`decode_response`].
+//!
+//! Fixed-layout frames keep their field order in one place: each
+//! carries a struct with a `WIRE_FIELDS` name list and
+//! `to_wire`/`from_wire` word arrays (the PR 8 `StatsReply` pattern),
+//! and the codec tests assert name-by-name that byte offset `i * 8`
+//! really carries `WIRE_FIELDS[i]`.
+//!
 //! | opcode | frame | payload after the opcode byte |
 //! |---|---|---|
-//! | `0x01` | [`Request::Submit`] | `req_id u64, prio u64, work_ns u64` |
+//! | `0x01` | [`Request::Submit`] | [`Submit`]: `req_id u64, prio u64, work_ns u64` |
 //! | `0x02` | [`Request::Ping`] | `token u64` |
 //! | `0x03` | [`Request::Stats`] | — |
 //! | `0x04` | [`Request::Drain`] | — |
 //! | `0x05` | [`Request::Metrics`] | — |
+//! | `0x06` | [`Request::Hello`] | [`Hello`]: `version u64, features u64` |
+//! | `0x07` | [`Request::SubmitV2`] | [`SubmitV2`]: `req_id u64, deadline u64, work_ns u64, flags u8` |
 //! | `0x81` | [`Response::Accepted`] | `req_id u64` |
 //! | `0x82` | [`Response::Rejected`] | `req_id u64, code u8` |
-//! | `0x83` | [`Response::Completed`] | `req_id u64, sojourn_ns u64, inject_ns u64` |
+//! | `0x83` | [`Response::Completed`] | [`Completed`]: `req_id u64, sojourn_ns u64, inject_ns u64` |
 //! | `0x84` | [`Response::Pong`] | `token u64` |
 //! | `0x85` | [`Response::Drained`] | `completed u64` |
-//! | `0x86` | [`Response::Stats`] | [`StatsReply`], ten `u64`s |
-//! | `0x87` | [`Response::Metrics`] | [`MetricsReply`]: five histogram blocks, counters, gauges |
+//! | `0x86` | [`Response::Stats`] | [`StatsReply`], ten `u64`s (v1) or fifteen (v2) |
+//! | `0x87` | [`Response::Metrics`] | [`MetricsReply`]: histogram blocks, counters, gauges (+ deadline block on v2) |
+//! | `0x88` | [`Response::HelloAck`] | [`HelloAck`]: `version u64, features u64, server_now_ns u64` |
+//! | `0x89` | [`Response::CompletedV2`] | [`CompletedV2`]: five `u64`s + `met u8` |
 
 use rsched_queues::telemetry::{HistSnapshot, TelemetrySnapshot, HIST_BUCKETS};
 use std::io::{self, Read, Write};
 
 /// Hard ceiling on a frame payload. The largest legitimate frame
-/// ([`Response::Metrics`], whose five histogram blocks carry full
-/// 64-bucket arrays) is 2873 bytes plus 8 per worker gauge; the slack
+/// ([`Response::Metrics`] at v2, whose six histogram blocks carry full
+/// 64-bucket arrays plus 128 worker gauges) is 4481 bytes; the slack
 /// leaves room for protocol growth while still rejecting nonsense
-/// headers instantly.
-pub const MAX_FRAME: usize = 4096;
+/// headers instantly. v1 peers (compiled with the old 4096 ceiling)
+/// only ever receive v1 frames, which all fit under 4096.
+pub const MAX_FRAME: usize = 8192;
+
+/// The original protocol: implicit, no handshake. `Submit.prio` is an
+/// opaque word the server overwrites with its own arrival stamp.
+pub const PROTO_V1: u64 = 1;
+/// The deadline-aware protocol: negotiated via [`Request::Hello`].
+/// Adds [`Request::SubmitV2`] (client-set deadlines),
+/// [`Response::CompletedV2`] (met/missed verdicts), and the extended
+/// Stats/Metrics replies.
+pub const PROTO_V2: u64 = 2;
+
+/// Feature bit in [`Hello::features`] / [`HelloAck::features`]:
+/// the client asks the server to schedule its deadline-carrying
+/// submissions earliest-deadline-first (the deadline becomes the queue
+/// priority). Without the grant, deadlines are still tracked and
+/// verdicts still reported, but scheduling order stays arrival-order —
+/// which is exactly what makes `arrival` vs `edf` an A/B axis at the
+/// same offered load.
+pub const FEAT_EDF: u64 = 1 << 0;
 
 /// Why a frame failed to decode. Every variant is an expected condition
 /// of talking to an arbitrary peer — the connection loop reports it and
@@ -56,7 +97,7 @@ pub enum CodecError {
     Empty,
     /// The opcode byte is not part of the protocol.
     UnknownOpcode(u8),
-    /// Known opcode, wrong payload length.
+    /// Known opcode, wrong payload length (or an invalid flag byte).
     BadPayload {
         /// The opcode whose payload was malformed.
         opcode: u8,
@@ -103,6 +144,10 @@ pub enum RejectCode {
     Draining = 2,
     /// The server is shutting down.
     Shutdown = 3,
+    /// A [`Request::Hello`] asked for a protocol version this server
+    /// cannot speak (currently: version 0). Carried with `req_id = 0`;
+    /// the server closes the connection after sending it.
+    BadVersion = 4,
 }
 
 impl RejectCode {
@@ -112,23 +157,204 @@ impl RejectCode {
             1 => Some(RejectCode::QueueFull),
             2 => Some(RejectCode::Draining),
             3 => Some(RejectCode::Shutdown),
+            4 => Some(RejectCode::BadVersion),
             _ => None,
         }
     }
 }
 
+/// Generates the `WIRE_FIELDS` / `to_wire` / `from_wire` / `field`
+/// quartet for a fixed-layout frame struct whose wire image is a run of
+/// `u64` words in declaration order. The name list is the single source
+/// of truth for the layout; the sentinel tests walk it offset by
+/// offset.
+macro_rules! wire_table {
+    // Structs whose wire image also carries trailing flag *bytes*
+    // (bools after the word run): the words are table-driven, the
+    // flags decode separately and default to false out of `from_wire`.
+    ($ty:ty, $n:literal, [$($f:ident),+ $(,)?], flags: [$($x:ident),+ $(,)?]) => {
+        impl $ty {
+            /// The wire word order, by field name. Byte offset `i * 8`
+            /// of the frame body carries `WIRE_FIELDS[i]` — asserted
+            /// name-by-name in the codec's sentinel tests, so a silent
+            /// reorder cannot ship. Flag bytes follow the word run and
+            /// are not part of this table.
+            pub const WIRE_FIELDS: [&'static str; $n] = [$(stringify!($f)),+];
+
+            /// The wire words, in [`WIRE_FIELDS`](Self::WIRE_FIELDS) order.
+            pub fn to_wire(&self) -> [u64; $n] {
+                [$(self.$f),+]
+            }
+
+            /// Rebuild from wire words in
+            /// [`WIRE_FIELDS`](Self::WIRE_FIELDS) order; flag fields
+            /// start false and are set by the frame decoder.
+            pub fn from_wire(w: [u64; $n]) -> Self {
+                let [$($f),+] = w;
+                Self { $($f,)+ $($x: false),+ }
+            }
+
+            /// Field value by wire name (`None` for unknown names) —
+            /// lets tests and exporters walk
+            /// [`WIRE_FIELDS`](Self::WIRE_FIELDS) without a parallel
+            /// positional list.
+            pub fn field(&self, name: &str) -> Option<u64> {
+                match name {
+                    $(stringify!($f) => Some(self.$f),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+    ($ty:ty, $n:literal, [$($f:ident),+ $(,)?]) => {
+        impl $ty {
+            /// The wire word order, by field name. Byte offset `i * 8`
+            /// of the frame body carries `WIRE_FIELDS[i]` — asserted
+            /// name-by-name in the codec's sentinel tests, so a silent
+            /// reorder cannot ship.
+            pub const WIRE_FIELDS: [&'static str; $n] = [$(stringify!($f)),+];
+
+            /// The wire words, in [`WIRE_FIELDS`](Self::WIRE_FIELDS) order.
+            pub fn to_wire(&self) -> [u64; $n] {
+                [$(self.$f),+]
+            }
+
+            /// Rebuild from wire words in
+            /// [`WIRE_FIELDS`](Self::WIRE_FIELDS) order.
+            pub fn from_wire(w: [u64; $n]) -> Self {
+                let [$($f),+] = w;
+                Self { $($f),+ }
+            }
+
+            /// Field value by wire name (`None` for unknown names) —
+            /// lets tests and exporters walk
+            /// [`WIRE_FIELDS`](Self::WIRE_FIELDS) without a parallel
+            /// positional list.
+            pub fn field(&self, name: &str) -> Option<u64> {
+                match name {
+                    $(stringify!($f) => Some(self.$f),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+/// The v1 submission body: `prio` is an opaque scheduling word. The
+/// server ignores it (it stamps its own arrival clock), but it stays on
+/// the wire for v1 compatibility.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Submit {
+    /// Client-chosen id, echoed on every response about this request.
+    pub req_id: u64,
+    /// Legacy priority word (ignored by the server since v2).
+    pub prio: u64,
+    /// Synthetic service time the worker spends on the task, ns.
+    pub work_ns: u64,
+}
+
+wire_table!(Submit, 3, [req_id, prio, work_ns]);
+
+/// The v2 submission body: the scheduling word is a client-set
+/// **deadline**. `flags` bit 0 selects the timebase: set = `deadline`
+/// is absolute nanoseconds on the server's monotonic clock (as learned
+/// from [`HelloAck::server_now_ns`]); clear = `deadline` is a relative
+/// budget in nanoseconds from server receipt. All other flag bits must
+/// be zero. Deadline arithmetic on the server saturates, so
+/// `u64::MAX` budgets mean "effectively never misses" rather than
+/// wrapping into the past.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitV2 {
+    /// Client-chosen id, echoed on every response about this request.
+    pub req_id: u64,
+    /// Deadline: absolute server-clock ns, or a relative budget
+    /// (see [`SubmitV2::absolute`]).
+    pub deadline: u64,
+    /// Synthetic service time the worker spends on the task, ns.
+    pub work_ns: u64,
+    /// Timebase flag (wire flag bit 0): absolute vs relative budget.
+    pub absolute: bool,
+}
+
+wire_table!(SubmitV2, 3, [req_id, deadline, work_ns], flags: [absolute]);
+
+/// The v1 completion body.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Completed {
+    /// Echo of the submission's id.
+    pub req_id: u64,
+    /// Submit→complete as measured by the server, ns.
+    pub sojourn_ns: u64,
+    /// Submit→inject prefix of the sojourn, ns.
+    pub inject_ns: u64,
+}
+
+wire_table!(Completed, 3, [req_id, sojourn_ns, inject_ns]);
+
+/// The v2 completion body: every deadline-carrying task reports its
+/// verdict. `tardiness_ns` is `completion - deadline` saturated at zero
+/// (a met deadline has tardiness 0), `met` is the boolean verdict.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompletedV2 {
+    /// Echo of the submission's id.
+    pub req_id: u64,
+    /// Submit→complete as measured by the server, ns.
+    pub sojourn_ns: u64,
+    /// Submit→inject prefix of the sojourn, ns.
+    pub inject_ns: u64,
+    /// The absolute deadline the server held the task to, server-clock ns.
+    pub deadline_ns: u64,
+    /// `max(0, completion - deadline)`, ns.
+    pub tardiness_ns: u64,
+    /// Wire flag byte: did the task complete by its deadline?
+    pub met: bool,
+}
+
+wire_table!(
+    CompletedV2,
+    5,
+    [req_id, sojourn_ns, inject_ns, deadline_ns, tardiness_ns],
+    flags: [met]
+);
+
+/// The client's opening handshake. Optional: a connection that submits
+/// without one is a v1 connection. `version` is the highest protocol
+/// the client speaks; `features` the capabilities it requests (the
+/// server grants the intersection with its own).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hello {
+    /// Highest protocol version the client speaks.
+    pub version: u64,
+    /// Requested feature bits ([`FEAT_EDF`], ...).
+    pub features: u64,
+}
+
+wire_table!(Hello, 2, [version, features]);
+
+/// The server's handshake answer: the negotiated version
+/// (`min(client, server)`), the granted feature bits, and the server's
+/// monotonic clock at reply time — the epoch clients use to convert
+/// wall deadlines into absolute [`SubmitV2::deadline`] values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Negotiated protocol version for this connection.
+    pub version: u64,
+    /// Granted feature bits (subset of the request).
+    pub features: u64,
+    /// The server's monotonic clock at reply time, ns since its epoch.
+    pub server_now_ns: u64,
+}
+
+wire_table!(HelloAck, 3, [version, features, server_now_ns]);
+
 /// Client → server frames.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// Submit one task. `req_id` is client-chosen and echoed back on
-    /// every response about this request; `prio` is the scheduling
-    /// payload handed to the queue; `work_ns` is the synthetic service
-    /// time the worker spends on the task.
-    Submit {
-        req_id: u64,
-        prio: u64,
-        work_ns: u64,
-    },
+    /// Submit one task (v1 body).
+    Submit(Submit),
+    /// Submit one deadline-carrying task (v2 body). Accepted on any
+    /// connection that negotiated [`PROTO_V2`].
+    SubmitV2(SubmitV2),
     /// Liveness probe; the server echoes the token in a [`Response::Pong`].
     Ping { token: u64 },
     /// Ask for a [`StatsReply`] snapshot.
@@ -140,6 +366,8 @@ pub enum Request {
     /// Ask for a [`MetricsReply`] — the live telemetry exposition: the
     /// full process telemetry snapshot plus gauge samples.
     Metrics,
+    /// Version/feature handshake; answered with [`Response::HelloAck`].
+    Hello(Hello),
 }
 
 /// Server → client frames.
@@ -147,15 +375,15 @@ pub enum Request {
 pub enum Response {
     /// The submission passed admission and was injected into the pool.
     Accepted { req_id: u64 },
-    /// The submission was refused; no task was created.
+    /// The submission was refused; no task was created and no serving
+    /// state was touched (reject paths are side-effect-free beyond the
+    /// `rejected` counter).
     Rejected { req_id: u64, code: RejectCode },
-    /// The task finished. `sojourn_ns` is submit→complete as measured
-    /// by the server, `inject_ns` the submit→inject prefix of it.
-    Completed {
-        req_id: u64,
-        sojourn_ns: u64,
-        inject_ns: u64,
-    },
+    /// The task finished (v1 body — replies to [`Request::Submit`]).
+    Completed(Completed),
+    /// The task finished with a deadline verdict (replies to
+    /// [`Request::SubmitV2`]).
+    CompletedV2(CompletedV2),
     /// [`Request::Ping`] echo.
     Pong { token: u64 },
     /// Drain finished: every task accepted on this connection has
@@ -163,15 +391,21 @@ pub enum Response {
     Drained { completed: u64 },
     /// [`Request::Stats`] answer.
     Stats(StatsReply),
-    /// [`Request::Metrics`] answer. Boxed: the reply is ~3.5 KB of
+    /// [`Request::Metrics`] answer. Boxed: the reply is ~4 KB of
     /// histogram blocks, and the enum rides writer channels whose
     /// common traffic is 24-byte `Completed`s.
     Metrics(Box<MetricsReply>),
+    /// [`Request::Hello`] answer.
+    HelloAck(HelloAck),
 }
 
 /// Server-side counters and sojourn quantiles, as reported over the
 /// wire. Quantiles come from the server's log₂ `PowHistogram`s, so they
 /// are conservative bucket upper bounds in nanoseconds.
+///
+/// The v1 frame carries the first [`StatsReply::V1_WORDS`] words; the
+/// v2 frame appends the deadline block (`deadline_met` onward). Both
+/// lengths decode — missing fields come back zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsReply {
     /// Submissions seen (accepted + rejected).
@@ -194,88 +428,55 @@ pub struct StatsReply {
     pub sojourn_max: u64,
     /// 99th-percentile submit→inject prefix, ns.
     pub inject_p99: u64,
+    /// Deadline-carrying completions that met their deadline.
+    pub deadline_met: u64,
+    /// Deadline-carrying completions that missed.
+    pub deadline_misses: u64,
+    /// `deadline_misses` per thousand deadline-carrying completions
+    /// (0 when none have completed).
+    pub miss_permille: u64,
+    /// 99th-percentile tardiness over deadline-carrying completions,
+    /// ns (met deadlines record tardiness 0).
+    pub tardiness_p99: u64,
+    /// 99.9th-percentile tardiness, ns.
+    pub tardiness_p999: u64,
 }
 
+wire_table!(
+    StatsReply,
+    15,
+    [
+        submitted,
+        accepted,
+        rejected,
+        completed,
+        in_flight,
+        sojourn_p50,
+        sojourn_p99,
+        sojourn_p999,
+        sojourn_max,
+        inject_p99,
+        deadline_met,
+        deadline_misses,
+        miss_permille,
+        tardiness_p99,
+        tardiness_p999,
+    ]
+);
+
 impl StatsReply {
-    /// The wire field order, by name. [`encode_response`] and
-    /// [`decode_response`] both derive their layout from
-    /// [`to_wire`](Self::to_wire) / [`from_wire`](Self::from_wire),
-    /// whose indices this list documents — and the codec tests assert
-    /// name-by-name that byte offset `i * 8` really carries
-    /// `WIRE_FIELDS[i]`, so a silent reorder cannot ship.
-    pub const WIRE_FIELDS: [&'static str; 10] = [
-        "submitted",
-        "accepted",
-        "rejected",
-        "completed",
-        "in_flight",
-        "sojourn_p50",
-        "sojourn_p99",
-        "sojourn_p999",
-        "sojourn_max",
-        "inject_p99",
-    ];
-
-    /// The wire words, in [`WIRE_FIELDS`](Self::WIRE_FIELDS) order.
-    pub fn to_wire(&self) -> [u64; 10] {
-        [
-            self.submitted,
-            self.accepted,
-            self.rejected,
-            self.completed,
-            self.in_flight,
-            self.sojourn_p50,
-            self.sojourn_p99,
-            self.sojourn_p999,
-            self.sojourn_max,
-            self.inject_p99,
-        ]
-    }
-
-    /// Rebuild from wire words in [`WIRE_FIELDS`](Self::WIRE_FIELDS)
-    /// order.
-    pub fn from_wire(w: [u64; 10]) -> Self {
-        let [submitted, accepted, rejected, completed, in_flight, sojourn_p50, sojourn_p99, sojourn_p999, sojourn_max, inject_p99] =
-            w;
-        Self {
-            submitted,
-            accepted,
-            rejected,
-            completed,
-            in_flight,
-            sojourn_p50,
-            sojourn_p99,
-            sojourn_p999,
-            sojourn_max,
-            inject_p99,
-        }
-    }
-
-    /// Field value by wire name (`None` for unknown names) — lets tests
-    /// and exporters walk [`WIRE_FIELDS`](Self::WIRE_FIELDS) without a
-    /// parallel positional list.
-    pub fn field(&self, name: &str) -> Option<u64> {
-        Some(match name {
-            "submitted" => self.submitted,
-            "accepted" => self.accepted,
-            "rejected" => self.rejected,
-            "completed" => self.completed,
-            "in_flight" => self.in_flight,
-            "sojourn_p50" => self.sojourn_p50,
-            "sojourn_p99" => self.sojourn_p99,
-            "sojourn_p999" => self.sojourn_p999,
-            "sojourn_max" => self.sojourn_max,
-            "inject_p99" => self.inject_p99,
-            _ => return None,
-        })
-    }
+    /// How many leading [`WIRE_FIELDS`](Self::WIRE_FIELDS) words the v1
+    /// frame carries (everything before the deadline block).
+    pub const V1_WORDS: usize = 10;
 }
 
 /// The live telemetry exposition carried by [`Response::Metrics`]: the
 /// **full** process [`TelemetrySnapshot`] — all five per-op histogram
 /// series with their complete 64-bucket arrays and derived quantiles,
 /// the event counters, the epoch-GC deltas — plus gauge samples from
-/// the serving layer's lightweight sampler.
+/// the serving layer's lightweight sampler. On v2 connections a
+/// deadline block rides after the gauges: the full tardiness histogram
+/// and the [`MetricsReply::DEADLINE_FIELDS`] counters.
 ///
 /// Wire layout after the opcode byte (all `u64` LE):
 ///
@@ -284,6 +485,7 @@ impl StatsReply {
 /// | histograms ×5, in order retry/steal/sweep/floor/tick | each `count, p50, p90, p99, p999, max` + 64 buckets |
 /// | counters | `empty_pops, registry_probes, seg_installs, flush_published, flush_merged, gc_deferred, gc_collected` |
 /// | gauges | `in_flight`, `n_workers`, then `n_workers` per-worker busy-permille samples |
+/// | v2 only: deadline block | tardiness histogram (same shape), then `deadline_met, deadline_misses, miss_permille` |
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsReply {
     /// Everything recorded since the server's telemetry window opened
@@ -295,6 +497,61 @@ pub struct MetricsReply {
     /// permille of the elapsed wall interval (0 = idle, 1000 = fully
     /// busy), indexed by worker id.
     pub utilization_permille: Vec<u64>,
+    /// Tardiness histogram over deadline-carrying completions, ns
+    /// (v2 frames only; zero/empty on a v1 frame).
+    pub tardiness: HistSnapshot,
+    /// Deadline-carrying completions that met their deadline (v2 only).
+    pub deadline_met: u64,
+    /// Deadline-carrying completions that missed (v2 only).
+    pub deadline_misses: u64,
+    /// Misses per thousand deadline-carrying completions (v2 only).
+    pub miss_permille: u64,
+}
+
+impl MetricsReply {
+    /// The scalar counter block's wire order, by
+    /// [`TelemetrySnapshot`] field name — byte offsets within the
+    /// counter block follow this list, asserted by the sentinel tests.
+    pub const COUNTER_FIELDS: [&'static str; 7] = [
+        "empty_pops",
+        "registry_probes",
+        "seg_installs",
+        "flush_published",
+        "flush_merged",
+        "gc_deferred",
+        "gc_collected",
+    ];
+
+    /// The v2 deadline block's trailing scalar words, in wire order
+    /// (they follow the tardiness histogram block).
+    pub const DEADLINE_FIELDS: [&'static str; 3] =
+        ["deadline_met", "deadline_misses", "miss_permille"];
+
+    /// Counter-block word by wire name, reading through to the
+    /// underlying telemetry snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let t = &self.telemetry;
+        Some(match name {
+            "empty_pops" => t.empty_pops,
+            "registry_probes" => t.registry_probes,
+            "seg_installs" => t.seg_installs,
+            "flush_published" => t.flush_published,
+            "flush_merged" => t.flush_merged,
+            "gc_deferred" => t.gc_deferred,
+            "gc_collected" => t.gc_collected,
+            _ => return None,
+        })
+    }
+
+    /// Deadline-block scalar by wire name.
+    pub fn deadline_field(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "deadline_met" => self.deadline_met,
+            "deadline_misses" => self.deadline_misses,
+            "miss_permille" => self.miss_permille,
+            _ => return None,
+        })
+    }
 }
 
 /// Wire size of one histogram block: the six derived words plus the
@@ -303,6 +560,9 @@ const HIST_WIRE_WORDS: usize = 6 + HIST_BUCKETS;
 /// [`MetricsReply`] payload length before the variable per-worker gauge
 /// words (opcode byte included).
 const METRICS_FIXED: usize = 1 + (5 * HIST_WIRE_WORDS + 7 + 2) * 8;
+/// The v2 deadline block appended after the gauges: one histogram plus
+/// the three scalar words.
+const METRICS_DEADLINE_BYTES: usize = (HIST_WIRE_WORDS + 3) * 8;
 /// Per-worker gauge entries are capped so the frame stays under
 /// [`MAX_FRAME`] whatever the pool width; pools wider than this report
 /// their first 128 workers.
@@ -313,6 +573,8 @@ const OP_PING: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_DRAIN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
+const OP_HELLO: u8 = 0x06;
+const OP_SUBMIT2: u8 = 0x07;
 const OP_ACCEPTED: u8 = 0x81;
 const OP_REJECTED: u8 = 0x82;
 const OP_COMPLETED: u8 = 0x83;
@@ -320,6 +582,8 @@ const OP_PONG: u8 = 0x84;
 const OP_DRAINED: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
 const OP_METRICS_REPLY: u8 = 0x87;
+const OP_HELLO_ACK: u8 = 0x88;
+const OP_COMPLETED2: u8 = 0x89;
 
 fn u64_at(payload: &[u8], off: usize) -> u64 {
     let mut b = [0u8; 8];
@@ -332,19 +596,25 @@ fn frame(out: &mut Vec<u8>, payload_len: usize) {
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
 }
 
+fn put_words<const N: usize>(out: &mut Vec<u8>, words: [u64; N]) {
+    for v in words {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Append the full frame (header + payload) for `req` to `out`.
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     match req {
-        Request::Submit {
-            req_id,
-            prio,
-            work_ns,
-        } => {
+        Request::Submit(s) => {
             frame(out, 25);
             out.push(OP_SUBMIT);
-            out.extend_from_slice(&req_id.to_le_bytes());
-            out.extend_from_slice(&prio.to_le_bytes());
-            out.extend_from_slice(&work_ns.to_le_bytes());
+            put_words(out, s.to_wire());
+        }
+        Request::SubmitV2(s) => {
+            frame(out, 26);
+            out.push(OP_SUBMIT2);
+            put_words(out, s.to_wire());
+            out.push(s.absolute as u8);
         }
         Request::Ping { token } => {
             frame(out, 9);
@@ -362,6 +632,11 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Metrics => {
             frame(out, 1);
             out.push(OP_METRICS);
+        }
+        Request::Hello(h) => {
+            frame(out, 17);
+            out.push(OP_HELLO);
+            put_words(out, h.to_wire());
         }
     }
 }
@@ -391,8 +666,12 @@ fn decode_hist(body: &[u8], off: usize) -> HistSnapshot {
     }
 }
 
-/// Append the full frame (header + payload) for `resp` to `out`.
-pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+/// Append the full frame (header + payload) for `resp` to `out`,
+/// encoded for a connection that negotiated `version`. Only the
+/// [`Response::Stats`] and [`Response::Metrics`] layouts depend on it
+/// (v1 peers get the original shorter frames, with the deadline blocks
+/// dropped); every other frame encodes identically at either version.
+pub fn encode_response(resp: &Response, version: u64, out: &mut Vec<u8>) {
     match resp {
         Response::Accepted { req_id } => {
             frame(out, 9);
@@ -405,16 +684,16 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.extend_from_slice(&req_id.to_le_bytes());
             out.push(*code as u8);
         }
-        Response::Completed {
-            req_id,
-            sojourn_ns,
-            inject_ns,
-        } => {
+        Response::Completed(c) => {
             frame(out, 25);
             out.push(OP_COMPLETED);
-            out.extend_from_slice(&req_id.to_le_bytes());
-            out.extend_from_slice(&sojourn_ns.to_le_bytes());
-            out.extend_from_slice(&inject_ns.to_le_bytes());
+            put_words(out, c.to_wire());
+        }
+        Response::CompletedV2(c) => {
+            frame(out, 42);
+            out.push(OP_COMPLETED2);
+            put_words(out, c.to_wire());
+            out.push(c.met as u8);
         }
         Response::Pong { token } => {
             frame(out, 9);
@@ -427,32 +706,35 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.extend_from_slice(&completed.to_le_bytes());
         }
         Response::Stats(s) => {
-            frame(out, 81);
-            out.push(OP_STATS_REPLY);
             // One canonical field order: `to_wire` (named fields, same
             // list `from_wire` destructures) is the only place the
-            // layout lives.
-            for v in s.to_wire() {
+            // layout lives. v1 peers get the leading V1_WORDS words.
+            let words = if version >= PROTO_V2 {
+                StatsReply::WIRE_FIELDS.len()
+            } else {
+                StatsReply::V1_WORDS
+            };
+            frame(out, 1 + words * 8);
+            out.push(OP_STATS_REPLY);
+            for v in s.to_wire().into_iter().take(words) {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
         Response::Metrics(m) => {
             let workers = m.utilization_permille.len().min(METRICS_MAX_WORKERS);
-            frame(out, METRICS_FIXED + workers * 8);
+            let deadline = if version >= PROTO_V2 {
+                METRICS_DEADLINE_BYTES
+            } else {
+                0
+            };
+            frame(out, METRICS_FIXED + workers * 8 + deadline);
             out.push(OP_METRICS_REPLY);
             let t = &m.telemetry;
             for h in [&t.retry, &t.steal, &t.sweep, &t.floor, &t.tick] {
                 encode_hist(h, out);
             }
-            for v in [
-                t.empty_pops,
-                t.registry_probes,
-                t.seg_installs,
-                t.flush_published,
-                t.flush_merged,
-                t.gc_deferred,
-                t.gc_collected,
-            ] {
+            for name in MetricsReply::COUNTER_FIELDS {
+                let v = m.counter(name).expect("COUNTER_FIELDS is exhaustive");
                 out.extend_from_slice(&v.to_le_bytes());
             }
             out.extend_from_slice(&m.in_flight.to_le_bytes());
@@ -460,6 +742,20 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             for u in m.utilization_permille.iter().take(workers) {
                 out.extend_from_slice(&u.to_le_bytes());
             }
+            if deadline > 0 {
+                encode_hist(&m.tardiness, out);
+                for name in MetricsReply::DEADLINE_FIELDS {
+                    let v = m
+                        .deadline_field(name)
+                        .expect("DEADLINE_FIELDS is exhaustive");
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        Response::HelloAck(a) => {
+            frame(out, 25);
+            out.push(OP_HELLO_ACK);
+            put_words(out, a.to_wire());
         }
     }
 }
@@ -475,17 +771,36 @@ fn expect_len(opcode: u8, payload: &[u8], want: usize) -> Result<(), CodecError>
     }
 }
 
+/// Decode a wire flag byte that must be 0 or 1; anything else is a
+/// malformed payload, not a silent truth-coercion.
+fn expect_bool(opcode: u8, payload: &[u8], byte: u8) -> Result<bool, CodecError> {
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::BadPayload {
+            opcode,
+            len: payload.len(),
+        }),
+    }
+}
+
+fn words_at<const N: usize>(body: &[u8], off: usize) -> [u64; N] {
+    std::array::from_fn(|i| u64_at(body, off + i * 8))
+}
+
 /// Decode one request payload (the bytes after the length header).
 pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
     let (&opcode, body) = payload.split_first().ok_or(CodecError::Empty)?;
     match opcode {
         OP_SUBMIT => {
             expect_len(opcode, body, 24)?;
-            Ok(Request::Submit {
-                req_id: u64_at(body, 0),
-                prio: u64_at(body, 8),
-                work_ns: u64_at(body, 16),
-            })
+            Ok(Request::Submit(Submit::from_wire(words_at(body, 0))))
+        }
+        OP_SUBMIT2 => {
+            expect_len(opcode, body, 25)?;
+            let mut s = SubmitV2::from_wire(words_at(body, 0));
+            s.absolute = expect_bool(opcode, body, body[24])?;
+            Ok(Request::SubmitV2(s))
         }
         OP_PING => {
             expect_len(opcode, body, 8)?;
@@ -504,6 +819,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
         OP_METRICS => {
             expect_len(opcode, body, 0)?;
             Ok(Request::Metrics)
+        }
+        OP_HELLO => {
+            expect_len(opcode, body, 16)?;
+            Ok(Request::Hello(Hello::from_wire(words_at(body, 0))))
         }
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -532,11 +851,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
         }
         OP_COMPLETED => {
             expect_len(opcode, body, 24)?;
-            Ok(Response::Completed {
-                req_id: u64_at(body, 0),
-                sojourn_ns: u64_at(body, 8),
-                inject_ns: u64_at(body, 16),
-            })
+            Ok(Response::Completed(Completed::from_wire(words_at(body, 0))))
+        }
+        OP_COMPLETED2 => {
+            expect_len(opcode, body, 41)?;
+            let mut c = CompletedV2::from_wire(words_at(body, 0));
+            c.met = expect_bool(opcode, body, body[40])?;
+            Ok(Response::CompletedV2(c))
         }
         OP_PONG => {
             expect_len(opcode, body, 8)?;
@@ -551,14 +872,26 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             })
         }
         OP_STATS_REPLY => {
-            expect_len(opcode, body, 80)?;
-            Ok(Response::Stats(StatsReply::from_wire(std::array::from_fn(
-                |i| u64_at(body, i * 8),
-            ))))
+            // Length-distinguished versions: 10 words from a v1 server,
+            // 15 from v2. Missing trailing fields decode as zero.
+            let n = StatsReply::WIRE_FIELDS.len();
+            if body.len() != StatsReply::V1_WORDS * 8 && body.len() != n * 8 {
+                return Err(CodecError::BadPayload {
+                    opcode,
+                    len: body.len(),
+                });
+            }
+            let mut w = [0u64; 15];
+            for (i, slot) in w.iter_mut().enumerate().take(body.len() / 8) {
+                *slot = u64_at(body, i * 8);
+            }
+            Ok(Response::Stats(StatsReply::from_wire(w)))
         }
         OP_METRICS_REPLY => {
             // Fixed blocks plus a self-describing per-worker gauge tail:
-            // the declared worker count must match the frame exactly.
+            // the declared worker count must match the frame exactly —
+            // either the v1 length or the v1 length plus the deadline
+            // block.
             let fixed = METRICS_FIXED - 1;
             if body.len() < fixed {
                 return Err(CodecError::BadPayload {
@@ -573,7 +906,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             let c = |i: usize| u64_at(body, counters_off + i * 8);
             let in_flight = c(7);
             let workers = c(8) as usize;
-            if workers > METRICS_MAX_WORKERS || body.len() != fixed + workers * 8 {
+            let v1_len = fixed + workers * 8;
+            let v2_len = v1_len + METRICS_DEADLINE_BYTES;
+            if workers > METRICS_MAX_WORKERS || (body.len() != v1_len && body.len() != v2_len) {
                 return Err(CodecError::BadPayload {
                     opcode,
                     len: body.len(),
@@ -583,6 +918,19 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
             let utilization_permille = (0..workers)
                 .map(|i| u64_at(body, gauges_off + i * 8))
                 .collect();
+            let (tardiness, deadline_met, deadline_misses, miss_permille) = if body.len() == v2_len
+            {
+                let off = gauges_off + workers * 8;
+                let scalars = off + HIST_WIRE_WORDS * 8;
+                (
+                    decode_hist(body, off),
+                    u64_at(body, scalars),
+                    u64_at(body, scalars + 8),
+                    u64_at(body, scalars + 16),
+                )
+            } else {
+                (HistSnapshot::default(), 0, 0, 0)
+            };
             let mut it = hists.into_iter();
             let (retry, steal, sweep, floor, tick) = (
                 it.next().unwrap(),
@@ -612,7 +960,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
                 },
                 in_flight,
                 utilization_permille,
+                tardiness,
+                deadline_met,
+                deadline_misses,
+                miss_permille,
             })))
+        }
+        OP_HELLO_ACK => {
+            expect_len(opcode, body, 24)?;
+            Ok(Response::HelloAck(HelloAck::from_wire(words_at(body, 0))))
         }
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -683,10 +1039,14 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<
     Ok(true)
 }
 
-/// Encode `resp` and write the frame (no flush).
-pub fn write_response<W: Write + ?Sized>(w: &mut W, resp: &Response) -> io::Result<()> {
+/// Encode `resp` at `version` and write the frame (no flush).
+pub fn write_response<W: Write + ?Sized>(
+    w: &mut W,
+    resp: &Response,
+    version: u64,
+) -> io::Result<()> {
     let mut buf = Vec::with_capacity(32);
-    encode_response(resp, &mut buf);
+    encode_response(resp, version, &mut buf);
     w.write_all(&buf)
 }
 
@@ -707,7 +1067,7 @@ mod tests {
 
     fn roundtrip_response(resp: Response) {
         let mut wire = Vec::new();
-        encode_response(&resp, &mut wire);
+        encode_response(&resp, PROTO_V2, &mut wire);
         let mut cursor = io::Cursor::new(wire);
         let mut payload = Vec::new();
         assert!(read_frame(&mut cursor, &mut payload).unwrap());
@@ -751,33 +1111,60 @@ mod tests {
             },
             in_flight: 9,
             utilization_permille: vec![1000, 517, 0, 250],
+            tardiness: hist(6),
+            deadline_met: 88,
+            deadline_misses: 12,
+            miss_permille: 120,
         }
     }
 
     #[test]
     fn all_frames_roundtrip() {
-        roundtrip_request(Request::Submit {
+        roundtrip_request(Request::Submit(Submit {
             req_id: u64::MAX,
             prio: 17,
             work_ns: 1_000_000,
-        });
+        }));
+        for absolute in [false, true] {
+            roundtrip_request(Request::SubmitV2(SubmitV2 {
+                req_id: 7,
+                deadline: u64::MAX,
+                work_ns: 20_000,
+                absolute,
+            }));
+        }
         roundtrip_request(Request::Ping { token: 0xDEAD_BEEF });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Drain);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Hello(Hello {
+            version: PROTO_V2,
+            features: FEAT_EDF,
+        }));
         roundtrip_response(Response::Accepted { req_id: 1 });
         for code in [
             RejectCode::QueueFull,
             RejectCode::Draining,
             RejectCode::Shutdown,
+            RejectCode::BadVersion,
         ] {
             roundtrip_response(Response::Rejected { req_id: 2, code });
         }
-        roundtrip_response(Response::Completed {
+        roundtrip_response(Response::Completed(Completed {
             req_id: 3,
             sojourn_ns: 123_456,
             inject_ns: 789,
-        });
+        }));
+        for met in [false, true] {
+            roundtrip_response(Response::CompletedV2(CompletedV2 {
+                req_id: 4,
+                sojourn_ns: 55_555,
+                inject_ns: 444,
+                deadline_ns: 1_000_000,
+                tardiness_ns: if met { 0 } else { 2_000 },
+                met,
+            }));
+        }
         roundtrip_response(Response::Pong { token: 9 });
         roundtrip_response(Response::Drained { completed: 1_000 });
         roundtrip_response(Response::Stats(StatsReply {
@@ -791,6 +1178,16 @@ mod tests {
             sojourn_p999: 8191,
             sojourn_max: 16383,
             inject_p99: 255,
+            deadline_met: 6,
+            deadline_misses: 1,
+            miss_permille: 142,
+            tardiness_p99: 511,
+            tardiness_p999: 1023,
+        }));
+        roundtrip_response(Response::HelloAck(HelloAck {
+            version: PROTO_V2,
+            features: FEAT_EDF,
+            server_now_ns: 123_456_789,
         }));
         roundtrip_response(Response::Metrics(Box::new(metrics_reply())));
         // The gauge tail is genuinely variable-length: empty works too.
@@ -800,51 +1197,262 @@ mod tests {
         })));
     }
 
-    /// Satellite guard: every [`StatsReply`] field rides the wire at the
-    /// offset its name holds in [`StatsReply::WIRE_FIELDS`]. Distinct
-    /// sentinels per field mean a reorder of `to_wire`/`from_wire` (or
-    /// of the struct itself) fails here by name instead of silently
-    /// swapping two counters.
+    /// A v1-encoded Stats frame (80 bytes) still decodes — the deadline
+    /// block comes back zero — and a v1-encoded Metrics frame drops the
+    /// deadline block the same way. This is the compatibility contract
+    /// for v1 clients talking to a v2 server and vice versa.
     #[test]
-    fn stats_reply_field_order_is_named_end_to_end() {
-        let reply = StatsReply {
-            submitted: 0xA1,
-            accepted: 0xA2,
-            rejected: 0xA3,
-            completed: 0xA4,
-            in_flight: 0xA5,
-            sojourn_p50: 0xA6,
-            sojourn_p99: 0xA7,
-            sojourn_p999: 0xA8,
-            sojourn_max: 0xA9,
-            inject_p99: 0xAA,
+    fn v1_frames_decode_with_zero_deadline_blocks() {
+        let full = StatsReply {
+            submitted: 10,
+            deadline_met: 7,
+            deadline_misses: 3,
+            miss_permille: 300,
+            tardiness_p99: 99,
+            tardiness_p999: 999,
+            ..Default::default()
         };
         let mut wire = Vec::new();
-        encode_response(&Response::Stats(reply), &mut wire);
+        encode_response(&Response::Stats(full), PROTO_V1, &mut wire);
+        assert_eq!(wire.len(), 4 + 1 + StatsReply::V1_WORDS * 8);
+        match decode_response(&wire[4..]).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.submitted, 10);
+                assert_eq!(
+                    (s.deadline_met, s.deadline_misses, s.miss_permille),
+                    (0, 0, 0),
+                    "v1 frame must not carry the deadline block"
+                );
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        let mut wire = Vec::new();
+        encode_response(
+            &Response::Metrics(Box::new(metrics_reply())),
+            PROTO_V1,
+            &mut wire,
+        );
+        match decode_response(&wire[4..]).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.telemetry.empty_pops, 11);
+                assert_eq!(m.deadline_misses, 0);
+                assert_eq!(m.tardiness, HistSnapshot::default());
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    /// Sentinel guard shared by every fixed-layout frame: each wire
+    /// word must ride at the offset its name holds in `WIRE_FIELDS`.
+    /// Distinct sentinels per field mean a reorder of
+    /// `to_wire`/`from_wire` (or of the struct itself) fails here by
+    /// name instead of silently swapping two counters.
+    fn assert_field_order<const N: usize>(
+        wire: &[u8],
+        body_len: usize,
+        fields: [&str; N],
+        field: impl Fn(&str) -> u64,
+    ) {
         let body = &wire[5..]; // length header + opcode byte
-        assert_eq!(body.len(), 80);
-        for (i, name) in StatsReply::WIRE_FIELDS.iter().enumerate() {
+        assert_eq!(body.len(), body_len);
+        for (i, name) in fields.iter().enumerate() {
             assert_eq!(
                 u64_at(body, i * 8),
-                reply.field(name).unwrap(),
+                field(name),
                 "wire offset {i} must carry field `{name}`"
             );
             // Sentinels are distinct, so a swapped pair cannot pass.
-            assert_eq!(reply.field(name).unwrap(), 0xA1 + i as u64);
+            assert_eq!(field(name), 0xA1 + i as u64);
         }
+    }
+
+    #[test]
+    fn stats_reply_field_order_is_named_end_to_end() {
+        let w: [u64; 15] = std::array::from_fn(|i| 0xA1 + i as u64);
+        let reply = StatsReply::from_wire(w);
+        let mut wire = Vec::new();
+        encode_response(&Response::Stats(reply), PROTO_V2, &mut wire);
+        assert_field_order(&wire, 120, StatsReply::WIRE_FIELDS, |n| {
+            reply.field(n).unwrap()
+        });
         // And the decode side rebuilds by the same names.
         let decoded = decode_response(&wire[4..]).unwrap();
         assert_eq!(decoded, Response::Stats(reply));
     }
 
     #[test]
+    fn submit_field_order_is_named_end_to_end() {
+        let s = Submit::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        let mut wire = Vec::new();
+        encode_request(&Request::Submit(s), &mut wire);
+        assert_field_order(&wire, 24, Submit::WIRE_FIELDS, |n| s.field(n).unwrap());
+        assert_eq!(decode_request(&wire[4..]).unwrap(), Request::Submit(s));
+    }
+
+    #[test]
+    fn submit_v2_field_order_is_named_end_to_end() {
+        let mut s = SubmitV2::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        s.absolute = true;
+        let mut wire = Vec::new();
+        encode_request(&Request::SubmitV2(s), &mut wire);
+        assert_field_order(&wire, 25, SubmitV2::WIRE_FIELDS, |n| s.field(n).unwrap());
+        // The flag byte rides after the word block.
+        assert_eq!(wire[5 + 24], 1);
+        assert_eq!(decode_request(&wire[4..]).unwrap(), Request::SubmitV2(s));
+    }
+
+    #[test]
+    fn completed_field_order_is_named_end_to_end() {
+        let c = Completed::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        let mut wire = Vec::new();
+        encode_response(&Response::Completed(c), PROTO_V1, &mut wire);
+        assert_field_order(&wire, 24, Completed::WIRE_FIELDS, |n| c.field(n).unwrap());
+        assert_eq!(decode_response(&wire[4..]).unwrap(), Response::Completed(c));
+    }
+
+    #[test]
+    fn completed_v2_field_order_is_named_end_to_end() {
+        let mut c = CompletedV2::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        c.met = true;
+        let mut wire = Vec::new();
+        encode_response(&Response::CompletedV2(c), PROTO_V2, &mut wire);
+        assert_field_order(&wire, 41, CompletedV2::WIRE_FIELDS, |n| c.field(n).unwrap());
+        assert_eq!(wire[5 + 40], 1);
+        assert_eq!(
+            decode_response(&wire[4..]).unwrap(),
+            Response::CompletedV2(c)
+        );
+    }
+
+    #[test]
+    fn hello_and_ack_field_order_is_named_end_to_end() {
+        let h = Hello::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        let mut wire = Vec::new();
+        encode_request(&Request::Hello(h), &mut wire);
+        assert_field_order(&wire, 16, Hello::WIRE_FIELDS, |n| h.field(n).unwrap());
+        assert_eq!(decode_request(&wire[4..]).unwrap(), Request::Hello(h));
+
+        let a = HelloAck::from_wire(std::array::from_fn(|i| 0xA1 + i as u64));
+        let mut wire = Vec::new();
+        encode_response(&Response::HelloAck(a), PROTO_V2, &mut wire);
+        assert_field_order(&wire, 24, HelloAck::WIRE_FIELDS, |n| a.field(n).unwrap());
+        assert_eq!(decode_response(&wire[4..]).unwrap(), Response::HelloAck(a));
+    }
+
+    /// The Metrics counter block and v2 deadline block are positional
+    /// on the wire; this pins each scalar to its named offset the same
+    /// way the frame structs pin theirs.
+    #[test]
+    fn metrics_scalar_blocks_are_named_end_to_end() {
+        let m = metrics_reply();
+        let mut wire = Vec::new();
+        encode_response(&Response::Metrics(Box::new(m.clone())), PROTO_V2, &mut wire);
+        let body = &wire[5..];
+        let counters_off = 5 * HIST_WIRE_WORDS * 8;
+        for (i, name) in MetricsReply::COUNTER_FIELDS.iter().enumerate() {
+            assert_eq!(
+                u64_at(body, counters_off + i * 8),
+                m.counter(name).unwrap(),
+                "counter offset {i} must carry `{name}`"
+            );
+        }
+        let scalars_off = counters_off + 9 * 8 // in_flight + n_workers
+            + m.utilization_permille.len() * 8
+            + HIST_WIRE_WORDS * 8; // tardiness histogram
+        for (i, name) in MetricsReply::DEADLINE_FIELDS.iter().enumerate() {
+            assert_eq!(
+                u64_at(body, scalars_off + i * 8),
+                m.deadline_field(name).unwrap(),
+                "deadline-block offset {i} must carry `{name}`"
+            );
+        }
+    }
+
+    /// Malformed deadline payloads — wrong lengths, invalid flag bytes,
+    /// extreme values — are errors or valid extremes, never panics.
+    #[test]
+    fn malformed_deadline_payloads_never_panic() {
+        // SubmitV2 with a flag byte that is neither 0 nor 1.
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::SubmitV2(SubmitV2 {
+                req_id: 1,
+                deadline: 2,
+                work_ns: 3,
+                absolute: false,
+            }),
+            &mut wire,
+        );
+        let mut payload = wire[4..].to_vec();
+        *payload.last_mut().unwrap() = 2;
+        assert!(matches!(
+            decode_request(&payload),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // SubmitV2 truncated to the v1 Submit length.
+        assert!(matches!(
+            decode_request(&payload[..25]),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // CompletedV2 with a met byte out of range.
+        let mut wire = Vec::new();
+        encode_response(
+            &Response::CompletedV2(CompletedV2::default()),
+            PROTO_V2,
+            &mut wire,
+        );
+        let mut payload = wire[4..].to_vec();
+        *payload.last_mut().unwrap() = 7;
+        assert!(matches!(
+            decode_response(&payload),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // Hello with a short body.
+        assert!(matches!(
+            decode_request(&[OP_HELLO, 1, 2, 3]),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // Overflowing deadlines are legal wire values (the server
+        // saturates); the codec must pass them through unchanged.
+        let extreme = SubmitV2 {
+            req_id: u64::MAX,
+            deadline: u64::MAX,
+            work_ns: u64::MAX,
+            absolute: true,
+        };
+        let mut wire = Vec::new();
+        encode_request(&Request::SubmitV2(extreme), &mut wire);
+        assert_eq!(
+            decode_request(&wire[4..]).unwrap(),
+            Request::SubmitV2(extreme)
+        );
+        // Stats frames at any length other than the two versions fail.
+        let mut bogus = vec![OP_STATS_REPLY];
+        bogus.extend_from_slice(&[0u8; 88]);
+        assert!(matches!(
+            decode_response(&bogus),
+            Err(CodecError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
     fn metrics_reply_bad_payloads_are_errors() {
         let mut wire = Vec::new();
-        encode_response(&Response::Metrics(Box::new(metrics_reply())), &mut wire);
+        encode_response(
+            &Response::Metrics(Box::new(metrics_reply())),
+            PROTO_V2,
+            &mut wire,
+        );
         let payload = wire[4..].to_vec();
         // Truncating below the fixed blocks is a BadPayload.
         assert!(matches!(
             decode_response(&payload[..METRICS_FIXED - 9]),
+            Err(CodecError::BadPayload { .. })
+        ));
+        // Chopping the deadline block in half leaves a length that is
+        // neither v1 nor v2.
+        assert!(matches!(
+            decode_response(&payload[..payload.len() - 16]),
             Err(CodecError::BadPayload { .. })
         ));
         // A worker count that disagrees with the frame length is too.
@@ -862,6 +1470,7 @@ mod tests {
                 utilization_permille: vec![1000; METRICS_MAX_WORKERS + 50],
                 ..metrics_reply()
             })),
+            PROTO_V2,
             &mut big,
         );
         assert!(
@@ -875,9 +1484,22 @@ mod tests {
                     METRICS_MAX_WORKERS,
                     "gauge tail is capped, not rejected"
                 );
+                assert_eq!(m.deadline_met, 88, "deadline block survives the cap");
             }
             other => panic!("expected Metrics, got {other:?}"),
         }
+        // The v1 encoding of the same maximal reply stays under the
+        // *old* 4096-byte ceiling — v1 peers never see a bigger frame.
+        let mut v1 = Vec::new();
+        encode_response(
+            &Response::Metrics(Box::new(MetricsReply {
+                utilization_permille: vec![1000; METRICS_MAX_WORKERS],
+                ..metrics_reply()
+            })),
+            PROTO_V1,
+            &mut v1,
+        );
+        assert!(v1.len() - 4 <= 4096, "v1 metrics frame exceeds old ceiling");
     }
 
     #[test]
@@ -902,11 +1524,11 @@ mod tests {
         // Header promises 25 bytes; stream ends after 10.
         let mut wire = Vec::new();
         encode_request(
-            &Request::Submit {
+            &Request::Submit(Submit {
                 req_id: 1,
                 prio: 2,
                 work_ns: 3,
-            },
+            }),
             &mut wire,
         );
         wire.truncate(4 + 10);

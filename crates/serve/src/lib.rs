@@ -28,6 +28,32 @@
 //!   ([`ClientSender`] / [`ClientReceiver`]) let an open-loop load
 //!   generator submit and drain on separate threads.
 //!
+//! # Protocol versions and the v2 handshake
+//!
+//! The wire protocol is versioned. A connection that just starts
+//! submitting is a **v1** peer: its Submit carries an opaque `prio`
+//! word (ignored — the server schedules by arrival), and it receives
+//! v1-shaped replies. A client that wants more opens with
+//! [`Request::Hello`]`{version, features}`; the server answers
+//! [`Response::HelloAck`] with the negotiated version (`min` of the two
+//! sides — it never answers higher than asked), the granted feature
+//! bits (the intersection with its own; [`FEAT_EDF`] is the only bit
+//! today) and its current monotonic clock reading `server_now_ns`, the
+//! timebase absolute deadlines are expressed in.
+//!
+//! At v2 the submission verb is [`Request::SubmitV2`]: the scheduling
+//! word becomes a client-set **deadline**, either absolute server-clock
+//! nanoseconds or a relative budget (flag bit 0 selects). On an
+//! EDF-granted connection the deadline *is* the scheduling key —
+//! earliest-deadline-first through whichever relaxed queue backs the
+//! pool — and every completion comes back as
+//! [`Response::CompletedV2`] with the met/missed verdict and the
+//! tardiness. Stats and Metrics replies grow deadline blocks
+//! (`deadline_met`, `deadline_misses`, `miss_permille`,
+//! tardiness quantiles / histogram); v1 peers keep receiving the
+//! shorter v1 frames, negotiated per connection, so mixed-version
+//! clients coexist on one server.
+//!
 //! The request lifecycle is conservation-checked end to end: every
 //! Submit is answered Accepted or Rejected, every Accepted eventually
 //! produces exactly one Completed, and a Drain closes the connection
@@ -58,7 +84,8 @@ pub mod server;
 
 pub use client::{ClientReceiver, ClientSender, ServeClient};
 pub use codec::{
-    CodecError, MetricsReply, RejectCode, Request, Response, StatsReply, MAX_FRAME,
-    METRICS_MAX_WORKERS,
+    CodecError, Completed, CompletedV2, Hello, HelloAck, MetricsReply, RejectCode, Request,
+    Response, StatsReply, Submit, SubmitV2, FEAT_EDF, MAX_FRAME, METRICS_MAX_WORKERS, PROTO_V1,
+    PROTO_V2,
 };
 pub use server::{spin_work, Backend, Endpoint, ServeConfig, Server, ServerReport};

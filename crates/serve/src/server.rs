@@ -48,14 +48,41 @@
 //! version: stop the acceptor, unblock and join every connection, then
 //! gracefully drain the worker pool ([`ServiceHandle::join`]), and
 //! report final conservation counters.
+//!
+//! # Deadlines and the EDF timebase
+//!
+//! Every scheduling key is a nanosecond reading of **one** monotonic
+//! clock, the server's epoch ([`Shared::now_ns`]):
+//!
+//! - a v1 [`Request::Submit`] (and a v2 submit on a connection that
+//!   was not granted [`FEAT_EDF`]) is keyed by its *arrival* stamp —
+//!   semantically "the deadline is now", so the relaxed queues
+//!   approximate FIFO;
+//! - a v2 [`Request::SubmitV2`] on an EDF connection is keyed by its
+//!   *absolute deadline* (a relative budget is resolved against the
+//!   same clock at admission, saturating on overflow).
+//!
+//! Because both kinds of key live on the same axis, mixed-version
+//! traffic coexists in one queue coherently: an arrival-stamped task
+//! is simply a task whose deadline already passed, and EDF tasks with
+//! slack yield to it. Deadline metadata rides the pending slab to the
+//! completing worker, which records the met/missed verdict and the
+//! tardiness histogram, and answers v2 submits with
+//! [`Response::CompletedV2`].
+//!
+//! The scheduling key is stamped **after** admission succeeds: a
+//! rejected Submit touches nothing but the `submitted`/`rejected`
+//! counters — no clock reads, no slab slot, no histogram, no deadline
+//! accounting — so reject paths are side-effect-free and an overloaded
+//! server's miss-rate describes *accepted* work only.
 
 use crate::codec::{
-    decode_request, read_frame, write_response, MetricsReply, RejectCode, Request, Response,
-    StatsReply,
+    decode_request, read_frame, write_response, Completed, CompletedV2, HelloAck, MetricsReply,
+    RejectCode, Request, Response, StatsReply, FEAT_EDF, PROTO_V1, PROTO_V2,
 };
-use rsched_queues::telemetry::{self, PowHistogram};
+use rsched_queues::telemetry::{self, HistSnapshot, PowHistogram};
 use rsched_queues::trace::{self, EventKind};
-use rsched_queues::{ConcurrentMultiQueue, DCboQueue, MutexHeapSub, SkipShard};
+use rsched_queues::{MutexHeapSub, QueueBuilder, SkipShard};
 use rsched_runtime::pool::Scheduler;
 use rsched_runtime::{service, PoolStats, RuntimeConfig, ServiceHandle, TaskOutcome};
 use std::fmt;
@@ -120,23 +147,28 @@ pub enum Backend {
     MqMutexHeap,
     /// `DCboQueue` relaxed FIFO over segmented rings (`dcbo`).
     DcboSegring,
+    /// `BucketFifoQueue` Δ-bucket hybrid (`bucket`): deadline keys land
+    /// in Δ-wide buckets ([`ServeConfig::delta_ns`]), FIFO within.
+    Bucket,
 }
 
 impl Backend {
-    /// The wire/env name (`mq`, `mq-mutex`, `dcbo`).
+    /// The wire/env name (`mq`, `mq-mutex`, `dcbo`, `bucket`).
     pub fn name(self) -> &'static str {
         match self {
             Backend::MqSkiplist => "mq",
             Backend::MqMutexHeap => "mq-mutex",
             Backend::DcboSegring => "dcbo",
+            Backend::Bucket => "bucket",
         }
     }
 
     /// Every backend, in the order benches sweep them.
-    pub const ALL: [Backend; 3] = [
+    pub const ALL: [Backend; 4] = [
         Backend::MqSkiplist,
         Backend::MqMutexHeap,
         Backend::DcboSegring,
+        Backend::Bucket,
     ];
 }
 
@@ -148,8 +180,9 @@ impl FromStr for Backend {
             "mq" => Ok(Backend::MqSkiplist),
             "mq-mutex" => Ok(Backend::MqMutexHeap),
             "dcbo" => Ok(Backend::DcboSegring),
+            "bucket" => Ok(Backend::Bucket),
             other => Err(format!(
-                "unknown backend {other:?} (expected mq, mq-mutex or dcbo)"
+                "unknown backend {other:?} (expected mq, mq-mutex, dcbo or bucket)"
             )),
         }
     }
@@ -169,6 +202,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Pool RNG seed (shard picking, stealing).
     pub seed: u64,
+    /// Bucket width for [`Backend::Bucket`], in deadline-nanoseconds.
+    /// The default 1 ms gives the Δ-bucket directory roughly 17 minutes
+    /// of deadline horizon before keys clamp into the last bucket —
+    /// ample for a serving run; ignored by the other backends.
+    pub delta_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -179,6 +217,7 @@ impl Default for ServeConfig {
             threads: 2,
             queue_cap: 4096,
             seed: 0x5EED_5EED,
+            delta_ns: 1_000_000,
         }
     }
 }
@@ -195,6 +234,11 @@ struct Pending {
     inject_ns: u64,
     /// Synthetic service time the worker busy-spins.
     work_ns: u64,
+    /// Absolute deadline on the server epoch clock; `None` for v1
+    /// submits, which carry no deadline contract.
+    deadline_ns: Option<u64>,
+    /// Reply with [`Response::CompletedV2`] (the submit was a v2 frame).
+    v2: bool,
 }
 
 /// Fixed-capacity slot map for [`Pending`]. Capacity equals the
@@ -241,13 +285,22 @@ struct Shared {
     completed: AtomicU64,
     /// Tasks queued or running; the admission gate.
     in_flight: AtomicU64,
-    /// Monotone arrival counter → scheduling priority (arrival order).
-    arrival_seq: AtomicU64,
+    /// The server's timebase origin: every scheduling key and deadline
+    /// is nanoseconds since this instant (see the module docs).
+    epoch: Instant,
     queue_cap: usize,
+    /// Deadline completions that finished at or before their deadline.
+    deadline_met: AtomicU64,
+    /// Deadline completions that finished after their deadline.
+    deadline_missed: AtomicU64,
     /// submit→complete, ns.
     sojourn: PowHistogram,
     /// submit→inject, ns.
     inject: PowHistogram,
+    /// complete−deadline lateness, ns (0 recorded when met), over every
+    /// deadline completion — so quantiles describe the whole
+    /// deadline-bearing population, not just the misses.
+    tardiness: PowHistogram,
     pending: Mutex<Slab>,
     /// Cumulative handler busy time per worker tid, ns — the raw feed
     /// for the utilization gauges in [`Response::Metrics`]. One relaxed
@@ -269,17 +322,28 @@ impl Shared {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
-            arrival_seq: AtomicU64::new(0),
+            epoch: Instant::now(),
             queue_cap,
+            deadline_met: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
             sojourn: PowHistogram::new(),
             inject: PowHistogram::new(),
+            tardiness: PowHistogram::new(),
             pending: Mutex::new(Slab::with_capacity(queue_cap)),
             busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             last_poll: Mutex::new((Instant::now(), vec![0; threads])),
         }
     }
 
+    /// Nanoseconds since the server epoch — the one clock every
+    /// scheduling key and deadline lives on.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
     fn stats(&self) -> StatsReply {
+        let met = self.deadline_met.load(Ordering::Relaxed);
+        let missed = self.deadline_missed.load(Ordering::Relaxed);
         StatsReply {
             submitted: self.submitted.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -291,6 +355,11 @@ impl Shared {
             sojourn_p999: self.sojourn.quantile(0.999),
             sojourn_max: self.sojourn.max_observed(),
             inject_p99: self.inject.quantile(0.99),
+            deadline_met: met,
+            deadline_misses: missed,
+            miss_permille: miss_permille(met, missed),
+            tardiness_p99: self.tardiness.quantile(0.99),
+            tardiness_p999: self.tardiness.quantile(0.999),
         }
     }
 
@@ -322,11 +391,26 @@ impl Shared {
             .collect();
         *last = (now, busy);
         drop(last);
+        let met = self.deadline_met.load(Ordering::Relaxed);
+        let missed = self.deadline_missed.load(Ordering::Relaxed);
         MetricsReply {
             telemetry: telemetry::capture(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             utilization_permille,
+            tardiness: HistSnapshot::of(&self.tardiness),
+            deadline_met: met,
+            deadline_misses: missed,
+            miss_permille: miss_permille(met, missed),
         }
+    }
+}
+
+/// Misses per thousand deadline completions; 0 when nothing carried a
+/// deadline yet.
+fn miss_permille(met: u64, missed: u64) -> u64 {
+    match met + missed {
+        0 => 0,
+        total => missed * 1000 / total,
     }
 }
 
@@ -345,9 +429,10 @@ pub fn spin_work(ns: u64) {
 }
 
 /// Complete the task in `slot`: run its synthetic work, stamp the
-/// sojourn, reply and release the admission unit. `run_work` is false
-/// only on the inject-raced-shutdown fallback, where the promise to the
-/// client must still be kept but no service is rendered.
+/// sojourn, record the deadline verdict, reply and release the
+/// admission unit. `run_work` is false only on the
+/// inject-raced-shutdown fallback, where the promise to the client must
+/// still be kept but no service is rendered.
 fn complete_task(shared: &Shared, slot: usize, run_work: bool) {
     let p = shared
         .pending
@@ -360,6 +445,20 @@ fn complete_task(shared: &Shared, slot: usize, run_work: bool) {
     let sojourn_ns = p.submitted_at.elapsed().as_nanos() as u64;
     shared.sojourn.record(sojourn_ns);
     shared.inject.record(p.inject_ns);
+    // Deadline verdict before the counters flip: tardiness is measured
+    // at the moment service finished, met iff lateness is zero. A met
+    // deadline still records (a zero) so the tardiness quantiles
+    // describe every deadline completion.
+    let verdict = p.deadline_ns.map(|deadline_ns| {
+        let tardiness_ns = shared.now_ns().saturating_sub(deadline_ns);
+        if tardiness_ns == 0 {
+            shared.deadline_met.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.tardiness.record(tardiness_ns);
+        (deadline_ns, tardiness_ns)
+    });
     shared.completed.fetch_add(1, Ordering::Relaxed);
     // Release the admission unit after the slab slot is freed (that
     // ordering is what bounds the slab, see [`Slab`]) but *before* the
@@ -367,18 +466,36 @@ fn complete_task(shared: &Shared, slot: usize, run_work: bool) {
     // never observe the request still in flight on a subsequent
     // Stats/Metrics poll.
     shared.in_flight.fetch_sub(1, Ordering::Release);
+    let resp = if p.v2 {
+        let (deadline_ns, tardiness_ns) = verdict.unwrap_or((0, 0));
+        Response::CompletedV2(CompletedV2 {
+            req_id: p.req_id,
+            sojourn_ns,
+            inject_ns: p.inject_ns,
+            deadline_ns,
+            tardiness_ns,
+            met: tardiness_ns == 0,
+        })
+    } else {
+        Response::Completed(Completed {
+            req_id: p.req_id,
+            sojourn_ns,
+            inject_ns: p.inject_ns,
+        })
+    };
     // The writer may already be gone (client vanished); the task is
     // still accounted, only the notification is lost.
-    let _ = p.reply.send(WriterMsg::Resp(Response::Completed {
-        req_id: p.req_id,
-        sojourn_ns,
-        inject_ns: p.inject_ns,
-    }));
+    let _ = p.reply.send(WriterMsg::Resp(resp));
 }
 
 /// Messages into a connection's writer thread.
 enum WriterMsg {
     Resp(Response),
+    /// Negotiation result: write the ack, then encode every subsequent
+    /// frame at the negotiated version. Routing the version flip
+    /// through the writer's own channel makes it race-free — the flip
+    /// is ordered against the response stream, no atomics needed.
+    Hello(HelloAck),
     /// The reader saw [`Request::Drain`]: finish relaying outstanding
     /// completions, then send [`Response::Drained`] and close.
     DrainRequested,
@@ -510,6 +627,14 @@ pub struct ServerReport {
     pub sojourn_max: u64,
     /// 99th percentile submit→inject prefix, ns.
     pub inject_p99: u64,
+    /// Deadline completions that met their deadline.
+    pub deadline_met: u64,
+    /// Deadline completions that missed.
+    pub deadline_misses: u64,
+    /// Misses per thousand deadline completions.
+    pub miss_permille: u64,
+    /// 99th percentile tardiness over deadline completions, ns.
+    pub tardiness_p99: u64,
     /// Worker-pool statistics from the drain.
     pub pool: PoolStats,
 }
@@ -534,29 +659,23 @@ impl Server {
     /// [`endpoint`](Self::endpoint)).
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
         let shards = (2 * cfg.threads).max(2);
+        let builder = QueueBuilder::new(shards)
+            .universe(cfg.queue_cap)
+            .seed(cfg.seed)
+            .delta(cfg.delta_ns.max(1));
         match cfg.backend {
             Backend::MqSkiplist => Server::start_with(
-                Arc::new(
-                    ConcurrentMultiQueue::<u64, SkipShard<u64>>::with_backend_universe(
-                        shards,
-                        cfg.queue_cap,
-                    ),
-                ),
+                Arc::new(builder.multiqueue_on::<u64, SkipShard<u64>>()),
                 cfg,
             ),
             Backend::MqMutexHeap => Server::start_with(
-                Arc::new(
-                    ConcurrentMultiQueue::<u64, MutexHeapSub<u64>>::with_backend_universe(
-                        shards,
-                        cfg.queue_cap,
-                    ),
-                ),
+                Arc::new(builder.multiqueue_on::<u64, MutexHeapSub<u64>>()),
                 cfg,
             ),
             Backend::DcboSegring => {
-                let queue = Arc::new(DCboQueue::<(usize, u64)>::new(shards, cfg.seed));
-                Server::start_with(queue, cfg)
+                Server::start_with(Arc::new(builder.d_cbo::<(usize, u64)>()), cfg)
             }
+            Backend::Bucket => Server::start_with(Arc::new(builder.bucket_fifo()), cfg),
         }
     }
 
@@ -660,6 +779,10 @@ impl Server {
             sojourn_p999: s.sojourn_p999,
             sojourn_max: s.sojourn_max,
             inject_p99: s.inject_p99,
+            deadline_met: s.deadline_met,
+            deadline_misses: s.deadline_misses,
+            miss_permille: s.miss_permille,
+            tardiness_p99: s.tardiness_p99,
             pool,
         }
     }
@@ -717,6 +840,105 @@ fn acceptor_loop<S>(
     }
 }
 
+/// Feature bits this server can grant in a [`HelloAck`].
+const SERVER_FEATURES: u64 = FEAT_EDF;
+
+/// One admission attempt, version-agnostic: what the reader hands to
+/// [`admit_and_inject`] after decoding either Submit flavour.
+struct Submission {
+    req_id: u64,
+    work_ns: u64,
+    /// Raw wire deadline `(value, absolute)`; `None` for v1 submits.
+    deadline: Option<(u64, bool)>,
+    /// Answer with [`Response::CompletedV2`].
+    v2: bool,
+    /// The connection holds an EDF grant: schedule by deadline, not
+    /// arrival.
+    edf: bool,
+}
+
+/// Admission + inject, shared by both Submit flavours. Reject paths
+/// return before any clock read or slab/histogram touch (see the
+/// module docs on side-effect-free rejection).
+fn admit_and_inject<S>(
+    shared: &Arc<Shared>,
+    injector: &mut rsched_runtime::Injector<u64, S>,
+    writer: &Sender<WriterMsg>,
+    sub: Submission,
+) where
+    S: Scheduler<u64> + Send + Sync + 'static,
+{
+    let submitted_at = Instant::now();
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    if shared.stop.load(Ordering::Acquire) {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::AdmissionReject, sub.req_id);
+        let _ = writer.send(WriterMsg::Resp(Response::Rejected {
+            req_id: sub.req_id,
+            code: RejectCode::Shutdown,
+        }));
+        return;
+    }
+    // Admission: reserve an in-flight unit, give it back if over the
+    // bound. The increment-then-check keeps the gate race-free without
+    // a CAS loop: concurrent Submits may transiently overshoot the
+    // counter but never the accept count.
+    let prev = shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.queue_cap as u64 {
+        shared.in_flight.fetch_sub(1, Ordering::Release);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::AdmissionReject, sub.req_id);
+        let _ = writer.send(WriterMsg::Resp(Response::Rejected {
+            req_id: sub.req_id,
+            code: RejectCode::QueueFull,
+        }));
+        return;
+    }
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    // Accepted is enqueued to the writer *before* the task is injected,
+    // so the client (and the writer's drain accounting) always sees
+    // Accepted before Completed.
+    let _ = writer.send(WriterMsg::Resp(Response::Accepted { req_id: sub.req_id }));
+    // Only now, past admission, does the request touch the clock: one
+    // epoch reading serves as both the arrival stamp and the base a
+    // relative budget resolves against.
+    let now_ns = shared.now_ns();
+    let deadline_ns = sub.deadline.map(|(value, absolute)| {
+        if absolute {
+            value
+        } else {
+            now_ns.saturating_add(value)
+        }
+    });
+    // EDF key = absolute deadline; everything else keys by arrival
+    // ("deadline is now"), the same axis — see the module docs.
+    let prio = match deadline_ns {
+        Some(d) if sub.edf => d,
+        _ => now_ns,
+    };
+    let inject_ns = submitted_at.elapsed().as_nanos() as u64;
+    let slot = {
+        let mut slab = shared.pending.lock().expect("pending slab poisoned");
+        slab.alloc(Pending {
+            req_id: sub.req_id,
+            reply: writer.clone(),
+            submitted_at,
+            inject_ns,
+            work_ns: sub.work_ns,
+            deadline_ns,
+            v2: sub.v2,
+        })
+        .expect("slab exhausted under admission bound")
+    };
+    if !injector.inject(slot, prio) {
+        // Raced a pool shutdown (not reachable through
+        // Server::shutdown, which joins readers first). Keep the
+        // Accepted promise: account and reply without rendering
+        // service.
+        complete_task(shared, slot, false);
+    }
+}
+
 /// Decode frames, run admission, inject. Exits on client EOF, protocol
 /// error, [`Request::Drain`] or server stop.
 fn reader_loop<S>(
@@ -730,6 +952,10 @@ fn reader_loop<S>(
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut injector = handle.injector();
     let mut payload = Vec::new();
+    // Per-connection negotiated state: implicitly v1 with no features
+    // until a Hello upgrades it.
+    let mut version = PROTO_V1;
+    let mut edf = false;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             let _ = writer.send(WriterMsg::Close);
@@ -779,66 +1005,69 @@ fn reader_loop<S>(
                 let _ = writer.send(WriterMsg::DrainRequested);
                 return;
             }
-            Request::Submit {
-                req_id,
-                prio: _,
-                work_ns,
-            } => {
-                let submitted_at = Instant::now();
-                shared.submitted.fetch_add(1, Ordering::Relaxed);
-                if shared.stop.load(Ordering::Acquire) {
-                    shared.rejected.fetch_add(1, Ordering::Relaxed);
-                    trace::emit(EventKind::AdmissionReject, req_id);
+            Request::Hello(h) => {
+                if h.version == 0 {
+                    // A version the protocol reserves as invalid:
+                    // refuse and close rather than guess.
                     let _ = writer.send(WriterMsg::Resp(Response::Rejected {
-                        req_id,
-                        code: RejectCode::Shutdown,
+                        req_id: 0,
+                        code: RejectCode::BadVersion,
                     }));
-                    continue;
+                    let _ = writer.send(WriterMsg::Close);
+                    return;
                 }
-                // Admission: reserve an in-flight unit, give it back if
-                // over the bound. The increment-then-check keeps the
-                // gate race-free without a CAS loop: concurrent Submits
-                // may transiently overshoot the counter but never the
-                // accept count.
-                let prev = shared.in_flight.fetch_add(1, Ordering::AcqRel);
-                if prev >= shared.queue_cap as u64 {
-                    shared.in_flight.fetch_sub(1, Ordering::Release);
-                    shared.rejected.fetch_add(1, Ordering::Relaxed);
-                    trace::emit(EventKind::AdmissionReject, req_id);
-                    let _ = writer.send(WriterMsg::Resp(Response::Rejected {
-                        req_id,
-                        code: RejectCode::QueueFull,
-                    }));
-                    continue;
-                }
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
-                // Accepted is enqueued to the writer *before* the task
-                // is injected, so the client (and the writer's drain
-                // accounting) always sees Accepted before Completed.
-                let _ = writer.send(WriterMsg::Resp(Response::Accepted { req_id }));
-                let inject_ns = submitted_at.elapsed().as_nanos() as u64;
-                let slot = {
-                    let mut slab = shared.pending.lock().expect("pending slab poisoned");
-                    slab.alloc(Pending {
-                        req_id,
-                        reply: writer.clone(),
-                        submitted_at,
-                        inject_ns,
-                        work_ns,
-                    })
-                    .expect("slab exhausted under admission bound")
+                // Negotiate down to the highest version both sides
+                // speak; features are granted only at v2+.
+                version = h.version.min(PROTO_V2);
+                let features = if version >= PROTO_V2 {
+                    h.features & SERVER_FEATURES
+                } else {
+                    0
                 };
-                // Arrival order as priority: the relaxed queues then
-                // approximate FIFO service, which is what an open-system
-                // sojourn benchmark wants to measure.
-                let prio = shared.arrival_seq.fetch_add(1, Ordering::Relaxed);
-                if !injector.inject(slot, prio) {
-                    // Raced a pool shutdown (not reachable through
-                    // Server::shutdown, which joins readers first).
-                    // Keep the Accepted promise: account and reply
-                    // without rendering service.
-                    complete_task(&shared, slot, false);
+                edf = features & FEAT_EDF != 0;
+                let _ = writer.send(WriterMsg::Hello(HelloAck {
+                    version,
+                    features,
+                    server_now_ns: shared.now_ns(),
+                }));
+            }
+            Request::Submit(s) => {
+                admit_and_inject(
+                    &shared,
+                    &mut injector,
+                    &writer,
+                    Submission {
+                        req_id: s.req_id,
+                        work_ns: s.work_ns,
+                        deadline: None,
+                        v2: false,
+                        edf: false,
+                    },
+                );
+            }
+            Request::SubmitV2(s) => {
+                if version < PROTO_V2 {
+                    // SubmitV2 without a v2 handshake is a protocol
+                    // violation, same family as an unknown opcode.
+                    let _ = writer.send(WriterMsg::Resp(Response::Rejected {
+                        req_id: s.req_id,
+                        code: RejectCode::BadVersion,
+                    }));
+                    let _ = writer.send(WriterMsg::Close);
+                    return;
                 }
+                admit_and_inject(
+                    &shared,
+                    &mut injector,
+                    &writer,
+                    Submission {
+                        req_id: s.req_id,
+                        work_ns: s.work_ns,
+                        deadline: Some((s.deadline, s.absolute)),
+                        v2: true,
+                        edf,
+                    },
+                );
             }
         }
     }
@@ -849,21 +1078,32 @@ fn writer_loop(mut stream: ConnStream, rx: Receiver<WriterMsg>) {
     let mut accepted_seen: u64 = 0;
     let mut completed_seen: u64 = 0;
     let mut draining = false;
+    // Encoding version for outbound frames; flipped by the reader's
+    // Hello message *after* the ack is written, so the ack itself and
+    // everything before it stay v1-shaped on the wire.
+    let mut version = PROTO_V1;
     // Loop ends when every sender (reader + pending slots) is gone:
     // nothing more can arrive.
     while let Ok(msg) = rx.recv() {
         match msg {
             WriterMsg::Close => break,
+            WriterMsg::Hello(ack) => {
+                let ok = write_response(&mut stream, &Response::HelloAck(ack), version).is_ok();
+                version = ack.version;
+                if !ok {
+                    break;
+                }
+            }
             WriterMsg::DrainRequested => {
                 draining = true;
             }
             WriterMsg::Resp(resp) => {
                 match resp {
                     Response::Accepted { .. } => accepted_seen += 1,
-                    Response::Completed { .. } => completed_seen += 1,
+                    Response::Completed(_) | Response::CompletedV2(_) => completed_seen += 1,
                     _ => {}
                 }
-                if write_response(&mut stream, &resp).is_err() {
+                if write_response(&mut stream, &resp, version).is_err() {
                     break;
                 }
             }
@@ -874,6 +1114,7 @@ fn writer_loop(mut stream: ConnStream, rx: Receiver<WriterMsg>) {
                 &Response::Drained {
                     completed: completed_seen,
                 },
+                version,
             );
             break;
         }

@@ -2,7 +2,8 @@
 //! real clients over the wire, exact conservation of every request.
 
 use rsched_serve::{
-    Backend, Endpoint, RejectCode, Request, Response, ServeClient, ServeConfig, Server,
+    Backend, Endpoint, RejectCode, Request, Response, ServeClient, ServeConfig, Server, Submit,
+    SubmitV2, FEAT_EDF, PROTO_V1, PROTO_V2,
 };
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,6 +25,7 @@ fn ephemeral(backend: Backend, threads: usize, cap: usize) -> Server {
         threads,
         queue_cap: cap,
         seed: 0x00C0_FFEE,
+        ..ServeConfig::default()
     })
     .expect("server start")
 }
@@ -36,11 +38,11 @@ fn drive_client(endpoint: &Endpoint, base_id: u64, n: u64, work_ns: u64) -> (u64
     let (mut tx, mut rx) = client.split();
     let sender = std::thread::spawn(move || {
         for i in 0..n {
-            tx.send(&Request::Submit {
+            tx.send(&Request::Submit(Submit {
                 req_id: base_id + i,
                 prio: i,
                 work_ns,
-            })
+            }))
             .expect("send submit");
         }
         tx.send(&Request::Drain).expect("send drain");
@@ -58,17 +60,21 @@ fn drive_client(endpoint: &Endpoint, base_id: u64, n: u64, work_ns: u64) -> (u64
                 assert_eq!(code, RejectCode::QueueFull);
                 assert!(rejected.insert(req_id), "double Rejected for {req_id}");
             }
-            Response::Completed {
-                req_id,
-                sojourn_ns,
-                inject_ns,
-            } => {
+            Response::Completed(c) => {
                 assert!(
-                    accepted.contains(&req_id),
-                    "Completed before Accepted for {req_id}"
+                    accepted.contains(&c.req_id),
+                    "Completed before Accepted for {}",
+                    c.req_id
                 );
-                assert!(completed.insert(req_id), "double Completed for {req_id}");
-                assert!(sojourn_ns >= inject_ns, "sojourn shorter than its prefix");
+                assert!(
+                    completed.insert(c.req_id),
+                    "double Completed for {}",
+                    c.req_id
+                );
+                assert!(
+                    c.sojourn_ns >= c.inject_ns,
+                    "sojourn shorter than its prefix"
+                );
             }
             Response::Drained { completed: c } => {
                 drained = Some(c);
@@ -151,6 +157,7 @@ fn unix_socket_roundtrip() {
         threads: 2,
         queue_cap: 1024,
         seed: 7,
+        ..ServeConfig::default()
     })
     .expect("unix server start");
     let endpoint = server.endpoint().clone();
@@ -168,18 +175,18 @@ fn ping_and_stats_roundtrip() {
     client.send(&Request::Ping { token: 42 }).unwrap();
     assert_eq!(client.recv().unwrap(), Some(Response::Pong { token: 42 }));
     client
-        .send(&Request::Submit {
+        .send(&Request::Submit(Submit {
             req_id: 1,
             prio: 0,
             work_ns: 0,
-        })
+        }))
         .unwrap();
     assert_eq!(
         client.recv().unwrap(),
         Some(Response::Accepted { req_id: 1 })
     );
     match client.recv().unwrap() {
-        Some(Response::Completed { req_id: 1, .. }) => {}
+        Some(Response::Completed(c)) if c.req_id == 1 => {}
         other => panic!("expected Completed, got {other:?}"),
     }
     // Stats after one completion: counters consistent, quantiles set.
@@ -218,18 +225,18 @@ fn metrics_roundtrips_full_telemetry_snapshot_over_the_wire() {
     let n = 64u64;
     for i in 0..n {
         client
-            .send(&Request::Submit {
+            .send(&Request::Submit(Submit {
                 req_id: i,
                 prio: i,
                 work_ns: 20_000,
-            })
+            }))
             .unwrap();
     }
     let mut completed = 0u64;
     while completed < n {
         match client.recv().unwrap() {
             Some(Response::Accepted { .. }) => {}
-            Some(Response::Completed { .. }) => completed += 1,
+            Some(Response::Completed(_)) => completed += 1,
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -310,11 +317,11 @@ fn abrupt_disconnect_still_accounts_accepted_work() {
         let mut client = ServeClient::connect(server.endpoint()).expect("connect");
         for i in 0..n {
             client
-                .send(&Request::Submit {
+                .send(&Request::Submit(Submit {
                     req_id: i,
                     prio: i,
                     work_ns: 50_000,
-                })
+                }))
                 .unwrap();
         }
         // Drop without draining: both halves close.
@@ -343,4 +350,251 @@ fn abrupt_disconnect_still_accounts_accepted_work() {
     assert!(report.submitted > 0 && report.submitted <= n);
     assert_eq!(report.submitted, report.accepted + report.rejected);
     assert_eq!(report.completed, report.accepted);
+}
+
+/// v2 analogue of [`drive_client`]: handshake at `PROTO_V2` with
+/// `FEAT_EDF`, pipeline `n` relative-deadline submits, then drain.
+/// Returns (accepted, rejected, met, missed) as observed on the wire.
+fn drive_client_v2(
+    endpoint: &Endpoint,
+    base_id: u64,
+    n: u64,
+    work_ns: u64,
+    budget_ns: u64,
+) -> (u64, u64, u64, u64) {
+    let mut client = ServeClient::connect(endpoint).expect("connect");
+    let ack = client.handshake(PROTO_V2, FEAT_EDF).expect("handshake");
+    assert_eq!(ack.version, PROTO_V2, "server refused to speak v2");
+    assert_eq!(ack.features, FEAT_EDF, "EDF not granted at v2");
+    let (mut tx, mut rx) = client.split();
+    let sender = std::thread::spawn(move || {
+        for i in 0..n {
+            tx.send(&Request::SubmitV2(SubmitV2 {
+                req_id: base_id + i,
+                deadline: budget_ns,
+                work_ns,
+                absolute: false,
+            }))
+            .expect("send submit v2");
+        }
+        tx.send(&Request::Drain).expect("send drain");
+    });
+    let mut accepted = HashSet::new();
+    let mut rejected = HashSet::new();
+    let mut completed = HashSet::new();
+    let (mut met, mut missed) = (0u64, 0u64);
+    let mut drained = None;
+    while let Some(resp) = rx.recv().expect("recv") {
+        match resp {
+            Response::Accepted { req_id } => {
+                assert!(accepted.insert(req_id), "double Accepted for {req_id}");
+            }
+            Response::Rejected { req_id, code } => {
+                assert_eq!(code, RejectCode::QueueFull);
+                assert!(rejected.insert(req_id), "double Rejected for {req_id}");
+            }
+            Response::CompletedV2(c) => {
+                assert!(
+                    accepted.contains(&c.req_id),
+                    "Completed before Accepted for {}",
+                    c.req_id
+                );
+                assert!(
+                    completed.insert(c.req_id),
+                    "double Completed for {}",
+                    c.req_id
+                );
+                // The relative budget resolved against the admission
+                // stamp: the absolute deadline echoed back must be at
+                // least the budget itself.
+                assert!(c.deadline_ns >= budget_ns, "deadline resolved backwards");
+                assert_eq!(c.met, c.tardiness_ns == 0, "met flag disagrees");
+                if c.met {
+                    met += 1;
+                } else {
+                    missed += 1;
+                }
+            }
+            Response::Drained { completed: c } => {
+                drained = Some(c);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    sender.join().unwrap();
+    assert_eq!(accepted.len() as u64 + rejected.len() as u64, n);
+    assert_eq!(completed, accepted);
+    assert_eq!(drained, Some(accepted.len() as u64));
+    assert_eq!(
+        met + missed,
+        accepted.len() as u64,
+        "a completion had no verdict"
+    );
+    (accepted.len() as u64, rejected.len() as u64, met, missed)
+}
+
+#[test]
+fn v2_handshake_negotiates_and_reports_deadline_verdicts() {
+    let server = ephemeral(Backend::MqSkiplist, 2, 1024);
+    let endpoint = server.endpoint().clone();
+    // Clock sanity: the ack carries the server's monotonic reading, and
+    // successive handshakes observe it advancing (never backwards).
+    let (_c1, ack1) = ServeClient::connect_v2(&endpoint).expect("connect v2");
+    let (_c2, ack2) = ServeClient::connect_v2(&endpoint).expect("connect v2");
+    assert_eq!(ack1.version, PROTO_V2);
+    assert_eq!(ack1.features, FEAT_EDF);
+    assert!(
+        ack2.server_now_ns >= ack1.server_now_ns,
+        "clock ran backwards"
+    );
+    // A 10 s budget on a loopback microtask is always met; every
+    // completion must say so.
+    let (acc, rej, met, missed) = drive_client_v2(&endpoint, 0, 200, 1_000, 10_000_000_000);
+    assert_eq!((acc, rej), (200, 0));
+    assert_eq!((met, missed), (200, 0), "loose budget missed");
+    let report = server.shutdown();
+    assert_eq!(report.deadline_met, 200);
+    assert_eq!(report.deadline_misses, 0);
+    assert_eq!(report.miss_permille, 0);
+}
+
+#[test]
+fn v1_client_negotiates_down_and_interoperates() {
+    let server = ephemeral(Backend::MqSkiplist, 2, 1024);
+    // A v1 client that *does* handshake gets v1 back and no features.
+    let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+    let ack = client.handshake(PROTO_V1, FEAT_EDF).expect("v1 handshake");
+    assert_eq!(ack.version, PROTO_V1, "server upgraded a v1 client");
+    assert_eq!(ack.features, 0, "features granted below v2");
+    drop(client);
+    // A v1 client that never says Hello still works verbatim — the
+    // whole pre-handshake protocol is the v1 protocol.
+    let (acc, rej) = drive_client(server.endpoint(), 0, 100, 1_000);
+    assert_eq!((acc, rej), (100, 0));
+    let report = server.shutdown();
+    assert_eq!(report.completed, 100);
+    // v1 traffic carries no deadlines: no verdicts were recorded.
+    assert_eq!(report.deadline_met + report.deadline_misses, 0);
+}
+
+#[test]
+fn unknown_version_hello_is_rejected_and_closed() {
+    let server = ephemeral(Backend::MqSkiplist, 1, 64);
+    let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+    client
+        .send(&Request::Hello(rsched_serve::Hello {
+            version: 0,
+            features: 0,
+        }))
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(Response::Rejected { req_id: 0, code }) => {
+            assert_eq!(code, RejectCode::BadVersion);
+        }
+        other => panic!("expected BadVersion reject, got {other:?}"),
+    }
+    assert_eq!(
+        client.recv().unwrap(),
+        None,
+        "connection open after bad Hello"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn submit_v2_without_handshake_is_rejected_and_closed() {
+    let server = ephemeral(Backend::MqSkiplist, 1, 64);
+    let mut client = ServeClient::connect(server.endpoint()).expect("connect");
+    client
+        .send(&Request::SubmitV2(SubmitV2 {
+            req_id: 7,
+            deadline: 1_000_000,
+            work_ns: 0,
+            absolute: false,
+        }))
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(Response::Rejected { req_id: 7, code }) => {
+            assert_eq!(code, RejectCode::BadVersion);
+        }
+        other => panic!("expected BadVersion reject, got {other:?}"),
+    }
+    assert_eq!(
+        client.recv().unwrap(),
+        None,
+        "connection open after v2-on-v1"
+    );
+    let report = server.shutdown();
+    // The protocol error left no trace in admission accounting.
+    assert_eq!(report.submitted, 0);
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn mixed_version_concurrent_clients_conserve() {
+    for backend in Backend::ALL {
+        let per_client = (300 * stress_mult()) as u64;
+        let server = ephemeral(backend, 2, 100_000);
+        let endpoint = server.endpoint().clone();
+        let v2_verdicts = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            // Two v1 clients and two v2-EDF clients share the server.
+            for c in 0..2u64 {
+                let endpoint = &endpoint;
+                scope.spawn(move || {
+                    let (acc, rej) = drive_client(endpoint, c * 1_000_000, per_client, 1_000);
+                    assert_eq!((acc, rej), (per_client, 0), "v1 client starved");
+                });
+            }
+            for c in 2..4u64 {
+                let endpoint = &endpoint;
+                let v2_verdicts = &v2_verdicts;
+                scope.spawn(move || {
+                    let (acc, rej, met, missed) =
+                        drive_client_v2(endpoint, c * 1_000_000, per_client, 1_000, 10_000_000_000);
+                    assert_eq!((acc, rej), (per_client, 0), "v2 client starved");
+                    v2_verdicts.fetch_add(met + missed, Ordering::Relaxed);
+                });
+            }
+        });
+        let report = server.shutdown();
+        let expect = 4 * per_client;
+        assert_eq!(report.submitted, expect, "backend {backend:?}");
+        assert_eq!(report.completed, expect, "backend {backend:?}");
+        // Exactly the v2 half carried deadlines; v1 completions record
+        // no verdict.
+        assert_eq!(
+            report.deadline_met + report.deadline_misses,
+            2 * per_client,
+            "backend {backend:?}"
+        );
+        assert_eq!(v2_verdicts.load(Ordering::Relaxed), 2 * per_client);
+    }
+}
+
+#[test]
+fn rejection_is_side_effect_free_for_deadline_accounting() {
+    // A v2 burst into a cap-4 queue with slow (1 ms) work draws
+    // rejections. Rejected submits must leave no trace in the deadline
+    // ledger: verdicts are recorded at completion only, so
+    // met + missed == completed == accepted exactly.
+    let server = ephemeral(Backend::MqSkiplist, 1, 4);
+    let n = 200u64;
+    let (accepted, rejected, met, missed) =
+        drive_client_v2(server.endpoint(), 0, n, 1_000_000, 5_000_000);
+    assert!(
+        rejected > 0,
+        "burst of {n} into cap 4 never tripped admission"
+    );
+    let report = server.shutdown();
+    assert_eq!(report.accepted, accepted);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.completed, accepted);
+    assert_eq!(
+        report.deadline_met + report.deadline_misses,
+        accepted,
+        "rejected submits leaked into the deadline ledger"
+    );
+    assert_eq!((report.deadline_met, report.deadline_misses), (met, missed));
 }

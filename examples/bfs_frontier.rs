@@ -80,8 +80,8 @@ fn main() {
         "queue", "shards", "mean_err", "p99_err", "max_err"
     );
     for shards in [4usize, 8, 16] {
-        let dra = fifo_profile(DRaQueue::choice_of_two(shards, 7), reachable);
-        let dcbo = fifo_profile(DCboQueue::new(shards, 7), reachable);
+        let dra = fifo_profile(QueueBuilder::new(shards).seed(7).d_ra(), reachable);
+        let dcbo = fifo_profile(QueueBuilder::new(shards).seed(7).d_cbo(), reachable);
         for (name, s) in [("d-RA", dra), ("d-CBO", dcbo)] {
             println!(
                 "{:>14} {:>8} {:>10.2} {:>10} {:>10}",

@@ -141,8 +141,9 @@ pub mod prelude {
         DRaMutexQueue, DRaQueue, DRaSegQueue, DecreaseKey, DuplicateMultiQueue, Exact,
         FifoRankStats, FifoRankTracker, FifoSession, FlushReport, IndexedBinaryHeap, KLsmHandle,
         KLsmQueue, MqSession, MsQueue, MutexSub, PairingHeap, PinSession, PopSource, PriorityQueue,
-        PushOutcome, RankStats, RankTracker, RelaxedFifo, RelaxedQueue, RotatingKQueue,
-        SegRingQueue, SessionConfig, SessionPush, SimMultiQueue, SprayList, SubFifo,
+        PushOutcome, QueueBuilder, RankStats, RankTracker, RelaxedFifo, RelaxedQueue,
+        RotatingKQueue, SegRingQueue, SessionConfig, SessionPush, SimMultiQueue, SprayList,
+        SubFifo,
     };
     pub use rsched_runtime::run as run_pool;
     pub use rsched_runtime::{

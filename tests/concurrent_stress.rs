@@ -34,7 +34,7 @@ fn multiqueue_storm_conserves_elements() {
     use rand::{Rng, SeedableRng};
     let threads = 8;
     let per = 3000usize;
-    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(6));
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(QueueBuilder::new(6).multiqueue());
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let q = Arc::clone(&q);
@@ -92,7 +92,7 @@ fn multiqueue_storm_conserves_elements() {
 fn sticky_sessions_under_contention() {
     let threads = 6;
     let per = 2000usize;
-    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(4));
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(QueueBuilder::new(4).multiqueue());
     for i in 0..threads * per {
         q.push_or_decrease(i, (i as u64 * 17) % 100_000);
     }
@@ -210,7 +210,7 @@ fn dcbo_storm_conserves_elements() {
     use rand::SeedableRng;
     let threads = 4 * stress();
     let per = 10_000 * stress();
-    let q: Arc<DCboQueue<usize>> = Arc::new(DCboQueue::new(6, 13));
+    let q: Arc<DCboQueue<usize>> = Arc::new(QueueBuilder::new(6).seed(13).d_cbo());
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let q = Arc::clone(&q);
@@ -253,7 +253,7 @@ fn runtime_dcbo_executes_every_task_once() {
     for seed in 0..3u64 {
         let n = 5_000usize;
         let children = 3u64;
-        let queue: DCboQueue<(usize, u64)> = DCboQueue::new(16, seed);
+        let queue: DCboQueue<(usize, u64)> = QueueBuilder::new(16).seed(seed).d_cbo();
         let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         let stats = run_pool(
             &queue,
@@ -330,8 +330,8 @@ fn relaxed_fifo_backend_matrix_storm() {
     fn storm_pair<S: SubFifo<usize> + 'static>(name: &str) {
         let threads = 4 * stress();
         let per = 4_000 * stress();
-        let dra: Arc<DRaQueue<usize, S>> = Arc::new(DRaQueue::with_backend(6, 2, 13));
-        let dcbo: Arc<DCboQueue<usize, S>> = Arc::new(DCboQueue::with_backend(6, 2, 13));
+        let dra: Arc<DRaQueue<usize, S>> = Arc::new(QueueBuilder::new(6).seed(13).d_ra_on());
+        let dcbo: Arc<DCboQueue<usize, S>> = Arc::new(QueueBuilder::new(6).seed(13).d_cbo_on());
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let dra = Arc::clone(&dra);
@@ -395,7 +395,7 @@ fn multiqueue_backend_matrix_storm() {
     fn storm<S: SubPriority<u64> + 'static>(name: &str) {
         let threads = 4 * stress();
         let per = 2_500 * stress();
-        let q: Arc<ConcurrentMultiQueue<u64, S>> = Arc::new(ConcurrentMultiQueue::with_backend(6));
+        let q: Arc<ConcurrentMultiQueue<u64, S>> = Arc::new(QueueBuilder::new(6).multiqueue_on());
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let q = Arc::clone(&q);
@@ -485,7 +485,7 @@ fn skiplist_multiqueue_estimator_envelope() {
     let nqueues = 8usize;
     let threads = 4 * stress();
     let per = 8_000usize;
-    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(ConcurrentMultiQueue::new(nqueues));
+    let q: Arc<ConcurrentMultiQueue<u64>> = Arc::new(QueueBuilder::new(nqueues).multiqueue());
     let est = ConcurrentRankEstimator::new();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -552,7 +552,7 @@ fn concurrent_estimator_envelope_under_contention() {
     let shards = 8usize;
     let threads = 4 * stress();
     let per = 8_000usize;
-    let q: Arc<DCboQueue<u64>> = Arc::new(DCboQueue::new(shards, 29));
+    let q: Arc<DCboQueue<u64>> = Arc::new(QueueBuilder::new(shards).seed(29).d_cbo());
     let est = ConcurrentRankEstimator::new();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -594,7 +594,7 @@ fn fifo_session_estimator_envelope_two_homes() {
     let shards = 8usize;
     let threads = 4 * stress();
     let per = 8_000usize;
-    let q: Arc<DCboQueue<u64>> = Arc::new(DCboQueue::new(shards, 31));
+    let q: Arc<DCboQueue<u64>> = Arc::new(QueueBuilder::new(shards).seed(31).d_cbo());
     let est = ConcurrentRankEstimator::new();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -653,7 +653,7 @@ fn runtime_home_shard_steal_accounting() {
 
     // 8 workers × 2 home shards = all 16 shards owned.
     let n = 20_000usize;
-    let queue: DCboQueue<(usize, u64)> = DCboQueue::new(16, 3);
+    let queue: DCboQueue<(usize, u64)> = QueueBuilder::new(16).seed(3).d_cbo();
     let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let stats = run_pool(
         &queue,
@@ -685,7 +685,7 @@ fn runtime_home_shard_steal_accounting() {
     }
 
     // One worker owning every shard: nothing left to steal from.
-    let queue: DCboQueue<(usize, u64)> = DCboQueue::new(4, 5);
+    let queue: DCboQueue<(usize, u64)> = QueueBuilder::new(4).seed(5).d_cbo();
     let stats = run_pool(
         &queue,
         RuntimeConfig {
@@ -717,7 +717,7 @@ fn runtime_batched_spawns_conserve_with_merges() {
     // Duplicate spawns: each executed task spawns its successor twice
     // (the second is a buffer dedup or a shared merge).
     let n = 4_000usize;
-    let queue = ConcurrentMultiQueue::<u64>::with_universe(8, n);
+    let queue = QueueBuilder::new(8).universe(n).multiqueue::<u64>();
     let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let stats = run_pool(
         &queue,
@@ -753,7 +753,7 @@ fn runtime_batched_spawns_conserve_with_merges() {
     // buffer; termination must wait for the forced flush.
     let n = 300usize;
     let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    let queue = ConcurrentMultiQueue::<u64>::with_universe(8, n);
+    let queue = QueueBuilder::new(8).universe(n).multiqueue::<u64>();
     let stats = run_pool(
         &queue,
         RuntimeConfig {
@@ -793,7 +793,7 @@ fn bucket_hybrid_storm_conserves_elements() {
     use rand::{Rng, SeedableRng};
     let threads = 8 * stress().min(4);
     let per = 3000usize;
-    let q: Arc<BucketFifoQueue> = Arc::new(BucketFifoQueue::new(64, 6));
+    let q: Arc<BucketFifoQueue> = Arc::new(QueueBuilder::new(6).delta(64).bucket_fifo());
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let q = Arc::clone(&q);
@@ -841,7 +841,7 @@ fn bucket_hybrid_batched_sessions_conserve() {
     use rand::Rng;
     let threads = 6;
     let per = 4000usize * stress();
-    let q: Arc<BucketFifoQueue> = Arc::new(BucketFifoQueue::new(32, 8));
+    let q: Arc<BucketFifoQueue> = Arc::new(QueueBuilder::new(8).delta(32).bucket_fifo());
     let net: i64 = std::thread::scope(|s| {
         (0..threads)
             .map(|t| {
@@ -893,7 +893,7 @@ fn bucket_monotonicity_envelope_under_contention() {
     let per_bucket = 1500usize * stress();
     let delta = 100u64;
     let threads = 4;
-    let q: Arc<BucketFifoQueue> = Arc::new(BucketFifoQueue::new(delta, 4));
+    let q: Arc<BucketFifoQueue> = Arc::new(QueueBuilder::new(4).delta(delta).bucket_fifo());
     for b in 0..buckets {
         for i in 0..per_bucket {
             let item = (b as usize) * per_bucket + i;
@@ -950,7 +950,7 @@ fn bucket_monotonicity_envelope_under_contention() {
 #[test]
 fn runtime_bucket_hybrid_executes_every_task_once() {
     use std::sync::atomic::AtomicU64;
-    let queue: BucketFifoQueue = BucketFifoQueue::new(8, 6);
+    let queue: BucketFifoQueue = QueueBuilder::new(6).delta(8).bucket_fifo();
     let executed = AtomicU64::new(0);
     let n = 256usize;
     let depth = 12u64;

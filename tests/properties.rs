@@ -350,8 +350,8 @@ fn relaxed_fifo_conservation() {
         let subqueues = rng.gen_range(1usize..12);
         let nops = rng.gen_range(1usize..400);
         let seed = rng.gen_range(0u64..1000);
-        let mut dra: DRaQueue<u64> = DRaQueue::choice_of_two(subqueues, seed);
-        let mut dcbo: DCboQueue<u64> = DCboQueue::new(subqueues, seed);
+        let mut dra: DRaQueue<u64> = QueueBuilder::new(subqueues).seed(seed).d_ra();
+        let mut dcbo: DCboQueue<u64> = QueueBuilder::new(subqueues).seed(seed).d_cbo();
         let mut pushed = 0u64;
         let mut got_dra = Vec::new();
         let mut got_dcbo = Vec::new();
@@ -446,9 +446,19 @@ fn relaxed_fifo_rank_error_envelope() {
             q.into_parts().1
         }
 
-        let dra = mixed_sweep(DRaQueue::choice_of_two(subqueues, seed), prefill, ops, seed);
+        let dra = mixed_sweep(
+            QueueBuilder::new(subqueues).seed(seed).d_ra(),
+            prefill,
+            ops,
+            seed,
+        );
         check("d-RA", &dra);
-        let dcbo = mixed_sweep(DCboQueue::new(subqueues, seed), prefill, ops, seed);
+        let dcbo = mixed_sweep(
+            QueueBuilder::new(subqueues).seed(seed).d_cbo(),
+            prefill,
+            ops,
+            seed,
+        );
         check("d-CBO", &dcbo);
     }
 }
@@ -460,8 +470,8 @@ fn relaxed_fifo_single_subqueue_exact() {
     for case in 0..CASES {
         let mut rng = gen_for("fifo_exact", case);
         let nops = rng.gen_range(1usize..300);
-        let mut dra = FifoRankTracker::new(DRaQueue::choice_of_two(1, case));
-        let mut dcbo = FifoRankTracker::new(DCboQueue::new(1, case));
+        let mut dra = FifoRankTracker::new(QueueBuilder::new(1).seed(case).d_ra());
+        let mut dcbo = FifoRankTracker::new(QueueBuilder::new(1).seed(case).d_cbo());
         let mut next = 0u64;
         for _ in 0..nops {
             if rng.gen_bool(0.5) {
